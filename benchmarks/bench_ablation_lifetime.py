@@ -1,0 +1,36 @@
+"""A1 (ablation) — lifetime optimality: reverse labeling vs source-side cut.
+
+Disabling the Reverse Labeling Procedure (taking the min cut nearest the
+source instead) must keep the computational optimum but lengthen the PRE
+temporaries' live ranges and their profile-weighted pressure.
+"""
+
+from conftest import SUITE_SUBSET, emit
+
+from repro.bench.ablations import lifetime_ablation, render_lifetime
+from repro.bench.workloads import load_workload
+
+
+def test_lifetime_ablation(benchmark):
+    benchmark.pedantic(
+        lifetime_ablation, args=(load_workload("mcf"),), rounds=1, iterations=1
+    )
+
+    results = [lifetime_ablation(load_workload(name)) for name in SUITE_SUBSET]
+    emit("Ablation A1 (lower is better)", render_lifetime(results))
+
+    late_ranges = early_ranges = late_pressure = early_pressure = 0
+    for r in results:
+        # Computational optimality is unaffected by the tie-break side.
+        assert r.late.cost == r.early.cost, r.name
+        # Theorem 9: the later cut never lengthens temp live ranges.
+        assert r.late.live_range <= r.early.live_range, r.name
+        assert r.late.pressure <= r.early.pressure, r.name
+        late_ranges += r.late.live_range
+        early_ranges += r.early.live_range
+        late_pressure += r.late.pressure
+        early_pressure += r.early.pressure
+
+    # Across a whole suite the reverse labeling should win strictly.
+    assert late_ranges < early_ranges
+    assert late_pressure < early_pressure

@@ -1,0 +1,29 @@
+"""A2 (ablation) — node frequencies suffice for MC-SSAPRE.
+
+The paper's contribution 3: MC-SSAPRE needs only node frequencies while
+MC-PRE needs edge frequencies.  This bench verifies that (a) MC-SSAPRE
+compiled from a nodes-only profile is *identical* to one compiled from the
+full profile, and (b) it still matches edge-profile-driven MC-PRE's
+optimal dynamic counts.
+"""
+
+from conftest import SUITE_SUBSET, emit
+
+from repro.bench.ablations import profile_ablation, render_profiles
+from repro.bench.workloads import load_workload
+
+
+def test_node_frequencies_suffice(benchmark):
+    benchmark.pedantic(
+        profile_ablation,
+        args=(load_workload(SUITE_SUBSET[0]),),
+        rounds=1,
+        iterations=1,
+    )
+
+    results = [profile_ablation(load_workload(name)) for name in SUITE_SUBSET]
+    emit("Ablation A2 (node-frequency sufficiency)", render_profiles(results))
+
+    for r in results:
+        assert r.identical_output, r.name
+        assert r.counts_match_mcpre, r.name

@@ -1,0 +1,20 @@
+"""E4 — paper Figure 10: CFP2006 performance normalised to safe SSAPRE."""
+
+from conftest import emit
+
+from repro.bench.figures import figure10
+
+
+def test_figure10_series(cfp_table, benchmark):
+    chart = benchmark(lambda: figure10(cfp_table))
+    emit("Figure 10 (CFP2006, normalised to A = 1.0)", chart.render())
+
+    below_one = 0
+    for name, a, b, c in chart.series():
+        assert a == 1.0
+        assert c <= 1.03, name
+        if b < 1.0:
+            below_one += 1
+    # Loop speculation helps most CFP benchmarks (the paper's point about
+    # floating-point code being loop-oriented).
+    assert below_one >= len(chart.series()) // 2

@@ -1,0 +1,17 @@
+"""E3 — paper Figure 9: CINT2006 performance normalised to safe SSAPRE."""
+
+from conftest import emit
+
+from repro.bench.figures import figure9
+
+
+def test_figure9_series(cint_table, benchmark):
+    chart = benchmark(lambda: figure9(cint_table))
+    emit("Figure 9 (CINT2006, normalised to A = 1.0)", chart.render())
+
+    for name, a, b, c in chart.series():
+        assert a == 1.0
+        # C's bar sits at or below A's for every benchmark (small FDO
+        # slack, as in the tables).
+        assert c <= 1.03, name
+        assert b > 0 and c > 0

@@ -1,0 +1,49 @@
+"""Micro-benchmarks of the min-cut kernel on EFG-shaped networks.
+
+Grounds the Section 3.3 complexity discussion: even at the extreme tail of
+the paper's Figure 11 distribution (an 805-node EFG), one min cut is far
+below a millisecond-scale compile budget.
+"""
+
+import random
+
+from repro.flownet.mincut import min_cut
+from repro.flownet.network import INFINITE, FlowNetwork
+
+
+def efg_shaped_network(n_phis: int, seed: int = 0) -> FlowNetwork:
+    """A random network with the EFG's layered structure: source ->
+    phis (DAG among themselves) -> occurrences -> sink."""
+    rng = random.Random(seed)
+    net = FlowNetwork("s", "t")
+    phis = [f"phi{i}" for i in range(n_phis)]
+    occs = [f"occ{i}" for i in range(max(1, n_phis // 2))]
+    for i, phi in enumerate(phis):
+        if i == 0 or rng.random() < 0.4:
+            net.add_edge("s", phi, rng.randint(1, 500))
+        for _ in range(rng.randint(0, 2)):
+            if i + 1 < n_phis:
+                target = phis[rng.randint(i + 1, n_phis - 1)]
+                net.add_edge(phi, target, rng.randint(1, 500))
+    for occ in occs:
+        src = rng.choice(phis)
+        net.add_edge(src, occ, rng.randint(1, 500))
+        net.add_edge(occ, "t", INFINITE)
+    return net
+
+
+def run_cut(n_phis: int) -> int:
+    net = efg_shaped_network(n_phis)
+    return min_cut(net, sink_closest=True).value
+
+
+def test_median_efg_cut(benchmark):
+    """The paper's median case: a 4-node EFG."""
+    value = benchmark(run_cut, 2)
+    assert value >= 0
+
+
+def test_large_efg_cut(benchmark):
+    """The paper's tail case: hundreds of nodes (largest observed: 805)."""
+    value = benchmark(run_cut, 805)
+    assert value >= 0

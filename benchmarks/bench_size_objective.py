@@ -1,0 +1,64 @@
+"""A3 (extension) — MC-SSAPRE as a code-size optimiser (paper Section 6).
+
+Compiling with a unit profile makes the min cut count *static*
+occurrences, so the same machinery minimises code size.  This bench
+measures, per benchmark, the static occurrence reduction across all
+expression classes and checks it never regresses.
+"""
+
+import copy
+
+from conftest import SUITE_SUBSET, emit
+
+from repro.analysis.dataflow import expression_keys
+from repro.bench.workloads import load_workload
+from repro.core.mcssapre.driver import run_mc_ssapre
+from repro.ir.instructions import Assign, BinOp, UnaryOp
+from repro.pipeline import prepare
+from repro.profiles.profile import ExecutionProfile
+from repro.ssa.construct import construct_ssa
+
+
+def static_occurrence_total(func) -> int:
+    return sum(
+        1
+        for block in func
+        for stmt in block.body
+        if isinstance(stmt, Assign) and isinstance(stmt.rhs, (BinOp, UnaryOp))
+    )
+
+
+def compile_for_size(name: str) -> tuple[int, int]:
+    workload = load_workload(name)
+    prepared = prepare(workload.program.func)
+    before = static_occurrence_total(prepared)
+    ssa = copy.deepcopy(prepared)
+    construct_ssa(ssa)
+    run_mc_ssapre(ssa, ExecutionProfile.unit(ssa))
+    after = static_occurrence_total(ssa)
+    return before, after
+
+
+def test_size_objective(benchmark):
+    benchmark.pedantic(
+        compile_for_size, args=(SUITE_SUBSET[0],), rounds=1, iterations=1
+    )
+
+    rows = []
+    total_before = total_after = 0
+    for name in SUITE_SUBSET:
+        before, after = compile_for_size(name)
+        assert after <= before, name
+        rows.append(
+            f"  {name:<12} static computations: {before:>5} -> {after:<5} "
+            f"({(before - after) / before:.1%} smaller)"
+        )
+        total_before += before
+        total_after += after
+
+    rows.append(
+        f"  TOTAL        static computations: {total_before} -> {total_after} "
+        f"({(total_before - total_after) / total_before:.1%} smaller)"
+    )
+    emit("Extension A3 (code-size objective via unit profile)", "\n".join(rows))
+    assert total_after < total_before

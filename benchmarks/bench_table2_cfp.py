@@ -1,0 +1,28 @@
+"""E2 — paper Table 2: CFP2006 costs and MC-SSAPRE speedups.
+
+Also checks the paper's family asymmetry: loop-based speculation (B)
+recovers a larger share of MC-SSAPRE's win on the loop-dominated CFP
+programs than on CINT, so the average (B-C)/B gap is smaller on CFP.
+"""
+
+from conftest import emit
+
+from repro.bench.tables import measure_workload
+from repro.bench.workloads import load_workload
+
+
+def test_table2_rows(cfp_table, cint_table, benchmark):
+    workload = load_workload("milc")
+    benchmark.pedantic(
+        measure_workload, args=(workload,), rounds=1, iterations=1
+    )
+
+    emit("Table 2 (CFP2006)", cfp_table.render())
+
+    assert cfp_table.average_speedup_a > 0
+    assert cfp_table.average_speedup_b >= 0
+    for row in cfp_table.rows:
+        assert row.c_cost <= row.a_cost * 1.03, row.benchmark
+
+    # The family asymmetry (paper Section 5.1's closing discussion).
+    assert cfp_table.average_speedup_b < cint_table.average_speedup_b

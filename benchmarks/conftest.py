@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark file regenerates one of the paper's tables/figures (or an
+ablation) and uses pytest-benchmark to time the representative unit of
+work.  By default a fixed subset of the 29 benchmarks is used so the whole
+harness runs in a few minutes; set ``REPRO_BENCH_FULL=1`` to sweep the
+complete suite exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.workloads import ALL_BENCHMARKS, CFP2006, CINT2006
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+#: Subsets used when REPRO_BENCH_FULL is unset.
+CINT_SUBSET = CINT2006 if FULL else ("perlbench", "mcf", "sjeng", "omnetpp")
+CFP_SUBSET = CFP2006 if FULL else ("milc", "dealII", "tonto", "sphinx3")
+SUITE_SUBSET = ALL_BENCHMARKS if FULL else CINT_SUBSET + CFP_SUBSET
+
+
+@pytest.fixture(scope="session")
+def cint_table():
+    from repro.bench.tables import build_table
+
+    return build_table(CINT_SUBSET, "Table 1 (CINT2006 subset)")
+
+
+@pytest.fixture(scope="session")
+def cfp_table():
+    from repro.bench.tables import build_table
+
+    return build_table(CFP_SUBSET, "Table 2 (CFP2006 subset)")
+
+
+def emit(title: str, body: str) -> None:
+    """Print a regenerated artifact under a clear banner."""
+    print()
+    print(f"### {title}")
+    print(body)

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Keeps ``pip install -e .`` working on environments whose pip/setuptools
+cannot do PEP 660 editable installs (no ``wheel`` package); all real
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""Dominance frontiers and iterated dominance frontiers.
+
+Computed with the Cytron et al. bottom-up formula expressed via the
+Cooper–Harvey–Kennedy "walk up from each join predecessor" trick, which
+needs only immediate dominators.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dominators import DominatorTree
+from repro.ir.cfg import CFG
+
+
+def dominance_frontiers(cfg: CFG, domtree: DominatorTree) -> dict[str, set[str]]:
+    """Map each reachable block to its dominance frontier.
+
+    Frontiers are restricted to *join* nodes (>= 2 predecessors), the
+    standard optimisation for SSA construction: a single-predecessor block
+    can never need a phi, so the textbook frontier members it would
+    contribute (e.g. a straight-line self-loop) are deliberately omitted.
+    """
+    frontiers: dict[str, set[str]] = {label: set() for label in domtree.rpo}
+    for label in domtree.rpo:
+        preds = [p for p in cfg.predecessors(label) if p in frontiers]
+        if len(preds) < 2:
+            continue
+        target_idom = domtree.idom[label]
+        for pred in preds:
+            runner: str | None = pred
+            while runner is not None and runner != target_idom:
+                frontiers[runner].add(label)
+                runner = domtree.idom[runner]
+    return frontiers
+
+
+def iterated_dominance_frontier(
+    frontiers: dict[str, set[str]], seeds: set[str]
+) -> set[str]:
+    """DF+ — the closure of dominance frontiers over a seed set of blocks."""
+    result: set[str] = set()
+    worklist = [label for label in seeds if label in frontiers]
+    while worklist:
+        label = worklist.pop()
+        for frontier_block in frontiers[label]:
+            if frontier_block not in result:
+                result.add(frontier_block)
+                worklist.append(frontier_block)
+    return result

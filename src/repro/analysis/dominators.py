@@ -1,0 +1,153 @@
+"""Dominator analysis.
+
+The default algorithm is the Cooper–Harvey–Kennedy iterative scheme over
+reverse postorder, which is simple, robust, and fast for the CFG sizes this
+project handles.  A naive O(n²) data-flow formulation is kept as
+:func:`dominators_naive` purely as a differential-testing oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.ir.cfg import CFG
+
+
+class DominatorTree:
+    """Immediate dominators + dominator tree for reachable blocks."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self.rpo = cfg.reverse_postorder()
+        self._rpo_index = {label: i for i, label in enumerate(self.rpo)}
+        self.idom: dict[str, str | None] = _cooper_harvey_kennedy(
+            cfg, self.rpo, self._rpo_index
+        )
+        self.children: dict[str, list[str]] = {label: [] for label in self.rpo}
+        for label, parent in self.idom.items():
+            if parent is not None:
+                self.children[parent].append(label)
+        # Deterministic child order (RPO) keeps every downstream walk stable.
+        for kids in self.children.values():
+            kids.sort(key=self._rpo_index.__getitem__)
+        self._dfs_in: dict[str, int] = {}
+        self._dfs_out: dict[str, int] = {}
+        self._number()
+
+    def _number(self) -> None:
+        """Assign preorder in/out intervals for O(1) dominance queries."""
+        clock = 0
+        assert self.cfg.entry is not None
+        stack: list[tuple[str, int]] = [(self.cfg.entry, 0)]
+        while stack:
+            label, child_index = stack[-1]
+            if child_index == 0:
+                self._dfs_in[label] = clock
+                clock += 1
+            kids = self.children[label]
+            if child_index < len(kids):
+                stack[-1] = (label, child_index + 1)
+                stack.append((kids[child_index], 0))
+            else:
+                self._dfs_out[label] = clock
+                clock += 1
+                stack.pop()
+
+    # ------------------------------------------------------------------
+    def dominates(self, a: str, b: str) -> bool:
+        """True when *a* dominates *b* (reflexively)."""
+        return (
+            self._dfs_in[a] <= self._dfs_in[b]
+            and self._dfs_out[b] <= self._dfs_out[a]
+        )
+
+    def strictly_dominates(self, a: str, b: str) -> bool:
+        return a != b and self.dominates(a, b)
+
+    def preorder(self) -> Iterator[str]:
+        """Preorder walk of the dominator tree (parents before children)."""
+        assert self.cfg.entry is not None
+        stack = [self.cfg.entry]
+        while stack:
+            label = stack.pop()
+            yield label
+            # Reversed so children come off the stack in RPO order.
+            stack.extend(reversed(self.children[label]))
+
+    def depth(self, label: str) -> int:
+        d = 0
+        cur: str | None = label
+        while (cur := self.idom[cur]) is not None:
+            d += 1
+        return d
+
+
+def _cooper_harvey_kennedy(
+    cfg: CFG, rpo: list[str], rpo_index: dict[str, int]
+) -> dict[str, str | None]:
+    entry = cfg.entry
+    assert entry is not None
+    idom: dict[str, str | None] = {entry: entry}
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while rpo_index[a] > rpo_index[b]:
+                parent = idom[a]
+                assert parent is not None
+                a = parent
+            while rpo_index[b] > rpo_index[a]:
+                parent = idom[b]
+                assert parent is not None
+                b = parent
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for label in rpo:
+            if label == entry:
+                continue
+            processed = [p for p in cfg.predecessors(label) if p in idom]
+            if not processed:
+                continue
+            new_idom = processed[0]
+            for pred in processed[1:]:
+                new_idom = intersect(new_idom, pred)
+            if idom.get(label) != new_idom:
+                idom[label] = new_idom
+                changed = True
+
+    result: dict[str, str | None] = {entry: None}
+    for label in rpo:
+        if label != entry:
+            result[label] = idom[label]
+    return result
+
+
+def dominators_naive(cfg: CFG) -> dict[str, set[str]]:
+    """Reference implementation: full dominator *sets* by iteration.
+
+    Exponentially slower representation than the CHK tree; used only to
+    cross-check :class:`DominatorTree` in tests.
+    """
+    entry = cfg.entry
+    assert entry is not None
+    labels = cfg.reverse_postorder()
+    universe = set(labels)
+    dom: dict[str, set[str]] = {label: set(universe) for label in labels}
+    dom[entry] = {entry}
+    changed = True
+    while changed:
+        changed = False
+        for label in labels:
+            if label == entry:
+                continue
+            preds = [p for p in cfg.predecessors(label) if p in universe]
+            new = set(universe)
+            for pred in preds:
+                new &= dom[pred]
+            new |= {label}
+            if new != dom[label]:
+                dom[label] = new
+                changed = True
+    return dom

@@ -1,0 +1,89 @@
+"""Live-variable analysis over base variable names.
+
+Used to prune SSA phi placement (a phi is only placed where the variable is
+live-in) and by the lifetime-measurement utilities of the benchmark
+harness.  Works on SSA and non-SSA programs alike; on SSA programs the
+analysis can optionally distinguish versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.cfg import CFG
+from repro.ir.function import Function
+from repro.ir.instructions import Assign
+from repro.ir.values import Var
+
+
+@dataclass
+class Liveness:
+    """``live_in``/``live_out`` per block label, over variable keys."""
+
+    live_in: dict[str, set]
+    live_out: dict[str, set]
+
+
+def _var_key(var: Var, by_version: bool):
+    return (var.name, var.version) if by_version else var.name
+
+
+def compute_liveness(func: Function, by_version: bool = False) -> Liveness:
+    """Iterative backward liveness.
+
+    Phi semantics: a phi's target is defined at the head of its block; a
+    phi's argument for predecessor ``P`` is live-out of ``P`` (it travels
+    along the edge), so arguments are added directly to the predecessor's
+    ``live_out`` rather than to this block's ``live_in``.
+    """
+    cfg = CFG(func)
+    labels = cfg.reverse_postorder()
+
+    use: dict[str, set] = {}
+    defs: dict[str, set] = {}
+    phi_uses_from: dict[str, set] = {label: set() for label in labels}
+    for label in labels:
+        block = func.blocks[label]
+        used: set = set()
+        defined: set = set()
+        for phi in block.phis:
+            defined.add(_var_key(phi.target, by_version))
+        for stmt in block.body:
+            for operand in stmt.used_operands():
+                if isinstance(operand, Var):
+                    key = _var_key(operand, by_version)
+                    if key not in defined:
+                        used.add(key)
+            if isinstance(stmt, Assign):
+                defined.add(_var_key(stmt.target, by_version))
+        for operand in block.terminator.used_operands():
+            if isinstance(operand, Var):
+                key = _var_key(operand, by_version)
+                if key not in defined:
+                    used.add(key)
+        use[label] = used
+        defs[label] = defined
+        for succ in cfg.successors(label):
+            if succ not in func.blocks:
+                continue
+            for phi in func.blocks[succ].phis:
+                arg = phi.args.get(label)
+                if isinstance(arg, Var):
+                    phi_uses_from[label].add(_var_key(arg, by_version))
+
+    live_in = {label: set() for label in labels}
+    live_out = {label: set() for label in labels}
+    changed = True
+    while changed:
+        changed = False
+        for label in reversed(labels):
+            out = set(phi_uses_from[label])
+            for succ in cfg.successors(label):
+                if succ in live_in:
+                    out |= live_in[succ]
+            new_in = use[label] | (out - defs[label])
+            if out != live_out[label] or new_in != live_in[label]:
+                live_out[label] = out
+                live_in[label] = new_in
+                changed = True
+    return Liveness(live_in=live_in, live_out=live_out)

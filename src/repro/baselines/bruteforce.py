@@ -1,0 +1,101 @@
+"""Brute-force optimal speculative placement — ground-truth oracle.
+
+For a (small!) non-SSA function and one expression, enumerate every subset
+of candidate insertion edges, apply the insertions plus the standard
+availability-driven rewrite, run the program, and count dynamic
+evaluations of the expression.  The minimum over all subsets is the true
+computational optimum for that execution, against which MC-SSAPRE's and
+MC-PRE's outputs are checked in the optimality tests (Theorem 7).
+
+Candidate edges are pre-filtered to the essential region (an insertion on
+an edge where the value is already available, or never anticipated, cannot
+be part of a strictly better placement), which keeps the enumeration
+tractable without excluding any optimum.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass
+
+from repro.analysis.dataflow import ExprKey, solve_pre_dataflow
+from repro.baselines.mcpre import apply_insertions_and_rewrite
+from repro.ir.cfg import CFG
+from repro.ir.function import Function
+from repro.profiles.interp import run_function
+
+
+@dataclass
+class BruteForceOutcome:
+    best_count: int
+    best_edges: tuple[tuple[str, str], ...]
+    subsets_tried: int
+    baseline_count: int  # evaluations with no insertions at all
+
+
+def candidate_insertion_edges(func: Function, key: ExprKey) -> list[tuple[str, str]]:
+    """Edges on which inserting the expression could possibly pay off."""
+    dataflow = solve_pre_dataflow(func, [key])
+    cfg = CFG(func)
+    reachable = set(cfg.reverse_postorder())
+    edges = []
+    for u in reachable:
+        for v in cfg.successors(u):
+            if (
+                v in reachable
+                and key not in dataflow.avail_out[u]
+                and key in dataflow.pant_postphi[v]
+                and not cfg.is_critical_edge(u, v)
+            ):
+                edges.append((u, v))
+    return edges
+
+
+def brute_force_optimum(
+    func: Function,
+    key: ExprKey,
+    args: list[int],
+    max_edges: int = 14,
+    max_steps: int = 500_000,
+) -> BruteForceOutcome:
+    """Exhaustively find the best insertion set for one expression.
+
+    *func* must be non-SSA with critical edges already split.  Raises
+    ``ValueError`` when the candidate-edge count exceeds ``max_edges``
+    (the search is exponential by design).
+    """
+    candidates = candidate_insertion_edges(func, key)
+    if len(candidates) > max_edges:
+        raise ValueError(
+            f"{len(candidates)} candidate edges exceed the brute-force "
+            f"budget of {max_edges}"
+        )
+
+    class _Sink:
+        insertions = 0
+        reloads = 0
+
+    baseline = None
+    best_count = None
+    best_edges: tuple[tuple[str, str], ...] = ()
+    tried = 0
+    for r in range(len(candidates) + 1):
+        for subset in itertools.combinations(candidates, r):
+            tried += 1
+            trial = copy.deepcopy(func)
+            apply_insertions_and_rewrite(trial, key, list(subset), _Sink())
+            outcome = run_function(trial, args, max_steps=max_steps)
+            count = outcome.expr_counts.get(key, 0)
+            if r == 0:
+                baseline = count
+            if best_count is None or count < best_count:
+                best_count = count
+                best_edges = subset
+    assert best_count is not None and baseline is not None
+    return BruteForceOutcome(
+        best_count=best_count,
+        best_edges=best_edges,
+        subsets_tried=tried,
+        baseline_count=baseline,
+    )

@@ -1,0 +1,142 @@
+"""Lazy code motion (Knoop, Rüthing & Steffen) — the safe-PRE baseline.
+
+The algorithm SSAPRE was designed to replicate in SSA form [15][16], in
+the edge-placement formulation of Drechsler & Stadel (the one production
+compilers such as GCC adopted).  Four bit-vector problems per program:
+
+1. availability        (forward,  ∧)
+2. anticipability      (backward, ∧)   — the down-safety component
+3. *earliest*          (per edge)      — frontier where a computation
+                                          first becomes both safe and new
+4. *later/later-in*    (forward,  ∧)   — push insertions down as far as
+                                          possible (lifetime optimality)
+
+The resulting ``INSERT`` edge set is computationally and lifetime optimal
+among **safe** placements; occurrences covered by the insertions become
+fully redundant and are rewritten to temporary reads by the shared
+availability-driven rewriter.
+
+Role in this repository: an independent implementation of the optimum
+safe SSAPRE must reach — their per-expression dynamic counts are asserted
+equal in ``tests/baselines/test_lcm.py``, giving the safe side of the
+system the same two-algorithm cross-check the speculative side gets from
+MC-PRE vs MC-SSAPRE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.dataflow import (
+    ExprKey,
+    expression_keys,
+    solve_pre_dataflow,
+)
+from repro.baselines.mcpre import apply_insertions_and_rewrite
+from repro.ir.cfg import CFG
+from repro.ir.function import Function
+
+
+@dataclass
+class LCMStats:
+    key: ExprKey
+    insert_edges: int
+
+
+@dataclass
+class LCMResult:
+    stats: list[LCMStats] = field(default_factory=list)
+    insertions: int = 0
+    reloads: int = 0
+
+    @property
+    def total_insert_edges(self) -> int:
+        return sum(s.insert_edges for s in self.stats)
+
+
+def run_lcm(func: Function, validate: bool = False) -> LCMResult:
+    """Run lazy code motion on a non-SSA function, in place.
+
+    Requires critical edges to be split (insertions go to whichever
+    endpoint owns the edge alone), like every other pass here.
+    """
+    from repro.ssa.ssa_verifier import is_ssa
+
+    if is_ssa(func):
+        raise ValueError("LCM operates on non-SSA input")
+
+    result = LCMResult()
+    for key in expression_keys(func):
+        insert_edges = _solve_expression(func, key)
+        result.stats.append(LCMStats(key=key, insert_edges=len(insert_edges)))
+        apply_insertions_and_rewrite(func, key, insert_edges, result)
+        if validate:
+            from repro.ir.verifier import verify_function
+
+            verify_function(func)
+    return result
+
+
+def _solve_expression(func: Function, key: ExprKey) -> list[tuple[str, str]]:
+    dataflow = solve_pre_dataflow(func, [key])
+    cfg = CFG(func)
+    rpo = cfg.reverse_postorder()
+    reachable = set(rpo)
+    entry = func.entry
+    assert entry is not None
+
+    antloc = {b for b in reachable if key in dataflow.local[b].antloc}
+    transp = {
+        b
+        for b in reachable
+        if key not in dataflow.local[b].body_kill
+        and key not in dataflow.local[b].phi_kill
+    }
+    ant_in = {b for b in reachable if key in dataflow.ant_postphi[b]}
+    ant_out = {b for b in reachable if key in dataflow.ant_out[b]}
+    avail_out = {b for b in reachable if key in dataflow.avail_out[b]}
+
+    edges = [
+        (i, j)
+        for i in rpo
+        for j in cfg.successors(i)
+        if j in reachable
+    ]
+
+    # --- earliest: the computation becomes safe-and-new on this edge ----
+    def earliest(i: str, j: str) -> bool:
+        if j not in ant_in or i in avail_out:
+            return False
+        if i == entry:
+            return True
+        return i not in transp or i not in ant_out
+
+    earliest_edges = {(i, j) for i, j in edges if earliest(i, j)}
+
+    # --- later / later-in: sink insertions as far down as possible -----
+    # Greatest fixpoint: optimistically everything is "later" except at
+    # the entry, then shrink.
+    later_in: dict[str, bool] = {b: b != entry for b in reachable}
+    later: dict[tuple[str, str], bool] = {e: True for e in edges}
+    changed = True
+    while changed:
+        changed = False
+        for e in edges:
+            i, j = e
+            value = e in earliest_edges or (later_in[i] and i not in antloc)
+            if value != later[e]:
+                later[e] = value
+                changed = True
+        for b in reachable:
+            if b == entry:
+                continue
+            preds_edges = [
+                (p, b) for p in cfg.predecessors(b) if p in reachable
+            ]
+            value = all(later[e] for e in preds_edges) if preds_edges else False
+            if value != later_in[b]:
+                later_in[b] = value
+                changed = True
+
+    # --- insert points --------------------------------------------------
+    return [e for e in edges if later[e] and not later_in[e[1]]]

@@ -1,0 +1,326 @@
+"""MC-PRE — Xue & Cai's CFG-based optimal speculative PRE (baseline).
+
+Reconstructed from the paper's Sections 2 and 4 and the standard MC-PRE
+literature: classical bit-vector data-flow analyses (availability and
+partial anticipability) remove the non-essential parts of the CFG; the
+remaining *reduced flow graph* gets a single source and sink and a minimum
+cut chooses the insertion edges.  Differences from MC-SSAPRE that the
+benchmarks measure (paper Section 4):
+
+* works on the **non-SSA** program, one flow network per expression but
+  built from the CFG, so networks are much larger than EFGs;
+* needs **edge frequencies**, not just node frequencies;
+* edges out of the artificial source are *not* insertion points and carry
+  infinite weight (MC-SSAPRE's source edges are insertable);
+* eliminates only redundancies visible to the lexical bit-vector
+  analyses; a local CSE effect still falls out because sink edges are
+  priced at block frequency.
+
+Network construction (per expression ``e``):
+
+* every interesting block ``v`` is split into ``v_in``/``v_out`` — the
+  paper notes MC-PRE must split blocks "to allow the top part to function
+  as a source and the bottom part to function as a sink";
+* essential CFG edge ``(u,v)`` (``¬AVAILout(u) ∧ PANT_in(v)``):
+  ``u_out → v_in`` with capacity ``edge_freq(u,v)`` — cuttable, meaning
+  *insert e on this edge*;
+* transparent block (no kill, no upward-exposed occurrence):
+  ``v_in → v_out`` with infinite capacity;
+* upward-exposed occurrence with ``¬AVAILin``: sink edge ``v_in → t``
+  with capacity ``node_freq(v)`` — cuttable, meaning *compute in place*;
+* fresh unavailability (entry block, or a kill not followed by a
+  recomputation): infinite source edge ``s → v_out``.
+
+Because both algorithms are computationally optimal, MC-PRE's resulting
+dynamic evaluation counts must equal MC-SSAPRE's under the same profile —
+the cross-check at the heart of ``tests/baselines/test_mcpre.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.dataflow import (
+    ExprKey,
+    PREDataflow,
+    expression_keys,
+    solve_pre_dataflow,
+)
+from repro.flownet.mincut import min_cut
+from repro.flownet.network import INFINITE, FlowNetwork
+from repro.ir.cfg import CFG
+from repro.ir.function import Function
+from repro.ir.instructions import Assign, BinOp, UnaryOp
+from repro.ir.ops import is_trapping
+from repro.ir.values import Var
+from repro.profiles.profile import ExecutionProfile
+
+SOURCE = "__source__"
+SINK = "__sink__"
+
+
+@dataclass
+class MCPREStats:
+    """Per-expression flow-network statistics (Section 4 comparison)."""
+
+    key: ExprKey
+    nodes: int
+    edges: int
+    cut_value: int
+    insert_edges: int
+
+
+@dataclass
+class MCPREResult:
+    """Outcome of an MC-PRE run."""
+
+    stats: list[MCPREStats] = field(default_factory=list)
+    insertions: int = 0
+    reloads: int = 0
+    skipped_trapping: int = 0
+
+    def network_sizes(self) -> list[int]:
+        return [s.nodes for s in self.stats]
+
+
+def run_mc_pre(
+    func: Function,
+    profile: ExecutionProfile,
+    validate: bool = False,
+) -> MCPREResult:
+    """Run MC-PRE over every candidate expression of a non-SSA function."""
+    from repro.ssa.ssa_verifier import is_ssa
+
+    if is_ssa(func):
+        raise ValueError("MC-PRE operates on non-SSA input")
+    result = MCPREResult()
+    for key in expression_keys(func):
+        if is_trapping(key[0]):
+            result.skipped_trapping += 1
+        _optimize_expression(func, key, profile, result)
+        if validate:
+            from repro.ir.verifier import verify_function
+
+            verify_function(func)
+    return result
+
+
+def _optimize_expression(
+    func: Function,
+    key: ExprKey,
+    profile: ExecutionProfile,
+    result: MCPREResult,
+) -> None:
+    dataflow = solve_pre_dataflow(func, [key])
+    cfg = CFG(func)
+    reachable = set(cfg.reverse_postorder())
+
+    local = dataflow.local
+    antloc = {b for b in reachable if key in local[b].antloc}
+    kill = {b for b in reachable if key in local[b].body_kill}
+    comp = {b for b in reachable if key in local[b].comp}
+    avail_in = {b for b in reachable if key in dataflow.avail_in[b]}
+    avail_out = {b for b in reachable if key in dataflow.avail_out[b]}
+    pant_in = {
+        b
+        for b in reachable
+        if key in dataflow.pant_postphi[b]  # no phis on non-SSA input
+    }
+
+    sinks = {b for b in antloc if b not in avail_in}
+    if not sinks:
+        # Either no occurrence or everything is already fully available;
+        # fully redundant occurrences are still deleted below.
+        apply_insertions_and_rewrite(func, key, [], result)
+        return
+
+    # Trapping expressions may not be speculated: insertions are only
+    # permitted where the expression is fully anticipated (down-safe), so
+    # the min cut degenerates to the optimal *safe* placement, mirroring
+    # MC-SSAPRE's fallback to safe SSAPRE for such classes.
+    trapping = is_trapping(key[0])
+    ant_in = {b for b in reachable if key in dataflow.ant_postphi[b]}
+
+    network = FlowNetwork(SOURCE, SINK)
+    assert func.entry is not None
+    for u in reachable:
+        for v in cfg.successors(u):
+            if v in reachable and u not in avail_out and v in pant_in:
+                insertable = not trapping or v in ant_in
+                network.add_edge(
+                    ("out", u),
+                    ("in", v),
+                    profile.edge(u, v) if insertable else INFINITE,
+                    payload=("edge", u, v) if insertable else None,
+                )
+    for v in reachable:
+        if v not in kill and v not in antloc:
+            network.add_edge(("in", v), ("out", v), INFINITE)
+        if v in sinks:
+            network.add_edge(("in", v), SINK, profile.node(v), payload=("occ", v))
+        # Fresh unavailability originates at v's exit: the entry block, or
+        # a kill of an operand not followed by a recomputation.
+        if v not in avail_out and (v in kill or v == func.entry):
+            network.add_edge(SOURCE, ("out", v), INFINITE)
+
+    # Prune nodes not on any source->sink path (the "removal of
+    # non-essential edges" that keeps MC-PRE's networks manageable).
+    pruned = _prune(network)
+
+    cut = min_cut(pruned, sink_closest=True)
+    insert_edges = [
+        (e.payload[1], e.payload[2])
+        for e in cut.cut_edges
+        if e.payload is not None and e.payload[0] == "edge"
+    ]
+    result.stats.append(
+        MCPREStats(
+            key=key,
+            nodes=pruned.node_count(),
+            edges=pruned.edge_count(),
+            cut_value=cut.value,
+            insert_edges=len(insert_edges),
+        )
+    )
+    apply_insertions_and_rewrite(func, key, insert_edges, result)
+
+
+def _prune(network: FlowNetwork) -> FlowNetwork:
+    """Keep only nodes both reachable from s and co-reachable to t."""
+    forward: set = {network.source}
+    stack = [network.source]
+    while stack:
+        node = stack.pop()
+        for edge in network.out_of(node):
+            if edge.dst not in forward:
+                forward.add(edge.dst)
+                stack.append(edge.dst)
+    backward: set = {network.sink}
+    stack = [network.sink]
+    while stack:
+        node = stack.pop()
+        for edge in network.into(node):
+            if edge.src not in backward:
+                backward.add(edge.src)
+                stack.append(edge.src)
+    keep = forward & backward
+    pruned = FlowNetwork(network.source, network.sink)
+    for edge in network.edges:
+        if edge.src in keep and edge.dst in keep:
+            pruned.add_edge(
+                edge.src,
+                edge.dst,
+                INFINITE if edge.infinite else edge.capacity,
+                payload=edge.payload,
+            )
+    pruned.add_node(network.source)
+    pruned.add_node(network.sink)
+    return pruned
+
+
+def _temp_for(func: Function, key: ExprKey) -> Var:
+    return func.fresh_temp("%mcpre")
+
+
+def apply_insertions_and_rewrite(
+    func: Function,
+    key: ExprKey,
+    insert_edges: list[tuple[str, str]],
+    result,
+) -> None:
+    """Apply insertions, then delete covered occurrences.
+
+    Availability *after* insertions is recomputed with the insertion
+    points acting as extra computations; every occurrence that is then
+    fully available reloads from the temporary, and every surviving
+    computation (plus every insertion) defines the temporary.  On non-SSA
+    form no merge bookkeeping is needed: all defs write the same ``t``.
+    """
+    cfg = CFG(func)
+    temp = _temp_for(func, key)
+    expr_proto = _find_rhs(func, key)
+    if expr_proto is None:
+        return
+
+    inserted_at_exit: set[str] = set()
+    for u, v in insert_edges:
+        # Critical edges are split, so one endpoint owns the edge alone.
+        if len(set(cfg.successors(u))) == 1:
+            inserted_at_exit.add(u)
+        elif len(cfg.predecessors(v)) == 1:
+            _insert_at_entry(func, v, temp, expr_proto)
+        else:  # pragma: no cover - guarded by critical-edge splitting
+            raise AssertionError(f"cannot place insertion on critical edge {u}->{v}")
+    for u in inserted_at_exit:
+        func.blocks[u].body.append(Assign(temp, _clone_rhs(expr_proto)))
+
+    # Recompute availability treating temp defs as computations of e.
+    dataflow2 = solve_pre_dataflow(func, [key])
+    avail = dataflow2.avail_in
+    local = dataflow2.local
+
+    reloads = 0
+    saves = 0
+    for label, block in func.blocks.items():
+        if label not in avail:
+            continue
+        available = key in avail[label]
+        new_body = []
+        for stmt in block.body:
+            is_occ = (
+                isinstance(stmt, Assign)
+                and isinstance(stmt.rhs, (BinOp, UnaryOp))
+                and stmt.rhs.class_key() == key
+            )
+            is_insert = (
+                isinstance(stmt, Assign)
+                and stmt.target == temp
+                and isinstance(stmt.rhs, (BinOp, UnaryOp))
+                and stmt.rhs.class_key() == key
+            )
+            if is_insert:
+                available = True
+                new_body.append(stmt)
+                continue
+            if is_occ:
+                if available:
+                    new_body.append(Assign(stmt.target, temp))
+                    reloads += 1
+                else:
+                    new_body.append(Assign(temp, stmt.rhs))
+                    new_body.append(Assign(stmt.target, temp))
+                    saves += 1
+                    available = True
+            else:
+                new_body.append(stmt)
+            if isinstance(stmt, Assign) and _kills(stmt.target, key):
+                available = False
+        block.body = new_body
+    result.insertions += len(insert_edges)
+    result.reloads += reloads
+
+
+def _insert_at_entry(func: Function, label: str, temp: Var, proto) -> None:
+    func.blocks[label].body.insert(0, Assign(temp, _clone_rhs(proto)))
+
+
+def _find_rhs(func: Function, key: ExprKey):
+    for block in func:
+        for stmt in block.body:
+            if (
+                isinstance(stmt, Assign)
+                and isinstance(stmt.rhs, (BinOp, UnaryOp))
+                and stmt.rhs.class_key() == key
+            ):
+                return stmt.rhs
+    return None
+
+
+def _clone_rhs(rhs):
+    if isinstance(rhs, BinOp):
+        return BinOp(rhs.op, rhs.left, rhs.right)
+    return UnaryOp(rhs.op, rhs.operand)
+
+
+def _kills(target: Var, key: ExprKey) -> bool:
+    return any(k == "var" and p == target.name for k, p in key[1:])

@@ -1,0 +1,5 @@
+"""``python -m repro.bench`` dispatches to :mod:`repro.bench.cli`."""
+
+from repro.bench.cli import main
+
+raise SystemExit(main())

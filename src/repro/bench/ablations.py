@@ -1,0 +1,152 @@
+"""Ablation experiments (A1 lifetime, A2 profiles) as library functions.
+
+Used by both the pytest-benchmark harness (``benchmarks/``) and the
+``python -m repro.bench`` CLI.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+from repro.analysis.liveness import compute_liveness
+from repro.baselines.mcpre import run_mc_pre
+from repro.bench.workloads import Workload
+from repro.core.mcssapre.driver import run_mc_ssapre
+from repro.ir.function import Function
+from repro.ir.printer import format_function
+from repro.pipeline import prepare
+from repro.profiles.counts import normalize_expr_counts
+from repro.profiles.interp import run_function
+from repro.ssa.construct import construct_ssa
+from repro.ssa.destruct import destruct_ssa
+
+
+def temp_live_range_size(func: Function) -> int:
+    """Number of (block, temp-version) live-in pairs for PRE temps."""
+    liveness = compute_liveness(func, by_version=True)
+    return sum(
+        1
+        for label in func.blocks
+        for name, _version in liveness.live_in.get(label, ())
+        if name.startswith("%pre")
+    )
+
+
+def temp_weighted_pressure(func: Function, node_freq: dict[str, int]) -> int:
+    """Profile-weighted count of live PRE temporaries per block."""
+    liveness = compute_liveness(func, by_version=True)
+    return sum(
+        node_freq.get(label, 0)
+        for label in func.blocks
+        for name, _version in liveness.live_in.get(label, ())
+        if name.startswith("%pre")
+    )
+
+
+@dataclass
+class LifetimeSide:
+    """One cut side's measurements on one workload."""
+
+    live_range: int
+    pressure: int
+    cost: int
+
+
+@dataclass
+class LifetimeAblation:
+    name: str
+    late: LifetimeSide
+    early: LifetimeSide
+
+
+def lifetime_ablation(workload: Workload) -> LifetimeAblation:
+    """Compile one workload with both cut sides and compare lifetimes."""
+
+    def side(sink_closest: bool) -> LifetimeSide:
+        prepared = prepare(workload.program.func)
+        train = run_function(prepared, workload.train_args)
+        ssa = copy.deepcopy(prepared)
+        construct_ssa(ssa)
+        run_mc_ssapre(
+            ssa, train.profile.nodes_only(), sink_closest=sink_closest
+        )
+        ranges = temp_live_range_size(ssa)
+        pressure = temp_weighted_pressure(ssa, train.profile.node_freq)
+        destruct_ssa(ssa)
+        cost = run_function(ssa, workload.train_args).dynamic_cost
+        return LifetimeSide(live_range=ranges, pressure=pressure, cost=cost)
+
+    return LifetimeAblation(
+        name=workload.name, late=side(True), early=side(False)
+    )
+
+
+@dataclass
+class ProfileAblation:
+    name: str
+    identical_output: bool
+    counts_match_mcpre: bool
+
+
+def profile_ablation(workload: Workload) -> ProfileAblation:
+    """Check node-frequency sufficiency on one workload (paper contrib 3)."""
+    prepared = prepare(workload.program.func)
+    train = run_function(prepared, workload.train_args)
+
+    def compile_with(profile):
+        ssa = copy.deepcopy(prepared)
+        construct_ssa(ssa)
+        run_mc_ssapre(ssa, profile)
+        return ssa
+
+    nodes_only = compile_with(train.profile.nodes_only())
+    full = compile_with(train.profile)
+    identical = format_function(nodes_only) == format_function(full)
+
+    destruct_ssa(nodes_only)
+    mc_ssa = normalize_expr_counts(
+        run_function(nodes_only, workload.train_args).expr_counts
+    )
+    cfg_version = copy.deepcopy(prepared)
+    run_mc_pre(cfg_version, train.profile)
+    mc_pre = normalize_expr_counts(
+        run_function(cfg_version, workload.train_args).expr_counts
+    )
+    match = all(
+        mc_ssa.get(key, 0) == mc_pre.get(key, 0)
+        for key in set(mc_ssa) | set(mc_pre)
+    )
+    return ProfileAblation(
+        name=workload.name, identical_output=identical, counts_match_mcpre=match
+    )
+
+
+def render_lifetime(results: list[LifetimeAblation]) -> str:
+    header = (
+        f"{'Benchmark':<12} {'range late':>10} {'range early':>12} "
+        f"{'press late':>11} {'press early':>12} {'cost equal':>11}"
+    )
+    lines = [
+        "Ablation A1: reverse-labeling (late) vs source-side (early) cut",
+        "=" * len(header),
+        header,
+        "-" * len(header),
+    ]
+    for r in results:
+        lines.append(
+            f"{r.name:<12} {r.late.live_range:>10} {r.early.live_range:>12} "
+            f"{r.late.pressure:>11} {r.early.pressure:>12} "
+            f"{str(r.late.cost == r.early.cost):>11}"
+        )
+    return "\n".join(lines)
+
+
+def render_profiles(results: list[ProfileAblation]) -> str:
+    lines = ["Ablation A2: node frequencies suffice for MC-SSAPRE", "=" * 52]
+    for r in results:
+        lines.append(
+            f"  {r.name:<12} identical-output={str(r.identical_output):<5} "
+            f"optimal-counts-match-mcpre={r.counts_match_mcpre}"
+        )
+    return "\n".join(lines)

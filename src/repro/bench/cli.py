@@ -1,0 +1,120 @@
+"""Command-line entry: ``python -m repro.bench <artifact>``.
+
+Artifacts:
+
+* ``table1``  — paper Table 1 (CINT2006, A/B/C costs + speedups)
+* ``table2``  — paper Table 2 (CFP2006)
+* ``fig9``    — paper Figure 9 (CINT chart, normalised to A)
+* ``fig10``   — paper Figure 10 (CFP chart)
+* ``fig11``   — paper Figure 11 (EFG size distribution, whole suite)
+* ``sec4``    — Section 4 comparison (EFG vs MC-PRE network sizes)
+* ``lifetime``— ablation A1: reverse-labeling vs source-side cut
+* ``profiles``— ablation A2: node-frequency sufficiency
+* ``all``     — every paper artifact, in paper order
+
+Use ``--benchmarks name1,name2`` to restrict table/figure runs and
+``--validate`` to run the IR/SSA verifiers after every transformation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.ablations import (
+    lifetime_ablation,
+    profile_ablation,
+    render_lifetime,
+    render_profiles,
+)
+from repro.bench.comparison import compare_workload, render_comparison
+from repro.bench.figures import figure9, figure10, figure11
+from repro.bench.tables import build_table, table1, table2
+from repro.bench.workloads import ALL_BENCHMARKS, CFP2006, CINT2006, load_suite
+
+
+def _parse_names(arg: str | None, default: tuple[str, ...]) -> tuple[str, ...]:
+    if not arg:
+        return default
+    names = tuple(name.strip() for name in arg.split(",") if name.strip())
+    unknown = [n for n in names if n not in ALL_BENCHMARKS]
+    if unknown:
+        raise SystemExit(f"unknown benchmarks: {unknown}")
+    return names
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=[
+            "table1", "table2", "fig9", "fig10", "fig11", "sec4",
+            "lifetime", "profiles", "all",
+        ],
+    )
+    parser.add_argument("--benchmarks", help="comma-separated subset of names")
+    parser.add_argument("--validate", action="store_true")
+    args = parser.parse_args(argv)
+
+    start = time.time()
+    artifact = args.artifact
+
+    def cint_table():
+        return build_table(
+            _parse_names(args.benchmarks, CINT2006),
+            "Table 1: CINT2006 dynamic costs and speedup ratios of MC-SSAPRE",
+            validate=args.validate,
+        )
+
+    def cfp_table():
+        return build_table(
+            _parse_names(args.benchmarks, CFP2006),
+            "Table 2: CFP2006 dynamic costs and speedup ratios of MC-SSAPRE",
+            validate=args.validate,
+        )
+
+    if artifact == "table1":
+        print(cint_table().render())
+    elif artifact == "table2":
+        print(cfp_table().render())
+    elif artifact == "fig9":
+        print(figure9(cint_table()).render())
+    elif artifact == "fig10":
+        print(figure10(cfp_table()).render())
+    elif artifact == "fig11":
+        tables = [cint_table(), cfp_table()]
+        print(figure11(tables).render())
+    elif artifact == "sec4":
+        names = _parse_names(args.benchmarks, ALL_BENCHMARKS)
+        comparisons = [compare_workload(w) for w in load_suite(names)]
+        print(render_comparison(comparisons))
+    elif artifact == "lifetime":
+        names = _parse_names(args.benchmarks, ALL_BENCHMARKS)
+        print(render_lifetime([lifetime_ablation(w) for w in load_suite(names)]))
+    elif artifact == "profiles":
+        names = _parse_names(args.benchmarks, ALL_BENCHMARKS)
+        print(render_profiles([profile_ablation(w) for w in load_suite(names)]))
+    elif artifact == "all":
+        t1 = cint_table()
+        t2 = cfp_table()
+        print(t1.render())
+        print()
+        print(t2.render())
+        print()
+        print(figure9(t1).render())
+        print(figure10(t2).render())
+        print(figure11([t1, t2]).render())
+        print()
+        names = _parse_names(args.benchmarks, ALL_BENCHMARKS)
+        comparisons = [compare_workload(w) for w in load_suite(names)]
+        print(render_comparison(comparisons))
+    print(f"\n[elapsed: {time.time() - start:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

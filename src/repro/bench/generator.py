@@ -1,0 +1,241 @@
+"""Seeded random generator of structured, terminating IR programs.
+
+Drives both the property-based tests (arbitrary programs with known-safe
+shape) and the SPEC-like synthetic suite (:mod:`repro.bench.workloads`).
+
+Guarantees, by construction:
+
+* every generated program terminates — all loops are counting loops whose
+  bound is a masked value (``(x & mask) + base``) and whose counter and
+  bound variables are reserved names the body never writes;
+* every variable is defined before use on every path (locals are
+  initialised at entry);
+* control flow is reducible and branch conditions are data-dependent, so
+  different inputs produce genuinely different profiles (train vs ref);
+* a configurable set of *hot expressions* recurs throughout the program —
+  over mostly-stable operands — creating the partial redundancies and
+  loop invariants that PRE exists for.
+
+Shape knobs distinguish the two benchmark families: CINT-like programs are
+branch-heavy with shallow loops; CFP-like programs are loop-heavy with
+deeper nests, longer trip counts, FP-flavoured operators and a higher
+density of invariant expressions (which is why loop-based speculation
+closes more of the gap there, mirroring the paper's Tables 1 and 2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+
+#: Operators used for computations (safe to speculate).
+INT_OPS = ["add", "sub", "mul", "and", "or", "xor", "min", "max", "shl", "shr"]
+FP_OPS = ["fadd", "fmul", "add", "sub", "mul", "min", "max"]
+#: Comparison operators for branch/loop conditions.
+CMP_OPS = ["lt", "le", "gt", "ge", "eq", "ne"]
+#: Occasionally-used trapping operators (exercise the no-speculation path).
+TRAPPING_OPS = ["div", "mod"]
+
+
+@dataclass
+class ProgramSpec:
+    """Shape parameters of one generated program."""
+
+    name: str = "generated"
+    seed: int = 0
+    params: int = 3
+    locals_count: int = 6
+    region_length: int = 5
+    max_depth: int = 3
+    branch_weight: float = 0.30
+    loop_weight: float = 0.25
+    loop_mask_bits: int = 4
+    loop_base: int = 2
+    hot_exprs: int = 4
+    hot_prob: float = 0.55
+    output_prob: float = 0.10
+    trapping_prob: float = 0.03
+    fp_flavor: bool = False
+    stable_fraction: float = 0.5
+
+    def family_ops(self) -> list[str]:
+        return FP_OPS if self.fp_flavor else INT_OPS
+
+
+@dataclass
+class GeneratedProgram:
+    """The generated function plus metadata tests find useful."""
+
+    func: Function
+    spec: ProgramSpec
+    hot_expressions: list[tuple[str, str, str]] = field(default_factory=list)
+
+
+class _Generator:
+    def __init__(self, spec: ProgramSpec) -> None:
+        self.spec = spec
+        self.rng = random.Random(spec.seed)
+        params = [f"p{i}" for i in range(spec.params)]
+        self.builder = FunctionBuilder(spec.name, params=params)
+        self.mutable_vars: list[str] = []
+        self.stable_vars: list[str] = []
+        self.all_vars: list[str] = list(params)
+        self.loop_counter = 0
+        self.hot: list[tuple[str, str, str]] = []
+
+    # ------------------------------------------------------------------
+    def generate(self) -> GeneratedProgram:
+        spec = self.spec
+        b = self.builder
+        b.block("entry")
+        # Initialise locals from parameters and constants.
+        for i in range(spec.locals_count):
+            name = f"v{i}"
+            if self.rng.random() < 0.5 and spec.params:
+                src = self.rng.choice(self.all_vars)
+                b.assign(name, "add", src, self.rng.randint(0, 9))
+            else:
+                b.copy(name, self.rng.randint(0, 63))
+            self.all_vars.append(name)
+            if self.rng.random() < spec.stable_fraction:
+                self.stable_vars.append(name)
+            else:
+                self.mutable_vars.append(name)
+        if not self.mutable_vars:
+            self.mutable_vars.append(self.stable_vars.pop())
+        if not self.stable_vars:
+            self.stable_vars.append("v0")
+
+        # Choose the recurring hot expressions (mostly over stable vars so
+        # loop invariance arises naturally).
+        ops = spec.family_ops()
+        for _ in range(spec.hot_exprs):
+            pool = self.stable_vars if self.rng.random() < 0.8 else self.all_vars
+            x = self.rng.choice(pool)
+            y = self.rng.choice(pool)
+            self.hot.append((self.rng.choice(ops), x, y))
+
+        self._region(spec.max_depth)
+        if spec.max_depth > 0 and self.loop_counter == 0:
+            # Guarantee substance: a program with no loop at all would be
+            # a degenerate benchmark (a few dozen straight-line ops).
+            self._loop(spec.max_depth - 1)
+
+        # Epilogue: fold a few values into the return.
+        acc = "ret_acc"
+        b.copy(acc, 0)
+        for var in self.mutable_vars[:3]:
+            b.assign(acc, "xor", acc, var)
+        b.ret(acc)
+        return GeneratedProgram(
+            func=b.build(), spec=spec, hot_expressions=list(self.hot)
+        )
+
+    # ------------------------------------------------------------------
+    def _region(self, depth: int) -> None:
+        spec = self.spec
+        low = max(2, spec.region_length - 2)
+        for _ in range(self.rng.randint(low, spec.region_length)):
+            roll = self.rng.random()
+            if depth > 0 and roll < spec.loop_weight:
+                self._loop(depth - 1)
+            elif depth > 0 and roll < spec.loop_weight + spec.branch_weight:
+                self._branch(depth - 1)
+            else:
+                self._statement()
+
+    def _statement(self) -> None:
+        spec = self.spec
+        b = self.builder
+        rng = self.rng
+        if rng.random() < spec.output_prob:
+            b.output(rng.choice(self.all_vars))
+            return
+        target = rng.choice(self.mutable_vars)
+        if rng.random() < spec.hot_prob and self.hot:
+            op, x, y = rng.choice(self.hot)
+            b.assign(target, op, x, y)
+        elif rng.random() < spec.trapping_prob:
+            b.assign(target, rng.choice(TRAPPING_OPS),
+                     rng.choice(self.all_vars), rng.choice(self.all_vars))
+        else:
+            b.assign(target, rng.choice(spec.family_ops()),
+                     rng.choice(self.all_vars), rng.choice(self.all_vars))
+
+    def _branch(self, depth: int) -> None:
+        b = self.builder
+        rng = self.rng
+        cond = f"c{self.loop_counter}_{rng.randint(0, 999)}"
+        b.assign(cond, rng.choice(CMP_OPS),
+                 rng.choice(self.all_vars), rng.choice(self.all_vars))
+        then_label = b.func.fresh_label("then")
+        else_label = b.func.fresh_label("else")
+        join_label = b.func.fresh_label("join")
+        b.branch(cond, then_label, else_label)
+        b.block(then_label)
+        self._region(depth)
+        b.jump(join_label)
+        b.block(else_label)
+        if rng.random() < 0.7:
+            self._region(depth)
+        b.jump(join_label)
+        b.block(join_label)
+
+    def _loop(self, depth: int) -> None:
+        spec = self.spec
+        b = self.builder
+        rng = self.rng
+        self.loop_counter += 1
+        n = self.loop_counter
+        i_var, bound = f"li{n}", f"lb{n}"
+        mask = (1 << rng.randint(1, spec.loop_mask_bits)) - 1
+        b.assign(bound, "and", rng.choice(self.all_vars), mask)
+        b.assign(bound, "add", bound, rng.randint(1, spec.loop_base))
+        b.copy(i_var, 0)
+        head = b.func.fresh_label("head")
+        body = b.func.fresh_label("body")
+        exit_label = b.func.fresh_label("exit")
+        cond = f"lc{n}"
+        b.jump(head)
+        b.block(head)
+        b.assign(cond, "lt", i_var, bound)
+        b.branch(cond, body, exit_label)
+        b.block(body)
+        # The counter and bound are readable inside the body only (their
+        # definitions dominate the body but not code after an enclosing
+        # branch join); they are never writable.
+        self.all_vars.append(i_var)
+        self.all_vars.append(bound)
+        self._region(depth)
+        self.all_vars.remove(i_var)
+        self.all_vars.remove(bound)
+        b.assign(i_var, "add", i_var, 1)
+        b.jump(head)
+        b.block(exit_label)
+
+
+def generate_program(spec: ProgramSpec) -> GeneratedProgram:
+    """Generate one deterministic program from *spec*."""
+    return _Generator(spec).generate()
+
+
+def random_args(spec: ProgramSpec, seed: int, low: int = 0, high: int = 1 << 16) -> list[int]:
+    """Deterministic pseudo-random argument vector for a generated program."""
+    rng = random.Random(f"{spec.seed}/{seed}")
+    return [rng.randint(low, high) for _ in range(spec.params)]
+
+
+def perturbed_args(
+    spec: ProgramSpec, base: list[int], seed: int, strength: int = 7
+) -> list[int]:
+    """A correlated variant of *base* — the FDO "ref" input.
+
+    Mirrors SPEC train/ref inputs: similar enough that the training profile
+    predicts the reference run, different enough that they are not equal.
+    Each argument receives a small additive perturbation.
+    """
+    rng = random.Random(f"{spec.seed}/ref/{seed}")
+    return [max(0, value + rng.randint(-strength, strength)) for value in base]

@@ -1,0 +1,66 @@
+"""MC-SSAPRE step 7 — minimum cut on the EFG.
+
+The minimum cut's edges are the optimal insertion set:
+
+* a cut on a source edge or a type 1 edge means *insert the computation*
+  at the exit of the predecessor block of that Φ operand — the operand's
+  ``insert`` flag is set;
+* a cut on a type 2 edge means *no* insertion: the real occurrence
+  downstream simply computes in place (Lemma 4 — inserting on that edge
+  could never be cheaper and would lengthen the temporary's live range);
+* sink edges are infinite and can never be cut.
+
+Ties between minimum cuts are broken toward the sink ("pick later cuts",
+Figure 4) via the Ford–Fulkerson Reverse Labeling Procedure implemented in
+:func:`repro.flownet.mincut.min_cut`, which yields the lifetime-optimal
+placement (Theorem 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.mcssapre.efg import EFG
+from repro.core.ssapre.frg import PhiOperand, RealOcc
+from repro.flownet.mincut import min_cut
+from repro.flownet.network import CutResult
+
+
+@dataclass
+class CutDecision:
+    """Interpreted min-cut result."""
+
+    cut: CutResult
+    insert_operands: list[PhiOperand] = field(default_factory=list)
+    in_place_occs: list[RealOcc] = field(default_factory=list)
+
+    @property
+    def predicted_dynamic_count(self) -> int:
+        """The cut value = dynamic evaluations of the expression that
+        remain chargeable to insertions and in-place SPR computations."""
+        return self.cut.value
+
+
+def solve_min_cut(efg: EFG, sink_closest: bool = True) -> CutDecision:
+    """Run the min cut and translate it into insert decisions."""
+    cut = min_cut(efg.network, sink_closest=sink_closest)
+    decision = CutDecision(cut=cut)
+    for operand in _all_insertable_operands(efg):
+        operand.insert = False
+    for edge in cut.cut_edges:
+        payload = edge.payload
+        if isinstance(payload, PhiOperand):
+            payload.insert = True
+            decision.insert_operands.append(payload)
+        elif isinstance(payload, RealOcc):
+            decision.in_place_occs.append(payload)
+        else:  # pragma: no cover - every EFG edge carries a payload
+            raise AssertionError(f"cut edge without payload: {edge!r}")
+    return decision
+
+
+def _all_insertable_operands(efg: EFG):
+    reduced = efg.reduced
+    yield from reduced.bottom_operands
+    for edge in reduced.type1_edges:
+        yield edge.operand

@@ -1,0 +1,114 @@
+"""MC-SSAPRE step 3 — sparse data flow on the SSA graph.
+
+Two attributes are solved directly on the FRG with the one-pass
+propagation style of [14], each linear in the size of the graph:
+
+* **Full availability** (forward, greatest fixpoint).  A Φ's value is
+  fully available iff every operand carries the value: a ⊥ operand makes
+  it unavailable; an operand whose path crosses a real occurrence
+  (``has_real_use``) or that is defined by a real occurrence carries it;
+  an operand defined by another Φ carries it iff that Φ is fully
+  available.  Insertions where the value is fully available would be
+  redundant, so such Φs are excluded from the flow network.
+
+* **Partial anticipability** (backward, least fixpoint).  A Φ's value is
+  partially anticipated iff some use of its version is a real occurrence,
+  or is an operand of a partially anticipated Φ.  Insertions where the
+  value is not partially anticipated would be useless.
+
+Note these are *version-aware* (they see values surviving a renaming
+variable phi), which the lexical bit-vector oracle cannot; the property
+tests check the sparse results against path enumeration on acyclic CFGs
+and against the (one-sided) lexical oracle everywhere.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.ssapre.frg import FRG, PhiNode, RealOcc
+
+
+def compute_full_availability(frg: FRG) -> None:
+    """Set ``fully_avail`` on every Φ (greatest fixpoint)."""
+    for phi in frg.phis:
+        phi.fully_avail = True
+
+    # Users of each phi's value via operands without a crossing real use.
+    dependents: dict[int, list[PhiNode]] = {}
+    for phi in frg.phis:
+        for operand in phi.operands:
+            if (
+                isinstance(operand.def_node, PhiNode)
+                and not operand.has_real_use
+            ):
+                dependents.setdefault(id(operand.def_node), []).append(phi)
+
+    worklist: deque[PhiNode] = deque()
+
+    def refute(phi: PhiNode) -> None:
+        if phi.fully_avail:
+            phi.fully_avail = False
+            worklist.append(phi)
+
+    for phi in frg.phis:
+        if any(op.is_bottom for op in phi.operands):
+            refute(phi)
+    while worklist:
+        failed = worklist.popleft()
+        for user in dependents.get(id(failed), ()):
+            # The operand carries the value only via `failed`, which does
+            # not have it on all paths.
+            refute(user)
+
+
+def compute_partial_anticipability(frg: FRG) -> None:
+    """Set ``part_anticipated`` on every Φ (least fixpoint).
+
+    An rg_excluded occurrence still anticipates the value — it is a real
+    computation point; exclusion only means it cannot be a min-cut sink.
+    """
+    for phi in frg.phis:
+        phi.part_anticipated = False
+
+    # def phi -> phis using it as an operand (any crossing status: even if
+    # a real occurrence sits on the path, the *value* is anticipated).
+    users_of: dict[int, list[PhiNode]] = {}
+    for phi in frg.phis:
+        for operand in phi.operands:
+            if isinstance(operand.def_node, PhiNode):
+                users_of.setdefault(id(operand.def_node), []).append(phi)
+
+    worklist: deque[PhiNode] = deque()
+
+    def assert_pant(phi: PhiNode) -> None:
+        if not phi.part_anticipated:
+            phi.part_anticipated = True
+            worklist.append(phi)
+
+    for occ in frg.real_occs:
+        if isinstance(occ.def_node, PhiNode):
+            assert_pant(occ.def_node)
+    for phi in frg.phis:
+        for operand in phi.operands:
+            if isinstance(operand.def_node, PhiNode) and operand.has_real_use:
+                # A real occurrence on the path from def to this operand
+                # uses the def's value.
+                assert_pant(operand.def_node)
+    while worklist:
+        anticipated = worklist.popleft()
+        for user_list_phi in _defs_feeding(frg, anticipated):
+            assert_pant(user_list_phi)
+
+
+def _defs_feeding(frg: FRG, phi: PhiNode):
+    """Φs whose value flows into *phi* as an operand (backward step)."""
+    for operand in phi.operands:
+        if isinstance(operand.def_node, PhiNode):
+            yield operand.def_node
+
+
+def solve_step3(frg: FRG) -> None:
+    """Run both analyses (MC-SSAPRE step 3)."""
+    compute_full_availability(frg)
+    compute_partial_anticipability(frg)

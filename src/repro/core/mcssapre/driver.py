@@ -1,0 +1,137 @@
+"""The MC-SSAPRE driver — the ten steps of paper Figure 4.
+
+    1.  Φ-Insertion          (shared with SSAPRE)
+    2.  Rename               (shared, plus rg_excluded marking)
+    3.  Data flow            sparse full availability / partial anticipability
+    4.  Graph reduction      reduced SSA graph
+    5.  Single source        artificial source, edges to ⊥ operands
+    6.  Single sink          artificial sink, infinite edges from SPR occs
+    7.  Min-cut              reverse-labeling minimum cut → insert flags
+    8.  WillBeAvail          forward propagation from the insert flags
+    9.  Finalize             (shared with SSAPRE)
+    10. CodeMotion           (shared with SSAPRE)
+
+Speculation requires an execution profile with **node frequencies only**;
+the driver deliberately accepts a profile whose edge map is empty.
+Trapping expressions (div/mod/…) are never speculated: for those classes
+the driver runs the safe SSAPRE steps 3–4 instead, mirroring how the
+paper's compiler excludes exception-throwing computations (Section 2).
+
+Even when an expression has no strictly-partially-redundant occurrence
+(empty EFG), steps 8–10 still run so fully redundant occurrences are
+deleted — MC-SSAPRE handles local and global redundancy uniformly
+(Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.mcssapre.cut import CutDecision, solve_min_cut
+from repro.core.mcssapre.dataflow import solve_step3
+from repro.core.mcssapre.efg import EFG, build_efg
+from repro.core.mcssapre.reduction import build_reduced_graph
+from repro.core.mcssapre.willbeavail import compute_will_be_avail_from_cut
+from repro.core.ssapre.codemotion import CodeMotionReport, apply_code_motion
+from repro.core.ssapre.downsafety import compute_down_safety
+from repro.core.ssapre.driver import PREResult
+from repro.core.ssapre.finalize import finalize
+from repro.core.ssapre.frg import ExprClass, build_frgs, collect_expr_classes
+from repro.core.ssapre.willbeavail import compute_will_be_avail
+from repro.ir.function import Function
+from repro.ir.verifier import has_critical_edges
+from repro.profiles.profile import ExecutionProfile
+from repro.ssa.ssa_verifier import verify_ssa
+
+
+@dataclass
+class EFGStats:
+    """Per-class flow-network statistics (feeds Figure 11 / Section 4)."""
+
+    expr: str
+    nodes: int
+    edges: int
+    cut_value: int
+    insertions: int
+
+
+@dataclass
+class MCPREResult(PREResult):
+    """PRE result extended with MC-specific statistics."""
+
+    efg_stats: list[EFGStats] = field(default_factory=list)
+    trapping_fallbacks: int = 0
+
+    def efg_sizes(self) -> list[int]:
+        return [s.nodes for s in self.efg_stats]
+
+
+def run_mc_ssapre(
+    func: Function,
+    profile: ExecutionProfile,
+    validate: bool = False,
+    classes: list[ExprClass] | None = None,
+    sink_closest: bool = True,
+) -> MCPREResult:
+    """Run MC-SSAPRE over every candidate class of *func*, in place.
+
+    ``sink_closest=False`` selects the source-side min cut instead of the
+    reverse-labeling cut; it exists only for the lifetime ablation
+    benchmark and forfeits lifetime optimality (never computational
+    optimality).
+    """
+    if has_critical_edges(func):
+        raise ValueError(
+            "MC-SSAPRE requires critical edges to be split first "
+            "(use repro.ir.transforms.split_critical_edges)"
+        )
+    if classes is None:
+        classes = collect_expr_classes(func)
+    result = MCPREResult(algorithm="MC-SSAPRE")
+
+    # Steps 1 and 2 for every class in one shared rename walk, and one
+    # shared bit-vector solve for the trapping-class safe fallback (see
+    # the comment in run_ssapre for why later CodeMotion cannot
+    # invalidate these).
+    frgs = build_frgs(func, classes)
+    dataflow = None
+
+    for expr in classes:
+        frg = frgs[expr.key]
+        if not frg.real_occs:
+            continue
+        if expr.trapping:
+            # Unspeculatable: fall back to the safe placement for this
+            # class (SSAPRE steps 3-4), still deleting full redundancies.
+            if dataflow is None:
+                from repro.analysis.dataflow import solve_pre_dataflow
+
+                dataflow = solve_pre_dataflow(
+                    func, [e.key for e in classes]
+                )
+            compute_down_safety(frg, dataflow)
+            compute_will_be_avail(frg)
+            result.trapping_fallbacks += 1
+        else:
+            solve_step3(frg)  # step 3
+            reduced = build_reduced_graph(frg)  # step 4
+            efg = build_efg(reduced, profile)  # steps 5 and 6
+            decision: CutDecision | None = None
+            if efg is not None:
+                decision = solve_min_cut(efg, sink_closest=sink_closest)  # step 7
+                result.efg_stats.append(
+                    EFGStats(
+                        expr=str(expr),
+                        nodes=efg.node_count,
+                        edges=efg.edge_count,
+                        cut_value=decision.cut.value,
+                        insertions=len(decision.insert_operands),
+                    )
+                )
+            compute_will_be_avail_from_cut(frg)  # step 8
+        plan = finalize(frg)  # step 9
+        report = apply_code_motion(func, plan)  # step 10
+        result.reports.append(report)
+        if validate and report.changed:
+            verify_ssa(func)
+    return result

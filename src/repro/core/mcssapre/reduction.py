@@ -1,0 +1,112 @@
+"""MC-SSAPRE step 4 — the reduced SSA graph.
+
+Starting from an empty graph, include only (paper, Figure 4):
+
+* Φ nodes that are **not fully available** and **partially anticipated**
+  (anything else is a useless insertion point — Definition 2);
+* their real-occurrence use nodes that are not ``rg_excluded`` (these are
+  the strictly-partially-redundant occurrences, the future sinks);
+* the def-use edges between the included nodes.
+
+Edges are classified per Section 3.1.5:
+
+* **type 1** — Φ → Φ-operand of another included Φ.  An insertion on it
+  goes at the exit of the operand's predecessor block, so it costs the
+  *node frequency of that predecessor*.
+* **type 2** — Φ → included real occurrence.  "Cutting" it means leaving
+  the occurrence to compute in place, costing the *node frequency of the
+  occurrence's block*.
+
+An operand edge whose path crosses a real occurrence (``has_real_use``)
+carries an already-computed value, so it is never an insertion point and
+is excluded, as are edges out of excluded Φs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.core.ssapre.frg import FRG, PhiNode, PhiOperand, RealOcc
+
+
+@dataclass(frozen=True, slots=True)
+class Type1Edge:
+    """Def Φ (or ⊥/source) → operand of an included Φ."""
+
+    operand: PhiOperand
+
+    @property
+    def target_phi(self) -> PhiNode:
+        return self.operand.phi
+
+    @property
+    def source_phi(self) -> PhiNode | None:
+        definer = self.operand.def_node
+        return definer if isinstance(definer, PhiNode) else None
+
+
+@dataclass(frozen=True, slots=True)
+class Type2Edge:
+    """Def Φ → strictly-partially-redundant real occurrence."""
+
+    source_phi: PhiNode
+    occ: RealOcc
+
+
+ReducedEdge = Union[Type1Edge, Type2Edge]
+
+
+@dataclass
+class ReducedGraph:
+    """The reduced SSA graph of MC-SSAPRE step 4."""
+
+    frg: FRG
+    phis: list[PhiNode] = field(default_factory=list)
+    spr_occs: list[RealOcc] = field(default_factory=list)
+    type1_edges: list[Type1Edge] = field(default_factory=list)
+    type2_edges: list[Type2Edge] = field(default_factory=list)
+    #: operands of included Φs that are ⊥ — future source edges.
+    bottom_operands: list[PhiOperand] = field(default_factory=list)
+
+    def is_empty(self) -> bool:
+        return not self.spr_occs
+
+    def node_count(self) -> int:
+        return len(self.phis) + len(self.spr_occs)
+
+
+def build_reduced_graph(frg: FRG) -> ReducedGraph:
+    """Form the reduced SSA graph from a step-3-annotated FRG."""
+    reduced = ReducedGraph(frg=frg)
+    included: set[int] = set()
+    for phi in frg.phis:
+        phi.in_reduced = not phi.fully_avail and phi.part_anticipated
+        if phi.in_reduced:
+            reduced.phis.append(phi)
+            included.add(id(phi))
+
+    for phi in reduced.phis:
+        for operand in phi.operands:
+            if operand.is_bottom:
+                reduced.bottom_operands.append(operand)
+            elif operand.has_real_use:
+                # Value arrives computed along this edge: excluded.
+                continue
+            elif (
+                isinstance(operand.def_node, PhiNode)
+                and id(operand.def_node) in included
+            ):
+                reduced.type1_edges.append(Type1Edge(operand=operand))
+            # Operands defined by available-but-excluded Φs carry the
+            # value already; no edge, no insertion point.
+
+    for occ in frg.real_occs:
+        if occ.rg_excluded:
+            continue
+        definer = occ.def_node
+        if isinstance(definer, PhiNode) and id(definer) in included:
+            reduced.spr_occs.append(occ)
+            reduced.type2_edges.append(Type2Edge(source_phi=definer, occ=occ))
+
+    return reduced

@@ -1,0 +1,49 @@
+"""MC-SSAPRE step 8 — WillBeAvail from the min-cut result (paper Figure 7).
+
+``will_be_avail(Φ)`` must mean: after performing the insertions chosen by
+the cut, the expression is fully available at the Φ (Lemma 8).  It is
+computed by forward propagation of *un*availability: every Φ starts
+optimistically available; a Φ with a ⊥ operand that received no insertion
+is reset, and resets propagate forward through operands that neither cross
+a real occurrence (``has_real_use``) nor received an insertion.
+
+Computing this attribute (plus the operand ``insert`` flags set in step 7)
+is exactly what lets steps 9 and 10 reuse SSAPRE's Finalize and CodeMotion
+unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.core.ssapre.frg import FRG, PhiNode
+
+
+def compute_will_be_avail_from_cut(frg: FRG) -> None:
+    """The Compute_will_be_avail / Reset_will_be_avail pair of Figure 7."""
+    users_via_plain_operand: dict[int, list[PhiNode]] = {}
+    for phi in frg.phis:
+        for operand in phi.operands:
+            if (
+                isinstance(operand.def_node, PhiNode)
+                and not operand.has_real_use
+                and not operand.insert
+            ):
+                users_via_plain_operand.setdefault(
+                    id(operand.def_node), []
+                ).append(phi)
+
+    def reset(phi: PhiNode) -> None:
+        stack = [phi]
+        while stack:
+            current = stack.pop()
+            if not current.will_be_avail:
+                continue
+            current.will_be_avail = False
+            stack.extend(users_via_plain_operand.get(id(current), ()))
+
+    for phi in frg.phis:
+        phi.will_be_avail = True
+    for phi in frg.phis:
+        if phi.will_be_avail and any(
+            operand.is_bottom and not operand.insert for operand in phi.operands
+        ):
+            reset(phi)

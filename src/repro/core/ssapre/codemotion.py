@@ -1,0 +1,121 @@
+"""SSAPRE step 6 — CodeMotion.
+
+Applies a :class:`~repro.core.ssapre.finalize.FinalizePlan` to the
+function, keeping it in valid SSA form:
+
+* every save ``x = a+b`` becomes ``t.v = a+b ; x = t.v``;
+* every reload ``x = a+b`` becomes ``x = t.v_def``;
+* every insertion appends ``t.v = a+b`` at the end of the predecessor
+  block named by the Φ operand, with the operand versions captured there
+  during Rename;
+* every surviving Φ becomes a real phi of ``t``.
+
+The PRE temporary gets a fresh base name per expression class and one SSA
+version per definition, so the output is verifiable SSA and subsequent
+classes can be processed on the updated function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ssapre.finalize import FinalizePlan, InsertNode, TDef
+from repro.core.ssapre.frg import PhiNode, RealOcc
+from repro.ir.function import Function
+from repro.ir.instructions import Assign, Phi
+from repro.ir.values import Var
+
+
+@dataclass
+class CodeMotionReport:
+    """What CodeMotion did — consumed by benchmarks and tests."""
+
+    expr: str
+    temp_name: str | None
+    saves: int
+    reloads: int
+    insertions: int
+    phis: int
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.reloads or self.insertions)
+
+
+def apply_code_motion(func: Function, plan: FinalizePlan) -> CodeMotionReport:
+    """Rewrite *func* in place according to *plan*."""
+    frg = plan.frg
+    if not plan.has_effect():
+        return CodeMotionReport(
+            expr=str(frg.expr),
+            temp_name=None,
+            saves=0,
+            reloads=0,
+            insertions=0,
+            phis=0,
+        )
+
+    temp = func.fresh_temp("%pre")
+
+    # Assign one SSA version of the temporary to every t-definition.
+    version_of: dict[int, int] = {}
+    next_version = 0
+
+    def define(node: TDef) -> Var:
+        nonlocal next_version
+        if id(node) not in version_of:
+            next_version += 1
+            version_of[id(node)] = next_version
+        return Var(temp.name, version_of[id(node)])
+
+    # 1. Materialise phis of t (targets defined first so args can refer).
+    for phi in plan.t_phis:
+        define(phi)
+    for occ in plan.saves:
+        define(occ)
+    for node in plan.insertions.values():
+        define(node)
+
+    for phi in plan.t_phis:
+        args = {
+            pred: define(node) for pred, node in plan.t_phi_args[id(phi)].items()
+        }
+        func.blocks[phi.label].phis.append(Phi(Var(temp.name, version_of[id(phi)]), args))
+
+    # 2. Insertions at predecessor-block ends.
+    for node in plan.insertions.values():
+        block = func.blocks[node.pred]
+        rhs = frg.expr.make_rhs(tuple(node.operand_values))  # type: ignore[arg-type]
+        block.body.append(Assign(define(node), rhs))
+
+    # 3. Rewrite saves and reloads (touching only the affected blocks).
+    replacements: dict[int, list[Assign]] = {}
+    touched: set[str] = set()
+    for occ in plan.saves:
+        tvar = define(occ)
+        replacements[id(occ.stmt)] = [
+            Assign(tvar, occ.stmt.rhs),
+            Assign(occ.stmt.target, tvar),
+        ]
+        touched.add(occ.label)
+    for occ in plan.occ_reload:
+        definition = plan.reloads[id(occ)]
+        replacements[id(occ.stmt)] = [Assign(occ.stmt.target, define(definition))]
+        touched.add(occ.label)
+
+    for label in touched:
+        block = func.blocks[label]
+        new_body = []
+        for stmt in block.body:
+            new_body.extend(replacements.get(id(stmt), [stmt]))
+        block.body = new_body
+
+    return CodeMotionReport(
+        expr=str(frg.expr),
+        temp_name=temp.name,
+        saves=len(plan.saves),
+        reloads=len(plan.reloads),
+        insertions=len(plan.insertions),
+        phis=len(plan.t_phis),
+    )
+

@@ -1,0 +1,80 @@
+"""SSAPRE step 3 — DownSafety.
+
+A Φ is *down-safe* iff the expression is fully anticipated at the Φ: along
+every control-flow path leaving it, the expression is computed before any
+of its operands is redefined and before program exit.  Safe PRE may only
+insert at down-safe points (Kennedy's safety criterion [13]); speculative
+PRE exists precisely to go beyond this predicate.
+
+Down-safety is, by definition, CFG anticipability at the Φ's program point
+(immediately after the block's variable phis), so we compute it from the
+bit-vector anticipability solution of
+:func:`repro.analysis.dataflow.solve_pre_dataflow`.  That formulation is
+exact on SSA input for this downward problem (see the module docstring of
+``repro.analysis.dataflow``) and doubles as the oracle against which the
+property-based tests check the rest of the pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow import PREDataflow, solve_pre_dataflow
+from repro.core.ssapre.frg import FRG
+
+
+def compute_down_safety(frg: FRG, dataflow: PREDataflow | None = None) -> None:
+    """Set ``down_safe`` on every Φ of *frg*."""
+    if dataflow is None:
+        dataflow = solve_pre_dataflow(frg.func, [frg.expr.key])
+    key = frg.expr.key
+    for phi in frg.phis:
+        # ant_postphi is anticipability at the point immediately after the
+        # block's variable phis — exactly where the hypothetical Φ lives.
+        phi.down_safe = key in dataflow.ant_postphi[phi.label]
+
+
+def compute_down_safety_sparse(frg: FRG) -> None:
+    """The rename-driven DownSafety of Kennedy et al. [14].
+
+    Initialisation comes from hints recorded during Rename: a Φ whose
+    version was observed dying unused along some dominator-walk path
+    (killed by an operand redefinition, or live at a program exit) starts
+    as not down-safe.  Unsafety then propagates backward through Φ
+    operands that carry no real use.
+
+    The two DownSafety variants are *incomparable* approximations of true
+    (value-level) anticipability, and both err only toward False:
+
+    * the bit-vector oracle reasons lexically, so it misses values that
+      survive a renaming variable-phi (where this sparse variant, working
+      on h-versions, is exact);
+    * the rename walk records version deaths along dominator paths, so a
+      version kept alive only by uses in sibling branches can be flagged
+      although the expression is anticipated (where the oracle is exact).
+
+    Under-approximating down-safety only costs optimisation opportunities,
+    never safety; ``tests/core/test_downsafety_sparse.py`` demonstrates
+    the incomparability on concrete seeds and checks the behavioural
+    safety property for both.
+    """
+    from collections import deque
+
+    from repro.core.ssapre.frg import PhiNode
+
+    for phi in frg.phis:
+        phi.down_safe = phi.rename_down_safe
+
+    worklist = deque(phi for phi in frg.phis if not phi.down_safe)
+    dependents: dict[int, list[PhiNode]] = {}
+    for phi in frg.phis:
+        for operand in phi.operands:
+            if (
+                isinstance(operand.def_node, PhiNode)
+                and not operand.has_real_use
+            ):
+                dependents.setdefault(id(phi), []).append(operand.def_node)
+    while worklist:
+        unsafe = worklist.popleft()
+        for feeder in dependents.get(id(unsafe), ()):
+            if feeder.down_safe:
+                feeder.down_safe = False
+                worklist.append(feeder)

@@ -1,0 +1,107 @@
+"""SSAPRE drivers: safe PRE (compile A) and loop-speculative PRE (B).
+
+`run_ssapre` processes every candidate expression class of a function in
+first-occurrence order, rebuilding the FRG for each class on the current
+(already partially transformed) function, exactly as a phased compiler
+pass would.  Each class goes through:
+
+    Φ-Insertion → Rename → DownSafety [→ loop speculation] →
+    WillBeAvail → Finalize → CodeMotion
+
+Returns a report per class so benchmarks can count insertions/reloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.dataflow import solve_pre_dataflow
+from repro.analysis.loops import LoopForest
+from repro.core.ssapre.codemotion import CodeMotionReport, apply_code_motion
+from repro.core.ssapre.downsafety import (
+    compute_down_safety,
+    compute_down_safety_sparse,
+)
+from repro.core.ssapre.finalize import finalize
+from repro.core.ssapre.frg import ExprClass, build_frgs, collect_expr_classes
+from repro.core.ssapre.speculation import apply_loop_speculation
+from repro.core.ssapre.willbeavail import compute_will_be_avail
+from repro.ir.function import Function
+from repro.ir.verifier import has_critical_edges
+from repro.ssa.ssa_verifier import verify_ssa
+
+
+@dataclass
+class PREResult:
+    """Aggregate outcome of a PRE run over a whole function."""
+
+    algorithm: str
+    reports: list[CodeMotionReport] = field(default_factory=list)
+    speculated_phis: int = 0
+
+    @property
+    def total_insertions(self) -> int:
+        return sum(r.insertions for r in self.reports)
+
+    @property
+    def total_reloads(self) -> int:
+        return sum(r.reloads for r in self.reports)
+
+    @property
+    def classes_changed(self) -> int:
+        return sum(1 for r in self.reports if r.changed)
+
+
+def run_ssapre(
+    func: Function,
+    speculate_loops: bool = False,
+    validate: bool = False,
+    classes: list[ExprClass] | None = None,
+    down_safety: str = "oracle",
+) -> PREResult:
+    """Run safe SSAPRE (or SSAPREsp when ``speculate_loops``) in place.
+
+    ``down_safety`` selects the DownSafety implementation: ``"oracle"``
+    (exact, bit-vector anticipability) or ``"sparse"`` (Kennedy's
+    rename-driven propagation; conservative, never unsafe).
+    """
+    if down_safety not in ("oracle", "sparse"):
+        raise ValueError(f"unknown down_safety mode {down_safety!r}")
+    if has_critical_edges(func):
+        raise ValueError(
+            "SSAPRE requires critical edges to be split first "
+            "(use repro.ir.transforms.split_critical_edges)"
+        )
+    if classes is None:
+        classes = collect_expr_classes(func)
+    result = PREResult(algorithm="SSAPREsp" if speculate_loops else "SSAPRE")
+
+    # One shared rename walk and one shared bit-vector solve cover every
+    # class: CodeMotion only replaces statements of the class it is
+    # processing and introduces fresh temporaries, so neither the other
+    # classes' FRGs nor their data-flow facts are invalidated.
+    frgs = build_frgs(func, classes)
+    dataflow = None
+    if down_safety == "oracle":
+        dataflow = solve_pre_dataflow(func, [expr.key for expr in classes])
+    forest: LoopForest | None = None
+
+    for expr in classes:
+        frg = frgs[expr.key]
+        if not frg.real_occs:
+            continue
+        if down_safety == "oracle":
+            compute_down_safety(frg, dataflow)
+        else:
+            compute_down_safety_sparse(frg)
+        if speculate_loops:
+            if forest is None:
+                forest = LoopForest(frg.cfg, frg.domtree)
+            result.speculated_phis += apply_loop_speculation(frg, forest)
+        compute_will_be_avail(frg)
+        plan = finalize(frg)
+        report = apply_code_motion(func, plan)
+        result.reports.append(report)
+        if validate and report.changed:
+            verify_ssa(func)
+    return result

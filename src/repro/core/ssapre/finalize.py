@@ -1,0 +1,211 @@
+"""SSAPRE step 5 — Finalize.
+
+Given a FRG whose Φs carry ``will_be_avail`` and whose operands carry
+``insert`` (whether produced by safe WillBeAvail or by MC-SSAPRE's
+min-cut), decide the concrete form of the optimized code:
+
+* which real occurrences are **reloads** (deleted, replaced by a use of
+  the PRE temporary ``t``),
+* which are **saves** (kept, with their value additionally stored to ``t``
+  because somebody reloads it later),
+* where **insertions** of the computation go (ends of predecessor blocks
+  of Φ operands flagged ``insert``),
+* which Φs materialise as real phis of ``t``, with extraneous ones
+  (never used) removed so ``t`` is in minimal SSA form — this removal is
+  part of SSAPRE's lifetime optimality.
+
+Reload sources are resolved by chasing FRG def links, which is
+version-exact: an occurrence may only reload a value carrying *its own*
+``h`` version — either the ``t``-phi of the Φ that defines the version
+(when that Φ is will-be-avail) or the nearest dominating real occurrence
+of the same version (which is then marked as a save).  A mere dominating
+definition of a *different* version is a different value and never
+acceptable.
+
+The output is a :class:`FinalizePlan`, a pure decision object that
+CodeMotion then applies to the function.  Keeping it side-effect free
+lets the optimality and lifetime tests inspect plans directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.core.ssapre.frg import FRG, PhiNode, RealOcc
+from repro.ir.values import Operand
+
+
+@dataclass(eq=False)
+class InsertNode:
+    """A computation of the expression inserted at the end of *pred*."""
+
+    pred: str
+    operand_values: tuple[Operand, ...]
+
+    def __repr__(self) -> str:
+        vals = ", ".join(str(v) for v in self.operand_values)
+        return f"InsertNode({vals} at end of {self.pred})"
+
+
+#: Anything that can define a value of the PRE temporary.
+TDef = Union[PhiNode, RealOcc, InsertNode]
+
+
+@dataclass
+class FinalizePlan:
+    """All decisions needed by CodeMotion for one expression class."""
+
+    frg: FRG
+    #: Real occurrences to replace by a use of t; maps to their t-def.
+    reloads: dict[int, TDef] = field(default_factory=dict)  # id(RealOcc) keys
+    #: Real occurrences whose value must be saved into t.
+    saves: list[RealOcc] = field(default_factory=list)
+    #: Insertions, keyed by the Φ operand they feed.
+    insertions: dict[int, InsertNode] = field(default_factory=dict)  # id(PhiOperand)
+    #: Materialised phis of t and their per-operand t-defs.
+    t_phis: list[PhiNode] = field(default_factory=list)
+    t_phi_args: dict[int, dict[str, TDef]] = field(default_factory=dict)  # id(PhiNode)
+    #: Reverse index for tests/benchmarks.
+    occ_reload: list[RealOcc] = field(default_factory=list)
+
+    def is_reload(self, occ: RealOcc) -> bool:
+        return id(occ) in self.reloads
+
+    def insertion_count(self) -> int:
+        return len(self.insertions)
+
+    def has_effect(self) -> bool:
+        """Does applying this plan change the function at all?"""
+        return bool(self.reloads or self.insertions)
+
+
+def finalize(frg: FRG) -> FinalizePlan:
+    """Turn will_be_avail / insert flags into a concrete rewrite plan."""
+    plan = FinalizePlan(frg=frg)
+
+    def carrier(occ: RealOcc) -> TDef:
+        """The t-definition holding *occ*'s value at and after *occ*.
+
+        Chases the version's definition: if a dominating real occurrence
+        of the same version exists, the value comes from there (that
+        occurrence computes, or itself reloads); otherwise from the
+        defining Φ's t-phi when available; otherwise *occ* computes in
+        place and is the carrier itself.
+        """
+        if occ.crossing_real is not None and occ.crossing_real is not occ:
+            return carrier(occ.crossing_real)
+        definition = occ.def_node
+        if isinstance(definition, RealOcc):
+            return carrier(definition)
+        if isinstance(definition, PhiNode) and definition.will_be_avail:
+            return definition
+        return occ
+
+    # 1. Reload / compute-in-place decisions for every real occurrence.
+    for occ in frg.real_occs:
+        if occ.def_node is None and occ.crossing_real is None:
+            continue  # defines its own version: computes in place
+        source = carrier(occ)
+        if source is occ:
+            continue  # its Φ is not will-be-avail: computes in place
+        plan.reloads[id(occ)] = source
+        plan.occ_reload.append(occ)
+
+    # 2. Operand definitions for will-be-avail Φs.
+    for phi in frg.phis:
+        if not phi.will_be_avail:
+            continue
+        args: dict[str, TDef] = {}
+        for operand in phi.operands:
+            if operand.insert:
+                values = tuple(operand.operand_values)
+                assert all(v is not None for v in values), (
+                    f"insertion at {operand.pred!r} for {frg.expr} "
+                    "references an undefined operand"
+                )
+                node = InsertNode(pred=operand.pred, operand_values=values)
+                plan.insertions[id(operand)] = node
+                args[operand.pred] = node
+            elif operand.has_real_use:
+                assert operand.crossing_real is not None
+                args[operand.pred] = carrier(operand.crossing_real)
+            else:
+                definition = operand.def_node
+                assert isinstance(definition, PhiNode) and definition.will_be_avail, (
+                    f"will_be_avail Φ at {phi.label!r} has operand from "
+                    f"{operand.pred!r} with no insertion and no available "
+                    f"definition ({definition!r})"
+                )
+                args[operand.pred] = definition
+        plan.t_phi_args[id(phi)] = args
+
+    _remove_extraneous_phis(plan)
+    _collect_saves(plan)
+    return plan
+
+
+def _remove_extraneous_phis(plan: FinalizePlan) -> None:
+    """Drop will-be-avail Φs whose value is never used (minimal SSA for t).
+
+    A Φ is useful when a reload takes its value, or when a useful Φ takes
+    it as an operand.  Everything else — including its operand insertions —
+    is discarded, which matters for lifetime optimality: an insertion
+    feeding only a dead phi would compute a value nobody reads.
+    """
+    frg = plan.frg
+    useful: set[int] = set()
+    worklist: list[PhiNode] = []
+
+    def mark(definition: TDef) -> None:
+        if isinstance(definition, PhiNode) and id(definition) not in useful:
+            useful.add(id(definition))
+            worklist.append(definition)
+
+    for definition in plan.reloads.values():
+        mark(definition)
+    while worklist:
+        phi = worklist.pop()
+        for definition in plan.t_phi_args.get(id(phi), {}).values():
+            mark(definition)
+
+    plan.t_phis = [
+        phi for phi in frg.phis if phi.will_be_avail and id(phi) in useful
+    ]
+    keep_phi_ids = {id(phi) for phi in plan.t_phis}
+    plan.t_phi_args = {
+        phi_id: args
+        for phi_id, args in plan.t_phi_args.items()
+        if phi_id in keep_phi_ids
+    }
+    live_inserts: set[int] = set()
+    for args in plan.t_phi_args.values():
+        for definition in args.values():
+            if isinstance(definition, InsertNode):
+                live_inserts.add(id(definition))
+    plan.insertions = {
+        op_id: node
+        for op_id, node in plan.insertions.items()
+        if id(node) in live_inserts
+    }
+
+
+def _collect_saves(plan: FinalizePlan) -> None:
+    """A real occurrence saves iff a surviving reload or t-phi reads it."""
+    needed: list[RealOcc] = []
+    seen: set[int] = set()
+
+    def note(definition) -> None:
+        if isinstance(definition, RealOcc) and id(definition) not in seen:
+            seen.add(id(definition))
+            needed.append(definition)
+
+    for definition in plan.reloads.values():
+        note(definition)
+    for args in plan.t_phi_args.values():
+        for definition in args.values():
+            note(definition)
+    plan.saves = needed
+    for occ in plan.frg.real_occs:
+        occ.save = id(occ) in seen
+        occ.reload = id(occ) in plan.reloads

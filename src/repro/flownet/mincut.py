@@ -1,0 +1,62 @@
+"""Minimum-cut extraction with a choice of tie-breaking side.
+
+Max-flow/min-cut duality gives *many* minimum cuts in general; MC-SSAPRE
+step 7 must "pick later cuts in case of ties" (paper, Figure 4), i.e. the
+unique minimum cut **closest to the sink**, because later insertions
+shorten the live range of the PRE temporary (Theorem 9).  That cut is
+obtained with the Reverse Labeling Procedure of Ford and Fulkerson: after
+max-flow, label backwards from the sink through residual arcs; the cut
+edges are the saturated edges entering the labelled set.  The symmetric
+source-side cut is provided for the lifetime ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.flownet.maxflow import Residual, dinic_max_flow
+from repro.flownet.network import CutResult, FlowNetwork
+
+
+def _extract_cut(
+    network: FlowNetwork, res: Residual, flow_value: int, sink_closest: bool
+) -> CutResult:
+    source = res.node_index[network.source]
+    sink = res.node_index[network.sink]
+    if sink_closest:
+        labelled = res.residual_reaching_sink(sink)
+        sink_side = {res.nodes[i] for i in labelled}
+        source_side = set(network.nodes) - sink_side
+    else:
+        labelled = res.residual_reachable_from_source(source)
+        source_side = {res.nodes[i] for i in labelled}
+        sink_side = set(network.nodes) - source_side
+
+    cut_edges = []
+    for edge in network.edges:
+        if edge.src in source_side and edge.dst in sink_side:
+            arc = res.arc_of_edge[edge.index]
+            # Minimality: every crossing edge must be saturated.
+            assert res.cap[arc] == 0, (
+                f"unsaturated edge {edge} crosses the claimed min cut"
+            )
+            cut_edges.append(edge)
+    value = sum(e.capacity for e in cut_edges)
+    assert value == flow_value, (
+        f"cut value {value} != max-flow value {flow_value}"
+    )
+    return CutResult(
+        value=value,
+        cut_edges=cut_edges,
+        source_side=source_side,
+        sink_side=sink_side,
+    )
+
+
+def min_cut(network: FlowNetwork, sink_closest: bool = True) -> CutResult:
+    """Compute a minimum s-t cut.
+
+    ``sink_closest=True`` (the default, and what MC-SSAPRE requires)
+    returns the unique minimum cut nearest the sink; ``False`` returns the
+    one nearest the source.
+    """
+    flow_value, res = dinic_max_flow(network)
+    return _extract_cut(network, res, flow_value, sink_closest)

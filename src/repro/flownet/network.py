@@ -1,0 +1,129 @@
+"""Single-source single-sink flow networks.
+
+Nodes are arbitrary hashable objects; parallel edges are first-class (each
+:class:`Edge` has its own identity and capacity) because the essential flow
+graph of MC-SSAPRE genuinely contains parallel edges — one per Φ operand —
+that must be cuttable independently.
+
+"Infinite" capacity is represented by a finite value strictly greater than
+the sum of all finite capacities (set when the network is frozen), so
+max-flow arithmetic stays exact over Python ints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator
+
+INFINITE = "inf"
+
+
+@dataclass
+class Edge:
+    """A directed edge with capacity; ``payload`` is caller data."""
+
+    index: int
+    src: Hashable
+    dst: Hashable
+    capacity: int
+    infinite: bool = False
+    payload: object = None
+
+    def __repr__(self) -> str:
+        cap = "inf" if self.infinite else str(self.capacity)
+        return f"Edge({self.src!r}->{self.dst!r}, cap={cap})"
+
+
+class FlowNetwork:
+    """A mutable flow network; freeze before running max-flow."""
+
+    def __init__(self, source: Hashable, sink: Hashable) -> None:
+        if source == sink:
+            raise ValueError("source and sink must differ")
+        self.source = source
+        self.sink = sink
+        self.edges: list[Edge] = []
+        self.out_edges: dict[Hashable, list[int]] = {source: [], sink: []}
+        self.in_edges: dict[Hashable, list[int]] = {source: [], sink: []}
+        self._frozen = False
+
+    # ------------------------------------------------------------------
+    def add_node(self, node: Hashable) -> None:
+        self.out_edges.setdefault(node, [])
+        self.in_edges.setdefault(node, [])
+
+    def add_edge(
+        self,
+        src: Hashable,
+        dst: Hashable,
+        capacity: int | str,
+        payload: object = None,
+    ) -> Edge:
+        """Add an edge; ``capacity`` may be the string ``"inf"``."""
+        if self._frozen:
+            raise ValueError("network is frozen")
+        infinite = capacity == INFINITE
+        if not infinite:
+            assert isinstance(capacity, int)
+            if capacity < 0:
+                raise ValueError(f"negative capacity {capacity}")
+        self.add_node(src)
+        self.add_node(dst)
+        edge = Edge(
+            index=len(self.edges),
+            src=src,
+            dst=dst,
+            capacity=0 if infinite else int(capacity),
+            infinite=infinite,
+            payload=payload,
+        )
+        self.edges.append(edge)
+        self.out_edges[src].append(edge.index)
+        self.in_edges[dst].append(edge.index)
+        return edge
+
+    def freeze(self) -> None:
+        """Materialise infinite capacities and lock the structure."""
+        if self._frozen:
+            return
+        finite_total = sum(e.capacity for e in self.edges if not e.infinite)
+        big = finite_total + 1
+        for edge in self.edges:
+            if edge.infinite:
+                edge.capacity = big
+        self._frozen = True
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> list[Hashable]:
+        return list(self.out_edges)
+
+    def node_count(self) -> int:
+        return len(self.out_edges)
+
+    def edge_count(self) -> int:
+        return len(self.edges)
+
+    def out_of(self, node: Hashable) -> Iterator[Edge]:
+        for index in self.out_edges.get(node, ()):
+            yield self.edges[index]
+
+    def into(self, node: Hashable) -> Iterator[Edge]:
+        for index in self.in_edges.get(node, ()):
+            yield self.edges[index]
+
+    def total_finite_capacity(self) -> int:
+        return sum(e.capacity for e in self.edges if not e.infinite)
+
+
+@dataclass
+class CutResult:
+    """A minimum cut: its value, edges, and the sink-side node set."""
+
+    value: int
+    cut_edges: list[Edge]
+    source_side: set = field(default_factory=set)
+    sink_side: set = field(default_factory=set)
+
+    def cut_edge_indices(self) -> set[int]:
+        return {e.index for e in self.cut_edges}

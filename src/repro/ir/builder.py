@@ -1,0 +1,143 @@
+"""Fluent helper for constructing IR functions in Python code.
+
+Tests, examples and the synthetic workload generator all build programs
+through this builder rather than poking blocks directly; it keeps the
+construction code close to the textual IR in shape::
+
+    b = FunctionBuilder("max3", params=["x", "y", "z"])
+    entry = b.block("entry")
+    b.assign("m", "max", "x", "y")
+    b.assign("m2", "max", "m", "z")
+    b.ret("m2")
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import (
+    Assign,
+    BinOp,
+    CondJump,
+    Jump,
+    Output,
+    Phi,
+    Return,
+    UnaryOp,
+)
+from repro.ir.ops import BINARY_OPS, UNARY_OPS
+from repro.ir.values import Const, Operand, Var
+
+
+def as_operand(value: "str | int | Operand") -> Operand:
+    """Coerce a Python value to an IR operand.
+
+    Strings become (unversioned) variables, ints become constants, and
+    operands pass through unchanged.
+    """
+    if isinstance(value, (Const, Var)):
+        return value
+    if isinstance(value, bool):
+        return Const(int(value))
+    if isinstance(value, int):
+        return Const(value)
+    if isinstance(value, str):
+        return Var(value)
+    raise TypeError(f"cannot convert {value!r} to an operand")
+
+
+def as_var(value: "str | Var") -> Var:
+    if isinstance(value, Var):
+        return value
+    if isinstance(value, str):
+        return Var(value)
+    raise TypeError(f"cannot convert {value!r} to a variable")
+
+
+class FunctionBuilder:
+    """Builds a :class:`Function` one block at a time.
+
+    All statement-appending methods target the *current* block (the most
+    recent :meth:`block` call).  Blocks may be created eagerly with
+    :meth:`declare` and filled later, which branch-before-target
+    construction needs.
+    """
+
+    def __init__(self, name: str, params: list[str] | None = None) -> None:
+        self.func = Function(name, [Var(p) for p in (params or [])])
+        self._current: BasicBlock | None = None
+
+    # ------------------------------------------------------------------
+    # Blocks
+    # ------------------------------------------------------------------
+    def declare(self, label: str) -> str:
+        """Create a block without making it current."""
+        self.func.add_block(label)
+        return label
+
+    def block(self, label: str | None = None) -> str:
+        """Create (or switch to a previously declared) block."""
+        if label is not None and label in self.func.blocks:
+            self._current = self.func.blocks[label]
+            return label
+        new = self.func.add_block(label)
+        self._current = new
+        return new.label
+
+    @property
+    def current(self) -> BasicBlock:
+        if self._current is None:
+            raise ValueError("no current block; call block() first")
+        return self._current
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def assign(self, target: "str | Var", op: str, *operands) -> Var:
+        """``target = op operands...`` — computation (1–2 operands)."""
+        tvar = as_var(target)
+        ops = [as_operand(o) for o in operands]
+        if op in BINARY_OPS:
+            if len(ops) != 2:
+                raise ValueError(f"{op} expects 2 operands, got {len(ops)}")
+            rhs = BinOp(op, ops[0], ops[1])
+        elif op in UNARY_OPS:
+            if len(ops) != 1:
+                raise ValueError(f"{op} expects 1 operand, got {len(ops)}")
+            rhs = UnaryOp(op, ops[0])
+        else:
+            raise ValueError(f"unknown operator {op!r}")
+        self.current.body.append(Assign(tvar, rhs))
+        return tvar
+
+    def copy(self, target: "str | Var", source) -> Var:
+        """``target = source`` — a plain copy."""
+        tvar = as_var(target)
+        self.current.body.append(Assign(tvar, as_operand(source)))
+        return tvar
+
+    def output(self, value) -> None:
+        self.current.body.append(Output(as_operand(value)))
+
+    def phi(self, target: "str | Var", **args) -> Var:
+        """``target = phi(label=operand, ...)`` (SSA programs only)."""
+        tvar = as_var(target)
+        phi = Phi(tvar, {label: as_operand(v) for label, v in args.items()})
+        self.current.phis.append(phi)
+        return tvar
+
+    # ------------------------------------------------------------------
+    # Terminators
+    # ------------------------------------------------------------------
+    def jump(self, target: str) -> None:
+        self.current.terminator = Jump(target)
+
+    def branch(self, cond, true_target: str, false_target: str) -> None:
+        self.current.terminator = CondJump(as_operand(cond), true_target, false_target)
+
+    def ret(self, value=None) -> None:
+        self.current.terminator = Return(None if value is None else as_operand(value))
+
+    # ------------------------------------------------------------------
+    def build(self) -> Function:
+        """Finish construction and return the function."""
+        return self.func

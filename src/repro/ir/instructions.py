@@ -1,0 +1,203 @@
+"""Instructions of the three-address IR.
+
+A basic block holds three kinds of entity, in order:
+
+* a (possibly empty) list of :class:`Phi` nodes,
+* a list of body statements (:class:`Assign`, :class:`Output`),
+* exactly one terminator (:class:`Jump`, :class:`CondJump`, :class:`Return`).
+
+Right-hand sides of :class:`Assign` are either a bare operand (a copy) or a
+first-order :class:`BinOp` / :class:`UnaryOp` whose operands are variables
+or constants — nested expressions never occur, which is what lets the PRE
+algorithms treat "lexically identified expressions" exactly as the paper
+does.
+
+Statements are ordinary mutable objects: their identity matters (the FRG
+points back at concrete occurrences) and the PRE CodeMotion step rewrites
+them in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.ir.ops import BINARY_OPS, UNARY_OPS
+from repro.ir.values import Const, Operand, Var, operand_base_key
+
+
+@dataclass(slots=True)
+class BinOp:
+    """Application of a binary operator to two operands."""
+
+    op: str
+    left: Operand
+    right: Operand
+
+    def __post_init__(self) -> None:
+        if self.op not in BINARY_OPS:
+            raise ValueError(f"unknown binary operator: {self.op!r}")
+
+    @property
+    def operands(self) -> tuple[Operand, Operand]:
+        return (self.left, self.right)
+
+    def class_key(self) -> tuple:
+        """Lexical identity of this expression (op + operand base names)."""
+        return (self.op, operand_base_key(self.left), operand_base_key(self.right))
+
+    def __str__(self) -> str:
+        return f"{self.op} {self.left}, {self.right}"
+
+
+@dataclass(slots=True)
+class UnaryOp:
+    """Application of a unary operator to one operand."""
+
+    op: str
+    operand: Operand
+
+    def __post_init__(self) -> None:
+        if self.op not in UNARY_OPS:
+            raise ValueError(f"unknown unary operator: {self.op!r}")
+
+    @property
+    def operands(self) -> tuple[Operand]:
+        return (self.operand,)
+
+    def class_key(self) -> tuple:
+        return (self.op, operand_base_key(self.operand))
+
+    def __str__(self) -> str:
+        return f"{self.op} {self.operand}"
+
+
+#: Anything that may appear on the right-hand side of an assignment.
+Rhs = Union[BinOp, UnaryOp, Operand]
+
+
+@dataclass(slots=True)
+class Assign:
+    """``target = rhs`` — a computation or a copy."""
+
+    target: Var
+    rhs: Rhs
+
+    @property
+    def is_copy(self) -> bool:
+        return isinstance(self.rhs, (Var, Const))
+
+    def used_operands(self) -> tuple[Operand, ...]:
+        if isinstance(self.rhs, (BinOp, UnaryOp)):
+            return self.rhs.operands
+        return (self.rhs,)
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.rhs}"
+
+
+@dataclass(slots=True)
+class Output:
+    """Emit *value* to the observable output trace (like a ``print``).
+
+    Gives programs externally visible behaviour beyond their return value,
+    which the semantic-equivalence tests rely on.
+    """
+
+    value: Operand
+
+    def used_operands(self) -> tuple[Operand, ...]:
+        return (self.value,)
+
+    def __str__(self) -> str:
+        return f"output {self.value}"
+
+
+#: Body statements (everything between the phis and the terminator).
+Statement = Union[Assign, Output]
+
+
+@dataclass(slots=True)
+class Phi:
+    """SSA phi: ``target = phi(pred_label: operand, ...)``.
+
+    ``args`` maps each predecessor block label to the operand flowing in
+    along that edge.  Keeping the map keyed by label (rather than positional)
+    makes edge-splitting transforms and the interpreter simpler and safer.
+    """
+
+    target: Var
+    args: dict[str, Operand] = field(default_factory=dict)
+
+    def used_operands(self) -> tuple[Operand, ...]:
+        return tuple(self.args.values())
+
+    def __str__(self) -> str:
+        joined = ", ".join(f"{label}: {arg}" for label, arg in sorted(self.args.items()))
+        return f"{self.target} = phi({joined})"
+
+
+@dataclass(slots=True)
+class Jump:
+    """Unconditional branch."""
+
+    target: str
+
+    def successors(self) -> tuple[str, ...]:
+        return (self.target,)
+
+    def used_operands(self) -> tuple[Operand, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        return f"jump {self.target}"
+
+
+@dataclass(slots=True)
+class CondJump:
+    """Two-way branch on a boolean (non-zero = taken) operand."""
+
+    cond: Operand
+    true_target: str
+    false_target: str
+
+    def successors(self) -> tuple[str, ...]:
+        return (self.true_target, self.false_target)
+
+    def used_operands(self) -> tuple[Operand, ...]:
+        return (self.cond,)
+
+    def __str__(self) -> str:
+        return f"br {self.cond}, {self.true_target}, {self.false_target}"
+
+
+@dataclass(slots=True)
+class Return:
+    """Function return; ``value`` may be ``None`` for a void return."""
+
+    value: Operand | None = None
+
+    def successors(self) -> tuple[str, ...]:
+        return ()
+
+    def used_operands(self) -> tuple[Operand, ...]:
+        return () if self.value is None else (self.value,)
+
+    def __str__(self) -> str:
+        return "ret" if self.value is None else f"ret {self.value}"
+
+
+#: Block terminators.
+Terminator = Union[Jump, CondJump, Return]
+
+
+def retarget(terminator: Terminator, old: str, new: str) -> None:
+    """Redirect every successor reference to *old* in *terminator* to *new*."""
+    if isinstance(terminator, Jump):
+        if terminator.target == old:
+            terminator.target = new
+    elif isinstance(terminator, CondJump):
+        if terminator.true_target == old:
+            terminator.true_target = new
+        if terminator.false_target == old:
+            terminator.false_target = new

@@ -1,0 +1,122 @@
+"""Operator definitions, semantics and cost model for the IR.
+
+Every binary/unary operator the IR supports is described here in one table
+so the interpreter, the verifier, the random program generator and the PRE
+cost model all agree.
+
+Semantics are *total* over Python integers: division and modulo by zero are
+defined to yield 0 so the interpreter never traps.  Operators that would
+fault on real hardware are still flagged ``trapping`` because the paper
+(Section 2) forbids speculating computations that can cause runtime
+exceptions; the speculative PRE drivers honour that flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+
+def _sdiv(a: int, b: int) -> int:
+    if b == 0:
+        return 0
+    # Truncating division, like C.
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _smod(a: int, b: int) -> int:
+    if b == 0:
+        return 0
+    return a - _sdiv(a, b) * b
+
+
+_MASK = (1 << 64) - 1
+
+
+def _shl(a: int, b: int) -> int:
+    return (a << (b & 63)) & _MASK
+
+
+def _shr(a: int, b: int) -> int:
+    return (a & _MASK) >> (b & 63)
+
+
+@dataclass(frozen=True, slots=True)
+class OpInfo:
+    """Static description of one operator."""
+
+    name: str
+    arity: int
+    func: Callable[..., int]
+    cost: int
+    trapping: bool = False
+    commutative: bool = False
+
+
+#: All binary operators, keyed by mnemonic.
+BINARY_OPS: Mapping[str, OpInfo] = {
+    op.name: op
+    for op in (
+        OpInfo("add", 2, lambda a, b: a + b, cost=1, commutative=True),
+        OpInfo("sub", 2, lambda a, b: a - b, cost=1),
+        OpInfo("mul", 2, lambda a, b: a * b, cost=4, commutative=True),
+        OpInfo("div", 2, _sdiv, cost=16, trapping=True),
+        OpInfo("mod", 2, _smod, cost=16, trapping=True),
+        OpInfo("and", 2, lambda a, b: a & b, cost=1, commutative=True),
+        OpInfo("or", 2, lambda a, b: a | b, cost=1, commutative=True),
+        OpInfo("xor", 2, lambda a, b: a ^ b, cost=1, commutative=True),
+        OpInfo("shl", 2, _shl, cost=1),
+        OpInfo("shr", 2, _shr, cost=1),
+        OpInfo("min", 2, min, cost=1, commutative=True),
+        OpInfo("max", 2, max, cost=1, commutative=True),
+        OpInfo("eq", 2, lambda a, b: int(a == b), cost=1, commutative=True),
+        OpInfo("ne", 2, lambda a, b: int(a != b), cost=1, commutative=True),
+        OpInfo("lt", 2, lambda a, b: int(a < b), cost=1),
+        OpInfo("le", 2, lambda a, b: int(a <= b), cost=1),
+        OpInfo("gt", 2, lambda a, b: int(a > b), cost=1),
+        OpInfo("ge", 2, lambda a, b: int(a >= b), cost=1),
+        # "Floating-point flavoured" operators used by the CFP-like synthetic
+        # workloads.  Semantically integer, but costed like FP pipelines.
+        OpInfo("fadd", 2, lambda a, b: a + b, cost=3, commutative=True),
+        OpInfo("fmul", 2, lambda a, b: a * b, cost=5, commutative=True),
+        OpInfo("fdiv", 2, _sdiv, cost=24, trapping=True),
+    )
+}
+
+def _isqrt(a: int) -> int:
+    import math
+
+    return math.isqrt(abs(a))
+
+
+#: All unary operators, keyed by mnemonic.
+UNARY_OPS: Mapping[str, OpInfo] = {
+    op.name: op
+    for op in (
+        OpInfo("neg", 1, lambda a: -a, cost=1),
+        OpInfo("not", 1, lambda a: ~a, cost=1),
+        OpInfo("abs", 1, abs, cost=1),
+        OpInfo("sqrti", 1, _isqrt, cost=20),
+    )
+}
+
+
+def op_info(name: str) -> OpInfo:
+    """Look up an operator by mnemonic, searching both arity tables."""
+    info = BINARY_OPS.get(name) or UNARY_OPS.get(name)
+    if info is None:
+        raise KeyError(f"unknown operator: {name!r}")
+    return info
+
+
+def is_trapping(name: str) -> bool:
+    """True when the operator may fault on real hardware (unspeculatable)."""
+    return op_info(name).trapping
+
+
+#: Cost charged for instructions that are not operator applications.
+COPY_COST = 0  # register moves are assumed coalesced away
+PHI_COST = 0  # phis are not real instructions
+BRANCH_COST = 1
+OUTPUT_COST = 0

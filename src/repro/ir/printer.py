@@ -1,0 +1,49 @@
+"""Textual rendering of IR functions.
+
+The output is valid input for :mod:`repro.lang.parser`, so
+``parse(format_function(f))`` round-trips (up to block ordering, which is
+preserved).  Example::
+
+    func main(n) {
+    entry:
+      i = 0
+      jump head
+    head:
+      c = lt i, n
+      br c, body, done
+    body:
+      i = add i, 1
+      jump head
+    done:
+      ret i
+    }
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import BasicBlock, Function
+
+
+def format_block(block: BasicBlock, indent: str = "  ") -> str:
+    lines = [f"{block.label}:"]
+    for phi in block.phis:
+        lines.append(f"{indent}{phi}")
+    for stmt in block.body:
+        lines.append(f"{indent}{stmt}")
+    lines.append(f"{indent}{block.terminator}")
+    return "\n".join(lines)
+
+
+def format_function(func: Function) -> str:
+    params = ", ".join(str(p) for p in func.params)
+    lines = [f"func {func.name}({params}) {{"]
+    # Entry block first, then the rest in insertion order.
+    ordered = list(func.blocks.values())
+    if func.entry is not None:
+        entry = func.blocks[func.entry]
+        ordered.remove(entry)
+        ordered.insert(0, entry)
+    for block in ordered:
+        lines.append(format_block(block))
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""CFG-normalising transforms required by the PRE algorithms.
+
+* :func:`split_critical_edges` — both SSAPRE and MC-SSAPRE assume all
+  critical edges have been removed by inserting empty blocks (paper,
+  Section 3.1.2), so that insertions at a Φ operand can always be placed at
+  the exit of the corresponding predecessor block.
+* :func:`restructure_while_loops` — the traditional while→do-while
+  rotation of paper Figure 1.  The paper's compiler "always restructures
+  while loops" so that loop-invariant code motion inside safe SSAPRE needs
+  no speculation; our pipeline applies the same normalisation before SSA
+  construction.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.analysis.dominators import DominatorTree
+from repro.analysis.loops import LoopForest
+from repro.ir.cfg import CFG
+from repro.ir.function import Function
+from repro.ir.instructions import CondJump, Jump, retarget
+
+
+def split_critical_edges(func: Function) -> list[str]:
+    """Insert an empty block on every critical edge.
+
+    Returns the labels of the inserted blocks.  Phi arguments in the edge
+    target are re-keyed to the new block.  Safe on SSA and non-SSA input.
+    """
+    cfg = CFG(func)
+    critical = [
+        (src, dst) for src, dst in cfg.edges() if cfg.is_critical_edge(src, dst)
+    ]
+    inserted: list[str] = []
+    for src, dst in critical:
+        mid = func.add_block(func.fresh_label("split"))
+        mid.terminator = Jump(dst)
+        retarget(func.blocks[src].terminator, dst, mid.label)
+        for phi in func.blocks[dst].phis:
+            if src in phi.args:
+                phi.args[mid.label] = phi.args.pop(src)
+        inserted.append(mid.label)
+    return inserted
+
+
+def restructure_while_loops(func: Function) -> list[str]:
+    """Rotate while loops into do-while form (paper Figure 1).
+
+    For each natural loop whose header both tests the exit condition and is
+    entered from outside, the header is cloned into an *entry test* block;
+    outside predecessors are redirected to the clone.  After the transform
+    the original header is only reached from inside the loop, i.e. the body
+    executes at least once per entry that passes the test — exactly the
+    do-while shape that lets safe PRE hoist invariants without speculation.
+
+    Must run **before** SSA construction (cloned blocks duplicate plain
+    assignments; phis cannot be naively cloned).  Returns the clone labels.
+    """
+    for block in func:
+        if block.phis:
+            raise ValueError("restructure_while_loops requires non-SSA input")
+
+    clones: list[str] = []
+    done: set[str] = set()  # headers already rotated once
+    while True:
+        cfg = CFG(func)
+        domtree = DominatorTree(cfg)
+        forest = LoopForest(cfg, domtree)
+        rotated = False
+        for loop in sorted(forest, key=lambda l: l.header):
+            if loop.header in done:
+                continue
+            header = func.blocks[loop.header]
+            if not isinstance(header.terminator, CondJump):
+                continue
+            succs = set(header.successors())
+            exits = succs - loop.blocks
+            insides = succs & loop.blocks
+            if len(exits) != 1 or len(insides) != 1:
+                continue
+            outside_preds = loop.entry_preds(cfg)
+            if not outside_preds and loop.header != func.entry:
+                continue
+            clone = func.add_block(func.fresh_label(f"{loop.header}_test"))
+            clone.body = copy.deepcopy(header.body)
+            clone.terminator = copy.deepcopy(header.terminator)
+            for pred in outside_preds:
+                retarget(func.blocks[pred].terminator, loop.header, clone.label)
+            if loop.header == func.entry:
+                func.entry = clone.label
+            done.add(loop.header)
+            clones.append(clone.label)
+            rotated = True
+            break  # recompute loop structure after each rotation
+        if not rotated:
+            return clones

@@ -1,0 +1,87 @@
+"""Structural well-formedness checks for IR functions.
+
+Two layers of checking are provided:
+
+* :func:`verify_function` — invariants every function must satisfy
+  (branch targets exist, phi arguments match predecessors, entry has no
+  predecessors requiring phis, etc.).
+* :func:`verify_ssa` lives in :mod:`repro.ssa.ssa_verifier` and adds the
+  SSA-specific single-definition and dominance rules.
+
+All passes in this repository call the verifier before and after
+transforming in their test suites, so a broken rewrite fails loudly and
+close to its cause.
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import CFG
+from repro.ir.function import Function
+from repro.ir.instructions import Assign, CondJump, Jump, Output, Phi, Return
+
+
+class VerificationError(Exception):
+    """Raised when a function violates an IR invariant."""
+
+
+def _fail(func: Function, message: str) -> None:
+    raise VerificationError(f"function {func.name!r}: {message}")
+
+
+def verify_function(func: Function) -> None:
+    """Check structural invariants; raise :class:`VerificationError`.
+
+    Checks performed:
+
+    1. the function has an entry block and it exists in ``blocks``;
+    2. every dict key matches its block's ``label``;
+    3. every branch target names an existing block;
+    4. every phi's argument labels are exactly the block's predecessors;
+    5. the entry block has no phis (it has no predecessors);
+    6. terminators are of a known type and bodies contain only statements;
+    7. no duplicate parameter names.
+    """
+    if func.entry is None or func.entry not in func.blocks:
+        _fail(func, f"missing entry block {func.entry!r}")
+
+    names = [p.name for p in func.params]
+    if len(names) != len(set(names)):
+        _fail(func, f"duplicate parameter names: {names}")
+
+    for label, block in func.blocks.items():
+        if block.label != label:
+            _fail(func, f"block registered as {label!r} but labelled {block.label!r}")
+        if not isinstance(block.terminator, (Jump, CondJump, Return)):
+            _fail(func, f"block {label!r} has invalid terminator {block.terminator!r}")
+        for stmt in block.body:
+            if not isinstance(stmt, (Assign, Output)):
+                _fail(func, f"block {label!r} contains non-statement {stmt!r}")
+        for phi in block.phis:
+            if not isinstance(phi, Phi):
+                _fail(func, f"block {label!r} phi list contains {phi!r}")
+
+    try:
+        cfg = CFG(func)
+    except ValueError as exc:  # dangling branch targets
+        raise VerificationError(f"function {func.name!r}: {exc}") from exc
+
+    for label, block in func.blocks.items():
+        preds = set(cfg.predecessors(label))
+        for phi in block.phis:
+            got = set(phi.args)
+            if got != preds:
+                _fail(
+                    func,
+                    f"phi {phi} in block {label!r} has arguments for {sorted(got)} "
+                    f"but predecessors are {sorted(preds)}",
+                )
+
+    entry_block = func.entry_block
+    if entry_block.phis:
+        _fail(func, "entry block must not contain phis")
+
+
+def has_critical_edges(func: Function) -> bool:
+    """True when any CFG edge is critical (see paper Section 3.1.2)."""
+    cfg = CFG(func)
+    return any(cfg.is_critical_edge(src, dst) for src, dst in cfg.edges())

@@ -1,0 +1,122 @@
+"""An adaptive ("JIT-style") compilation manager.
+
+The paper's conclusion argues MC-SSAPRE belongs in just-in-time compilers:
+its profile demand is just per-block execution counters (cheap to
+instrument), and its min-cut problems are tiny, so recompilation is fast.
+:class:`AdaptiveCompiler` plays that deployment story out end-to-end with
+the pieces in this repository:
+
+* functions start "cold" and run under the profiling interpreter, with
+  node counters accumulating across calls;
+* once a function's accumulated block executions pass ``hot_threshold``,
+  it is recompiled with MC-SSAPRE using exactly those counters;
+* subsequent calls run the optimised code; if the observed behaviour ever
+  drifts (counters keep accumulating), the manager can retier.
+
+This is an orchestration layer only — no new algorithms — but it turns
+"opens the way for deployment in just-in-time compilers" from a claim in
+the conclusion into an API with tests
+(``tests/integration/test_jit.py``).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.core.mcssapre.driver import run_mc_ssapre
+from repro.ir.function import Function
+from repro.pipeline import prepare
+from repro.profiles.interp import RunResult, run_function
+from repro.profiles.profile import ExecutionProfile
+from repro.ssa.construct import construct_ssa
+from repro.ssa.destruct import destruct_ssa
+
+
+@dataclass
+class FunctionState:
+    """Runtime state of one managed function."""
+
+    source: Function
+    prepared: Function
+    counters: ExecutionProfile = field(default_factory=ExecutionProfile)
+    calls: int = 0
+    executed_blocks: int = 0
+    compiled: Function | None = None
+    compilations: int = 0
+
+    @property
+    def tier(self) -> str:
+        return "optimised" if self.compiled is not None else "interpreted"
+
+
+class AdaptiveCompiler:
+    """Profile-in-the-loop execution manager for IR functions.
+
+    >>> jit = AdaptiveCompiler(hot_threshold=500)
+    >>> jit.register(func)
+    >>> jit.call("kernel", [1, 2, 3])   # interpreted, profiled
+    """
+
+    def __init__(self, hot_threshold: int = 1000, recompile_growth: float = 8.0):
+        if hot_threshold <= 0:
+            raise ValueError("hot_threshold must be positive")
+        self.hot_threshold = hot_threshold
+        #: recompile again when counters grow by this factor since the
+        #: last compile (simple retiering policy).
+        self.recompile_growth = recompile_growth
+        self._functions: dict[str, FunctionState] = {}
+        self._compiled_at: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, func: Function) -> None:
+        """Add a function to the manager (normalised once, up front)."""
+        if func.name in self._functions:
+            raise ValueError(f"function {func.name!r} already registered")
+        self._functions[func.name] = FunctionState(
+            source=func, prepared=prepare(func)
+        )
+
+    def state(self, name: str) -> FunctionState:
+        return self._functions[name]
+
+    # ------------------------------------------------------------------
+    def call(self, name: str, args: list[int], max_steps: int = 5_000_000) -> RunResult:
+        """Execute one call, profiling and (re)tiering as needed."""
+        state = self._functions[name]
+        state.calls += 1
+
+        if state.compiled is None:
+            result = run_function(state.prepared, args, max_steps=max_steps)
+            self._accumulate(state, result)
+            if state.executed_blocks >= self.hot_threshold:
+                self._compile(state)
+            return result
+
+        result = run_function(state.compiled, args, max_steps=max_steps)
+        # Optimised code still advances the call counter; labels of the
+        # compiled function may differ (PRE kept the CFG shape, so node
+        # counters remain meaningful for retiering).
+        self._accumulate(state, result)
+        compiled_at = self._compiled_at[name]
+        if state.executed_blocks >= compiled_at * self.recompile_growth:
+            self._compile(state)
+        return result
+
+    # ------------------------------------------------------------------
+    def _accumulate(self, state: FunctionState, result: RunResult) -> None:
+        for label, count in result.profile.node_freq.items():
+            state.counters.node_freq[label] = (
+                state.counters.node_freq.get(label, 0) + count
+            )
+            state.executed_blocks += count
+
+    def _compile(self, state: FunctionState) -> None:
+        work = copy.deepcopy(state.prepared)
+        construct_ssa(work)
+        # Node counters only — the whole point (paper contribution 3).
+        run_mc_ssapre(work, state.counters.nodes_only())
+        destruct_ssa(work)
+        state.compiled = work
+        state.compilations += 1
+        self._compiled_at[state.source.name] = max(state.executed_blocks, 1)

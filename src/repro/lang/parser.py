@@ -1,0 +1,211 @@
+"""Recursive-descent parser for the textual IR.
+
+Grammar (keywords are reserved and cannot name variables)::
+
+    program  := function+
+    function := "func" NAME "(" [NAME ("," NAME)*] ")" "{" block+ "}"
+    block    := NAME ":" instr*
+    instr    := NAME "=" "phi" "(" [NAME ":" operand ("," ...)*] ")"
+              | NAME "=" OP operand ["," operand]
+              | NAME "=" operand                       # copy
+              | "output" operand
+              | "jump" NAME
+              | "br" operand "," NAME "," NAME
+              | "ret" [operand]
+    operand  := INT | NAME            # NAME may carry an SSA ".N" suffix
+
+The printer (:mod:`repro.ir.printer`) emits exactly this syntax, so the two
+round-trip; tests assert ``parse(print(f)) == print(f)`` structurally.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Assign,
+    BinOp,
+    CondJump,
+    Jump,
+    Output,
+    Phi,
+    Return,
+    UnaryOp,
+)
+from repro.ir.ops import BINARY_OPS, UNARY_OPS
+from repro.ir.values import Const, Operand, Var
+from repro.lang.lexer import Token, tokenize
+
+_KEYWORDS = {"func", "phi", "output", "jump", "br", "ret"}
+_TERMINATOR_WORDS = {"jump", "br", "ret"}
+
+
+class ParseError(Exception):
+    """Raised on syntactically invalid input."""
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = list(tokenize(source))
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise ParseError(f"expected {kind!r}, found {token}")
+        return self.advance()
+
+    def at_name(self, text: str | None = None) -> bool:
+        token = self.peek()
+        return token.kind == "NAME" and (text is None or token.text == text)
+
+    # ------------------------------------------------------------------
+    def parse_program(self) -> list[Function]:
+        funcs = []
+        while self.peek().kind != "EOF":
+            funcs.append(self.parse_function())
+        if not funcs:
+            raise ParseError("empty program")
+        return funcs
+
+    def parse_function(self) -> Function:
+        keyword = self.expect("NAME")
+        if keyword.text != "func":
+            raise ParseError(f"expected 'func', found {keyword}")
+        name = self.expect("NAME").text
+        self.expect("(")
+        params: list[Var] = []
+        while not self.peek().kind == ")":
+            params.append(Var(self.expect("NAME").text))
+            if self.peek().kind == ",":
+                self.advance()
+        self.expect(")")
+        self.expect("{")
+        func = Function(name, params)
+        while self.peek().kind != "}":
+            self.parse_block(func)
+        self.expect("}")
+        return func
+
+    def parse_block(self, func: Function) -> None:
+        label = self.expect("NAME").text
+        self.expect(":")
+        block = func.add_block(label)
+        while True:
+            token = self.peek()
+            if token.kind != "NAME":
+                raise ParseError(
+                    f"block {label!r} has no terminator before {token}"
+                )
+            if token.text not in _TERMINATOR_WORDS and self._name_is_block_label():
+                raise ParseError(
+                    f"block {label!r} has no terminator before label {token.text!r}"
+                )
+            if token.text == "output":
+                self.advance()
+                block.body.append(Output(self.parse_operand()))
+            elif token.text == "jump":
+                self.advance()
+                block.terminator = Jump(self.expect("NAME").text)
+                return
+            elif token.text == "br":
+                self.advance()
+                cond = self.parse_operand()
+                self.expect(",")
+                true_target = self.expect("NAME").text
+                self.expect(",")
+                false_target = self.expect("NAME").text
+                block.terminator = CondJump(cond, true_target, false_target)
+                return
+            elif token.text == "ret":
+                self.advance()
+                value: Operand | None = None
+                nxt = self.peek()
+                if nxt.kind == "INT" or (
+                    nxt.kind == "NAME"
+                    and nxt.text not in _KEYWORDS
+                    and not self._name_is_block_label()
+                ):
+                    value = self.parse_operand()
+                block.terminator = Return(value)
+                return
+            else:
+                self.parse_assignment(block)
+
+    def _name_is_block_label(self) -> bool:
+        """Lookahead: is the NAME at ``pos`` followed by a colon?"""
+        return (
+            self.peek().kind == "NAME"
+            and self.tokens[self.pos + 1].kind == ":"
+        )
+
+    def parse_assignment(self, block) -> None:
+        target = self.parse_var()
+        self.expect("=")
+        token = self.peek()
+        if token.kind == "NAME" and token.text == "phi":
+            self.advance()
+            self.expect("(")
+            args: dict[str, Operand] = {}
+            while self.peek().kind != ")":
+                pred = self.expect("NAME").text
+                self.expect(":")
+                args[pred] = self.parse_operand()
+                if self.peek().kind == ",":
+                    self.advance()
+            self.expect(")")
+            block.phis.append(Phi(target, args))
+            return
+        if token.kind == "NAME" and token.text in BINARY_OPS:
+            op = self.advance().text
+            left = self.parse_operand()
+            self.expect(",")
+            right = self.parse_operand()
+            block.body.append(Assign(target, BinOp(op, left, right)))
+            return
+        if token.kind == "NAME" and token.text in UNARY_OPS:
+            op = self.advance().text
+            operand = self.parse_operand()
+            block.body.append(Assign(target, UnaryOp(op, operand)))
+            return
+        block.body.append(Assign(target, self.parse_operand()))
+
+    def parse_operand(self) -> Operand:
+        token = self.peek()
+        if token.kind == "INT":
+            self.advance()
+            return Const(int(token.text))
+        if token.kind == "NAME":
+            return self.parse_var()
+        raise ParseError(f"expected operand, found {token}")
+
+    def parse_var(self) -> Var:
+        token = self.expect("NAME")
+        if token.text in _KEYWORDS or token.text in BINARY_OPS or token.text in UNARY_OPS:
+            raise ParseError(f"reserved word used as variable: {token}")
+        name = token.text
+        if "." in name:
+            base, _, version = name.rpartition(".")
+            return Var(base, int(version))
+        return Var(name)
+
+
+def parse_function(source: str) -> Function:
+    """Parse exactly one function from *source*."""
+    funcs = _Parser(source).parse_program()
+    if len(funcs) != 1:
+        raise ParseError(f"expected exactly one function, found {len(funcs)}")
+    return funcs[0]
+
+
+def parse_program(source: str) -> list[Function]:
+    """Parse one or more functions from *source*."""
+    return _Parser(source).parse_program()

@@ -1,0 +1,27 @@
+"""Supporting scalar optimisations around PRE.
+
+The paper's host compiler runs PRE inside a conventional SSA pipeline;
+these passes reproduce the neighbours PRE interacts with most:
+
+* :mod:`repro.opt.copyprop` — SSA copy propagation.  PRE's saves and
+  reloads materialise as copies (``t = a+b; x = t`` / ``x = t``); copy
+  propagation forwards them so the temporary is read directly, which is
+  what lets a real backend coalesce the moves away (our cost model's
+  "copies are free" assumption, made literal).
+* :mod:`repro.opt.dce` — dead code elimination on SSA, removing
+  computations whose values are never observed (e.g. originals made dead
+  by copy propagation).
+* :mod:`repro.opt.sccp` — sparse conditional constant propagation
+  (Wegman–Zadeck), the classic companion SSA optimisation; folding
+  constants before PRE shrinks expression classes.
+"""
+
+from repro.opt.copyprop import propagate_copies
+from repro.opt.dce import eliminate_dead_code
+from repro.opt.sccp import sparse_conditional_constant_propagation
+
+__all__ = [
+    "eliminate_dead_code",
+    "propagate_copies",
+    "sparse_conditional_constant_propagation",
+]

@@ -1,0 +1,103 @@
+"""SSA copy propagation.
+
+On SSA form, a copy ``x.2 = y.5`` makes ``x.2`` a pure alias of ``y.5``:
+every use of ``x.2`` can read ``y.5`` directly and the copy becomes dead.
+Chains (``a = b; c = a``) resolve to the root with path compression.
+Phis are *not* treated as copies (their value is merge-dependent), but a
+phi all of whose arguments alias one same value is itself an alias and is
+folded too — that cleans up the single-source phis SSA construction can
+leave behind after CFG surgery.
+
+Copy propagation is what turns PRE's ``t = a+b; x = t; ... use x`` shape
+into direct uses of ``t``, after which DCE removes the stranded copies.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import Assign, BinOp, CondJump, Phi, Return, UnaryOp
+from repro.ir.values import Const, Operand, Var
+from repro.ssa.ssa_verifier import is_ssa
+
+
+def propagate_copies(func: Function, fold_phis: bool = True) -> int:
+    """Propagate SSA copies in place; returns the number of rewired uses.
+
+    Requires SSA input (versioned definitions); raises otherwise.
+    """
+    if not is_ssa(func):
+        raise ValueError("copy propagation requires SSA input")
+
+    alias: dict[Var, Operand] = {}
+
+    def resolve(operand: Operand) -> Operand:
+        seen = []
+        current = operand
+        while isinstance(current, Var) and current in alias:
+            seen.append(current)
+            current = alias[current]
+        for var in seen:  # path compression
+            alias[var] = current
+        return current
+
+    # 1. Collect direct copies.
+    for block in func:
+        for stmt in block.body:
+            if isinstance(stmt, Assign) and isinstance(stmt.rhs, (Var, Const)):
+                alias[stmt.target] = stmt.rhs
+
+    # 2. Fold single-valued phis to a fixed point: a phi whose arguments
+    #    all resolve to one operand (or to the phi's own target, for
+    #    degenerate loops) is an alias of that operand.
+    if fold_phis:
+        changed = True
+        while changed:
+            changed = False
+            for block in func:
+                for phi in block.phis:
+                    if phi.target in alias:
+                        continue
+                    resolved = {
+                        resolve(arg)
+                        for arg in phi.args.values()
+                        if resolve(arg) != phi.target
+                    }
+                    if len(resolved) == 1:
+                        alias[phi.target] = resolved.pop()
+                        changed = True
+
+    if not alias:
+        return 0
+
+    # 3. Rewire every use.
+    rewired = 0
+
+    def rewrite(operand: Operand) -> Operand:
+        nonlocal rewired
+        root = resolve(operand)
+        if root != operand:
+            rewired += 1
+        return root
+
+    for block in func:
+        for phi in block.phis:
+            phi.args = {pred: rewrite(arg) for pred, arg in phi.args.items()}
+        for stmt in block.body:
+            if isinstance(stmt, Assign):
+                rhs = stmt.rhs
+                if isinstance(rhs, BinOp):
+                    rhs.left = rewrite(rhs.left)
+                    rhs.right = rewrite(rhs.right)
+                elif isinstance(rhs, UnaryOp):
+                    rhs.operand = rewrite(rhs.operand)
+                else:
+                    stmt.rhs = rewrite(rhs)
+            else:  # Output
+                stmt.value = rewrite(stmt.value)
+        term = block.terminator
+        if isinstance(term, CondJump):
+            term.cond = rewrite(term.cond)
+        elif isinstance(term, Return) and term.value is not None:
+            term.value = rewrite(term.value)
+
+    return rewired

@@ -1,0 +1,85 @@
+"""Dead code elimination on SSA.
+
+A definition is *live* iff its value can reach an observable effect: an
+``output``, a return value, or a branch condition (control decides which
+effects happen).  Everything else — assignments and phis whose targets are
+never transitively used by an effect — is deleted.
+
+All IR operators are effect-free by construction (division by zero is
+defined), so removing a dead computation can never change observable
+behaviour; the property tests check exactly that.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.ir.function import Function
+from repro.ir.instructions import Assign, CondJump, Output, Return
+from repro.ir.values import Var
+from repro.ssa.ssa_verifier import is_ssa
+
+
+def eliminate_dead_code(func: Function) -> int:
+    """Remove dead assignments and phis in place; returns removal count.
+
+    Requires SSA input (uses are version-exact there, making liveness a
+    pure def-use closure with no aliasing questions).
+    """
+    if not is_ssa(func):
+        raise ValueError("DCE requires SSA input")
+
+    # Map each versioned variable to the operands its definition reads.
+    reads_of: dict[Var, list[Var]] = {}
+    for block in func:
+        for phi in block.phis:
+            reads_of[phi.target] = [
+                arg for arg in phi.args.values() if isinstance(arg, Var)
+            ]
+        for stmt in block.body:
+            if isinstance(stmt, Assign):
+                reads_of[stmt.target] = [
+                    op for op in stmt.used_operands() if isinstance(op, Var)
+                ]
+
+    # Seed with the roots of observability.
+    live: set[Var] = set()
+    worklist: deque[Var] = deque()
+
+    def mark(var: Var) -> None:
+        if var not in live:
+            live.add(var)
+            worklist.append(var)
+
+    for block in func:
+        for stmt in block.body:
+            if isinstance(stmt, Output) and isinstance(stmt.value, Var):
+                mark(stmt.value)
+        term = block.terminator
+        if isinstance(term, CondJump) and isinstance(term.cond, Var):
+            mark(term.cond)
+        elif isinstance(term, Return) and isinstance(term.value, Var):
+            mark(term.value)
+
+    while worklist:
+        var = worklist.popleft()
+        for read in reads_of.get(var, ()):
+            mark(read)
+
+    removed = 0
+    for block in func:
+        kept_phis = []
+        for phi in block.phis:
+            if phi.target in live:
+                kept_phis.append(phi)
+            else:
+                removed += 1
+        block.phis = kept_phis
+        kept_body = []
+        for stmt in block.body:
+            if isinstance(stmt, Assign) and stmt.target not in live:
+                removed += 1
+            else:
+                kept_body.append(stmt)
+        block.body = kept_body
+    return removed

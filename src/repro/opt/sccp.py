@@ -1,0 +1,246 @@
+"""Sparse conditional constant propagation (Wegman & Zadeck).
+
+The classic SSA optimisation: a three-level lattice (⊤ unknown, constant,
+⊥ varying) is propagated along SSA def-use edges, while CFG edges are only
+considered once proven executable — so code guarded by provably-constant
+branches neither executes nor pollutes the phi meets.
+
+After the analysis the transformer:
+
+* replaces every use of a constant-valued variable by the constant,
+* rewrites assignments of constant-valued expressions into constant
+  copies,
+* folds conditional branches whose condition is constant into jumps,
+* deletes the blocks that become unreachable.
+
+Running SCCP before PRE shrinks expression classes (constant operands
+fold away) and removes never-taken paths, both of which sharpen the
+profile-driven placement.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.ir import ops as op_tables
+from repro.ir.cfg import CFG, remove_unreachable_blocks
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Assign,
+    BinOp,
+    CondJump,
+    Jump,
+    Phi,
+    Return,
+    UnaryOp,
+)
+from repro.ir.values import Const, Operand, Var
+from repro.ssa.ssa_verifier import is_ssa
+
+_TOP = "top"
+_BOTTOM = "bottom"
+# lattice value: _TOP | int (constant) | _BOTTOM
+
+
+@dataclass
+class SCCPResult:
+    """What the pass did, for reporting and tests."""
+
+    constants_found: int = 0
+    uses_replaced: int = 0
+    branches_folded: int = 0
+    blocks_removed: int = 0
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.uses_replaced or self.branches_folded)
+
+
+def sparse_conditional_constant_propagation(func: Function) -> SCCPResult:
+    """Run SCCP in place on an SSA function."""
+    if not is_ssa(func):
+        raise ValueError("SCCP requires SSA input")
+    cfg = CFG(func)
+
+    value: dict[Var, object] = {}
+    for param in func.params:
+        value[param] = _BOTTOM  # parameters are runtime inputs
+
+    # def sites and use sites for the sparse SSA worklist.
+    defining_stmt: dict[Var, tuple[str, object]] = {}
+    uses: dict[Var, list[tuple[str, object]]] = {}
+    for label, block in func.blocks.items():
+        for phi in block.phis:
+            defining_stmt[phi.target] = (label, phi)
+            for arg in phi.args.values():
+                if isinstance(arg, Var):
+                    uses.setdefault(arg, []).append((label, phi))
+        for stmt in block.body:
+            if isinstance(stmt, Assign):
+                defining_stmt[stmt.target] = (label, stmt)
+            for operand in stmt.used_operands():
+                if isinstance(operand, Var):
+                    uses.setdefault(operand, []).append((label, stmt))
+        for operand in block.terminator.used_operands():
+            if isinstance(operand, Var):
+                uses.setdefault(operand, []).append((label, block.terminator))
+
+    def lattice_of(operand: Operand):
+        if isinstance(operand, Const):
+            return operand.value
+        return value.get(operand, _TOP)
+
+    executable_edges: set[tuple[str, str]] = set()
+    executable_blocks: set[str] = set()
+    flow_worklist: deque[tuple[str | None, str]] = deque()
+    ssa_worklist: deque[Var] = deque()
+
+    def meet(a, b):
+        if a == _TOP:
+            return b
+        if b == _TOP:
+            return a
+        if a == b:
+            return a
+        return _BOTTOM
+
+    def lower(var: Var, new) -> None:
+        old = value.get(var, _TOP)
+        merged = meet(old, new)
+        if merged != old:
+            value[var] = merged
+            ssa_worklist.append(var)
+
+    def eval_phi(label: str, phi: Phi) -> None:
+        result = _TOP
+        for pred, arg in phi.args.items():
+            if (pred, label) in executable_edges:
+                result = meet(result, lattice_of(arg))
+        lower(phi.target, result)
+
+    def eval_assign(stmt: Assign) -> None:
+        rhs = stmt.rhs
+        if isinstance(rhs, BinOp):
+            left, right = lattice_of(rhs.left), lattice_of(rhs.right)
+            if left == _BOTTOM or right == _BOTTOM:
+                lower(stmt.target, _BOTTOM)
+            elif left == _TOP or right == _TOP:
+                pass  # stays top until inputs resolve
+            else:
+                lower(stmt.target, op_tables.BINARY_OPS[rhs.op].func(left, right))
+        elif isinstance(rhs, UnaryOp):
+            operand = lattice_of(rhs.operand)
+            if operand == _BOTTOM:
+                lower(stmt.target, _BOTTOM)
+            elif operand != _TOP:
+                lower(stmt.target, op_tables.UNARY_OPS[rhs.op].func(operand))
+        else:
+            lower(stmt.target, lattice_of(rhs))
+
+    def eval_terminator(label: str) -> None:
+        term = func.blocks[label].terminator
+        if isinstance(term, Jump):
+            flow_worklist.append((label, term.target))
+        elif isinstance(term, CondJump):
+            cond = lattice_of(term.cond)
+            if cond == _BOTTOM:
+                flow_worklist.append((label, term.true_target))
+                flow_worklist.append((label, term.false_target))
+            elif cond != _TOP:
+                taken = term.true_target if cond != 0 else term.false_target
+                flow_worklist.append((label, taken))
+
+    def visit_block(label: str) -> None:
+        block = func.blocks[label]
+        for phi in block.phis:
+            eval_phi(label, phi)
+        for stmt in block.body:
+            if isinstance(stmt, Assign):
+                eval_assign(stmt)
+        eval_terminator(label)
+
+    assert func.entry is not None
+    flow_worklist.append((None, func.entry))
+    while flow_worklist or ssa_worklist:
+        while flow_worklist:
+            pred, label = flow_worklist.popleft()
+            edge = (pred, label)
+            if pred is not None:
+                if edge in executable_edges:
+                    # Re-evaluate only the phis (a new incoming edge).
+                    continue
+                executable_edges.add((pred, label))
+                for phi in func.blocks[label].phis:
+                    eval_phi(label, phi)
+            if label not in executable_blocks:
+                executable_blocks.add(label)
+                visit_block(label)
+        while ssa_worklist:
+            var = ssa_worklist.popleft()
+            for label, user in uses.get(var, ()):  # sparse propagation
+                if label not in executable_blocks:
+                    continue
+                if isinstance(user, Phi):
+                    eval_phi(label, user)
+                elif isinstance(user, Assign):
+                    eval_assign(user)
+                else:  # a terminator: may reveal new executable edges
+                    eval_terminator(label)
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+    result = SCCPResult()
+    constants = {
+        var: val
+        for var, val in value.items()
+        if val not in (_TOP, _BOTTOM)
+    }
+    result.constants_found = len(constants)
+
+    def rewrite(operand: Operand) -> Operand:
+        if isinstance(operand, Var) and operand in constants:
+            result.uses_replaced += 1
+            return Const(constants[operand])  # type: ignore[arg-type]
+        return operand
+
+    for label in list(executable_blocks):
+        block = func.blocks[label]
+        for phi in block.phis:
+            phi.args = {
+                pred: rewrite(arg)
+                for pred, arg in phi.args.items()
+            }
+        for stmt in block.body:
+            if isinstance(stmt, Assign):
+                if stmt.target in constants:
+                    stmt.rhs = Const(constants[stmt.target])  # type: ignore[arg-type]
+                    continue
+                rhs = stmt.rhs
+                if isinstance(rhs, BinOp):
+                    rhs.left = rewrite(rhs.left)
+                    rhs.right = rewrite(rhs.right)
+                elif isinstance(rhs, UnaryOp):
+                    rhs.operand = rewrite(rhs.operand)
+                else:
+                    stmt.rhs = rewrite(rhs)
+            else:
+                stmt.value = rewrite(stmt.value)
+        term = block.terminator
+        if isinstance(term, CondJump):
+            cond = lattice_of(term.cond)
+            if cond not in (_TOP, _BOTTOM):
+                block.terminator = Jump(
+                    term.true_target if cond != 0 else term.false_target
+                )
+                result.branches_folded += 1
+            else:
+                term.cond = rewrite(term.cond)
+        elif isinstance(term, Return) and term.value is not None:
+            term.value = rewrite(term.value)
+
+    # Drop blocks no longer reachable after branch folding, fixing phis.
+    removed = remove_unreachable_blocks(func)
+    result.blocks_removed = len(removed)
+    return result

@@ -1,0 +1,210 @@
+"""End-to-end compilation pipeline.
+
+Mirrors the paper's experimental protocol (Section 5.1):
+
+* the source function is normalised once — unreachable blocks removed,
+  while loops restructured to do-while form (Figure 1), critical edges
+  split — so all compiles share one CFG shape and profiles transfer;
+* a *training run* on the prepared function collects the FDO profile;
+* each variant (A: SSAPRE, B: SSAPREsp, C: MC-SSAPRE, plus the MC-PRE and
+  ISPRE baselines and an unoptimised control) compiles its own copy;
+* the *reference run* measures dynamic cost and per-expression counts.
+
+The pipeline never mutates its input function.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.baselines.ispre import run_ispre
+from repro.baselines.lcm import run_lcm
+from repro.baselines.mcpre import run_mc_pre
+from repro.core.mcssapre.driver import run_mc_ssapre
+from repro.core.ssapre.driver import run_ssapre
+from repro.ir.cfg import remove_unreachable_blocks
+from repro.ir.function import Function
+from repro.ir.transforms import restructure_while_loops, split_critical_edges
+from repro.ir.verifier import verify_function
+from repro.profiles.interp import RunResult, run_function
+from repro.profiles.profile import ExecutionProfile
+from repro.ssa.construct import construct_ssa
+from repro.ssa.destruct import destruct_ssa
+from repro.ssa.ssa_verifier import verify_ssa
+
+#: All PRE variants the pipeline can drive.
+VARIANTS = ("none", "ssapre", "ssapre-sp", "mc-ssapre", "mc-pre", "ispre", "lcm")
+
+#: The paper's three compiles (Table 1 / Table 2 columns).
+PAPER_VARIANTS = ("ssapre", "ssapre-sp", "mc-ssapre")
+
+
+def prepare(func: Function, restructure: bool = True) -> Function:
+    """Normalise a non-SSA source function for optimisation and profiling."""
+    prepared = copy.deepcopy(func)
+    remove_unreachable_blocks(prepared)
+    if restructure:
+        restructure_while_loops(prepared)
+    split_critical_edges(prepared)
+    verify_function(prepared)
+    return prepared
+
+
+@dataclass
+class CompiledFunction:
+    """A compiled variant plus the optimisation report."""
+
+    variant: str
+    func: Function
+    pre_result: object | None = None
+
+
+def compile_variant(
+    prepared: Function,
+    variant: str,
+    profile: ExecutionProfile | None = None,
+    validate: bool = False,
+    fold_constants: bool = False,
+    cleanup: bool = False,
+) -> CompiledFunction:
+    """Compile one PRE variant of an already-prepared function.
+
+    SSA-based variants construct SSA, optimise, then translate out of SSA
+    so all variants are measured in the same (non-SSA) execution model.
+    CFG-based baselines run directly on the non-SSA form.
+
+    ``fold_constants`` runs SCCP before PRE; ``cleanup`` runs copy
+    propagation + DCE after PRE (both SSA-variant only) — the neighbours
+    PRE sits between in a production pipeline.
+    """
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
+    work = copy.deepcopy(prepared)
+    result: object | None = None
+
+    if variant in ("ssapre", "ssapre-sp", "mc-ssapre"):
+        construct_ssa(work)
+        if validate:
+            verify_ssa(work)
+        if fold_constants:
+            from repro.opt.sccp import sparse_conditional_constant_propagation
+
+            sparse_conditional_constant_propagation(work)
+            if validate:
+                verify_ssa(work)
+        if variant == "ssapre":
+            result = run_ssapre(work, speculate_loops=False, validate=validate)
+        elif variant == "ssapre-sp":
+            result = run_ssapre(work, speculate_loops=True, validate=validate)
+        else:
+            if profile is None:
+                raise ValueError("mc-ssapre requires an execution profile")
+            # MC-SSAPRE needs node frequencies only; enforce that here.
+            result = run_mc_ssapre(
+                work, profile.nodes_only(), validate=validate
+            )
+        if cleanup:
+            from repro.opt.copyprop import propagate_copies
+            from repro.opt.dce import eliminate_dead_code
+
+            propagate_copies(work)
+            eliminate_dead_code(work)
+            if validate:
+                verify_ssa(work)
+        destruct_ssa(work)
+    elif variant == "mc-pre":
+        if profile is None:
+            raise ValueError("mc-pre requires an execution profile")
+        result = run_mc_pre(work, profile, validate=validate)
+    elif variant == "ispre":
+        if profile is None:
+            raise ValueError("ispre requires an execution profile")
+        result = run_ispre(work, profile, validate=validate)
+    elif variant == "lcm":
+        result = run_lcm(work, validate=validate)
+
+    if validate:
+        verify_function(work)
+    return CompiledFunction(variant=variant, func=work, pre_result=result)
+
+
+@dataclass
+class Measurement:
+    """Reference-run measurement of one compiled variant."""
+
+    variant: str
+    dynamic_cost: int
+    expr_counts: dict[tuple, int]
+    observable: tuple
+    compiled: CompiledFunction
+
+
+@dataclass
+class Experiment:
+    """A full FDO experiment on one function."""
+
+    prepared: Function
+    train_result: RunResult
+    measurements: dict[str, Measurement] = field(default_factory=dict)
+
+    def cost(self, variant: str) -> int:
+        return self.measurements[variant].dynamic_cost
+
+    def speedup(self, slower: str, faster: str) -> float:
+        """Fractional improvement of *faster* over *slower* ((s-f)/s)."""
+        s = self.cost(slower)
+        f = self.cost(faster)
+        return (s - f) / s if s else 0.0
+
+
+def run_experiment(
+    source: Function,
+    train_args: list[int],
+    ref_args: list[int],
+    variants: tuple[str, ...] = PAPER_VARIANTS,
+    restructure: bool = True,
+    validate: bool = False,
+    max_steps: int = 5_000_000,
+) -> Experiment:
+    """Prepare, profile with the train input, compile variants, measure.
+
+    Raises if any variant changes the program's observable behaviour —
+    the pipeline doubles as the semantic-equivalence harness.
+    """
+    prepared = prepare(source, restructure=restructure)
+    train = run_function(prepared, train_args, max_steps=max_steps)
+    experiment = Experiment(prepared=prepared, train_result=train)
+
+    reference = run_function(prepared, ref_args, max_steps=max_steps)
+    expected = reference.observable()
+
+    for variant in variants:
+        compiled = compile_variant(
+            prepared, variant, profile=train.profile, validate=validate
+        )
+        measured = run_function(compiled.func, ref_args, max_steps=max_steps)
+        if measured.observable() != expected:
+            raise AssertionError(
+                f"variant {variant!r} changed observable behaviour of "
+                f"{source.name!r}"
+            )
+        experiment.measurements[variant] = Measurement(
+            variant=variant,
+            dynamic_cost=measured.dynamic_cost,
+            expr_counts=measured.expr_counts,
+            observable=measured.observable(),
+            compiled=compiled,
+        )
+    if "none" not in experiment.measurements:
+        experiment.measurements.setdefault(
+            "none",
+            Measurement(
+                variant="none",
+                dynamic_cost=reference.dynamic_cost,
+                expr_counts=reference.expr_counts,
+                observable=expected,
+                compiled=CompiledFunction(variant="none", func=prepared),
+            ),
+        )
+    return experiment

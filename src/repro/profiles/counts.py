@@ -1,0 +1,24 @@
+"""Utilities over per-expression dynamic evaluation counts."""
+
+from __future__ import annotations
+
+
+def normalize_expr_counts(expr_counts: dict) -> dict:
+    """Make SSA-destructed and non-SSA count keys comparable.
+
+    Out-of-SSA renames ``x`` to ``x_vN``; strip the suffix so expression
+    classes align across pipeline variants.  Counts of merged keys are
+    summed, so two versions of one lexical class aggregate correctly.
+    """
+    merged: dict = {}
+    for key, count in expr_counts.items():
+        op = key[0]
+        parts = []
+        for kind, payload in key[1:]:
+            if kind == "var":
+                parts.append((kind, payload.split("_v")[0]))
+            else:
+                parts.append((kind, payload))
+        merged_key = (op, *parts)
+        merged[merged_key] = merged.get(merged_key, 0) + count
+    return merged

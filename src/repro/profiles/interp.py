@@ -1,0 +1,170 @@
+"""Reference interpreter and profiler for the IR.
+
+One interpreter serves four purposes:
+
+1. **Semantics oracle** — the output trace + return value define program
+   meaning; PRE transformations must preserve them exactly.
+2. **Profiler** — node and edge frequencies for FDO, mirroring the paper's
+   train-run instrumentation.
+3. **Timer** — the weighted dynamic operation count (see
+   :mod:`repro.ir.ops`) stands in for the paper's wall-clock seconds.
+4. **Redundancy meter** — per lexical-expression dynamic evaluation
+   counts, the exact quantity MC-SSAPRE's computational optimality theorem
+   is about.
+
+Works on SSA and non-SSA functions (phis are evaluated in parallel using
+the incoming edge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir import ops as op_tables
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Assign,
+    BinOp,
+    CondJump,
+    Jump,
+    Output,
+    Return,
+    UnaryOp,
+)
+from repro.ir.values import Const, Operand, Var
+from repro.profiles.profile import ExecutionProfile
+
+
+class InterpreterError(Exception):
+    """Raised on runtime errors (undefined variable, step overflow)."""
+
+
+@dataclass
+class RunResult:
+    """Everything observed during one execution."""
+
+    return_value: int | None
+    output: list[int]
+    profile: ExecutionProfile
+    dynamic_cost: int
+    expr_counts: dict[tuple, int] = field(default_factory=dict)
+    steps: int = 0
+
+    def observable(self) -> tuple:
+        """The externally visible behaviour (for equivalence checks)."""
+        return (self.return_value, tuple(self.output))
+
+
+def run_function(
+    func: Function,
+    args: list[int] | None = None,
+    max_steps: int = 2_000_000,
+) -> RunResult:
+    """Execute *func* and collect profile + cost data.
+
+    ``max_steps`` bounds the number of executed statements so runaway
+    loops in generated programs fail fast instead of hanging the suite.
+    """
+    args = args or []
+    if len(args) != len(func.params):
+        raise InterpreterError(
+            f"{func.name} expects {len(func.params)} args, got {len(args)}"
+        )
+
+    env: dict[Var, int] = {}
+    for param, value in zip(func.params, args):
+        env[param] = value
+        # Non-SSA functions reference parameters by base name.
+        env[param.base] = value
+
+    profile = ExecutionProfile()
+    output: list[int] = []
+    expr_counts: dict[tuple, int] = {}
+    cost = 0
+    steps = 0
+
+    def read(operand: Operand) -> int:
+        if isinstance(operand, Const):
+            return operand.value
+        try:
+            return env[operand]
+        except KeyError:
+            raise InterpreterError(
+                f"{func.name}: read of undefined variable {operand}"
+            ) from None
+
+    assert func.entry is not None
+    label = func.entry
+    prev_label: str | None = None
+    return_value: int | None = None
+
+    while True:
+        block = func.blocks[label]
+        profile.node_freq[label] = profile.node_freq.get(label, 0) + 1
+        if prev_label is not None:
+            key = (prev_label, label)
+            profile.edge_freq[key] = profile.edge_freq.get(key, 0) + 1
+
+        if block.phis:
+            if prev_label is None:
+                raise InterpreterError("entry block must not contain phis")
+            values = [read(phi.args[prev_label]) for phi in block.phis]
+            for phi, value in zip(block.phis, values):
+                env[phi.target] = value
+            cost += op_tables.PHI_COST * len(block.phis)
+
+        for stmt in block.body:
+            steps += 1
+            if steps > max_steps:
+                raise InterpreterError(
+                    f"{func.name}: exceeded {max_steps} interpreted steps"
+                )
+            if isinstance(stmt, Assign):
+                rhs = stmt.rhs
+                if isinstance(rhs, BinOp):
+                    info = op_tables.BINARY_OPS[rhs.op]
+                    env[stmt.target] = info.func(read(rhs.left), read(rhs.right))
+                    cost += info.cost
+                    key = rhs.class_key()
+                    expr_counts[key] = expr_counts.get(key, 0) + 1
+                elif isinstance(rhs, UnaryOp):
+                    info = op_tables.UNARY_OPS[rhs.op]
+                    env[stmt.target] = info.func(read(rhs.operand))
+                    cost += info.cost
+                    key = rhs.class_key()
+                    expr_counts[key] = expr_counts.get(key, 0) + 1
+                else:
+                    env[stmt.target] = read(rhs)
+                    cost += op_tables.COPY_COST
+            else:  # Output
+                output.append(read(stmt.value))
+                cost += op_tables.OUTPUT_COST
+
+        term = block.terminator
+        steps += 1
+        if steps > max_steps:
+            raise InterpreterError(
+                f"{func.name}: exceeded {max_steps} interpreted steps"
+            )
+        if isinstance(term, Return):
+            return_value = None if term.value is None else read(term.value)
+            break
+        if isinstance(term, Jump):
+            prev_label, label = label, term.target
+        elif isinstance(term, CondJump):
+            cost += op_tables.BRANCH_COST
+            taken = read(term.cond) != 0
+            prev_label, label = label, (
+                term.true_target if taken else term.false_target
+            )
+        else:  # pragma: no cover - verifier prevents this
+            raise InterpreterError(f"unknown terminator {term!r}")
+
+    return RunResult(
+        return_value=return_value,
+        output=output,
+        profile=profile,
+        dynamic_cost=cost,
+        expr_counts=expr_counts,
+        steps=steps,
+    )

@@ -1,0 +1,79 @@
+"""Execution-profile containers.
+
+MC-SSAPRE needs only **node** (basic-block) frequencies; MC-PRE needs
+**edge** frequencies (paper Sections 1 and 4).  :class:`ExecutionProfile`
+stores both so the two algorithms can be driven from one profiling run,
+and so tests can check that MC-SSAPRE really never touches the edge map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ir.function import Function
+
+
+@dataclass
+class ExecutionProfile:
+    """Node and edge frequencies gathered from (or synthesised for) a run."""
+
+    node_freq: dict[str, int] = field(default_factory=dict)
+    edge_freq: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def node(self, label: str) -> int:
+        return self.node_freq.get(label, 0)
+
+    def edge(self, src: str, dst: str) -> int:
+        return self.edge_freq.get((src, dst), 0)
+
+    def nodes_only(self) -> "ExecutionProfile":
+        """A copy with the edge map dropped.
+
+        The MC-SSAPRE driver is handed this restricted view in tests to
+        prove the algorithm needs no edge frequencies.
+        """
+        return ExecutionProfile(node_freq=dict(self.node_freq), edge_freq={})
+
+    @classmethod
+    def unit(cls, labels: "Iterable[str] | Function") -> "ExecutionProfile":
+        """A profile in which every block has frequency 1.
+
+        Feeding this to MC-SSAPRE turns its objective from dynamic
+        evaluations into *static occurrences*: every insertion and every
+        in-place computation costs exactly one instruction, so the min
+        cut minimises code size instead of speed — the use of the
+        framework the paper's Section 6 points at (after Scholz et al.).
+        """
+        from repro.ir.function import Function
+
+        if isinstance(labels, Function):
+            labels = labels.blocks.keys()
+        return cls(node_freq={label: 1 for label in labels})
+
+    def scaled(self, factor: float) -> "ExecutionProfile":
+        """A copy with every count scaled (and floored at >= 0 ints)."""
+        return ExecutionProfile(
+            node_freq={k: max(0, int(v * factor)) for k, v in self.node_freq.items()},
+            edge_freq={k: max(0, int(v * factor)) for k, v in self.edge_freq.items()},
+        )
+
+    def check_flow_conservation(self, entry: str) -> list[str]:
+        """Return labels whose in-edge frequencies do not sum to the node's.
+
+        Entry and exit blocks are exempt (they exchange flow with the
+        outside world).  An empty result means the edge profile is
+        consistent with the node profile — a property the interpreter's
+        output always has, and synthetic profiles should preserve.
+        """
+        violations = []
+        incoming: dict[str, int] = {}
+        outgoing: dict[str, int] = {}
+        for (src, dst), count in self.edge_freq.items():
+            incoming[dst] = incoming.get(dst, 0) + count
+            outgoing[src] = outgoing.get(src, 0) + count
+        for label, freq in self.node_freq.items():
+            if label != entry and incoming.get(label, 0) != freq:
+                violations.append(label)
+        return violations

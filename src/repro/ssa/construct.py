@@ -1,0 +1,139 @@
+"""Minimal (pruned) SSA construction, after Cytron et al. [6].
+
+The input must be a non-SSA function (no phis, no versioned variables).
+Phi placement uses iterated dominance frontiers pruned by liveness; the
+renaming walk is the classic preorder dominator-tree traversal with one
+version stack per base name.  Parameters receive version 1 at entry.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.domfrontier import dominance_frontiers, iterated_dominance_frontier
+from repro.analysis.dominators import DominatorTree
+from repro.analysis.liveness import compute_liveness
+from repro.ir.cfg import CFG
+from repro.ir.function import Function
+from repro.ir.instructions import Assign, BinOp, Phi, UnaryOp
+from repro.ir.values import Const, Operand, Var
+
+
+class SSAConstructionError(Exception):
+    """Raised on input that is already in SSA form or uses undefined vars."""
+
+
+def construct_ssa(func: Function) -> None:
+    """Rewrite *func* into pruned SSA form, in place."""
+    for block in func:
+        if block.phis:
+            raise SSAConstructionError("input already contains phis")
+        for stmt in block.body:
+            if isinstance(stmt, Assign) and stmt.target.version is not None:
+                raise SSAConstructionError("input already uses SSA versions")
+
+    cfg = CFG(func)
+    domtree = DominatorTree(cfg)
+    frontiers = dominance_frontiers(cfg, domtree)
+    liveness = compute_liveness(func, by_version=False)
+    reachable = set(domtree.rpo)
+
+    # ------------------------------------------------------------------
+    # Phi placement: IDF of each variable's definition blocks, pruned.
+    # ------------------------------------------------------------------
+    def_blocks: dict[str, set[str]] = {}
+    assert func.entry is not None
+    for param in func.params:
+        def_blocks.setdefault(param.name, set()).add(func.entry)
+    for label in reachable:
+        for var in func.blocks[label].defined_vars():
+            def_blocks.setdefault(var.name, set()).add(label)
+
+    for name, blocks in sorted(def_blocks.items()):
+        for label in iterated_dominance_frontier(frontiers, blocks):
+            if name in liveness.live_in[label]:
+                func.blocks[label].phis.append(Phi(Var(name), {}))
+
+    # ------------------------------------------------------------------
+    # Renaming
+    # ------------------------------------------------------------------
+    stacks: dict[str, list[int]] = {name: [] for name in def_blocks}
+    counters: dict[str, int] = {name: 0 for name in def_blocks}
+
+    def new_version(name: str) -> int:
+        counters[name] += 1
+        stacks[name].append(counters[name])
+        return counters[name]
+
+    def current(name: str) -> int:
+        stack = stacks.get(name)
+        if not stack:
+            raise SSAConstructionError(f"use of undefined variable {name!r}")
+        return stack[-1]
+
+    def rewrite(operand: Operand) -> Operand:
+        if isinstance(operand, Var):
+            return operand.with_version(current(operand.name))
+        return operand
+
+    # Parameters are defined at function entry.
+    entry_pushes = [
+        (param.name, new_version(param.name)) for param in func.params
+    ]
+    func.params = [Var(name, version) for name, version in entry_pushes]
+
+    def process_block(label: str) -> list[str]:
+        """Rename one block; returns the names pushed (for later popping)."""
+        block = func.blocks[label]
+        pushed: list[str] = []
+        for phi in block.phis:
+            phi.target = phi.target.with_version(new_version(phi.target.name))
+            pushed.append(phi.target.name)
+        for stmt in block.body:
+            if isinstance(stmt, Assign):
+                if isinstance(stmt.rhs, BinOp):
+                    stmt.rhs.left = rewrite(stmt.rhs.left)
+                    stmt.rhs.right = rewrite(stmt.rhs.right)
+                elif isinstance(stmt.rhs, UnaryOp):
+                    stmt.rhs.operand = rewrite(stmt.rhs.operand)
+                elif isinstance(stmt.rhs, (Var, Const)):
+                    stmt.rhs = rewrite(stmt.rhs)
+                stmt.target = stmt.target.with_version(new_version(stmt.target.name))
+                pushed.append(stmt.target.name)
+            else:  # Output
+                stmt.value = rewrite(stmt.value)
+        term = block.terminator
+        rewritten = [rewrite(op) for op in term.used_operands()]
+        if rewritten:
+            # Only CondJump and Return carry operands.
+            from repro.ir.instructions import CondJump, Return
+
+            if isinstance(term, CondJump):
+                term.cond = rewritten[0]
+            elif isinstance(term, Return):
+                term.value = rewritten[0]
+        for succ in cfg.successors(label):
+            for phi in func.blocks[succ].phis:
+                name = phi.target.name
+                stack = stacks.get(name)
+                if stack:
+                    phi.args[label] = Var(name, stack[-1])
+                else:
+                    # The variable is dead along this edge in any execution
+                    # (pruned liveness says live-in, so this can only happen
+                    # for paths on which the source program never defined
+                    # it); represent the undefined input as constant 0.
+                    phi.args[label] = Const(0)
+        return pushed
+
+    # Iterative preorder walk with explicit pop bookkeeping.
+    pushed_by_label: dict[str, list[str]] = {}
+    walk: list[tuple[str, bool]] = [(func.entry, False)]
+    while walk:
+        label, leaving = walk.pop()
+        if leaving:
+            for name in reversed(pushed_by_label[label]):
+                stacks[name].pop()
+            continue
+        pushed_by_label[label] = process_block(label)
+        walk.append((label, True))
+        for child in reversed(domtree.children[label]):
+            walk.append((child, False))

@@ -1,0 +1,132 @@
+"""Out-of-SSA translation.
+
+Phis are lowered to parallel copies at the ends of predecessor blocks, each
+SSA variable ``name.version`` becomes the distinct non-SSA variable
+``name_vversion``, and parameters are re-bound with entry copies.  Parallel
+copies are sequentialised with the classic cycle-breaking temporary, so the
+swap and lost-copy problems are handled without interference analysis.
+
+Requires that no phi block is entered through a critical edge (the PRE
+pipeline splits critical edges long before this point); this is asserted.
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import CFG
+from repro.ir.function import Function
+from repro.ir.instructions import Assign, BinOp, Phi, UnaryOp
+from repro.ir.values import Const, Operand, Var
+
+
+def sequentialize_parallel_copies(
+    pairs: list[tuple[Var, Operand]], fresh_temp
+) -> list[tuple[Var, Operand]]:
+    """Order a parallel copy ``{dst_i <- src_i}`` into sequential copies.
+
+    All destinations must be distinct.  ``fresh_temp()`` must return an
+    unused :class:`Var` when a cycle needs breaking.  Self-copies are
+    dropped.
+    """
+    destinations = [dst for dst, _ in pairs]
+    if len(destinations) != len(set(destinations)):
+        raise ValueError("parallel copy has duplicate destinations")
+    pending = [(dst, src) for dst, src in pairs if dst != src]
+    ordered: list[tuple[Var, Operand]] = []
+    while pending:
+        live_sources = {src for _, src in pending if isinstance(src, Var)}
+        for index, (dst, src) in enumerate(pending):
+            if dst not in live_sources:
+                ordered.append((dst, src))
+                pending.pop(index)
+                break
+        else:
+            # Every destination is still needed as a source: a cycle.
+            # Stash one source in a temp and redirect its readers.
+            _, victim = pending[0]
+            temp = fresh_temp()
+            ordered.append((temp, victim))
+            pending = [
+                (dst, temp if src == victim else src) for dst, src in pending
+            ]
+    return ordered
+
+
+def _lowered_name(var: Var) -> Var:
+    if var.version is None:
+        return var
+    return Var(f"{var.name}_v{var.version}")
+
+
+def _lower_operand(operand: Operand) -> Operand:
+    if isinstance(operand, Var):
+        return _lowered_name(operand)
+    return operand
+
+
+def destruct_ssa(func: Function) -> None:
+    """Rewrite *func* out of SSA form, in place."""
+    cfg = CFG(func)
+
+    # 1. Lower phis into copies at predecessor ends.
+    temp_counter = [0]
+
+    def fresh_temp() -> Var:
+        temp_counter[0] += 1
+        return Var(f"%swap{temp_counter[0]}")
+
+    for label, block in list(func.blocks.items()):
+        if not block.phis:
+            continue
+        # Dedupe: a conditional branch with both arms on this block yields
+        # the same predecessor twice; emitting the parallel copy twice
+        # would mis-execute swaps.
+        preds = list(dict.fromkeys(cfg.predecessors(label)))
+        if len(preds) > 1:
+            for pred in preds:
+                if len(set(cfg.successors(pred))) > 1:
+                    raise ValueError(
+                        f"critical edge {pred!r}->{label!r} must be split "
+                        "before SSA destruction"
+                    )
+        for pred in preds:
+            pairs = [
+                (phi.target, phi.args[pred])
+                for phi in block.phis
+                if pred in phi.args
+            ]
+            copies = sequentialize_parallel_copies(pairs, fresh_temp)
+            pred_block = func.blocks[pred]
+            for dst, src in copies:
+                pred_block.body.append(Assign(dst, src))
+        block.phis.clear()
+
+    # 2. Flatten version suffixes into plain names.
+    for block in func:
+        for stmt in block.body:
+            if isinstance(stmt, Assign):
+                stmt.target = _lowered_name(stmt.target)
+                if isinstance(stmt.rhs, BinOp):
+                    stmt.rhs.left = _lower_operand(stmt.rhs.left)
+                    stmt.rhs.right = _lower_operand(stmt.rhs.right)
+                elif isinstance(stmt.rhs, UnaryOp):
+                    stmt.rhs.operand = _lower_operand(stmt.rhs.operand)
+                else:
+                    stmt.rhs = _lower_operand(stmt.rhs)
+            else:  # Output
+                stmt.value = _lower_operand(stmt.value)
+        term = block.terminator
+        from repro.ir.instructions import CondJump, Return
+
+        if isinstance(term, CondJump):
+            term.cond = _lower_operand(term.cond)
+        elif isinstance(term, Return) and term.value is not None:
+            term.value = _lower_operand(term.value)
+
+    # 3. Re-bind parameters: the SSA form gave each parameter version 1.
+    entry = func.entry_block
+    rebinds = []
+    for param in func.params:
+        if param.version is not None:
+            rebinds.append(Assign(_lowered_name(param), Var(param.name)))
+    entry.body[:0] = rebinds
+    func.params = [p.base for p in func.params]

@@ -1,0 +1,95 @@
+"""SSA-specific well-formedness checks.
+
+Beyond the structural checks of :mod:`repro.ir.verifier`, an SSA function
+must satisfy: every versioned variable has exactly one definition; every
+use is dominated by its definition (for a phi argument, the definition must
+dominate the end of the corresponding predecessor); every used variable
+carries a version.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dominators import DominatorTree
+from repro.ir.cfg import CFG
+from repro.ir.function import Function
+from repro.ir.instructions import Assign, Phi
+from repro.ir.values import Var
+from repro.ir.verifier import VerificationError, verify_function
+
+
+def verify_ssa(func: Function) -> None:
+    """Raise :class:`VerificationError` if *func* is not well-formed SSA."""
+    verify_function(func)
+    cfg = CFG(func)
+    domtree = DominatorTree(cfg)
+    reachable = set(domtree.rpo)
+
+    # Collect the unique definition site of each SSA variable.
+    # def site: (label, "phi") or (label, index in body); params at entry.
+    def_site: dict[Var, tuple[str, int]] = {}
+
+    def define(var: Var, label: str, index: int) -> None:
+        if var.version is None:
+            raise VerificationError(f"{func.name}: unversioned definition {var}")
+        if var in def_site:
+            raise VerificationError(f"{func.name}: {var} defined more than once")
+        def_site[var] = (label, index)
+
+    assert func.entry is not None
+    for param in func.params:
+        define(param, func.entry, -1)
+    for label in reachable:
+        block = func.blocks[label]
+        for phi in block.phis:
+            define(phi.target, label, -1)  # phis define at block head
+        for index, stmt in enumerate(block.body):
+            if isinstance(stmt, Assign):
+                define(stmt.target, label, index)
+
+    def check_use(var: Var, label: str, index: int, where: str) -> None:
+        if var.version is None:
+            raise VerificationError(
+                f"{func.name}: unversioned use of {var} in {where}"
+            )
+        site = def_site.get(var)
+        if site is None:
+            raise VerificationError(f"{func.name}: use of undefined {var} in {where}")
+        def_label, def_index = site
+        if def_label == label:
+            if def_index >= index:
+                raise VerificationError(
+                    f"{func.name}: {var} used before its definition in {where}"
+                )
+        elif not domtree.dominates(def_label, label):
+            raise VerificationError(
+                f"{func.name}: definition of {var} in {def_label!r} does not "
+                f"dominate its use in {where}"
+            )
+
+    for label in reachable:
+        block = func.blocks[label]
+        for phi in block.phis:
+            for pred, arg in phi.args.items():
+                if isinstance(arg, Var):
+                    # The def must dominate the end of the predecessor.
+                    check_use(arg, pred, len(func.blocks[pred].body), f"phi in {label}")
+        for index, stmt in enumerate(block.body):
+            for operand in stmt.used_operands():
+                if isinstance(operand, Var):
+                    check_use(operand, label, index, f"{stmt} in {label}")
+        for operand in block.terminator.used_operands():
+            if isinstance(operand, Var):
+                check_use(
+                    operand, label, len(block.body), f"terminator of {label}"
+                )
+
+
+def is_ssa(func: Function) -> bool:
+    """Cheap test: does the function look like SSA (versioned defs)?"""
+    for block in func:
+        if block.phis:
+            return True
+        for stmt in block.body:
+            if isinstance(stmt, Assign) and stmt.target.version is not None:
+                return True
+    return any(p.version is not None for p in func.params)

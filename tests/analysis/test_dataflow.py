@@ -1,0 +1,201 @@
+"""Tests for the bit-vector PRE data-flow framework.
+
+Includes a path-enumeration oracle on acyclic programs: availability /
+anticipability are defined as universally-quantified path properties, so
+on a DAG they can be checked by brute force.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.dataflow import (
+    compute_local_props,
+    expression_keys,
+    solve_pre_dataflow,
+)
+from repro.bench.generator import ProgramSpec, generate_program
+from repro.ir.builder import FunctionBuilder
+from repro.ir.cfg import CFG
+from repro.ir.instructions import Assign, BinOp, UnaryOp
+
+
+class TestLocalProps:
+    def test_antloc_and_comp(self):
+        b = FunctionBuilder("f", params=["a", "b"])
+        b.block("entry")
+        b.assign("x", "add", "a", "b")   # occurrence
+        b.assign("a", "add", "a", 1)     # kills a+b
+        b.assign("y", "add", "a", "b")   # recomputes
+        b.ret("y")
+        func = b.build()
+        keys = expression_keys(func)
+        ab = ("add", ("var", "a"), ("var", "b"))
+        props = compute_local_props(func.blocks["entry"], keys)
+        assert ab in props.antloc       # upward exposed
+        assert ab in props.body_kill    # a reassigned
+        assert ab in props.comp         # recomputed after the kill
+
+    def test_comp_cleared_by_trailing_kill(self):
+        b = FunctionBuilder("f", params=["a", "b"])
+        b.block("entry")
+        b.assign("x", "add", "a", "b")
+        b.assign("b", "add", "b", 1)
+        b.ret("x")
+        func = b.build()
+        ab = ("add", ("var", "a"), ("var", "b"))
+        props = compute_local_props(func.blocks["entry"], expression_keys(func))
+        assert ab in props.antloc
+        assert ab not in props.comp
+
+    def test_self_killing_occurrence(self):
+        """a = a+b is antloc but not comp."""
+        b = FunctionBuilder("f", params=["a", "b"])
+        b.block("entry")
+        b.assign("a", "add", "a", "b")
+        b.ret("a")
+        func = b.build()
+        ab = ("add", ("var", "a"), ("var", "b"))
+        props = compute_local_props(func.blocks["entry"], expression_keys(func))
+        assert ab in props.antloc
+        assert ab in props.body_kill
+        assert ab not in props.comp
+
+    def test_phi_kill(self, diamond):
+        from repro.ssa.construct import construct_ssa
+
+        construct_ssa(diamond)
+        keys = expression_keys(diamond)
+        # No variable phi kills a+b's operands in the diamond.
+        for label in diamond.blocks:
+            props = compute_local_props(diamond.blocks[label], keys)
+            ab = ("add", ("var", "a"), ("var", "b"))
+            assert ab not in props.phi_kill
+
+
+def enumerate_paths(cfg: CFG, start: str, max_paths: int = 4000):
+    """All entry-to-exit paths of an acyclic CFG, or None if too many."""
+    paths = []
+    stack = [(start, [start])]
+    while stack:
+        label, path = stack.pop()
+        succs = cfg.successors(label)
+        if not succs:
+            paths.append(path)
+            if len(paths) > max_paths:
+                return None
+            continue
+        for succ in succs:
+            stack.append((succ, path + [succ]))
+    return paths
+
+
+def acyclic_program(seed: int):
+    """A generated program without loops (pure DAG)."""
+    spec = ProgramSpec(
+        name="dag", seed=seed, max_depth=2, region_length=3,
+        loop_weight=0.0, branch_weight=0.45,
+    )
+    return generate_program(spec).func
+
+
+def path_avail(func, cfg, path, key, upto_index):
+    """Is `key` available at entry of path[upto_index] along this path?"""
+    from repro.analysis.dataflow import compute_local_props
+
+    keys = [key]
+    available = False
+    for label in path[:upto_index]:
+        props = compute_local_props(func.blocks[label], keys)
+        if key in props.phi_kill:
+            available = False
+        if key in props.comp:
+            available = True
+        elif key in props.body_kill:
+            available = False
+    return available
+
+
+class TestAgainstPathEnumeration:
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(min_value=0, max_value=400))
+    def test_avail_in_on_dags(self, seed):
+        func = acyclic_program(seed)
+        cfg = CFG(func)
+        keys = expression_keys(func)[:5]
+        if not keys:
+            return
+        dataflow = solve_pre_dataflow(func, keys)
+        paths = enumerate_paths(cfg, func.entry)
+        if paths is None:
+            return  # combinatorial blow-up: sample elsewhere
+        for key in keys:
+            for label in cfg.reachable():
+                # avail_in(label) <=> available along EVERY path prefix
+                # reaching label.
+                prefixes = []
+                for path in paths:
+                    if label in path:
+                        prefixes.append(path[: path.index(label) + 1])
+                if not prefixes:
+                    continue
+                expected = all(
+                    path_avail(func, cfg, p, key, len(p) - 1) for p in prefixes
+                )
+                got = key in dataflow.avail_in[label]
+                assert got == expected, (key, label)
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(min_value=500, max_value=900))
+    def test_pavail_in_on_dags(self, seed):
+        func = acyclic_program(seed)
+        cfg = CFG(func)
+        keys = expression_keys(func)[:5]
+        if not keys:
+            return
+        dataflow = solve_pre_dataflow(func, keys)
+        paths = enumerate_paths(cfg, func.entry)
+        if paths is None:
+            return
+        for key in keys:
+            for label in cfg.reachable():
+                prefixes = [
+                    p[: p.index(label) + 1] for p in paths if label in p
+                ]
+                if not prefixes:
+                    continue
+                expected = any(
+                    path_avail(func, cfg, p, key, len(p) - 1) for p in prefixes
+                )
+                got = key in dataflow.pavail_in[label]
+                assert got == expected, (key, label)
+
+
+class TestAnticipability:
+    def test_diamond_join_anticipates(self, diamond):
+        dataflow = solve_pre_dataflow(diamond)
+        ab = ("add", ("var", "a"), ("var", "b"))
+        # a+b computed unconditionally at the join => anticipated at entry
+        assert ab in dataflow.ant_postphi["entry"]
+        assert ab in dataflow.pant_postphi["entry"]
+
+    def test_while_loop_header_does_not_anticipate(self, while_loop):
+        dataflow = solve_pre_dataflow(while_loop)
+        ab = ("add", ("var", "a"), ("var", "b"))
+        # The loop may run zero times: a+b not fully anticipated at head.
+        assert ab not in dataflow.ant_postphi["head"]
+        assert ab in dataflow.pant_postphi["head"]
+
+    def test_exit_blocks_anticipate_nothing_downstream(self, diamond):
+        dataflow = solve_pre_dataflow(diamond)
+        assert dataflow.ant_out["join"] == set()
+        assert dataflow.pant_out["join"] == set()
+
+    def test_availability_after_branch_computation(self, diamond):
+        dataflow = solve_pre_dataflow(diamond)
+        ab = ("add", ("var", "a"), ("var", "b"))
+        assert ab in dataflow.avail_out["left"]
+        assert ab not in dataflow.avail_out["right"]
+        assert ab not in dataflow.avail_in["join"]
+        assert ab in dataflow.pavail_in["join"]

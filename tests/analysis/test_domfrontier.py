@@ -1,0 +1,87 @@
+"""Tests for dominance frontiers and iterated dominance frontiers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.domfrontier import (
+    dominance_frontiers,
+    iterated_dominance_frontier,
+)
+from repro.analysis.dominators import DominatorTree
+from repro.ir.cfg import CFG
+from tests.analysis.test_dominators import random_cfg
+
+
+def frontier_by_definition(cfg: CFG, tree: DominatorTree, x: str) -> set[str]:
+    """DF(x) = { y : x dominates a pred of y but not strictly y }.
+
+    Restricted to join nodes, matching the implementation (see the
+    docstring of :func:`dominance_frontiers`).
+    """
+    result = set()
+    for y in cfg.reachable():
+        preds = [p for p in cfg.predecessors(y) if p in cfg.reachable()]
+        if len(preds) < 2:
+            continue
+        if any(tree.dominates(x, p) for p in preds) and not tree.strictly_dominates(x, y):
+            result.add(y)
+    return result
+
+
+class TestDominanceFrontiers:
+    def test_diamond(self, diamond):
+        cfg = CFG(diamond)
+        tree = DominatorTree(cfg)
+        df = dominance_frontiers(cfg, tree)
+        assert df["left"] == {"join"}
+        assert df["right"] == {"join"}
+        assert df["entry"] == set()
+        assert df["join"] == set()
+
+    def test_loop_header_in_own_frontier(self, while_loop):
+        cfg = CFG(while_loop)
+        tree = DominatorTree(cfg)
+        df = dominance_frontiers(cfg, tree)
+        assert "head" in df["body"]
+        assert "head" in df["head"]  # header dominates the latch
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=2, max_value=12),
+    )
+    def test_matches_definition_on_random_cfgs(self, seed, n):
+        func = random_cfg(seed, n)
+        cfg = CFG(func)
+        tree = DominatorTree(cfg)
+        df = dominance_frontiers(cfg, tree)
+        for x in cfg.reachable():
+            assert df[x] == frontier_by_definition(cfg, tree, x), x
+
+
+class TestIteratedDF:
+    def test_simple_closure(self, while_loop):
+        cfg = CFG(while_loop)
+        tree = DominatorTree(cfg)
+        df = dominance_frontiers(cfg, tree)
+        idf = iterated_dominance_frontier(df, {"body"})
+        assert "head" in idf
+
+    def test_idf_is_a_fixpoint(self, diamond):
+        cfg = CFG(diamond)
+        tree = DominatorTree(cfg)
+        df = dominance_frontiers(cfg, tree)
+        idf = iterated_dominance_frontier(df, {"left"})
+        again = iterated_dominance_frontier(df, {"left"} | idf)
+        assert idf == again
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=5_000))
+    def test_idf_superset_of_df(self, seed):
+        func = random_cfg(seed, 10)
+        cfg = CFG(func)
+        tree = DominatorTree(cfg)
+        df = dominance_frontiers(cfg, tree)
+        for x in cfg.reachable():
+            idf = iterated_dominance_frontier(df, {x})
+            assert df[x] <= idf

@@ -1,0 +1,121 @@
+"""Tests for dominator analysis, cross-checked against the naive solver."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.dominators import DominatorTree, dominators_naive
+from repro.ir.builder import FunctionBuilder
+from repro.ir.cfg import CFG
+from repro.ir.function import Function
+from repro.ir.instructions import CondJump, Jump, Return
+from repro.ir.values import Var
+
+
+def random_cfg(seed: int, n_blocks: int) -> Function:
+    """A random (possibly irreducible) CFG for structural analyses.
+
+    Not interpretable — used only for graph algorithms.
+    """
+    rng = random.Random(seed)
+    func = Function("g", [Var("c")])
+    labels = [f"n{i}" for i in range(n_blocks)]
+    for label in labels:
+        func.add_block(label)
+    for i, label in enumerate(labels):
+        block = func.blocks[label]
+        roll = rng.random()
+        if roll < 0.2 or i == n_blocks - 1:
+            block.terminator = Return()
+        elif roll < 0.6:
+            block.terminator = Jump(rng.choice(labels))
+        else:
+            block.terminator = CondJump(
+                Var("c"), rng.choice(labels), rng.choice(labels)
+            )
+    return func
+
+
+class TestAgainstNaive:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=2, max_value=14),
+    )
+    def test_idom_matches_naive_dom_sets(self, seed, n):
+        func = random_cfg(seed, n)
+        cfg = CFG(func)
+        tree = DominatorTree(cfg)
+        naive = dominators_naive(cfg)
+        for label in cfg.reachable():
+            doms = {d for d in naive[label] if tree.dominates(d, label)}
+            assert doms == naive[label], label
+            # idom is the unique closest strict dominator.
+            idom = tree.idom[label]
+            if idom is None:
+                assert label == cfg.entry
+            else:
+                strict = naive[label] - {label}
+                assert idom in strict
+                for other in strict:
+                    assert other in naive[idom]
+
+
+class TestKnownShapes:
+    def test_diamond(self, diamond):
+        tree = DominatorTree(CFG(diamond))
+        assert tree.idom["left"] == "entry"
+        assert tree.idom["right"] == "entry"
+        assert tree.idom["join"] == "entry"
+        assert tree.dominates("entry", "join")
+        assert not tree.dominates("left", "join")
+
+    def test_loop(self, while_loop):
+        tree = DominatorTree(CFG(while_loop))
+        assert tree.idom["head"] == "entry"
+        assert tree.idom["body"] == "head"
+        assert tree.idom["done"] == "head"
+        assert tree.dominates("head", "body")
+
+    def test_reflexive(self, diamond):
+        tree = DominatorTree(CFG(diamond))
+        for label in diamond.blocks:
+            assert tree.dominates(label, label)
+            assert not tree.strictly_dominates(label, label)
+
+    def test_preorder_parents_first(self, while_loop):
+        tree = DominatorTree(CFG(while_loop))
+        order = list(tree.preorder())
+        assert order[0] == "entry"
+        for label in order:
+            parent = tree.idom[label]
+            if parent is not None:
+                assert order.index(parent) < order.index(label)
+
+    def test_depth(self, while_loop):
+        tree = DominatorTree(CFG(while_loop))
+        assert tree.depth("entry") == 0
+        assert tree.depth("head") == 1
+        assert tree.depth("body") == 2
+
+    def test_children_sorted_by_rpo(self, diamond):
+        tree = DominatorTree(CFG(diamond))
+        assert set(tree.children["entry"]) == {"left", "right", "join"}
+
+
+class TestDominanceTransitivity:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=5_000))
+    def test_transitive_and_antisymmetric(self, seed):
+        func = random_cfg(seed, 10)
+        cfg = CFG(func)
+        tree = DominatorTree(cfg)
+        labels = list(cfg.reachable())
+        for a in labels:
+            for b in labels:
+                if a != b and tree.dominates(a, b) and tree.dominates(b, a):
+                    raise AssertionError(f"{a} and {b} dominate each other")
+                for c in labels:
+                    if tree.dominates(a, b) and tree.dominates(b, c):
+                        assert tree.dominates(a, c)

@@ -1,0 +1,60 @@
+"""Tests for live-variable analysis."""
+
+from repro.analysis.liveness import compute_liveness
+from repro.ir.builder import FunctionBuilder
+from repro.ssa.construct import construct_ssa
+
+
+class TestBaseNameLiveness:
+    def test_param_live_through_loop(self, while_loop):
+        liveness = compute_liveness(while_loop)
+        assert "n" in liveness.live_in["head"]
+        assert "i" in liveness.live_in["head"]
+        assert "acc" in liveness.live_in["head"]
+
+    def test_dead_after_last_use(self, while_loop):
+        liveness = compute_liveness(while_loop)
+        # 'c' is consumed by head's branch; not live into body.
+        assert "c" not in liveness.live_in["body"]
+
+    def test_defined_before_use_not_live_in(self, straightline):
+        liveness = compute_liveness(straightline)
+        # x and y are defined in entry before their uses.
+        assert "x" not in liveness.live_in["entry"]
+        assert "a" in liveness.live_in["entry"]
+
+    def test_branch_condition_is_a_use(self, diamond):
+        liveness = compute_liveness(diamond)
+        assert "c" in liveness.live_in["entry"]
+
+
+class TestPhiSemantics:
+    def test_phi_args_live_out_of_preds(self, while_loop):
+        construct_ssa(while_loop)
+        liveness = compute_liveness(while_loop, by_version=True)
+        # The body's new versions flow into head's phis along the back
+        # edge, so they are live out of body.
+        body_out = liveness.live_out["body"]
+        assert any(name == "i" for name, _ in body_out)
+        assert any(name == "acc" for name, _ in body_out)
+
+    def test_phi_target_not_live_into_own_block(self, while_loop):
+        construct_ssa(while_loop)
+        liveness = compute_liveness(while_loop, by_version=True)
+        head = while_loop.blocks["head"]
+        for phi in head.phis:
+            key = (phi.target.name, phi.target.version)
+            assert key not in liveness.live_in["head"]
+
+    def test_by_version_distinguishes_versions(self):
+        b = FunctionBuilder("f", params=["a"])
+        b.block("entry")
+        b.assign("x", "add", "a", 1)
+        b.assign("x", "add", "x", 2)
+        b.ret("x")
+        func = b.build()
+        construct_ssa(func)
+        liveness = compute_liveness(func, by_version=True)
+        # only version sets appear, never bare names
+        for key in liveness.live_in["entry"]:
+            assert isinstance(key, tuple)

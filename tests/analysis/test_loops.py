@@ -1,0 +1,105 @@
+"""Tests for natural-loop discovery."""
+
+from repro.analysis.dominators import DominatorTree
+from repro.analysis.loops import LoopForest
+from repro.ir.builder import FunctionBuilder
+from repro.ir.cfg import CFG
+
+
+def forest_of(func) -> LoopForest:
+    cfg = CFG(func)
+    return LoopForest(cfg, DominatorTree(cfg))
+
+
+def build_nested_loops():
+    b = FunctionBuilder("nest", params=["n"])
+    b.block("entry")
+    b.copy("i", 0)
+    b.jump("outer")
+    b.block("outer")
+    b.assign("ci", "lt", "i", "n")
+    b.branch("ci", "inner_pre", "done")
+    b.block("inner_pre")
+    b.copy("j", 0)
+    b.jump("inner")
+    b.block("inner")
+    b.assign("cj", "lt", "j", "n")
+    b.branch("cj", "inner_body", "outer_latch")
+    b.block("inner_body")
+    b.assign("j", "add", "j", 1)
+    b.jump("inner")
+    b.block("outer_latch")
+    b.assign("i", "add", "i", 1)
+    b.jump("outer")
+    b.block("done")
+    b.ret("i")
+    return b.build()
+
+
+class TestSimpleLoop:
+    def test_single_loop_found(self, while_loop):
+        forest = forest_of(while_loop)
+        assert len(forest) == 1
+        loop = forest.loop_of_header("head")
+        assert loop is not None
+        assert loop.blocks == {"head", "body"}
+        assert loop.latches == ["body"]
+
+    def test_entry_preds_and_exits(self, while_loop):
+        forest = forest_of(while_loop)
+        loop = forest.loop_of_header("head")
+        cfg = CFG(while_loop)
+        assert loop.entry_preds(cfg) == ["entry"]
+        assert loop.exit_edges(cfg) == [("head", "done")]
+
+    def test_no_loops_in_diamond(self, diamond):
+        assert len(forest_of(diamond)) == 0
+
+
+class TestNesting:
+    def test_two_loops_found(self):
+        forest = forest_of(build_nested_loops())
+        assert len(forest) == 2
+
+    def test_inner_nested_in_outer(self):
+        forest = forest_of(build_nested_loops())
+        inner = forest.loop_of_header("inner")
+        outer = forest.loop_of_header("outer")
+        assert inner.parent is outer
+        assert outer.parent is None
+        assert inner.depth == 2
+        assert outer.depth == 1
+
+    def test_inner_blocks_subset_of_outer(self):
+        forest = forest_of(build_nested_loops())
+        inner = forest.loop_of_header("inner")
+        outer = forest.loop_of_header("outer")
+        assert inner.blocks < outer.blocks
+
+    def test_innermost_containing(self):
+        forest = forest_of(build_nested_loops())
+        assert forest.innermost_containing("inner_body").header == "inner"
+        assert forest.innermost_containing("outer_latch").header == "outer"
+        assert forest.innermost_containing("entry") is None
+
+    def test_loop_depth_queries(self):
+        forest = forest_of(build_nested_loops())
+        assert forest.loop_depth("inner_body") == 2
+        assert forest.loop_depth("outer_latch") == 1
+        assert forest.loop_depth("done") == 0
+
+
+def test_self_loop():
+    b = FunctionBuilder("f", params=["n"])
+    b.block("entry")
+    b.jump("spin")
+    b.block("spin")
+    b.assign("n", "sub", "n", 1)
+    b.assign("c", "gt", "n", 0)
+    b.branch("c", "spin", "out")
+    b.block("out")
+    b.ret("n")
+    forest = forest_of(b.build())
+    loop = forest.loop_of_header("spin")
+    assert loop.blocks == {"spin"}
+    assert loop.latches == ["spin"]

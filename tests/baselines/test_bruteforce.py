@@ -1,0 +1,71 @@
+"""Tests for the brute-force placement oracle itself."""
+
+import pytest
+
+from repro.baselines.bruteforce import (
+    brute_force_optimum,
+    candidate_insertion_edges,
+)
+from repro.ir.builder import FunctionBuilder
+from repro.pipeline import prepare
+
+AB = ("add", ("var", "a"), ("var", "b"))
+
+
+def loop_func():
+    b = FunctionBuilder("f", params=["a", "b", "n"])
+    b.block("entry")
+    b.copy("i", 0)
+    b.copy("acc", 0)
+    b.jump("head")
+    b.block("head")
+    b.assign("c", "lt", "i", "n")
+    b.branch("c", "body", "done")
+    b.block("body")
+    b.assign("v", "add", "a", "b")
+    b.assign("acc", "add", "acc", "v")
+    b.assign("i", "add", "i", 1)
+    b.jump("head")
+    b.block("done")
+    b.ret("acc")
+    return prepare(b.build(), restructure=False)
+
+
+class TestCandidates:
+    def test_candidates_are_useful_edges(self):
+        func = loop_func()
+        candidates = candidate_insertion_edges(func, AB)
+        assert ("entry", "head") in candidates
+        # Edges after full availability are useless.
+        assert ("head", "done") not in candidates
+
+    def test_budget_enforced(self):
+        func = loop_func()
+        with pytest.raises(ValueError):
+            brute_force_optimum(func, AB, [1, 2, 3], max_edges=0)
+
+
+class TestOptimum:
+    def test_loop_optimum_is_one(self):
+        func = loop_func()
+        outcome = brute_force_optimum(func, AB, [2, 3, 25])
+        assert outcome.baseline_count == 25
+        assert outcome.best_count == 1
+        assert outcome.best_edges == (("entry", "head"),)
+
+    def test_zero_trip_optimum_is_zero(self):
+        func = loop_func()
+        outcome = brute_force_optimum(func, AB, [2, 3, 0])
+        # Not executing the body at all: optimum leaves it alone (0) —
+        # any insertion before the loop would cost 1.
+        assert outcome.best_count == 0
+        assert outcome.best_edges == ()
+
+    def test_no_redundancy_keeps_baseline(self):
+        b = FunctionBuilder("f", params=["a", "b"])
+        b.block("entry")
+        b.assign("x", "add", "a", "b")
+        b.ret("x")
+        func = prepare(b.build(), restructure=False)
+        outcome = brute_force_optimum(func, AB, [1, 2])
+        assert outcome.best_count == outcome.baseline_count == 1

@@ -1,0 +1,78 @@
+"""Tests for the ISPRE heuristic baseline."""
+
+import copy
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.ispre import hot_region, run_ispre
+from repro.bench.generator import ProgramSpec, generate_program, random_args
+from repro.pipeline import prepare
+from repro.profiles.interp import run_function
+from repro.profiles.profile import ExecutionProfile
+
+
+class TestHotRegion:
+    def test_threshold_selects_hot_blocks(self, while_loop):
+        run = run_function(copy.deepcopy(while_loop), [1, 2, 20])
+        hot = hot_region(while_loop, run.profile, theta=0.5)
+        assert "head" in hot and "body" in hot
+        assert "entry" not in hot and "done" not in hot
+
+    def test_theta_one_selects_only_peak(self, while_loop):
+        run = run_function(copy.deepcopy(while_loop), [1, 2, 20])
+        hot = hot_region(while_loop, run.profile, theta=1.0)
+        assert hot == {"head"}
+
+    def test_empty_profile_gives_empty_region(self, while_loop):
+        assert hot_region(while_loop, ExecutionProfile(), theta=0.5) == set()
+
+
+class TestISPRE:
+    def test_rejects_ssa(self, diamond):
+        from repro.ssa.construct import construct_ssa
+
+        construct_ssa(diamond)
+        with pytest.raises(ValueError):
+            run_ispre(diamond, ExecutionProfile())
+
+    def test_hoists_invariant_out_of_hot_loop(self, while_loop):
+        from repro.ir.transforms import split_critical_edges
+
+        split_critical_edges(while_loop)
+        run = run_function(copy.deepcopy(while_loop), [2, 3, 30])
+        result = run_ispre(while_loop, run.profile, validate=True)
+        after = run_function(while_loop, [2, 3, 30])
+        ab = ("add", ("var", "a"), ("var", "b"))
+        assert after.expr_counts[ab] == 1
+        assert after.observable() == run.observable()
+        assert result.insertions >= 1
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_semantics_preserved_on_random_programs(self, seed):
+        spec = ProgramSpec(name="isp", seed=seed, max_depth=2)
+        prog = generate_program(spec)
+        prepared = prepare(prog.func)
+        args = random_args(spec, 1)
+        run = run_function(prepared, args)
+        work = copy.deepcopy(prepared)
+        run_ispre(work, run.profile, validate=True)
+        after = run_function(work, args)
+        assert after.observable() == run.observable()
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_never_beats_the_optimum(self, seed):
+        """ISPRE is a heuristic: it can only tie or lose against
+        MC-SSAPRE under a matching profile."""
+        from repro.pipeline import run_experiment
+
+        spec = ProgramSpec(name="h", seed=seed, max_depth=2)
+        prog = generate_program(spec)
+        args = random_args(spec, 1)
+        experiment = run_experiment(
+            prog.func, args, args, variants=("mc-ssapre", "ispre")
+        )
+        assert experiment.cost("mc-ssapre") <= experiment.cost("ispre")

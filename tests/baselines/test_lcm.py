@@ -1,0 +1,106 @@
+"""Tests for the lazy-code-motion baseline, including the safe-optimality
+cross-check against SSAPRE (both claim the LCM optimum)."""
+
+import copy
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.lcm import run_lcm
+from repro.bench.generator import ProgramSpec, generate_program, random_args
+from repro.pipeline import prepare, run_experiment
+from repro.profiles.counts import normalize_expr_counts
+from repro.profiles.interp import run_function
+from tests.conftest import build_diamond, build_while_loop
+
+AB = ("add", ("var", "a"), ("var", "b"))
+
+
+class TestBasics:
+    def test_rejects_ssa(self, diamond):
+        from repro.ssa.construct import construct_ssa
+
+        construct_ssa(diamond)
+        with pytest.raises(ValueError):
+            run_lcm(diamond)
+
+    def test_diamond_partial_redundancy_removed(self):
+        func = prepare(build_diamond(), restructure=False)
+        result = run_lcm(func, validate=True)
+        assert result.total_insert_edges == 1
+        taken = run_function(func, [3, 4, 1])
+        assert taken.expr_counts[AB] == 1
+
+    def test_do_while_invariant_hoisted(self):
+        func = prepare(build_while_loop(), restructure=True)
+        run_lcm(func, validate=True)
+        run = run_function(func, [2, 3, 25])
+        assert run.expr_counts[AB] == 1
+
+    def test_never_speculates_while_loop(self):
+        """Unrestructured while loop: hoisting would be unsafe (zero-trip
+        executions must not evaluate a+b), so LCM leaves it in the body."""
+        func = prepare(build_while_loop(), restructure=False)
+        run_lcm(func, validate=True)
+        assert run_function(func, [2, 3, 25]).expr_counts[AB] == 25
+        assert run_function(func, [2, 3, 0]).expr_counts.get(AB, 0) == 0
+
+    def test_local_cse(self, straightline):
+        func = prepare(straightline, restructure=False)
+        run_lcm(func)
+        run = run_function(func, [2, 3])
+        assert run.expr_counts[AB] == 1
+        assert run.return_value == 25
+
+
+class TestSafety:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=40_000),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_never_slower_on_any_input(self, seed, argseed):
+        spec = ProgramSpec(name="lcm", seed=seed, max_depth=2)
+        prog = generate_program(spec)
+        prepared = prepare(prog.func)
+        work = copy.deepcopy(prepared)
+        run_lcm(work, validate=True)
+        args = random_args(spec, argseed)
+        before = run_function(prepared, args)
+        after = run_function(work, args)
+        assert after.observable() == before.observable()
+        b = normalize_expr_counts(before.expr_counts)
+        a = normalize_expr_counts(after.expr_counts)
+        for key, count in a.items():
+            assert count <= b.get(key, 0), key
+
+
+class TestAgainstSSAPRE:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=40_000))
+    def test_counts_match_safe_ssapre(self, seed):
+        """Two independent implementations of the safe optimum — Knoop's
+        bit-vector LCM and Kennedy's SSA-based SSAPRE — must agree on the
+        dynamic evaluation count of every expression class."""
+        spec = ProgramSpec(name="lvs", seed=seed, max_depth=2)
+        prog = generate_program(spec)
+        args = random_args(spec, 1)
+        experiment = run_experiment(
+            prog.func, args, args, variants=("ssapre", "lcm")
+        )
+        a = normalize_expr_counts(experiment.measurements["ssapre"].expr_counts)
+        b = normalize_expr_counts(experiment.measurements["lcm"].expr_counts)
+        for key in set(a) | set(b):
+            assert a.get(key, 0) == b.get(key, 0), key
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=40_000))
+    def test_mc_ssapre_at_least_as_good(self, seed):
+        spec = ProgramSpec(name="lvm", seed=seed, max_depth=2)
+        prog = generate_program(spec)
+        args = random_args(spec, 1)
+        experiment = run_experiment(
+            prog.func, args, args, variants=("lcm", "mc-ssapre")
+        )
+        assert experiment.cost("mc-ssapre") <= experiment.cost("lcm")

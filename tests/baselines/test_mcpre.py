@@ -1,0 +1,110 @@
+"""Tests for the MC-PRE baseline."""
+
+import copy
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.mcpre import run_mc_pre
+from repro.bench.generator import ProgramSpec, generate_program, random_args
+from repro.pipeline import prepare
+from repro.profiles.interp import run_function
+from tests.conftest import build_while_loop
+from tests.core.test_optimality import normalize_counts
+
+
+class TestBasics:
+    def test_rejects_ssa_input(self, diamond):
+        from repro.ssa.construct import construct_ssa
+
+        construct_ssa(diamond)
+        with pytest.raises(ValueError):
+            run_mc_pre(diamond, None)
+
+    def test_hoists_loop_invariant(self, while_loop):
+        from repro.ir.transforms import split_critical_edges
+
+        split_critical_edges(while_loop)
+        run = run_function(copy.deepcopy(while_loop), [2, 3, 40])
+        result = run_mc_pre(while_loop, run.profile, validate=True)
+        after = run_function(while_loop, [2, 3, 40])
+        ab = ("add", ("var", "a"), ("var", "b"))
+        assert after.expr_counts[ab] == 1
+        assert after.observable() == run.observable()
+        assert result.insertions >= 1
+
+    def test_local_cse(self, straightline):
+        run = run_function(copy.deepcopy(straightline), [2, 3])
+        run_mc_pre(straightline, run.profile)
+        after = run_function(straightline, [2, 3])
+        ab = ("add", ("var", "a"), ("var", "b"))
+        assert after.expr_counts[ab] == 1
+        assert after.return_value == 25
+
+    def test_network_stats_have_split_nodes(self, while_loop):
+        from repro.ir.transforms import split_critical_edges
+
+        split_critical_edges(while_loop)
+        run = run_function(copy.deepcopy(while_loop), [2, 3, 5])
+        result = run_mc_pre(while_loop, run.profile)
+        assert result.stats
+        # CFG-based networks are strictly larger than the 4-node minimum
+        # EFG for the same redundancy (Section 4's size argument).
+        assert max(result.network_sizes()) > 4
+
+    def test_trapping_gets_safe_optimal_placement(self):
+        from repro.ir.builder import FunctionBuilder
+
+        b = FunctionBuilder("f", params=["a", "b"])
+        b.block("entry")
+        b.assign("x", "div", "a", "b")
+        b.assign("y", "div", "a", "b")  # fully redundant: safe to delete
+        b.assign("z", "add", "x", "y")
+        b.ret("z")
+        func = b.build()
+        run = run_function(copy.deepcopy(func), [8, 2])
+        result = run_mc_pre(func, run.profile)
+        assert result.skipped_trapping == 1
+        after = run_function(func, [8, 2])
+        key = ("div", ("var", "a"), ("var", "b"))
+        assert after.expr_counts[key] == 1  # local CSE still applies
+        assert after.return_value == 8
+
+
+class TestOptimalityAgreement:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=10_000, max_value=20_000))
+    def test_equal_counts_with_mc_ssapre(self, seed):
+        """Both algorithms are computationally optimal: per-class dynamic
+        counts must agree under the same profile (the strongest
+        cross-check in the suite)."""
+        from repro.pipeline import run_experiment
+
+        spec = ProgramSpec(name="agree", seed=seed, max_depth=2)
+        prog = generate_program(spec)
+        args = random_args(spec, 1)
+        experiment = run_experiment(
+            prog.func, args, args, variants=("mc-ssapre", "mc-pre")
+        )
+        a = normalize_counts(experiment.measurements["mc-ssapre"].expr_counts)
+        b = normalize_counts(experiment.measurements["mc-pre"].expr_counts)
+        for key in set(a) | set(b):
+            assert a.get(key, 0) == b.get(key, 0), key
+
+    def test_edge_profile_needed(self, while_loop):
+        """MC-PRE genuinely consumes edge frequencies: zeroing them
+        changes its view of the world (documented asymmetry with
+        MC-SSAPRE, which runs off nodes alone)."""
+        from repro.ir.transforms import split_critical_edges
+
+        split_critical_edges(while_loop)
+        run = run_function(copy.deepcopy(while_loop), [2, 3, 40])
+        nodes_only = run.profile.nodes_only()
+        # All edge weights read as 0: every insertion edge looks free, so
+        # the algorithm still terminates and stays correct (it may just
+        # pick arbitrary placements among the zero-cost ones).
+        work = copy.deepcopy(while_loop)
+        run_mc_pre(work, nodes_only)
+        after = run_function(work, [2, 3, 40])
+        assert after.observable() == run.observable()

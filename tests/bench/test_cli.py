@@ -1,0 +1,41 @@
+"""Tests for the `python -m repro.bench` command-line interface."""
+
+import pytest
+
+from repro.bench.cli import main
+
+
+def run_cli(capsys, *argv) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestCLI:
+    def test_table1_subset(self, capsys):
+        out = run_cli(capsys, "table1", "--benchmarks", "mcf,sjeng")
+        assert "Table 1" in out
+        assert "mcf" in out and "sjeng" in out
+        assert "Average" in out
+
+    def test_fig9_subset(self, capsys):
+        out = run_cli(capsys, "fig9", "--benchmarks", "mcf")
+        assert "Figure 9" in out
+        assert "normalised" in out
+
+    def test_fig11_subset(self, capsys):
+        out = run_cli(capsys, "fig11", "--benchmarks", "mcf,milc")
+        assert "EFG size distribution" in out
+        assert "min size: 4" in out
+
+    def test_sec4_subset(self, capsys):
+        out = run_cli(capsys, "sec4", "--benchmarks", "sjeng")
+        assert "flow-network sizes" in out
+        assert "sjeng" in out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--benchmarks", "doom3"])
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table7"])

@@ -1,0 +1,86 @@
+"""Tests for the SPEC-like workload suite."""
+
+import pytest
+
+from repro.bench.workloads import (
+    ALL_BENCHMARKS,
+    CFP2006,
+    CINT2006,
+    load_suite,
+    load_workload,
+    spec_for,
+)
+from repro.ir.verifier import verify_function
+from repro.profiles.interp import run_function
+
+
+class TestSuiteShape:
+    def test_benchmark_counts_match_paper(self):
+        assert len(CINT2006) == 12
+        assert len(CFP2006) == 17
+        assert len(ALL_BENCHMARKS) == 29
+
+    def test_names_match_paper_tables(self):
+        assert CINT2006[0] == "perlbench"
+        assert CINT2006[-1] == "xalancbmk"
+        assert CFP2006[0] == "bwaves"
+        assert CFP2006[-1] == "sphinx3"
+        assert "cactusADM" in CFP2006
+        assert "libquantum" in CINT2006
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            spec_for("quake3")
+
+
+class TestWorkloads:
+    def test_workload_is_deterministic(self):
+        one = load_workload("mcf")
+        two = load_workload("mcf")
+        assert str(one.program.func) == str(two.program.func)
+        assert one.train_args == two.train_args
+        assert one.ref_args == two.ref_args
+
+    def test_families(self):
+        assert load_workload("gcc").family == "CINT"
+        assert load_workload("lbm").family == "CFP"
+
+    def test_train_and_ref_differ_but_correlate(self):
+        workload = load_workload("bzip2")
+        assert workload.train_args != workload.ref_args
+        assert all(
+            abs(t - r) <= 7 for t, r in zip(workload.train_args, workload.ref_args)
+        )
+
+    @pytest.mark.parametrize("name", ["perlbench", "mcf", "milc", "lbm"])
+    def test_programs_verify_and_run(self, name):
+        workload = load_workload(name)
+        verify_function(workload.program.func)
+        train = run_function(workload.program.func, workload.train_args)
+        ref = run_function(workload.program.func, workload.ref_args)
+        assert train.steps > 50, "benchmarks should do real work"
+        assert ref.steps > 50
+
+    def test_cfp_programs_are_loopier(self):
+        """Structural asymmetry behind Table 1 vs Table 2: CFP programs
+        spend a larger share of their execution inside loops."""
+        from repro.analysis.dominators import DominatorTree
+        from repro.analysis.loops import LoopForest
+        from repro.ir.cfg import CFG
+
+        def loop_block_fraction(name):
+            func = load_workload(name).program.func
+            cfg = CFG(func)
+            forest = LoopForest(cfg, DominatorTree(cfg))
+            in_loop = set()
+            for loop in forest:
+                in_loop |= loop.blocks
+            return len(in_loop) / len(func.blocks)
+
+        cint_avg = sum(loop_block_fraction(n) for n in CINT2006[:4]) / 4
+        cfp_avg = sum(loop_block_fraction(n) for n in CFP2006[:4]) / 4
+        assert cfp_avg > cint_avg
+
+    def test_load_suite_subset(self):
+        suite = load_suite(("mcf", "lbm"))
+        assert [w.name for w in suite] == ["mcf", "lbm"]

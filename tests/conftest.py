@@ -1,0 +1,102 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.bench.generator import ProgramSpec, generate_program, random_args
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+from repro.ir.transforms import split_critical_edges
+from repro.ssa.construct import construct_ssa
+
+
+def build_diamond() -> Function:
+    """The classic PRE diamond: a+b in one arm, again at the join."""
+    b = FunctionBuilder("diamond", params=["a", "b", "c"])
+    b.block("entry")
+    b.branch("c", "left", "right")
+    b.block("left")
+    b.assign("x", "add", "a", "b")
+    b.output("x")
+    b.jump("join")
+    b.block("right")
+    b.copy("y", 7)
+    b.output("y")
+    b.jump("join")
+    b.block("join")
+    b.assign("z", "add", "a", "b")
+    b.ret("z")
+    return b.build()
+
+
+def build_while_loop() -> Function:
+    """A while loop with an invariant a+b inside the body."""
+    b = FunctionBuilder("loop", params=["a", "b", "n"])
+    b.block("entry")
+    b.copy("i", 0)
+    b.copy("acc", 0)
+    b.jump("head")
+    b.block("head")
+    b.assign("c", "lt", "i", "n")
+    b.branch("c", "body", "done")
+    b.block("body")
+    b.assign("v", "add", "a", "b")
+    b.assign("acc", "add", "acc", "v")
+    b.assign("i", "add", "i", 1)
+    b.jump("head")
+    b.block("done")
+    b.ret("acc")
+    return b.build()
+
+
+def build_straightline() -> Function:
+    """Straight-line redundancy (local CSE territory)."""
+    b = FunctionBuilder("straight", params=["a", "b"])
+    b.block("entry")
+    b.assign("x", "add", "a", "b")
+    b.assign("y", "add", "a", "b")
+    b.assign("z", "mul", "x", "y")
+    b.ret("z")
+    return b.build()
+
+
+def as_ssa(func: Function) -> Function:
+    """Split critical edges and construct SSA on a copy."""
+    work = copy.deepcopy(func)
+    split_critical_edges(work)
+    construct_ssa(work)
+    return work
+
+
+def small_generated(seed: int, **overrides) -> tuple:
+    """A small generated program plus deterministic args."""
+    defaults = dict(
+        name=f"t{seed}",
+        seed=seed,
+        max_depth=2,
+        region_length=4,
+        loop_mask_bits=3,
+        loop_base=2,
+    )
+    defaults.update(overrides)
+    spec = ProgramSpec(**defaults)
+    prog = generate_program(spec)
+    return prog, random_args(spec, 1), random_args(spec, 2)
+
+
+@pytest.fixture
+def diamond() -> Function:
+    return build_diamond()
+
+
+@pytest.fixture
+def while_loop() -> Function:
+    return build_while_loop()
+
+
+@pytest.fixture
+def straightline() -> Function:
+    return build_straightline()

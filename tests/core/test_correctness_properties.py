@@ -1,0 +1,124 @@
+"""Correctness properties of the transformations (paper Theorem 6).
+
+* Semantic preservation on arbitrary generated programs and inputs.
+* Full availability at original computation points: every occurrence that
+  was deleted (turned into a reload) reads a temporary that provably holds
+  the expression's value — checked by asserting the transformed program's
+  observable behaviour AND by a lexical availability audit of the
+  temporary's definitions.
+* The output of SSA-based variants is verifiable SSA.
+"""
+
+import copy
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.generator import ProgramSpec, generate_program, random_args
+from repro.pipeline import compile_variant, prepare, run_experiment
+from repro.profiles.interp import run_function
+
+ALL = ("ssapre", "ssapre-sp", "mc-ssapre", "mc-pre", "ispre")
+
+
+class TestSemanticPreservation:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=20_000),
+        st.booleans(),
+    )
+    def test_all_variants_preserve_observables(self, seed, fp_flavor):
+        spec = ProgramSpec(
+            name="sem", seed=seed, max_depth=2, fp_flavor=fp_flavor
+        )
+        prog = generate_program(spec)
+        # run_experiment raises on any observable mismatch.
+        run_experiment(
+            prog.func,
+            random_args(spec, 1),
+            random_args(spec, 2),
+            variants=ALL,
+            validate=True,
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=0, max_value=5_000))
+    def test_preservation_on_multiple_inputs(self, seed):
+        """The compiled variant must agree with the source on inputs the
+        profile has never seen (correctness is input-independent)."""
+        spec = ProgramSpec(name="multi", seed=seed, max_depth=2)
+        prog = generate_program(spec)
+        prepared = prepare(prog.func)
+        train = run_function(prepared, random_args(spec, 1))
+        compiled = compile_variant(prepared, "mc-ssapre", profile=train.profile)
+        for argseed in range(3, 8):
+            args = random_args(spec, argseed)
+            expected = run_function(prepared, args).observable()
+            got = run_function(compiled.func, args).observable()
+            assert got == expected, argseed
+
+
+class TestTemporaryIntegrity:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_pre_temporaries_hold_only_their_class(self, seed):
+        """On the SSA output of MC-SSAPRE, every definition of a PRE
+        temporary is either a computation of one fixed expression class
+        or a phi merging versions of the same temporary.  A reload can
+        therefore only ever observe a value of its class — the structural
+        half of 'full availability at original computation points'."""
+        import copy
+
+        from repro.core.mcssapre.driver import run_mc_ssapre
+        from repro.ir.instructions import Assign, BinOp, UnaryOp
+        from repro.ir.values import Var
+        from repro.ssa.construct import construct_ssa
+
+        spec = ProgramSpec(name="avail", seed=seed, max_depth=2)
+        prog = generate_program(spec)
+        prepared = prepare(prog.func)
+        train = run_function(prepared, random_args(spec, 1))
+        ssa = copy.deepcopy(prepared)
+        construct_ssa(ssa)
+        run_mc_ssapre(ssa, train.profile.nodes_only(), validate=True)
+
+        temp_classes: dict[str, set] = {}
+        for block in ssa:
+            for phi in block.phis:
+                if phi.target.name.startswith("%pre"):
+                    for arg in phi.args.values():
+                        assert isinstance(arg, Var)
+                        assert arg.name == phi.target.name, (
+                            f"temp phi {phi} merges a foreign value"
+                        )
+            for stmt in block.body:
+                if isinstance(stmt, Assign) and stmt.target.name.startswith(
+                    "%pre"
+                ):
+                    assert isinstance(stmt.rhs, (BinOp, UnaryOp)), (
+                        f"temp def {stmt} is not a computation"
+                    )
+                    temp_classes.setdefault(stmt.target.name, set()).add(
+                        stmt.rhs.class_key()
+                    )
+        for temp, classes in temp_classes.items():
+            assert len(classes) == 1, (
+                f"{temp} computes several classes: {classes}"
+            )
+
+
+class TestOutputsAreValid:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=9_999))
+    def test_verifier_clean_after_each_variant(self, seed):
+        from repro.ir.verifier import verify_function
+
+        spec = ProgramSpec(name="valid", seed=seed, max_depth=2)
+        prog = generate_program(spec)
+        prepared = prepare(prog.func)
+        train = run_function(prepared, random_args(spec, 1))
+        for variant in ALL:
+            compiled = compile_variant(
+                prepared, variant, profile=train.profile, validate=True
+            )
+            verify_function(compiled.func)

@@ -1,0 +1,168 @@
+"""Tests for the rename-driven (sparse) DownSafety variant."""
+
+import copy
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.generator import ProgramSpec, generate_program, random_args
+from repro.core.ssapre.downsafety import (
+    compute_down_safety,
+    compute_down_safety_sparse,
+)
+from repro.core.ssapre.driver import run_ssapre
+from repro.core.ssapre.frg import ExprClass, build_frgs
+from repro.ir.builder import FunctionBuilder
+from repro.pipeline import prepare
+from repro.profiles.counts import normalize_expr_counts
+from repro.profiles.interp import run_function
+from repro.ssa.construct import construct_ssa
+from tests.conftest import as_ssa
+
+AB = ExprClass(("add", ("var", "a"), ("var", "b")))
+
+
+def _both_variants(seed: int):
+    """(sparse, oracle) down-safety maps per Φ, for every class."""
+    spec = ProgramSpec(name="dss", seed=seed, max_depth=2)
+    func = generate_program(spec).func
+    prepared = prepare(func)
+    construct_ssa(prepared)
+    results = []
+    for frg in build_frgs(prepared).values():
+        compute_down_safety_sparse(frg)
+        sparse = {id(phi): phi.down_safe for phi in frg.phis}
+        compute_down_safety(frg)
+        oracle = {id(phi): phi.down_safe for phi in frg.phis}
+        results.append((frg, sparse, oracle))
+    return results
+
+
+class TestAgainstOracle:
+    def test_variants_are_incomparable(self):
+        """The lexical oracle and the rename-driven variant approximate
+        true (value-level) anticipability from different sides: on seed 3
+        the oracle proves Φs the sparse walk misses; on seed 24 the sparse
+        walk sees a value surviving a variable-phi that the lexical
+        analysis must give up on.  Both directions genuinely occur."""
+        sparse_only = oracle_only = 0
+        for seed in (3, 24):
+            for _frg, sparse, oracle in _both_variants(seed):
+                for phi_id in sparse:
+                    if sparse[phi_id] and not oracle[phi_id]:
+                        sparse_only += 1
+                    if oracle[phi_id] and not sparse[phi_id]:
+                        oracle_only += 1
+        assert sparse_only > 0
+        assert oracle_only > 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=60_000))
+    def test_mostly_agree(self, seed):
+        """The disagreement set is small in practice — most Φs get the
+        same verdict from both variants."""
+        total = agree = 0
+        for _frg, sparse, oracle in _both_variants(seed):
+            for phi_id in sparse:
+                total += 1
+                agree += sparse[phi_id] == oracle[phi_id]
+        if total:
+            assert agree / total > 0.6
+
+    def test_agree_on_diamond(self, diamond):
+        ssa = as_ssa(diamond)
+        frg = build_frgs(ssa, [AB])[AB.key]
+        compute_down_safety_sparse(frg)
+        assert frg.phis[0].down_safe  # the join always computes a+b
+
+    def test_agree_on_while_loop(self, while_loop):
+        ssa = as_ssa(while_loop)
+        frg = build_frgs(ssa, [AB])[AB.key]
+        compute_down_safety_sparse(frg)
+        assert not frg.phi_at("head").down_safe
+
+    def test_sibling_uses_keep_phi_down_safe(self):
+        """Uses in both sibling branches: the h-Φ inserted at their merge
+        records the crossings (has_real_use operands), so the sparse walk
+        reaches the same verdict as the oracle — both down-safe."""
+        b = FunctionBuilder("f", params=["a", "b", "p", "q"])
+        b.block("entry")
+        b.branch("p", "l", "r")
+        b.block("l")
+        b.assign("x", "add", "a", "b")
+        b.jump("mid")
+        b.block("r")
+        b.jump("mid")
+        b.block("mid")      # Φ here: one real operand, one bottom
+        b.branch("q", "u1", "u2")
+        b.block("u1")
+        b.assign("y", "add", "a", "b")   # uses the Φ version
+        b.ret("y")
+        b.block("u2")
+        b.assign("z", "add", "a", "b")   # uses the Φ version
+        b.ret("z")
+        ssa = as_ssa(b.build())
+        frg = build_frgs(ssa, [AB])[AB.key]
+        phi = frg.phi_at("mid")
+        assert phi is not None
+        compute_down_safety(frg)
+        assert phi.down_safe
+        compute_down_safety_sparse(frg)
+        assert phi.down_safe
+
+
+class TestSparseDriver:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=30_000))
+    def test_semantics_and_safety(self, seed):
+        """SSAPRE with sparse DownSafety stays correct and never makes
+        any expression more frequent on any input."""
+        spec = ProgramSpec(name="dsr", seed=seed, max_depth=2)
+        prog = generate_program(spec)
+        prepared = prepare(prog.func)
+        work = copy.deepcopy(prepared)
+        construct_ssa(work)
+        run_ssapre(work, down_safety="sparse", validate=True)
+        from repro.ssa.destruct import destruct_ssa
+
+        destruct_ssa(work)
+        for argseed in range(2):
+            args = random_args(spec, argseed)
+            before = run_function(prepared, args)
+            after = run_function(work, args)
+            assert after.observable() == before.observable()
+            b = normalize_expr_counts(before.expr_counts)
+            a = normalize_expr_counts(after.expr_counts)
+            for key, count in a.items():
+                assert count <= b.get(key, 0), key
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=30_000))
+    def test_both_modes_never_slower_than_input(self, seed):
+        """Either DownSafety mode yields a safe optimisation: neither may
+        cost more than the unoptimised program (they are incomparable
+        against each other, so no ordering between them is asserted)."""
+        spec = ProgramSpec(name="dsc", seed=seed, max_depth=2)
+        prog = generate_program(spec)
+        prepared = prepare(prog.func)
+        args = random_args(spec, 1)
+        baseline = run_function(prepared, args).dynamic_cost
+
+        def cost(mode):
+            work = copy.deepcopy(prepared)
+            construct_ssa(work)
+            run_ssapre(work, down_safety=mode)
+            from repro.ssa.destruct import destruct_ssa
+
+            destruct_ssa(work)
+            return run_function(work, args).dynamic_cost
+
+        assert cost("oracle") <= baseline
+        assert cost("sparse") <= baseline
+
+    def test_unknown_mode_rejected(self, diamond):
+        ssa = as_ssa(diamond)
+        import pytest
+
+        with pytest.raises(ValueError):
+            run_ssapre(ssa, down_safety="magic")

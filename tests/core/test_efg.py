@@ -1,0 +1,139 @@
+"""Tests for graph reduction (step 4) and EFG formation (steps 5-6)."""
+
+from repro.core.mcssapre.dataflow import solve_step3
+from repro.core.mcssapre.efg import SINK, SOURCE, build_efg
+from repro.core.mcssapre.reduction import build_reduced_graph
+from repro.core.ssapre.frg import ExprClass, build_frgs
+from repro.ir.builder import FunctionBuilder
+from repro.profiles.profile import ExecutionProfile
+from tests.conftest import as_ssa
+
+AB = ExprClass(("add", ("var", "a"), ("var", "b")))
+
+
+def reduced_for(func_ssa, expr=AB):
+    frg = build_frgs(func_ssa, [expr])[expr.key]
+    solve_step3(frg)
+    return build_reduced_graph(frg)
+
+
+class TestReduction:
+    def test_diamond_reduced_graph(self, diamond):
+        reduced = reduced_for(as_ssa(diamond))
+        assert len(reduced.phis) == 1
+        assert len(reduced.spr_occs) == 1
+        assert len(reduced.bottom_operands) == 1
+        assert len(reduced.type1_edges) == 0
+        assert len(reduced.type2_edges) == 1
+
+    def test_avail_phi_excluded(self):
+        b = FunctionBuilder("f", params=["a", "b", "c"])
+        b.block("entry")
+        b.branch("c", "l", "r")
+        b.block("l")
+        b.assign("x", "add", "a", "b")
+        b.jump("j")
+        b.block("r")
+        b.assign("y", "add", "a", "b")
+        b.jump("j")
+        b.block("j")
+        b.assign("z", "add", "a", "b")
+        b.ret("z")
+        reduced = reduced_for(as_ssa(b.build()))
+        assert reduced.is_empty()
+        assert reduced.phis == []
+
+    def test_rg_excluded_occurrence_not_a_sink(self, diamond):
+        b = FunctionBuilder("f", params=["a", "b", "c"])
+        b.block("entry")
+        b.branch("c", "l", "r")
+        b.block("l")
+        b.assign("x", "add", "a", "b")
+        b.jump("j")
+        b.block("r")
+        b.jump("j")
+        b.block("j")
+        b.assign("z", "add", "a", "b")
+        b.assign("w", "add", "a", "b")  # rg_excluded (dominated by z)
+        b.ret("w")
+        reduced = reduced_for(as_ssa(b.build()))
+        assert len(reduced.spr_occs) == 1
+        assert reduced.spr_occs[0].stmt.target.name == "z"
+
+    def test_has_real_use_edge_excluded(self, while_loop):
+        """The back-edge operand crosses the body occurrence: no type-1
+        edge may carry it (the value arrives computed)."""
+        reduced = reduced_for(as_ssa(while_loop))
+        for edge in reduced.type1_edges:
+            assert not edge.operand.has_real_use
+
+    def test_type2_edges_point_at_spr_occs(self, diamond):
+        reduced = reduced_for(as_ssa(diamond))
+        for edge in reduced.type2_edges:
+            assert edge.occ in reduced.spr_occs
+            assert edge.source_phi in reduced.phis
+
+
+class TestEFG:
+    def profile(self, **freqs):
+        return ExecutionProfile(node_freq=freqs)
+
+    def test_empty_reduced_graph_gives_none(self):
+        b = FunctionBuilder("f", params=["a", "b"])
+        b.block("entry")
+        b.assign("x", "add", "a", "b")
+        b.ret("x")
+        reduced = reduced_for(as_ssa(b.build()))
+        assert build_efg(reduced, self.profile(entry=1)) is None
+
+    def test_minimum_efg_is_four_nodes(self, diamond):
+        """Source + sink + one phi + one SPR occurrence (Figure 11's
+        floor)."""
+        reduced = reduced_for(as_ssa(diamond))
+        efg = build_efg(
+            reduced, self.profile(entry=10, left=6, right=4, join=10)
+        )
+        assert efg.node_count == 4
+
+    def test_source_edge_weights_are_pred_frequencies(self, diamond):
+        reduced = reduced_for(as_ssa(diamond))
+        efg = build_efg(
+            reduced, self.profile(entry=10, left=6, right=4, join=10)
+        )
+        source_edges = [e for e in efg.network.edges if e.src == SOURCE]
+        assert len(source_edges) == 1
+        assert source_edges[0].capacity == 4  # freq of 'right'
+
+    def test_type2_weight_is_occurrence_block_frequency(self, diamond):
+        reduced = reduced_for(as_ssa(diamond))
+        efg = build_efg(
+            reduced, self.profile(entry=10, left=6, right=4, join=10)
+        )
+        type2 = [
+            e
+            for e in efg.network.edges
+            if e.src != SOURCE and e.dst != SINK and not e.infinite
+        ]
+        assert [e.capacity for e in type2] == [10]  # freq of 'join'
+
+    def test_sink_edges_infinite(self, diamond):
+        reduced = reduced_for(as_ssa(diamond))
+        efg = build_efg(reduced, self.profile(entry=1, left=1, right=1, join=1))
+        for edge in efg.network.edges:
+            if edge.dst == SINK:
+                assert edge.infinite
+
+    def test_uses_node_frequencies_only(self, diamond):
+        """An EFG built from a nodes-only profile must be identical to one
+        built from a full profile (paper contribution 3)."""
+        reduced = reduced_for(as_ssa(diamond))
+        full = ExecutionProfile(
+            node_freq={"entry": 10, "left": 6, "right": 4, "join": 10},
+            edge_freq={("entry", "left"): 6, ("entry", "right"): 4},
+        )
+        efg_full = build_efg(reduced, full)
+        reduced2 = reduced_for(as_ssa(diamond))
+        efg_nodes = build_efg(reduced2, full.nodes_only())
+        caps_full = sorted(e.capacity for e in efg_full.network.edges)
+        caps_nodes = sorted(e.capacity for e in efg_nodes.network.edges)
+        assert caps_full == caps_nodes

@@ -1,0 +1,144 @@
+"""Tests for Finalize plans and CodeMotion rewrites (safe SSAPRE path)."""
+
+import copy
+
+from repro.core.ssapre.codemotion import apply_code_motion
+from repro.core.ssapre.downsafety import compute_down_safety
+from repro.core.ssapre.finalize import finalize
+from repro.core.ssapre.frg import ExprClass, build_frg
+from repro.core.ssapre.willbeavail import compute_will_be_avail
+from repro.ir.builder import FunctionBuilder
+from repro.ir.instructions import Assign, BinOp
+from repro.profiles.interp import run_function
+from repro.ssa.ssa_verifier import verify_ssa
+from tests.conftest import as_ssa
+
+AB = ExprClass(("add", ("var", "a"), ("var", "b")))
+
+
+def plan_for(func_ssa, expr=AB):
+    frg = build_frg(func_ssa, expr)
+    compute_down_safety(frg)
+    compute_will_be_avail(frg)
+    return finalize(frg)
+
+
+class TestFinalizePlans:
+    def test_diamond_plan(self, diamond):
+        ssa = as_ssa(diamond)
+        plan = plan_for(ssa)
+        assert len(plan.insertions) == 1
+        assert len(plan.reloads) == 1
+        assert len(plan.t_phis) == 1
+        assert len(plan.saves) == 1  # the left-arm occurrence feeds the phi
+
+    def test_straightline_local_cse_plan(self, straightline):
+        ssa = as_ssa(straightline)
+        plan = plan_for(ssa)
+        assert len(plan.insertions) == 0
+        assert len(plan.reloads) == 1
+        assert len(plan.saves) == 1
+        assert plan.t_phis == []
+
+    def test_no_redundancy_no_effect(self):
+        b = FunctionBuilder("f", params=["a", "b"])
+        b.block("entry")
+        b.assign("x", "add", "a", "b")
+        b.ret("x")
+        plan = plan_for(as_ssa(b.build()))
+        assert not plan.has_effect()
+
+    def test_extraneous_phi_removed(self):
+        """Both arms compute a+b but nobody uses it afterwards: the
+        will-be-avail phi at the join must be pruned, with no saves."""
+        b = FunctionBuilder("f", params=["a", "b", "c"])
+        b.block("entry")
+        b.branch("c", "l", "r")
+        b.block("l")
+        b.assign("x", "add", "a", "b")
+        b.output("x")
+        b.jump("j")
+        b.block("r")
+        b.assign("y", "add", "a", "b")
+        b.output("y")
+        b.jump("j")
+        b.block("j")
+        b.ret(0)
+        plan = plan_for(as_ssa(b.build()))
+        assert plan.t_phis == []
+        assert plan.saves == []
+        assert plan.insertions == {}
+
+    def test_version_exact_reloads_only(self, while_loop):
+        """The loop-condition class must not reload across versions (the
+        regression that motivated the def-link Finalize)."""
+        ssa = as_ssa(while_loop)
+        lt = ExprClass(("lt", ("var", "i"), ("var", "n")))
+        plan = plan_for(ssa, lt)
+        for occ_id, source in plan.reloads.items():
+            occ = next(o for o in plan.frg.real_occs if id(o) == occ_id)
+            assert source.version == occ.version or hasattr(source, "operands")
+
+
+class TestCodeMotion:
+    def test_diamond_semantics_and_counts(self, diamond):
+        ssa = as_ssa(diamond)
+        reference = {
+            args: run_function(copy.deepcopy(ssa), list(args)).observable()
+            for args in ((1, 2, 1), (1, 2, 0))
+        }
+        plan = plan_for(ssa)
+        report = apply_code_motion(ssa, plan)
+        verify_ssa(ssa)
+        assert report.changed
+        for args, expected in reference.items():
+            run = run_function(ssa, list(args))
+            assert run.observable() == expected
+            assert run.expr_counts[AB.key] == 1  # one eval on either path
+
+    def test_straightline_cse(self, straightline):
+        ssa = as_ssa(straightline)
+        plan = plan_for(ssa)
+        apply_code_motion(ssa, plan)
+        verify_ssa(ssa)
+        run = run_function(ssa, [2, 3])
+        assert run.return_value == 25
+        assert run.expr_counts[AB.key] == 1
+
+    def test_temp_names_unique_across_classes(self, straightline):
+        ssa = as_ssa(straightline)
+        report1 = apply_code_motion(ssa, plan_for(ssa))
+        mul = ExprClass(("mul", ("var", "x"), ("var", "y")))
+        report2 = apply_code_motion(ssa, plan_for(ssa, mul))
+        if report2.temp_name is not None:
+            assert report1.temp_name != report2.temp_name
+
+    def test_no_effect_leaves_function_untouched(self):
+        b = FunctionBuilder("f", params=["a", "b"])
+        b.block("entry")
+        b.assign("x", "add", "a", "b")
+        b.ret("x")
+        ssa = as_ssa(b.build())
+        before = str(ssa)
+        report = apply_code_motion(ssa, plan_for(ssa))
+        assert not report.changed
+        assert str(ssa) == before
+
+    def test_insertion_lands_at_pred_end(self, diamond):
+        ssa = as_ssa(diamond)
+        apply_code_motion(ssa, plan_for(ssa))
+        right = ssa.blocks["right"]
+        last = right.body[-1]
+        assert isinstance(last, Assign)
+        assert isinstance(last.rhs, BinOp) and last.rhs.op == "add"
+        assert last.target.name.startswith("%pre")
+
+    def test_save_keeps_original_target(self, straightline):
+        ssa = as_ssa(straightline)
+        apply_code_motion(ssa, plan_for(ssa))
+        # x = a+b became t = a+b; x = t
+        entry = ssa.blocks["entry"]
+        assigns = [s for s in entry.body if isinstance(s, Assign)]
+        assert any(
+            s.target.name == "x" and s.is_copy for s in assigns
+        )

@@ -1,0 +1,160 @@
+"""Tests for FRG construction (SSAPRE steps 1-2 + MC rename extensions)."""
+
+from repro.core.ssapre.frg import (
+    ExprClass,
+    PhiNode,
+    build_frg,
+    build_frgs,
+    collect_expr_classes,
+)
+from repro.ir.builder import FunctionBuilder
+from tests.conftest import as_ssa
+
+
+AB = ExprClass(("add", ("var", "a"), ("var", "b")))
+
+
+class TestCollectClasses:
+    def test_first_occurrence_order(self, straightline):
+        classes = collect_expr_classes(straightline)
+        assert [str(c) for c in classes] == ["add(a, b)", "mul(x, y)"]
+
+    def test_versions_collapse(self, diamond):
+        ssa = as_ssa(diamond)
+        classes = collect_expr_classes(ssa)
+        assert sum(1 for c in classes if c.key == AB.key) == 1
+
+    def test_trapping_flag(self):
+        assert ExprClass(("div", ("var", "a"), ("var", "b"))).trapping
+        assert not AB.trapping
+
+
+class TestDiamondFRG:
+    def test_phi_at_join(self, diamond):
+        frg = build_frg(as_ssa(diamond), AB)
+        assert len(frg.phis) == 1
+        assert frg.phis[0].label == "join"
+
+    def test_operands(self, diamond):
+        frg = build_frg(as_ssa(diamond), AB)
+        phi = frg.phis[0]
+        by_pred = {op.pred: op for op in phi.operands}
+        assert not by_pred["left"].is_bottom
+        assert by_pred["left"].has_real_use
+        assert by_pred["right"].is_bottom
+
+    def test_join_occurrence_uses_phi(self, diamond):
+        frg = build_frg(as_ssa(diamond), AB)
+        join_occ = [o for o in frg.real_occs if o.label == "join"][0]
+        assert join_occ.def_node is frg.phis[0]
+        assert not join_occ.rg_excluded
+
+    def test_branch_occurrence_defines(self, diamond):
+        frg = build_frg(as_ssa(diamond), AB)
+        left_occ = [o for o in frg.real_occs if o.label == "left"][0]
+        assert left_occ.def_node is None
+
+
+class TestRgExcluded:
+    def test_straightline_second_occurrence_excluded(self, straightline):
+        frg = build_frg(as_ssa(straightline), AB)
+        occs = sorted(frg.real_occs, key=lambda o: o.stmt_index)
+        assert not occs[0].rg_excluded
+        assert occs[1].rg_excluded
+        assert occs[1].crossing_real is occs[0]
+        assert occs[1].version == occs[0].version
+
+    def test_dominating_block_excludes_dominated(self):
+        b = FunctionBuilder("f", params=["a", "b", "c"])
+        b.block("entry")
+        b.assign("x", "add", "a", "b")
+        b.branch("c", "l", "r")
+        b.block("l")
+        b.assign("y", "add", "a", "b")  # dominated by entry's occurrence
+        b.jump("j")
+        b.block("r")
+        b.jump("j")
+        b.block("j")
+        b.ret("x")
+        frg = build_frg(as_ssa(b.build()), AB)
+        excluded = [o for o in frg.real_occs if o.rg_excluded]
+        assert [o.label for o in excluded] == ["l"]
+
+    def test_use_of_phi_version_not_excluded_first_time(self, diamond):
+        frg = build_frg(as_ssa(diamond), AB)
+        assert all(
+            not o.rg_excluded for o in frg.real_occs
+        ), "first crossings are not excluded"
+
+
+class TestVersioning:
+    def test_kill_creates_new_version(self):
+        b = FunctionBuilder("f", params=["a", "b"])
+        b.block("entry")
+        b.assign("x", "add", "a", "b")
+        b.assign("a", "add", "a", 1)
+        b.assign("y", "add", "a", "b")
+        b.ret("y")
+        frg = build_frg(as_ssa(b.build()), AB)
+        versions = [o.version for o in frg.real_occs if o.stmt.target.name in "xy"]
+        assert len(set(versions)) == 2
+
+    def test_phi_inserted_at_operand_variable_phi(self):
+        """A variable phi of an operand forces an h-phi at the same block."""
+        b = FunctionBuilder("f", params=["a", "b", "c"])
+        b.block("entry")
+        b.assign("x", "add", "a", "b")
+        b.branch("c", "l", "r")
+        b.block("l")
+        b.assign("a", "add", "a", 1)  # kills a+b on this path
+        b.jump("j")
+        b.block("r")
+        b.jump("j")
+        b.block("j")
+        b.assign("y", "add", "a", "b")
+        b.ret("y")
+        frg = build_frg(as_ssa(b.build()), AB)
+        join_phis = [phi for phi in frg.phis if phi.label == "j"]
+        assert len(join_phis) == 1
+        by_pred = {op.pred: op for op in join_phis[0].operands}
+        # Value killed along l: the operand is bottom there.
+        assert by_pred["l"].is_bottom
+        assert not by_pred["r"].is_bottom
+
+    def test_loop_phi_operand_links(self, while_loop):
+        frg = build_frg(as_ssa(while_loop), AB)
+        # a+b is invariant: its operands have no phis, and the only real
+        # occurrence (in body) defines a new version; no h-phi is needed
+        # for redundancy but IDF of body includes head.
+        head_phi = frg.phi_at("head")
+        assert head_phi is not None
+        by_pred = {op.pred: op for op in head_phi.operands}
+        assert by_pred["entry"].is_bottom
+        back = by_pred["body"]
+        assert not back.is_bottom
+        assert back.has_real_use  # the body occurrence crossed
+
+
+class TestBuildAll:
+    def test_build_frgs_covers_all_classes(self, straightline):
+        ssa = as_ssa(straightline)
+        frgs = build_frgs(ssa)
+        assert set(frgs) == {c.key for c in collect_expr_classes(ssa)}
+
+    def test_single_class_matches_batch(self, diamond):
+        ssa = as_ssa(diamond)
+        single = build_frg(ssa, AB)
+        batch = build_frgs(ssa)[AB.key]
+        assert len(single.phis) == len(batch.phis)
+        assert len(single.real_occs) == len(batch.real_occs)
+        assert [o.version for o in single.real_occs] == [
+            o.version for o in batch.real_occs
+        ]
+
+    def test_node_count(self, diamond):
+        frg = build_frg(as_ssa(diamond), AB)
+        assert frg.node_count() == len(frg.phis) + len(frg.real_occs)
+
+    def test_describe_is_textual(self, diamond):
+        text = build_frg(as_ssa(diamond), AB).describe()
+        assert "FRG for add(a, b)" in text

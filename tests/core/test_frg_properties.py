@@ -1,0 +1,124 @@
+"""Property-based invariants of FRG construction on random programs.
+
+These are the structural facts the correctness proofs lean on (paper
+Section 3.2 and Kennedy et al.'s Lemmas); each is checked on arbitrary
+generated programs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.generator import ProgramSpec, generate_program
+from repro.core.ssapre.frg import PhiNode, RealOcc, build_frgs
+from repro.ir.transforms import split_critical_edges
+from repro.ssa.construct import construct_ssa
+
+
+def frgs_for(seed: int):
+    spec = ProgramSpec(name="prop", seed=seed, max_depth=2)
+    func = generate_program(spec).func
+    split_critical_edges(func)
+    construct_ssa(func)
+    return build_frgs(func)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=50_000))
+def test_same_version_same_operand_values(seed):
+    """Two occurrences with one version compute the same value: their
+    SSA operand tuples must be identical (the definition of h-versions)."""
+    for frg in frgs_for(seed).values():
+        by_version = {}
+        for occ in frg.real_occs:
+            assert occ.version > 0
+            prior = by_version.setdefault(occ.version, occ.operand_values)
+            assert prior == occ.operand_values, (frg.expr, occ)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=50_000))
+def test_defs_dominate_uses(seed):
+    """An occurrence's defining node must dominate it."""
+    for frg in frgs_for(seed).values():
+        for occ in frg.real_occs:
+            definer = occ.def_node
+            if definer is not None:
+                assert frg.domtree.dominates(definer.label, occ.label), (
+                    frg.expr,
+                    occ,
+                )
+            if occ.crossing_real is not None:
+                assert frg.domtree.dominates(
+                    occ.crossing_real.label, occ.label
+                )
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=50_000))
+def test_phi_operand_defs_dominate_pred_ends(seed):
+    for frg in frgs_for(seed).values():
+        for phi in frg.phis:
+            for operand in phi.operands:
+                if operand.def_node is not None:
+                    assert frg.domtree.dominates(
+                        operand.def_node.label, operand.pred
+                    ), (frg.expr, phi, operand)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=50_000))
+def test_rg_excluded_implies_dominating_real(seed):
+    """rg_excluded marks exactly the occurrences dominated by a real
+    occurrence of their own version (MC-SSAPRE step 2)."""
+    for frg in frgs_for(seed).values():
+        for occ in frg.real_occs:
+            if occ.rg_excluded:
+                crossing = occ.crossing_real
+                assert crossing is not None and crossing is not occ
+                assert crossing.version == occ.version
+                assert frg.domtree.dominates(crossing.label, occ.label)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=50_000))
+def test_has_real_use_consistency(seed):
+    """A Φ operand's has_real_use flag must match its crossing link, and
+    operands defined by real occurrences always carry a crossing."""
+    for frg in frgs_for(seed).values():
+        for phi in frg.phis:
+            for operand in phi.operands:
+                assert operand.has_real_use == (
+                    operand.crossing_real is not None
+                )
+                if isinstance(operand.def_node, RealOcc):
+                    assert operand.has_real_use
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=50_000))
+def test_versions_unique_per_definer(seed):
+    """Each h-version has exactly one definer (a Φ or a real occurrence)."""
+    for frg in frgs_for(seed).values():
+        definer_of: dict[int, object] = {}
+        for phi in frg.phis:
+            assert phi.version not in definer_of
+            definer_of[phi.version] = phi
+        for occ in frg.real_occs:
+            if occ.def_node is None:
+                existing = definer_of.setdefault(occ.version, occ)
+                assert existing is occ
+            else:
+                expected = definer_of.get(occ.version)
+                if expected is not None:
+                    assert occ.def_node is expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=50_000))
+def test_non_excluded_uses_of_phis_have_phi_defs(seed):
+    """Reduced-graph sink candidates (non-excluded uses) are defined by
+    Φs, never by real occurrences (those would be rg_excluded)."""
+    for frg in frgs_for(seed).values():
+        for occ in frg.real_occs:
+            if not occ.rg_excluded and occ.def_node is not None:
+                assert isinstance(occ.def_node, PhiNode), (frg.expr, occ)

@@ -1,0 +1,148 @@
+"""Lifetime-optimality tests (paper Theorem 9).
+
+The reverse-labelled (sink-side) cut must produce temporary live ranges no
+longer than the source-side cut, at identical computational cost, and
+among tied minimum cuts it must pick the one closest to the sink.
+"""
+
+import copy
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.liveness import compute_liveness
+from repro.bench.generator import ProgramSpec, generate_program, random_args
+from repro.core.mcssapre.driver import run_mc_ssapre
+from repro.pipeline import prepare
+from repro.profiles.interp import run_function
+from repro.ssa.construct import construct_ssa
+
+
+def temp_live_range_size(func, profile=None) -> int:
+    """Total static live range of PRE temporaries: the number of
+    (block, temp-version) pairs at which a %pre variable is live-in."""
+    liveness = compute_liveness(func, by_version=True)
+    total = 0
+    for label in func.blocks:
+        for name, version in liveness.live_in[label]:
+            if name.startswith("%pre"):
+                total += 1
+    return total
+
+
+def compile_both_sides(source, args):
+    prepared = prepare(source)
+    train = run_function(prepared, args)
+    late = copy.deepcopy(prepared)
+    construct_ssa(late)
+    run_mc_ssapre(late, train.profile.nodes_only(), sink_closest=True)
+    early = copy.deepcopy(prepared)
+    construct_ssa(early)
+    run_mc_ssapre(early, train.profile.nodes_only(), sink_closest=False)
+    return prepared, train, late, early
+
+
+class TestSinkSideCut:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_same_cost_smaller_or_equal_lifetime(self, seed):
+        spec = ProgramSpec(name="lt", seed=seed, max_depth=2)
+        prog = generate_program(spec)
+        args = random_args(spec, 1)
+        prepared, train, late, early = compile_both_sides(prog.func, args)
+
+        late_run = run_function(late, args)
+        early_run = run_function(early, args)
+        # Both cuts are minimum cuts: identical computational cost.
+        assert late_run.dynamic_cost == early_run.dynamic_cost
+        assert late_run.observable() == early_run.observable()
+        # Lifetime: the later cut never extends live ranges.
+        assert temp_live_range_size(late) <= temp_live_range_size(early)
+
+    def test_strictly_shorter_on_tied_example(self):
+        """The curated running example has a tie where computing in place
+        (late) beats inserting early by a strictly smaller live range."""
+        from repro.examples_data.running_example import build_running_example
+
+        ex = build_running_example()
+        from repro.ir.transforms import split_critical_edges
+
+        late = copy.deepcopy(ex.func)
+        split_critical_edges(late)
+        construct_ssa(late)
+        run_mc_ssapre(late, ex.profile, sink_closest=True)
+
+        early = copy.deepcopy(ex.func)
+        split_critical_edges(early)
+        construct_ssa(early)
+        run_mc_ssapre(early, ex.profile, sink_closest=False)
+
+        assert temp_live_range_size(late) < temp_live_range_size(early)
+
+    def test_extraneous_phis_removed_in_output(self, straightline):
+        """Minimal-SSA form for t: no phi of a temp without a use."""
+        from repro.ir.instructions import Assign
+        from repro.ir.values import Var
+        from tests.conftest import as_ssa
+
+        ssa = as_ssa(straightline)
+        from repro.profiles.profile import ExecutionProfile
+
+        run_mc_ssapre(ssa, ExecutionProfile(node_freq={"entry": 1}))
+        used = set()
+        for block in ssa:
+            for stmt in block.body:
+                for op in stmt.used_operands():
+                    if isinstance(op, Var):
+                        used.add(op)
+            for phi in block.phis:
+                for op in phi.args.values():
+                    if isinstance(op, Var):
+                        used.add(op)
+            for op in block.terminator.used_operands():
+                if isinstance(op, Var):
+                    used.add(op)
+        for block in ssa:
+            for phi in block.phis:
+                if phi.target.name.startswith("%pre"):
+                    assert phi.target in used
+
+
+class TestNoUselessSaves:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_every_temp_def_is_used(self, seed):
+        """Lifetime optimality's second half: t is never stored to
+        unnecessarily — every definition of a PRE temp has a use."""
+        from repro.ir.instructions import Assign
+        from repro.ir.values import Var
+
+        spec = ProgramSpec(name="saves", seed=seed, max_depth=2)
+        prog = generate_program(spec)
+        args = random_args(spec, 1)
+        prepared = prepare(prog.func)
+        train = run_function(prepared, args)
+        ssa = copy.deepcopy(prepared)
+        construct_ssa(ssa)
+        run_mc_ssapre(ssa, train.profile.nodes_only())
+
+        used: set = set()
+        defined: set = set()
+        for block in ssa:
+            for phi in block.phis:
+                if phi.target.name.startswith("%pre"):
+                    defined.add(phi.target)
+                for op in phi.args.values():
+                    if isinstance(op, Var):
+                        used.add(op)
+            for stmt in block.body:
+                if isinstance(stmt, Assign) and stmt.target.name.startswith("%pre"):
+                    defined.add(stmt.target)
+                for op in stmt.used_operands():
+                    if isinstance(op, Var):
+                        used.add(op)
+            for op in block.terminator.used_operands():
+                if isinstance(op, Var):
+                    used.add(op)
+        dead = {v for v in defined if v not in used}
+        assert not dead, f"unused temp definitions: {dead}"

@@ -1,0 +1,124 @@
+"""Tests for the min-cut step (7) and cut-driven WillBeAvail (step 8)."""
+
+from repro.analysis.dataflow import solve_pre_dataflow
+from repro.core.mcssapre.cut import solve_min_cut
+from repro.core.mcssapre.dataflow import solve_step3
+from repro.core.mcssapre.efg import build_efg
+from repro.core.mcssapre.reduction import build_reduced_graph
+from repro.core.mcssapre.willbeavail import compute_will_be_avail_from_cut
+from repro.core.ssapre.frg import ExprClass, build_frgs
+from repro.profiles.profile import ExecutionProfile
+from tests.conftest import as_ssa
+
+AB = ExprClass(("add", ("var", "a"), ("var", "b")))
+
+
+def cut_pipeline(func_ssa, profile, expr=AB, sink_closest=True):
+    frg = build_frgs(func_ssa, [expr])[expr.key]
+    solve_step3(frg)
+    reduced = build_reduced_graph(frg)
+    efg = build_efg(reduced, profile)
+    decision = None
+    if efg is not None:
+        decision = solve_min_cut(efg, sink_closest=sink_closest)
+    compute_will_be_avail_from_cut(frg)
+    return frg, decision
+
+
+class TestCutDecisions:
+    def test_cheap_bottom_edge_cut(self, diamond):
+        profile = ExecutionProfile(
+            node_freq={"entry": 100, "left": 96, "right": 4, "join": 100}
+        )
+        frg, decision = cut_pipeline(as_ssa(diamond), profile)
+        assert decision.cut.value == 4
+        assert [o.pred for o in decision.insert_operands] == ["right"]
+        assert decision.in_place_occs == []
+
+    def test_expensive_bottom_prefers_in_place(self, diamond):
+        profile = ExecutionProfile(
+            node_freq={"entry": 100, "left": 10, "right": 90, "join": 100}
+        )
+        frg, decision = cut_pipeline(as_ssa(diamond), profile)
+        # covering via 'right' costs 90; computing at join costs 100;
+        # 90 still wins here.
+        assert decision.cut.value == 90
+        profile2 = ExecutionProfile(
+            node_freq={"entry": 100, "left": 10, "right": 90, "join": 50}
+        )
+        frg2, decision2 = cut_pipeline(as_ssa(diamond), profile2)
+        assert decision2.cut.value == 50
+        assert decision2.insert_operands == []
+        assert [o.label for o in decision2.in_place_occs] == ["join"]
+
+    def test_tie_resolved_toward_sink(self, diamond):
+        profile = ExecutionProfile(
+            node_freq={"entry": 100, "left": 50, "right": 50, "join": 50}
+        )
+        frg, decision = cut_pipeline(as_ssa(diamond), profile)
+        assert decision.cut.value == 50
+        assert decision.insert_operands == []  # later cut = in place
+        frg2, source_side = cut_pipeline(
+            as_ssa(diamond), profile, sink_closest=False
+        )
+        assert source_side.cut.value == 50
+        assert [o.pred for o in source_side.insert_operands] == ["right"]
+
+    def test_zero_frequency_insertions_are_free(self, diamond):
+        profile = ExecutionProfile(
+            node_freq={"entry": 10, "left": 10, "right": 0, "join": 10}
+        )
+        frg, decision = cut_pipeline(as_ssa(diamond), profile)
+        assert decision.cut.value == 0
+        assert [o.pred for o in decision.insert_operands] == ["right"]
+
+
+class TestWillBeAvailFromCut:
+    def test_insert_makes_phi_available(self, diamond):
+        profile = ExecutionProfile(
+            node_freq={"entry": 100, "left": 96, "right": 4, "join": 100}
+        )
+        frg, _ = cut_pipeline(as_ssa(diamond), profile)
+        assert frg.phis[0].will_be_avail
+
+    def test_no_insert_leaves_phi_unavailable(self, diamond):
+        profile = ExecutionProfile(
+            node_freq={"entry": 100, "left": 10, "right": 90, "join": 50}
+        )
+        frg, _ = cut_pipeline(as_ssa(diamond), profile)
+        assert not frg.phis[0].will_be_avail
+
+    def test_matches_lemma8_oracle(self, while_loop):
+        """After the cut, will_be_avail must equal full availability of
+        the expression in the *transformed* program (Lemma 8).  We check
+        it abstractly: wba(phi) iff no bottom operand chain without an
+        insertion reaches the phi."""
+        profile = ExecutionProfile(
+            node_freq={"entry": 1, "head": 101, "body": 100, "done": 1}
+        )
+        frg, decision = cut_pipeline(as_ssa(while_loop), profile)
+        head = frg.phi_at("head")
+        assert head.will_be_avail  # insertion at entry covers the loop
+        assert [o.pred for o in decision.insert_operands] == ["entry"]
+
+    def test_avail_phis_stay_wba_without_cut(self):
+        from repro.ir.builder import FunctionBuilder
+
+        b = FunctionBuilder("f", params=["a", "b", "c"])
+        b.block("entry")
+        b.branch("c", "l", "r")
+        b.block("l")
+        b.assign("x", "add", "a", "b")
+        b.jump("j")
+        b.block("r")
+        b.assign("y", "add", "a", "b")
+        b.jump("j")
+        b.block("j")
+        b.assign("z", "add", "a", "b")
+        b.ret("z")
+        frg, decision = cut_pipeline(
+            as_ssa(b.build()),
+            ExecutionProfile(node_freq={"entry": 1, "l": 1, "r": 1, "j": 1}),
+        )
+        assert decision is None  # fully available: nothing to cut
+        assert frg.phi_at("j").will_be_avail

@@ -1,0 +1,131 @@
+"""End-to-end tests of the MC-SSAPRE driver (the ten steps of Figure 4)."""
+
+import copy
+
+import pytest
+
+from repro.core.mcssapre.driver import run_mc_ssapre
+from repro.ir.builder import FunctionBuilder
+from repro.ir.transforms import split_critical_edges
+from repro.profiles.interp import run_function
+from repro.profiles.profile import ExecutionProfile
+from repro.ssa.construct import construct_ssa
+from tests.conftest import as_ssa, build_while_loop
+
+
+class TestDriverContract:
+    def test_rejects_critical_edges(self):
+        b = FunctionBuilder("f", params=["c"])
+        b.block("entry")
+        b.branch("c", "mid", "join")
+        b.block("mid")
+        b.jump("join")
+        b.block("join")
+        b.ret()
+        func = b.build()
+        construct_ssa(func)
+        with pytest.raises(ValueError):
+            run_mc_ssapre(func, ExecutionProfile())
+
+    def test_accepts_nodes_only_profile(self, while_loop):
+        """MC-SSAPRE must work without any edge frequencies (paper
+        contribution 3)."""
+        ssa = as_ssa(while_loop)
+        run = run_function(copy.deepcopy(ssa), [2, 3, 10])
+        result = run_mc_ssapre(ssa, run.profile.nodes_only(), validate=True)
+        assert result.algorithm == "MC-SSAPRE"
+        after = run_function(ssa, [2, 3, 10])
+        ab = ("add", ("var", "a"), ("var", "b"))
+        assert after.expr_counts[ab] == 1
+
+    def test_efg_stats_recorded(self, while_loop):
+        ssa = as_ssa(while_loop)
+        run = run_function(copy.deepcopy(ssa), [2, 3, 10])
+        result = run_mc_ssapre(ssa, run.profile.nodes_only())
+        assert result.efg_stats, "non-trivial EFGs were formed"
+        for stat in result.efg_stats:
+            assert stat.nodes >= 4  # the structural minimum
+
+    def test_local_cse_handled_uniformly(self, straightline):
+        """Empty EFG (no strictly partial redundancy) still deletes the
+        fully redundant second occurrence — Section 4's local+global
+        uniformity claim."""
+        ssa = as_ssa(straightline)
+        result = run_mc_ssapre(ssa, ExecutionProfile(node_freq={"entry": 1}))
+        run = run_function(ssa, [2, 3])
+        ab = ("add", ("var", "a"), ("var", "b"))
+        assert run.expr_counts[ab] == 1
+        assert run.return_value == 25
+        assert result.efg_stats == []  # no flow network was needed
+
+
+class TestTrappingFallback:
+    def build_trapping_loop(self):
+        b = FunctionBuilder("f", params=["a", "b", "n"])
+        b.block("entry")
+        b.copy("i", 0)
+        b.copy("acc", 0)
+        b.jump("head")
+        b.block("head")
+        b.assign("c", "lt", "i", "n")
+        b.branch("c", "body", "done")
+        b.block("body")
+        b.assign("v", "div", "a", "b")  # trapping: must not be speculated
+        b.assign("acc", "add", "acc", "v")
+        b.assign("i", "add", "i", 1)
+        b.jump("head")
+        b.block("done")
+        b.ret("acc")
+        func = b.build()
+        split_critical_edges(func)
+        construct_ssa(func)
+        return func
+
+    def test_trapping_expression_not_hoisted(self):
+        func = self.build_trapping_loop()
+        run = run_function(copy.deepcopy(func), [10, 2, 50])
+        result = run_mc_ssapre(func, run.profile.nodes_only(), validate=True)
+        assert result.trapping_fallbacks == 1
+        after = run_function(func, [10, 2, 50])
+        key = ("div", ("var", "a"), ("var", "b"))
+        # Safe placement cannot leave the while loop: still 50 evals.
+        assert after.expr_counts[key] == 50
+
+    def test_trapping_zero_trip_stays_zero(self):
+        """The paper's reason for the rule: a zero-trip loop must not
+        execute the trapping op at all after optimisation."""
+        func = self.build_trapping_loop()
+        run = run_function(copy.deepcopy(func), [10, 0, 0])
+        run_mc_ssapre(func, run.profile.nodes_only())
+        after = run_function(func, [10, 0, 0])
+        key = ("div", ("var", "a"), ("var", "b"))
+        assert after.expr_counts.get(key, 0) == 0
+
+    def test_nontrapping_sibling_still_speculated(self):
+        """In the same function, a non-trapping invariant is hoisted while
+        the trapping one is not."""
+        b = FunctionBuilder("f", params=["a", "b", "n"])
+        b.block("entry")
+        b.copy("i", 0)
+        b.copy("acc", 0)
+        b.jump("head")
+        b.block("head")
+        b.assign("c", "lt", "i", "n")
+        b.branch("c", "body", "done")
+        b.block("body")
+        b.assign("u", "add", "a", "b")
+        b.assign("v", "mod", "a", "b")
+        b.assign("acc", "add", "acc", "u")
+        b.assign("acc", "add", "acc", "v")
+        b.assign("i", "add", "i", 1)
+        b.jump("head")
+        b.block("done")
+        b.ret("acc")
+        func = b.build()
+        split_critical_edges(func)
+        construct_ssa(func)
+        run = run_function(copy.deepcopy(func), [9, 4, 30])
+        run_mc_ssapre(func, run.profile.nodes_only())
+        after = run_function(func, [9, 4, 30])
+        assert after.expr_counts[("add", ("var", "a"), ("var", "b"))] == 1
+        assert after.expr_counts[("mod", ("var", "a"), ("var", "b"))] == 30

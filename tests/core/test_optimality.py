@@ -1,0 +1,129 @@
+"""Computational-optimality tests (paper Theorem 7).
+
+Three independent angles:
+
+1. On tiny programs, MC-SSAPRE's dynamic evaluation counts equal the true
+   optimum found by exhaustive enumeration of insertion sets.
+2. MC-SSAPRE and MC-PRE — two different optimal algorithms — must agree
+   on every expression's dynamic count under the same (matching) profile.
+3. MC-SSAPRE never does worse than safe SSAPRE or SSAPREsp when the
+   profile matches the measured run.
+"""
+
+import copy
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bruteforce import brute_force_optimum
+from repro.bench.generator import ProgramSpec, generate_program, random_args
+from repro.ir.ops import is_trapping
+from repro.pipeline import prepare, run_experiment
+from repro.profiles.interp import run_function
+
+
+from repro.profiles.counts import normalize_expr_counts as normalize_counts
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=3_000))
+    def test_counts_match_exhaustive_optimum(self, seed):
+        spec = ProgramSpec(
+            name="bf",
+            seed=seed,
+            max_depth=2,
+            region_length=3,
+            locals_count=4,
+            hot_exprs=2,
+            loop_mask_bits=2,
+            output_prob=0.0,
+        )
+        prog = generate_program(spec)
+        args = random_args(spec, 1)
+        prepared = prepare(prog.func, restructure=False)
+
+        experiment = run_experiment(
+            prog.func,
+            args,
+            args,  # profile matches the measured run
+            variants=("mc-ssapre",),
+            restructure=False,
+        )
+        mc_counts = normalize_counts(
+            experiment.measurements["mc-ssapre"].expr_counts
+        )
+
+        from repro.analysis.dataflow import expression_keys
+
+        for key in expression_keys(prepared):
+            if is_trapping(key[0]):
+                continue
+            try:
+                outcome = brute_force_optimum(prepared, key, args, max_edges=11)
+            except ValueError:
+                continue  # too many candidate edges for enumeration
+            got = mc_counts.get(key, 0)
+            assert got == outcome.best_count, (
+                f"{key}: MC-SSAPRE={got}, optimum={outcome.best_count} "
+                f"(no-insertion baseline {outcome.baseline_count})"
+            )
+
+
+class TestAgainstMCPRE:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=5_000))
+    def test_counts_agree_with_mcpre(self, seed):
+        spec = ProgramSpec(name="x", seed=seed, max_depth=2)
+        prog = generate_program(spec)
+        args = random_args(spec, 1)
+        experiment = run_experiment(
+            prog.func,
+            args,
+            args,
+            variants=("mc-ssapre", "mc-pre"),
+        )
+        mc_ssa = normalize_counts(
+            experiment.measurements["mc-ssapre"].expr_counts
+        )
+        mc_pre = normalize_counts(
+            experiment.measurements["mc-pre"].expr_counts
+        )
+        for key in set(mc_ssa) | set(mc_pre):
+            assert mc_ssa.get(key, 0) == mc_pre.get(key, 0), key
+
+
+class TestAgainstSafeVariants:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=8_000))
+    def test_never_worse_than_safe_pre_on_matching_profile(self, seed):
+        spec = ProgramSpec(
+            name="s", seed=seed, max_depth=2, fp_flavor=seed % 2 == 0
+        )
+        prog = generate_program(spec)
+        args = random_args(spec, 1)
+        experiment = run_experiment(
+            prog.func,
+            args,
+            args,
+            variants=("ssapre", "ssapre-sp", "mc-ssapre"),
+        )
+        c = experiment.cost("mc-ssapre")
+        assert c <= experiment.cost("ssapre")
+        assert c <= experiment.cost("ssapre-sp")
+        assert c <= experiment.cost("none")
+
+    def test_loop_example_exact_counts(self, while_loop):
+        """MC-SSAPRE reduces the invariant to exactly one evaluation."""
+        experiment = run_experiment(
+            while_loop,
+            [2, 3, 50],
+            [2, 3, 50],
+            variants=("ssapre", "mc-ssapre"),
+            restructure=False,
+        )
+        ab = ("add", ("var", "a"), ("var", "b"))
+        safe = normalize_counts(experiment.measurements["ssapre"].expr_counts)
+        mc = normalize_counts(experiment.measurements["mc-ssapre"].expr_counts)
+        assert safe[ab] == 50  # safe PRE cannot hoist out of a while loop
+        assert mc[ab] == 1     # speculation hoists to the preheader

@@ -1,0 +1,131 @@
+"""The Section-6 extension: MC-SSAPRE as a code-size optimiser.
+
+Feeding a unit profile (every block frequency 1) makes the min cut count
+*static occurrences*, so the chosen placement minimises the number of
+instructions computing each expression — the Scholz-et-al. objective the
+paper's conclusion proposes for the SSA framework.
+"""
+
+import copy
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.generator import ProgramSpec, generate_program, random_args
+from repro.core.mcssapre.driver import run_mc_ssapre
+from repro.ir.builder import FunctionBuilder
+from repro.ir.instructions import Assign, BinOp, UnaryOp
+from repro.pipeline import prepare
+from repro.profiles.interp import run_function
+from repro.profiles.profile import ExecutionProfile
+from repro.ssa.construct import construct_ssa
+
+
+def static_occurrences(func, key) -> int:
+    return sum(
+        1
+        for block in func
+        for stmt in block.body
+        if isinstance(stmt, Assign)
+        and isinstance(stmt.rhs, (BinOp, UnaryOp))
+        and stmt.rhs.class_key() == key
+    )
+
+
+def test_unit_profile_counts_blocks():
+    b = FunctionBuilder("f")
+    b.block("x")
+    b.ret()
+    profile = ExecutionProfile.unit(b.build())
+    assert profile.node("x") == 1
+    assert profile.edge_freq == {}
+
+
+def test_size_mode_merges_duplicated_arms():
+    """Both arms compute a+b and the join uses it again: size mode keeps
+    the two arm computations (sinks of weight 1 each?) — no: it can cover
+    all three occurrences with the two arm computations, deleting the
+    join's (3 static -> 2 static)."""
+    b = FunctionBuilder("f", params=["a", "b", "c"])
+    b.block("entry")
+    b.branch("c", "l", "r")
+    b.block("l")
+    b.assign("x", "add", "a", "b")
+    b.jump("j")
+    b.block("r")
+    b.assign("y", "add", "a", "b")
+    b.jump("j")
+    b.block("j")
+    b.assign("z", "add", "a", "b")
+    b.ret("z")
+    func = b.build()
+    prepared = prepare(func)
+    construct_ssa(prepared)
+    run_mc_ssapre(prepared, ExecutionProfile.unit(prepared), validate=True)
+    ab = ("add", ("var", "a"), ("var", "b"))
+    assert static_occurrences(prepared, ab) == 2
+
+
+def test_size_mode_prefers_one_insertion_over_two_occurrences():
+    """a+b computed in two sibling arms but nowhere else: hoisting to the
+    shared predecessor costs 1 static instruction instead of 2.
+    (Speed mode would refuse: freq(entry) >= freq(l)+freq(r).)"""
+    b = FunctionBuilder("f", params=["a", "b", "c"])
+    b.block("entry")
+    b.branch("c", "l", "r")
+    b.block("l")
+    b.assign("x", "add", "a", "b")
+    b.output("x")
+    b.jump("j")
+    b.block("r")
+    b.assign("y", "add", "a", "b")
+    b.output("y")
+    b.jump("j")
+    b.block("j")
+    b.assign("z", "add", "a", "b")
+    b.ret("z")
+    func = b.build()
+    prepared = prepare(func)
+    ab = ("add", ("var", "a"), ("var", "b"))
+
+    size = copy.deepcopy(prepared)
+    construct_ssa(size)
+    run_mc_ssapre(size, ExecutionProfile.unit(size), validate=True)
+    # All three collapse onto the two arm computations (the entry is not
+    # an insertion point for an FRG that starts at the arms), or better.
+    assert static_occurrences(size, ab) <= 2
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_size_mode_never_increases_static_occurrences(seed):
+    spec = ProgramSpec(name="size", seed=seed, max_depth=2)
+    prog = generate_program(spec)
+    prepared = prepare(prog.func)
+    before = copy.deepcopy(prepared)
+    construct_ssa(prepared)
+    run_mc_ssapre(prepared, ExecutionProfile.unit(prepared), validate=True)
+
+    from repro.analysis.dataflow import expression_keys
+
+    for key in expression_keys(before):
+        assert static_occurrences(prepared, key) <= static_occurrences(
+            before, key
+        ), key
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_size_mode_preserves_semantics(seed):
+    from repro.ssa.destruct import destruct_ssa
+
+    spec = ProgramSpec(name="sizes", seed=seed, max_depth=2)
+    prog = generate_program(spec)
+    prepared = prepare(prog.func)
+    args = random_args(spec, 1)
+    expected = run_function(prepared, args).observable()
+    work = copy.deepcopy(prepared)
+    construct_ssa(work)
+    run_mc_ssapre(work, ExecutionProfile.unit(work), validate=True)
+    destruct_ssa(work)
+    assert run_function(work, args).observable() == expected

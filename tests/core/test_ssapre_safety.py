@@ -1,0 +1,103 @@
+"""Safety of the non-speculative SSAPRE (Kennedy's safety criterion).
+
+Safe PRE must never increase the number of evaluations of any expression
+on ANY input — not just the profiled one.  Speculative variants are
+allowed to lose on adversarial inputs; a test documents that too.
+"""
+
+import copy
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.generator import ProgramSpec, generate_program, random_args
+from repro.ir.builder import FunctionBuilder
+from repro.pipeline import compile_variant, prepare
+from repro.profiles.interp import run_function
+from tests.core.test_optimality import normalize_counts
+
+
+class TestSafePRENeverLoses:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=20_000),
+        st.integers(min_value=0, max_value=5),
+    )
+    def test_total_evaluations_never_increase(self, seed, argseed):
+        spec = ProgramSpec(name="safe", seed=seed, max_depth=2)
+        prog = generate_program(spec)
+        prepared = prepare(prog.func)
+        compiled = compile_variant(prepared, "ssapre")
+        args = random_args(spec, argseed)
+        before = normalize_counts(run_function(prepared, args).expr_counts)
+        after = normalize_counts(run_function(compiled.func, args).expr_counts)
+        for key, count in after.items():
+            assert count <= before.get(key, 0), (
+                f"safe SSAPRE increased evaluations of {key} "
+                f"({before.get(key, 0)} -> {count}) on input {args}"
+            )
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=20_000))
+    def test_dynamic_cost_never_increases(self, seed):
+        spec = ProgramSpec(name="safec", seed=seed, max_depth=2)
+        prog = generate_program(spec)
+        prepared = prepare(prog.func)
+        compiled = compile_variant(prepared, "ssapre")
+        for argseed in range(3):
+            args = random_args(spec, argseed)
+            before = run_function(prepared, args).dynamic_cost
+            after = run_function(compiled.func, args).dynamic_cost
+            assert after <= before
+
+
+class TestSpeculationCanLose:
+    def test_mc_ssapre_loses_on_adversarial_input(self):
+        """With a profile that says the computing path is hot, MC-SSAPRE
+        speculates; an input that then takes the other path pays for the
+        speculated computation.  This is the expected FDO trade-off the
+        paper discusses (Section 1), not a bug."""
+        b = FunctionBuilder("adv", params=["a", "b", "p"])
+        b.block("entry")
+        b.branch("p", "compute", "skip")
+        b.block("compute")
+        b.assign("x", "add", "a", "b")
+        b.output("x")
+        b.jump("join")
+        b.block("skip")
+        b.jump("join")
+        b.block("join")
+        b.branch("p", "use", "done")
+        b.block("use")
+        b.assign("y", "add", "a", "b")
+        b.output("y")
+        b.jump("done")
+        b.block("done")
+        b.ret(0)
+        func = b.build()
+        prepared = prepare(func, restructure=False)
+        # Train with p=1 (hot path computes a+b twice -> speculate).
+        train = run_function(prepared, [1, 2, 1])
+        compiled = compile_variant(prepared, "mc-ssapre", profile=train.profile)
+        ab = ("add", ("var", "a"), ("var", "b"))
+        # Matching input: speculation wins (or ties).
+        match = normalize_counts(
+            run_function(compiled.func, [1, 2, 1]).expr_counts
+        )
+        assert match.get(ab, 0) <= 2
+        # Adversarial input p=0: the original program computes a+b zero
+        # times; the speculated insertion may compute it once.
+        adversarial = normalize_counts(
+            run_function(compiled.func, [1, 2, 0]).expr_counts
+        )
+        baseline = normalize_counts(
+            run_function(prepared, [1, 2, 0]).expr_counts
+        )
+        assert baseline.get(ab, 0) == 0
+        # Document the cost of speculation: at most one extra eval, and
+        # the observable behaviour is still identical.
+        assert adversarial.get(ab, 0) <= 1
+        assert (
+            run_function(compiled.func, [1, 2, 0]).observable()
+            == run_function(prepared, [1, 2, 0]).observable()
+        )

@@ -1,0 +1,116 @@
+"""Min-cut extraction tests: validity, minimality, and side selection."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flownet.maxflow import dinic_max_flow
+from repro.flownet.mincut import min_cut
+from repro.flownet.network import INFINITE, FlowNetwork
+from tests.flownet.test_maxflow import clone, random_network
+
+
+def is_valid_cut(net: FlowNetwork, cut) -> bool:
+    """Removing the cut edges must disconnect s from t."""
+    removed = cut.cut_edge_indices()
+    seen = {net.source}
+    stack = [net.source]
+    while stack:
+        node = stack.pop()
+        for edge in net.out_of(node):
+            if edge.index in removed:
+                continue
+            if edge.dst not in seen:
+                seen.add(edge.dst)
+                stack.append(edge.dst)
+    return net.sink not in seen
+
+
+class TestValidity:
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_cut_separates_and_matches_flow(self, seed):
+        net = random_network(seed)
+        flow_value, _ = dinic_max_flow(clone(net))
+        for side in (True, False):
+            target = clone(net)
+            cut = min_cut(target, sink_closest=side)
+            assert cut.value == flow_value
+            assert is_valid_cut(target, cut)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_partition_is_complete(self, seed):
+        net = random_network(seed)
+        cut = min_cut(net)
+        assert net.source in cut.source_side
+        assert net.sink in cut.sink_side
+        assert not cut.source_side & cut.sink_side
+        assert cut.source_side | cut.sink_side >= set(net.nodes)
+
+
+class TestSideSelection:
+    def build_tied(self) -> FlowNetwork:
+        """s -5-> a -5-> t : both edges are minimum cuts (tie)."""
+        net = FlowNetwork("s", "t")
+        net.add_edge("s", "a", 5, payload="early")
+        net.add_edge("a", "t", 5, payload="late")
+        return net
+
+    def test_sink_closest_picks_late_edge(self):
+        cut = min_cut(self.build_tied(), sink_closest=True)
+        assert [e.payload for e in cut.cut_edges] == ["late"]
+
+    def test_source_closest_picks_early_edge(self):
+        cut = min_cut(self.build_tied(), sink_closest=False)
+        assert [e.payload for e in cut.cut_edges] == ["early"]
+
+    def test_long_tied_chain(self):
+        net = FlowNetwork("s", "t")
+        labels = ["s", "a", "b", "c", "t"]
+        for u, v in zip(labels, labels[1:]):
+            net.add_edge(u, v, 3, payload=(u, v))
+        late = min_cut(clone_with_payloads(net), sink_closest=True)
+        assert [e.payload for e in late.cut_edges] == [("c", "t")]
+        early = min_cut(clone_with_payloads(net), sink_closest=False)
+        assert [e.payload for e in early.cut_edges] == [("s", "a")]
+
+    def test_unique_min_cut_same_for_both_sides(self):
+        net = FlowNetwork("s", "t")
+        net.add_edge("s", "a", 10)
+        bottleneck = net.add_edge("a", "b", 2, payload="narrow")
+        net.add_edge("b", "t", 10)
+        for side in (True, False):
+            cut = min_cut(clone_with_payloads(net), sink_closest=side)
+            assert [e.payload for e in cut.cut_edges] == ["narrow"]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_sink_side_is_smallest_over_random_nets(self, seed):
+        """The reverse-labelled sink side is contained in every other
+        min cut's sink side (it is the unique minimal one)."""
+        net = random_network(seed)
+        late = min_cut(clone(net), sink_closest=True)
+        early = min_cut(clone(net), sink_closest=False)
+        assert late.sink_side <= early.sink_side
+
+
+class TestInfiniteEdges:
+    def test_infinite_edges_never_cut(self):
+        net = FlowNetwork("s", "t")
+        net.add_edge("s", "a", 100)
+        net.add_edge("a", "t", INFINITE)
+        net.add_edge("a", "t", 3)
+        cut = min_cut(net)
+        assert all(not e.infinite for e in cut.cut_edges)
+        assert cut.value == 100
+
+
+def clone_with_payloads(net: FlowNetwork) -> FlowNetwork:
+    other = FlowNetwork(net.source, net.sink)
+    for e in net.edges:
+        other.add_edge(
+            e.src, e.dst, INFINITE if e.infinite else e.capacity, payload=e.payload
+        )
+    return other

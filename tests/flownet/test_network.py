@@ -1,0 +1,75 @@
+"""Tests for the flow-network container."""
+
+import pytest
+
+from repro.flownet.network import INFINITE, FlowNetwork
+
+
+class TestConstruction:
+    def test_source_equals_sink_rejected(self):
+        with pytest.raises(ValueError):
+            FlowNetwork("s", "s")
+
+    def test_negative_capacity_rejected(self):
+        net = FlowNetwork("s", "t")
+        with pytest.raises(ValueError):
+            net.add_edge("s", "t", -1)
+
+    def test_parallel_edges_are_distinct(self):
+        net = FlowNetwork("s", "t")
+        e1 = net.add_edge("s", "t", 3, payload="one")
+        e2 = net.add_edge("s", "t", 4, payload="two")
+        assert e1.index != e2.index
+        assert [e.payload for e in net.out_of("s")] == ["one", "two"]
+
+    def test_node_and_edge_counts(self):
+        net = FlowNetwork("s", "t")
+        net.add_edge("s", "a", 1)
+        net.add_edge("a", "t", 1)
+        assert net.node_count() == 3
+        assert net.edge_count() == 2
+
+    def test_add_node_isolated(self):
+        net = FlowNetwork("s", "t")
+        net.add_node("lonely")
+        assert "lonely" in net.nodes
+
+
+class TestInfiniteCapacity:
+    def test_freeze_materialises_infinity(self):
+        net = FlowNetwork("s", "t")
+        net.add_edge("s", "a", 5)
+        net.add_edge("a", "b", 7)
+        inf_edge = net.add_edge("b", "t", INFINITE)
+        net.freeze()
+        assert inf_edge.capacity == 5 + 7 + 1
+        assert inf_edge.infinite
+
+    def test_freeze_is_idempotent(self):
+        net = FlowNetwork("s", "t")
+        inf_edge = net.add_edge("s", "t", INFINITE)
+        net.freeze()
+        first = inf_edge.capacity
+        net.freeze()
+        assert inf_edge.capacity == first
+
+    def test_frozen_network_rejects_new_edges(self):
+        net = FlowNetwork("s", "t")
+        net.add_edge("s", "t", 1)
+        net.freeze()
+        with pytest.raises(ValueError):
+            net.add_edge("s", "t", 1)
+
+    def test_total_finite_capacity_excludes_infinite(self):
+        net = FlowNetwork("s", "t")
+        net.add_edge("s", "a", 5)
+        net.add_edge("a", "t", INFINITE)
+        assert net.total_finite_capacity() == 5
+
+
+def test_into_and_out_of():
+    net = FlowNetwork("s", "t")
+    net.add_edge("s", "a", 1)
+    net.add_edge("b", "a", 2)
+    assert sorted(e.src for e in net.into("a")) == ["b", "s"]
+    assert [e.dst for e in net.out_of("s")] == ["a"]

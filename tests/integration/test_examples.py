@@ -1,0 +1,55 @@
+"""Smoke tests: every example script must run and tell its story."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "FRG for add(a, b)" in out
+    assert "min-cut value: 10" in out
+    assert "speculation paid off" in out
+
+
+def test_fdo_speculation():
+    out = run_example("fdo_speculation.py")
+    assert "Correlated reference input" in out
+    assert "Anti-correlated reference input" in out
+    # The mispredicted profile must genuinely lose.
+    assert "-" in out.rsplit("'speedup' of C over A:", 1)[1]
+
+
+def test_textual_ir_jit():
+    out = run_example("textual_ir_jit.py")
+    assert "x*k evaluations" in out
+    assert "-> 1" in out
+    assert "after (MC-SSAPRE" in out
+
+
+@pytest.mark.slow
+def test_spec_mini_suite():
+    out = run_example("spec_mini_suite.py")
+    assert "Mini suite" in out
+    assert "EFGs formed" in out
+
+
+def test_adaptive_jit():
+    out = run_example("adaptive_jit.py")
+    assert "went hot" in out
+    assert "per-request saving after tier-up" in out

@@ -1,0 +1,80 @@
+"""Tests for the adaptive (JIT-style) compilation manager."""
+
+import pytest
+
+from repro.jit import AdaptiveCompiler
+from repro.profiles.counts import normalize_expr_counts
+from tests.conftest import build_while_loop
+
+AB = ("add", ("var", "a"), ("var", "b"))
+
+
+def fresh_jit(threshold=200, growth=8.0) -> AdaptiveCompiler:
+    jit = AdaptiveCompiler(hot_threshold=threshold, recompile_growth=growth)
+    jit.register(build_while_loop())
+    return jit
+
+
+class TestTiering:
+    def test_starts_interpreted(self):
+        jit = fresh_jit()
+        result = jit.call("loop", [2, 3, 5])
+        assert result.return_value == 25
+        assert jit.state("loop").tier == "interpreted"
+
+    def test_becomes_hot_and_compiles(self):
+        jit = fresh_jit(threshold=200)
+        for _ in range(20):
+            jit.call("loop", [2, 3, 10])
+        state = jit.state("loop")
+        assert state.tier == "optimised"
+        assert state.compilations >= 1
+
+    def test_optimised_code_is_faster_and_equal(self):
+        jit = fresh_jit(threshold=100)
+        cold = jit.call("loop", [2, 3, 40])
+        while jit.state("loop").tier != "optimised":
+            jit.call("loop", [2, 3, 40])
+        hot = jit.call("loop", [2, 3, 40])
+        assert hot.observable() == cold.observable()
+        assert hot.dynamic_cost < cold.dynamic_cost
+        # The invariant was hoisted: one eval instead of 40.
+        assert normalize_expr_counts(hot.expr_counts)[AB] == 1
+
+    def test_counters_accumulate_across_calls(self):
+        jit = fresh_jit(threshold=10**9)  # never compiles
+        jit.call("loop", [2, 3, 4])
+        jit.call("loop", [2, 3, 6])
+        counters = jit.state("loop").counters
+        # prepare() rotated the while loop, so head is the do-while
+        # header: n executions per call -> 4 + 6.
+        assert counters.node_freq["head"] == 10
+
+    def test_retiering_after_growth(self):
+        jit = fresh_jit(threshold=50, growth=2.0)
+        for _ in range(40):
+            jit.call("loop", [2, 3, 20])
+        assert jit.state("loop").compilations >= 2
+
+
+class TestRegistry:
+    def test_duplicate_registration_rejected(self):
+        jit = fresh_jit()
+        with pytest.raises(ValueError):
+            jit.register(build_while_loop())
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveCompiler(hot_threshold=0)
+
+    def test_multiple_functions_independent(self):
+        from tests.conftest import build_diamond
+
+        jit = AdaptiveCompiler(hot_threshold=10)
+        jit.register(build_while_loop())
+        jit.register(build_diamond())
+        for _ in range(10):
+            jit.call("loop", [1, 1, 10])
+        jit.call("diamond", [1, 2, 1])
+        assert jit.state("loop").tier == "optimised"
+        assert jit.state("diamond").tier == "interpreted"

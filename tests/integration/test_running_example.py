@@ -1,0 +1,113 @@
+"""End-to-end checks of the curated running example (paper Figures 2-8)."""
+
+import copy
+
+from repro.core.mcssapre.cut import solve_min_cut
+from repro.core.mcssapre.dataflow import solve_step3
+from repro.core.mcssapre.driver import run_mc_ssapre
+from repro.core.mcssapre.efg import build_efg
+from repro.core.mcssapre.reduction import build_reduced_graph
+from repro.core.ssapre.frg import ExprClass, build_frgs
+from repro.examples_data.running_example import AB_KEY, CD_KEY, build_running_example
+from repro.ir.transforms import split_critical_edges
+from repro.profiles.interp import run_function
+from repro.ssa.construct import construct_ssa
+
+
+def in_ssa():
+    example = build_running_example()
+    func = copy.deepcopy(example.func)
+    split_critical_edges(func)
+    construct_ssa(func)
+    return example, func
+
+
+class TestStep2RgExcluded:
+    def test_dominated_occurrence_marked(self):
+        example, func = in_ssa()
+        frg = build_frgs(func, [ExprClass(AB_KEY)])[AB_KEY]
+        excluded = [o for o in frg.real_occs if o.rg_excluded]
+        assert [o.stmt.target.name for o in excluded] == ["x2"]
+
+
+class TestABExpression:
+    """The tie: source cut (insert at B3) vs type-2 cut (compute at B5)."""
+
+    def analyse(self, sink_closest=True):
+        example, func = in_ssa()
+        frg = build_frgs(func, [ExprClass(AB_KEY)])[AB_KEY]
+        solve_step3(frg)
+        reduced = build_reduced_graph(frg)
+        efg = build_efg(reduced, example.profile)
+        decision = solve_min_cut(efg, sink_closest=sink_closest)
+        return efg, decision
+
+    def test_efg_is_minimal_four_nodes(self):
+        efg, _ = self.analyse()
+        assert efg.node_count == 4
+
+    def test_two_tied_cuts_of_value_ten(self):
+        _, late = self.analyse(sink_closest=True)
+        _, early = self.analyse(sink_closest=False)
+        assert late.cut.value == early.cut.value == 10
+
+    def test_reverse_labelling_picks_later_cut(self):
+        _, late = self.analyse(sink_closest=True)
+        assert late.insert_operands == []
+        assert [o.label for o in late.in_place_occs] == ["B5"]
+
+    def test_source_side_picks_early_cut(self):
+        _, early = self.analyse(sink_closest=False)
+        assert [o.pred for o in early.insert_operands] == ["B3"]
+        assert early.in_place_occs == []
+
+
+class TestCDExpression:
+    """Speculative loop hoist: 50 at the preheader beats 400 in the body."""
+
+    def test_insertion_at_preheader(self):
+        example, func = in_ssa()
+        frg = build_frgs(func, [ExprClass(CD_KEY)])[CD_KEY]
+        solve_step3(frg)
+        reduced = build_reduced_graph(frg)
+        efg = build_efg(reduced, example.profile)
+        decision = solve_min_cut(efg)
+        assert decision.cut.value == 50
+        assert [o.pred for o in decision.insert_operands] == ["B7"]
+
+    def test_safe_pre_does_not_hoist(self):
+        from repro.core.ssapre.driver import run_ssapre
+
+        example, func = in_ssa()
+        run_ssapre(func)
+        # Reference run: c+d still evaluated once per loop iteration.
+        run = run_function(func, [1, 2, 1, 5])
+        assert run.expr_counts[CD_KEY] == 5
+
+    def test_mc_ssapre_hoists(self):
+        example, func = in_ssa()
+        run_mc_ssapre(func, example.profile, validate=True)
+        run = run_function(func, [1, 2, 1, 5])
+        assert run.expr_counts[CD_KEY] == 1
+
+
+class TestWholeExample:
+    def test_semantics_preserved_end_to_end(self):
+        example, func = in_ssa()
+        inputs = [[1, 2, 1, 5], [1, 2, 0, 5], [3, 4, 1, 0], [3, 4, 0, 0]]
+        references = [
+            run_function(copy.deepcopy(func), args).observable()
+            for args in inputs
+        ]
+        run_mc_ssapre(func, example.profile, validate=True)
+        for args, expected in zip(inputs, references):
+            assert run_function(func, args).observable() == expected
+
+    def test_total_dynamic_ab_count_under_profile_model(self):
+        """Under the profile, the model predicts: B2 computes in place
+        (40), B5 computes in place (10); x2's reload is free."""
+        example, func = in_ssa()
+        result = run_mc_ssapre(func, example.profile)
+        ab_stats = [s for s in result.efg_stats if "add(a, b)" in s.expr]
+        assert len(ab_stats) == 1
+        assert ab_stats[0].cut_value == 10

@@ -1,0 +1,69 @@
+"""The heavyweight semantic-equivalence sweep.
+
+Random programs x all PRE variants x several inputs, each checked for
+identical observable behaviour (return value + output trace).  The
+per-case work is done by run_experiment, which raises on mismatch.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.generator import (
+    ProgramSpec,
+    generate_program,
+    perturbed_args,
+    random_args,
+)
+from repro.pipeline import run_experiment
+
+ALL = ("ssapre", "ssapre-sp", "mc-ssapre", "mc-pre", "ispre")
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=100_000),
+    st.booleans(),
+    st.booleans(),
+)
+def test_equivalence_sweep(seed, fp_flavor, restructure):
+    spec = ProgramSpec(
+        name="sweep",
+        seed=seed,
+        max_depth=2,
+        fp_flavor=fp_flavor,
+        trapping_prob=0.08,  # exercise the no-speculation path often
+    )
+    prog = generate_program(spec)
+    train = random_args(spec, 1)
+    ref = perturbed_args(spec, train, 2)
+    run_experiment(
+        prog.func,
+        train,
+        ref,
+        variants=ALL,
+        restructure=restructure,
+        validate=True,
+    )
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(min_value=0, max_value=50_000))
+def test_equivalence_with_deeper_nesting(seed):
+    spec = ProgramSpec(name="deep", seed=seed, max_depth=3, region_length=4)
+    prog = generate_program(spec)
+    args = random_args(spec, 1)
+    run_experiment(prog.func, args, args, variants=ALL, validate=True)
+
+
+def test_equivalence_on_the_paper_families():
+    """One CINT-like and one CFP-like benchmark, full variant set."""
+    from repro.bench.workloads import load_workload
+
+    for name in ("mcf", "lbm"):
+        workload = load_workload(name)
+        run_experiment(
+            workload.program.func,
+            workload.train_args,
+            workload.ref_args,
+            variants=ALL,
+        )

@@ -1,0 +1,110 @@
+"""Tests for the fluent function builder."""
+
+import pytest
+
+from repro.ir.builder import FunctionBuilder, as_operand, as_var
+from repro.ir.instructions import Assign, BinOp, CondJump, Jump, Return, UnaryOp
+from repro.ir.values import Const, Var
+
+
+class TestCoercions:
+    def test_as_operand(self):
+        assert as_operand(3) == Const(3)
+        assert as_operand(True) == Const(1)
+        assert as_operand("x") == Var("x")
+        assert as_operand(Var("y", 2)) == Var("y", 2)
+        assert as_operand(Const(0)) == Const(0)
+
+    def test_as_operand_rejects_junk(self):
+        with pytest.raises(TypeError):
+            as_operand(3.5)
+
+    def test_as_var(self):
+        assert as_var("x") == Var("x")
+        with pytest.raises(TypeError):
+            as_var(3)
+
+
+class TestStatementBuilding:
+    def test_binary_assign(self):
+        b = FunctionBuilder("f", params=["a"])
+        b.block("entry")
+        b.assign("x", "add", "a", 1)
+        b.ret("x")
+        stmt = b.build().blocks["entry"].body[0]
+        assert isinstance(stmt.rhs, BinOp)
+        assert stmt.rhs.op == "add"
+
+    def test_unary_assign(self):
+        b = FunctionBuilder("f", params=["a"])
+        b.block("entry")
+        b.assign("x", "neg", "a")
+        b.ret("x")
+        stmt = b.build().blocks["entry"].body[0]
+        assert isinstance(stmt.rhs, UnaryOp)
+
+    def test_wrong_arity_rejected(self):
+        b = FunctionBuilder("f", params=["a"])
+        b.block("entry")
+        with pytest.raises(ValueError):
+            b.assign("x", "add", "a")
+        with pytest.raises(ValueError):
+            b.assign("x", "neg", "a", "a")
+
+    def test_unknown_op_rejected(self):
+        b = FunctionBuilder("f")
+        b.block("entry")
+        with pytest.raises(ValueError):
+            b.assign("x", "bogus", 1, 2)
+
+    def test_copy(self):
+        b = FunctionBuilder("f")
+        b.block("entry")
+        b.copy("x", 5)
+        stmt = b.func.blocks["entry"].body[0]
+        assert isinstance(stmt, Assign) and stmt.is_copy
+
+    def test_phi(self):
+        b = FunctionBuilder("f")
+        b.block("entry")
+        b.phi(Var("x", 3), p1=Var("x", 1), p2=Var("x", 2))
+        phi = b.func.blocks["entry"].phis[0]
+        assert phi.args == {"p1": Var("x", 1), "p2": Var("x", 2)}
+
+    def test_statement_without_block_raises(self):
+        b = FunctionBuilder("f")
+        with pytest.raises(ValueError):
+            b.copy("x", 1)
+
+
+class TestBlocksAndTerminators:
+    def test_declare_then_fill(self):
+        b = FunctionBuilder("f", params=["c"])
+        b.block("entry")
+        b.declare("later")
+        b.branch("c", "later", "later")
+        b.block("later")
+        b.ret()
+        func = b.build()
+        assert isinstance(func.blocks["entry"].terminator, CondJump)
+        assert isinstance(func.blocks["later"].terminator, Return)
+
+    def test_block_switches_current(self):
+        b = FunctionBuilder("f")
+        b.block("a")
+        b.jump("b")
+        b.block("b")
+        b.ret()
+        b.block("a")  # switch back
+        assert b.current.label == "a"
+
+    def test_jump_and_ret(self):
+        b = FunctionBuilder("f", params=["x"])
+        b.block("entry")
+        b.jump("end")
+        b.block("end")
+        b.ret("x")
+        func = b.build()
+        assert isinstance(func.blocks["entry"].terminator, Jump)
+        term = func.blocks["end"].terminator
+        assert isinstance(term, Return) and term.value == Var("x")

@@ -1,0 +1,128 @@
+"""Tests for the CFG view."""
+
+import pytest
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.cfg import CFG, count_edges, remove_unreachable_blocks, unreachable_blocks
+
+
+class TestNeighbourhoods:
+    def test_preds_and_succs(self, diamond):
+        cfg = CFG(diamond)
+        assert set(cfg.successors("entry")) == {"left", "right"}
+        assert sorted(cfg.predecessors("join")) == ["left", "right"]
+        assert cfg.predecessors("entry") == []
+
+    def test_edges(self, diamond):
+        cfg = CFG(diamond)
+        edges = set(cfg.edges())
+        assert ("entry", "left") in edges
+        assert ("left", "join") in edges
+        assert len(edges) == 4
+
+    def test_exit_labels(self, diamond):
+        cfg = CFG(diamond)
+        assert cfg.exit_labels() == ["join"]
+
+    def test_dangling_branch_target_rejected(self):
+        b = FunctionBuilder("f")
+        b.block("entry")
+        b.jump("nowhere")
+        with pytest.raises(ValueError):
+            CFG(b.build())
+
+
+class TestCriticalEdges:
+    def test_diamond_has_no_critical_edges(self, diamond):
+        cfg = CFG(diamond)
+        assert not any(cfg.is_critical_edge(u, v) for u, v in cfg.edges())
+
+    def test_critical_edge_detected(self):
+        # entry branches to {mid, join}; mid jumps to join;
+        # entry->join is critical (entry 2 succs, join 2 preds).
+        b = FunctionBuilder("f", params=["c"])
+        b.block("entry")
+        b.branch("c", "mid", "join")
+        b.block("mid")
+        b.jump("join")
+        b.block("join")
+        b.ret()
+        cfg = CFG(b.build())
+        assert cfg.is_critical_edge("entry", "join")
+        assert not cfg.is_critical_edge("entry", "mid")
+        assert not cfg.is_critical_edge("mid", "join")
+
+    def test_two_arms_to_same_target_not_critical(self):
+        b = FunctionBuilder("f", params=["c"])
+        b.block("entry")
+        b.branch("c", "next", "next")
+        b.block("pre")   # second predecessor of next
+        b.jump("next")
+        b.block("next")
+        b.ret()
+        func = b.build()
+        # 'pre' is unreachable but still a predecessor structurally.
+        cfg = CFG(func)
+        assert not cfg.is_critical_edge("entry", "next")
+
+
+class TestTraversal:
+    def test_rpo_starts_at_entry(self, while_loop):
+        cfg = CFG(while_loop)
+        rpo = cfg.reverse_postorder()
+        assert rpo[0] == "entry"
+        assert set(rpo) == {"entry", "head", "body", "done"}
+
+    def test_rpo_orders_preds_before_succs_in_dags(self, diamond):
+        rpo = CFG(diamond).reverse_postorder()
+        assert rpo.index("entry") < rpo.index("left")
+        assert rpo.index("left") < rpo.index("join")
+        assert rpo.index("right") < rpo.index("join")
+
+    def test_deep_cfg_does_not_recurse(self):
+        b = FunctionBuilder("deep")
+        b.block("b0")
+        for i in range(1, 3000):
+            b.jump(f"b{i}")
+            b.block(f"b{i}")
+        b.ret()
+        cfg = CFG(b.build())
+        assert len(cfg.reverse_postorder()) == 3000
+
+
+class TestUnreachable:
+    def test_unreachable_detected_and_removed(self):
+        b = FunctionBuilder("f")
+        b.block("entry")
+        b.ret()
+        b.block("island")
+        b.ret()
+        func = b.build()
+        assert unreachable_blocks(func) == {"island"}
+        removed = remove_unreachable_blocks(func)
+        assert removed == ["island"]
+        assert set(func.blocks) == {"entry"}
+
+    def test_phi_args_pruned_with_unreachable_pred(self):
+        from repro.ir.instructions import Phi
+        from repro.ir.values import Var
+
+        b = FunctionBuilder("f")
+        b.block("entry")
+        b.jump("join")
+        b.block("island")
+        b.jump("join")
+        b.block("join")
+        b.ret()
+        func = b.build()
+        func.blocks["join"].phis.append(
+            Phi(Var("x", 1), {"entry": Var("a", 1), "island": Var("b", 1)})
+        )
+        remove_unreachable_blocks(func)
+        assert set(func.blocks["join"].phis[0].args) == {"entry"}
+
+
+def test_count_edges(diamond):
+    cfg = CFG(diamond)
+    assert count_edges(cfg) == 4
+    assert count_edges(cfg, ["entry", "left"]) == 1

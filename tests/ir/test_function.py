@@ -1,0 +1,88 @@
+"""Tests for Function and BasicBlock."""
+
+import pytest
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import Assign, Return
+from repro.ir.values import Var
+
+
+class TestBlockManagement:
+    def test_first_block_becomes_entry(self):
+        f = Function("f")
+        f.add_block("start")
+        assert f.entry == "start"
+        assert f.entry_block.label == "start"
+
+    def test_duplicate_label_rejected(self):
+        f = Function("f")
+        f.add_block("a")
+        with pytest.raises(ValueError):
+            f.add_block("a")
+
+    def test_cannot_remove_entry(self):
+        f = Function("f")
+        f.add_block("a")
+        f.add_block("b")
+        with pytest.raises(ValueError):
+            f.remove_block("a")
+        f.remove_block("b")
+        assert "b" not in f.blocks
+
+    def test_entry_block_raises_when_empty(self):
+        with pytest.raises(ValueError):
+            Function("f").entry_block
+
+
+class TestFreshNames:
+    def test_fresh_label_avoids_collisions(self):
+        f = Function("f")
+        f.add_block("B1")
+        label = f.fresh_label("B")
+        assert label not in ("B1",)
+        f.add_block(label)
+        assert f.fresh_label("B") != label
+
+    def test_fresh_temp_avoids_existing_names(self):
+        f = Function("f", [Var("a")])
+        block = f.add_block("entry")
+        block.body.append(Assign(Var("%t1"), Var("a")))
+        temp = f.fresh_temp()
+        assert temp.name != "%t1"
+        assert temp.name != "a"
+
+
+class TestIteration:
+    def test_len_and_iter(self, diamond):
+        labels = [b.label for b in diamond]
+        assert len(diamond) == len(labels) == 4
+
+    def test_statement_count(self):
+        b = FunctionBuilder("f", params=["a"])
+        b.block("entry")
+        b.copy("x", 1)
+        b.copy("y", 2)
+        b.ret("x")
+        func = b.build()
+        # 2 body statements + 1 terminator
+        assert func.statement_count() == 3
+
+    def test_defined_vars_includes_phis_and_assigns(self, diamond):
+        from repro.ssa.construct import construct_ssa
+
+        construct_ssa(diamond)
+        join = diamond.blocks["join"]
+        defined = list(join.defined_vars())
+        assert any(v.name == "z" for v in defined)
+
+    def test_str_contains_all_blocks(self, diamond):
+        text = str(diamond)
+        for label in diamond.blocks:
+            assert f"{label}:" in text
+
+
+def test_default_terminator_is_return():
+    f = Function("f")
+    block = f.add_block("entry")
+    assert isinstance(block.terminator, Return)

@@ -1,0 +1,110 @@
+"""Tests for IR instructions."""
+
+import pytest
+
+from repro.ir.instructions import (
+    Assign,
+    BinOp,
+    CondJump,
+    Jump,
+    Output,
+    Phi,
+    Return,
+    UnaryOp,
+    retarget,
+)
+from repro.ir.values import Const, Var
+
+
+class TestBinOp:
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("nope", Var("a"), Var("b"))
+
+    def test_class_key_ignores_versions(self):
+        e1 = BinOp("add", Var("a", 1), Var("b", 2))
+        e2 = BinOp("add", Var("a", 9), Var("b", 4))
+        assert e1.class_key() == e2.class_key()
+
+    def test_class_key_distinguishes_operand_order(self):
+        e1 = BinOp("sub", Var("a"), Var("b"))
+        e2 = BinOp("sub", Var("b"), Var("a"))
+        assert e1.class_key() != e2.class_key()
+
+    def test_class_key_distinguishes_constants(self):
+        assert (
+            BinOp("add", Var("a"), Const(1)).class_key()
+            != BinOp("add", Var("a"), Const(2)).class_key()
+        )
+
+    def test_operands(self):
+        e = BinOp("add", Var("a"), Const(3))
+        assert e.operands == (Var("a"), Const(3))
+
+
+class TestUnaryOp:
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            UnaryOp("nope", Var("a"))
+
+    def test_class_key(self):
+        assert UnaryOp("neg", Var("a", 1)).class_key() == ("neg", ("var", "a"))
+
+
+class TestAssign:
+    def test_is_copy(self):
+        assert Assign(Var("x"), Var("y")).is_copy
+        assert Assign(Var("x"), Const(3)).is_copy
+        assert not Assign(Var("x"), BinOp("add", Var("a"), Var("b"))).is_copy
+
+    def test_used_operands_of_computation(self):
+        stmt = Assign(Var("x"), BinOp("add", Var("a"), Const(1)))
+        assert stmt.used_operands() == (Var("a"), Const(1))
+
+    def test_used_operands_of_copy(self):
+        assert Assign(Var("x"), Var("y")).used_operands() == (Var("y"),)
+
+
+class TestTerminators:
+    def test_jump_successors(self):
+        assert Jump("L").successors() == ("L",)
+
+    def test_condjump_successors(self):
+        t = CondJump(Var("c"), "T", "F")
+        assert t.successors() == ("T", "F")
+        assert t.used_operands() == (Var("c"),)
+
+    def test_return_successors_empty(self):
+        assert Return().successors() == ()
+        assert Return(Var("x")).used_operands() == (Var("x"),)
+        assert Return().used_operands() == ()
+
+    def test_retarget_jump(self):
+        t = Jump("old")
+        retarget(t, "old", "new")
+        assert t.target == "new"
+
+    def test_retarget_condjump_both_arms(self):
+        t = CondJump(Var("c"), "old", "old")
+        retarget(t, "old", "new")
+        assert t.true_target == "new"
+        assert t.false_target == "new"
+
+    def test_retarget_condjump_single_arm(self):
+        t = CondJump(Var("c"), "old", "other")
+        retarget(t, "old", "new")
+        assert (t.true_target, t.false_target) == ("new", "other")
+
+
+class TestPhi:
+    def test_str_is_deterministic(self):
+        phi = Phi(Var("x", 3), {"B2": Var("x", 1), "B1": Var("x", 2)})
+        assert str(phi) == "x.3 = phi(B1: x.2, B2: x.1)"
+
+    def test_used_operands(self):
+        phi = Phi(Var("x", 3), {"B1": Var("x", 1), "B2": Const(0)})
+        assert set(phi.used_operands()) == {Var("x", 1), Const(0)}
+
+
+def test_output_used_operands():
+    assert Output(Var("v")).used_operands() == (Var("v"),)

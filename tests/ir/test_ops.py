@@ -1,0 +1,105 @@
+"""Tests for the operator table and semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.ops import (
+    BINARY_OPS,
+    UNARY_OPS,
+    is_trapping,
+    op_info,
+)
+
+ints = st.integers(min_value=-(2**40), max_value=2**40)
+
+
+class TestTables:
+    def test_all_binary_ops_have_arity_two(self):
+        for info in BINARY_OPS.values():
+            assert info.arity == 2
+
+    def test_all_unary_ops_have_arity_one(self):
+        for info in UNARY_OPS.values():
+            assert info.arity == 1
+
+    def test_tables_are_disjoint(self):
+        assert not set(BINARY_OPS) & set(UNARY_OPS)
+
+    def test_op_info_lookup(self):
+        assert op_info("add").name == "add"
+        assert op_info("neg").name == "neg"
+
+    def test_op_info_unknown_raises(self):
+        with pytest.raises(KeyError):
+            op_info("frobnicate")
+
+    def test_costs_are_positive(self):
+        for info in list(BINARY_OPS.values()) + list(UNARY_OPS.values()):
+            assert info.cost > 0
+
+    def test_trapping_classification(self):
+        assert is_trapping("div")
+        assert is_trapping("mod")
+        assert is_trapping("fdiv")
+        assert not is_trapping("add")
+        assert not is_trapping("mul")
+
+
+class TestSemantics:
+    """Total semantics: no operator may raise on any integer inputs."""
+
+    def test_division_is_truncating_like_c(self):
+        div = BINARY_OPS["div"].func
+        assert div(7, 2) == 3
+        assert div(-7, 2) == -3
+        assert div(7, -2) == -3
+        assert div(-7, -2) == 3
+
+    def test_division_by_zero_yields_zero(self):
+        assert BINARY_OPS["div"].func(5, 0) == 0
+        assert BINARY_OPS["mod"].func(5, 0) == 0
+        assert BINARY_OPS["fdiv"].func(5, 0) == 0
+
+    @given(ints, ints)
+    def test_div_mod_identity(self, a, b):
+        div = BINARY_OPS["div"].func
+        mod = BINARY_OPS["mod"].func
+        if b != 0:
+            assert div(a, b) * b + mod(a, b) == a
+
+    @given(ints, ints)
+    def test_every_binary_op_is_total(self, a, b):
+        for info in BINARY_OPS.values():
+            result = info.func(a, b)
+            assert isinstance(result, int)
+
+    @given(ints)
+    def test_every_unary_op_is_total(self, a):
+        for info in UNARY_OPS.values():
+            assert isinstance(info.func(a), int)
+
+    @given(ints, ints)
+    def test_commutative_ops_commute(self, a, b):
+        for info in BINARY_OPS.values():
+            if info.commutative:
+                assert info.func(a, b) == info.func(b, a), info.name
+
+    def test_shifts_mask_their_amount(self):
+        shl = BINARY_OPS["shl"].func
+        shr = BINARY_OPS["shr"].func
+        assert shl(1, 64) == shl(1, 0)
+        assert shr(8, 65) == shr(8, 1)
+
+    def test_comparisons_return_zero_or_one(self):
+        for name in ("eq", "ne", "lt", "le", "gt", "ge"):
+            func = BINARY_OPS[name].func
+            assert func(1, 2) in (0, 1)
+            assert func(2, 1) in (0, 1)
+
+    def test_sqrti(self):
+        sqrti = UNARY_OPS["sqrti"].func
+        assert sqrti(16) == 4
+        assert sqrti(17) == 4
+        assert sqrti(-16) == 4  # |a| is used
+        assert sqrti(0) == 0

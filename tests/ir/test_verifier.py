@@ -1,0 +1,96 @@
+"""Tests for the structural IR verifier."""
+
+import pytest
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.instructions import Phi
+from repro.ir.values import Var
+from repro.ir.verifier import VerificationError, has_critical_edges, verify_function
+
+
+def test_valid_function_passes(diamond, while_loop, straightline):
+    verify_function(diamond)
+    verify_function(while_loop)
+    verify_function(straightline)
+
+
+def test_missing_entry_rejected():
+    from repro.ir.function import Function
+
+    func = Function("f")
+    with pytest.raises(VerificationError):
+        verify_function(func)
+
+
+def test_duplicate_params_rejected():
+    b = FunctionBuilder("f", params=["a", "a"])
+    b.block("entry")
+    b.ret()
+    with pytest.raises(VerificationError):
+        verify_function(b.build())
+
+
+def test_dangling_branch_rejected():
+    b = FunctionBuilder("f")
+    b.block("entry")
+    b.jump("nowhere")
+    with pytest.raises(VerificationError):
+        verify_function(b.build())
+
+
+def test_phi_args_must_match_preds(diamond):
+    join = diamond.blocks["join"]
+    join.phis.append(Phi(Var("x", 1), {"left": Var("a", 1)}))  # missing 'right'
+    with pytest.raises(VerificationError):
+        verify_function(diamond)
+
+
+def test_phi_with_extra_pred_rejected(diamond):
+    join = diamond.blocks["join"]
+    join.phis.append(
+        Phi(Var("x", 1), {"left": Var("a", 1), "right": Var("a", 1), "bogus": Var("a", 1)})
+    )
+    with pytest.raises(VerificationError):
+        verify_function(diamond)
+
+
+def test_entry_phis_rejected():
+    b = FunctionBuilder("f")
+    b.block("entry")
+    b.ret()
+    func = b.build()
+    func.blocks["entry"].phis.append(Phi(Var("x", 1), {}))
+    with pytest.raises(VerificationError):
+        verify_function(func)
+
+
+def test_mislabeled_block_rejected(diamond):
+    diamond.blocks["left"].label = "wrong"
+    with pytest.raises(VerificationError):
+        verify_function(diamond)
+
+
+def test_non_statement_in_body_rejected(diamond):
+    diamond.blocks["left"].body.append(object())
+    with pytest.raises(VerificationError):
+        verify_function(diamond)
+
+
+class TestHasCriticalEdges:
+    def test_diamond_has_none(self, diamond):
+        assert not has_critical_edges(diamond)
+
+    def test_while_loop_split_required(self, while_loop):
+        # head -> done is not critical (done has 1 pred);
+        # head -> body not critical either.
+        assert not has_critical_edges(while_loop)
+
+    def test_detects_critical(self):
+        b = FunctionBuilder("f", params=["c"])
+        b.block("entry")
+        b.branch("c", "mid", "join")
+        b.block("mid")
+        b.jump("join")
+        b.block("join")
+        b.ret()
+        assert has_critical_edges(b.build())

@@ -1,0 +1,144 @@
+"""Tests for the textual IR lexer and parser, including round-trips."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bench.generator import ProgramSpec, generate_program
+from repro.ir.printer import format_function
+from repro.ir.verifier import verify_function
+from repro.lang.lexer import LexError, tokenize
+from repro.lang.parser import ParseError, parse_function, parse_program
+from hypothesis import strategies as st
+
+
+SAMPLE = """
+func main(n) {
+entry:
+  i = 0
+  jump head
+head:
+  c = lt i, n
+  br c, body, done
+body:
+  i = add i, 1
+  output i
+  jump head
+done:
+  ret i
+}
+"""
+
+
+class TestLexer:
+    def test_tokens_of_simple_line(self):
+        kinds = [t.kind for t in tokenize("x = add a, 1")]
+        assert kinds == ["NAME", "=", "NAME", "NAME", ",", "INT", "EOF"]
+
+    def test_versioned_name_is_one_token(self):
+        tokens = list(tokenize("x.12"))
+        assert tokens[0].text == "x.12"
+
+    def test_comments_are_skipped(self):
+        kinds = [t.kind for t in tokenize("x # comment\ny")]
+        assert kinds == ["NAME", "NAME", "EOF"]
+
+    def test_line_numbers(self):
+        tokens = list(tokenize("a\nb\n  c"))
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[2].line == 3
+        assert tokens[2].column == 3
+
+    def test_bad_character_raises(self):
+        with pytest.raises(LexError):
+            list(tokenize("x @ y"))
+
+
+class TestParser:
+    def test_parse_sample(self):
+        func = parse_function(SAMPLE)
+        verify_function(func)
+        assert func.name == "main"
+        assert set(func.blocks) == {"entry", "head", "body", "done"}
+        assert func.entry == "entry"
+
+    def test_parse_phi(self):
+        func = parse_function(
+            """
+            func f(a) {
+            entry:
+              x.1 = a.1
+              jump join
+            mid:
+              jump join
+            join:
+              y.2 = phi(entry: x.1, mid: 3)
+              ret y.2
+            }
+            """
+        )
+        phi = func.blocks["join"].phis[0]
+        assert phi.args["mid"].value == 3
+
+    def test_parse_negative_constants(self):
+        func = parse_function("func f() {\nentry:\n  x = add -3, -4\n  ret x\n}")
+        rhs = func.blocks["entry"].body[0].rhs
+        assert rhs.left.value == -3 and rhs.right.value == -4
+
+    def test_ret_without_value(self):
+        func = parse_function("func f() {\nentry:\n  ret\n}")
+        assert func.blocks["entry"].terminator.value is None
+
+    def test_ret_without_value_before_next_block(self):
+        func = parse_function(
+            "func f(c) {\nentry:\n  br c, a, b\na:\n  ret\nb:\n  ret\n}"
+        )
+        assert func.blocks["a"].terminator.value is None
+
+    def test_multiple_functions(self):
+        funcs = parse_program(
+            "func f() {\nentry:\n  ret\n}\nfunc g() {\nentry:\n  ret\n}"
+        )
+        assert [f.name for f in funcs] == ["f", "g"]
+
+    def test_missing_terminator_rejected(self):
+        with pytest.raises(ParseError):
+            parse_function("func f() {\nentry:\n  x = 1\nnext:\n  ret\n}")
+
+    def test_reserved_word_as_variable_rejected(self):
+        with pytest.raises(ParseError):
+            parse_function("func f() {\nentry:\n  add = 1\n  ret\n}")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("")
+
+    def test_parse_function_rejects_two(self):
+        with pytest.raises(ParseError):
+            parse_function(
+                "func f() {\nentry:\n  ret\n}\nfunc g() {\nentry:\n  ret\n}"
+            )
+
+
+class TestRoundTrip:
+    def test_sample_round_trips(self):
+        func = parse_function(SAMPLE)
+        text = format_function(func)
+        again = parse_function(text)
+        assert format_function(again) == text
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_generated_programs_round_trip(self, seed):
+        prog = generate_program(ProgramSpec(name="rt", seed=seed, max_depth=2))
+        text = format_function(prog.func)
+        reparsed = parse_function(text)
+        verify_function(reparsed)
+        assert format_function(reparsed) == text
+
+    def test_ssa_round_trips(self, diamond):
+        from tests.conftest import as_ssa
+
+        ssa = as_ssa(diamond)
+        text = format_function(ssa)
+        assert format_function(parse_function(text)) == text

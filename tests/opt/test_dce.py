@@ -1,0 +1,114 @@
+"""Tests for dead code elimination."""
+
+import copy
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.generator import ProgramSpec, generate_program, random_args
+from repro.ir.builder import FunctionBuilder
+from repro.opt.dce import eliminate_dead_code
+from repro.profiles.interp import run_function
+from repro.ssa.construct import construct_ssa
+from repro.ssa.ssa_verifier import verify_ssa
+from tests.conftest import as_ssa
+
+
+def test_requires_ssa(straightline):
+    with pytest.raises(ValueError):
+        eliminate_dead_code(straightline)
+
+
+def test_dead_assignment_removed():
+    b = FunctionBuilder("f", params=["a"])
+    b.block("entry")
+    b.assign("dead", "mul", "a", "a")
+    b.assign("live", "add", "a", 1)
+    b.ret("live")
+    func = b.build()
+    construct_ssa(func)
+    removed = eliminate_dead_code(func)
+    assert removed == 1
+    assert len(func.blocks["entry"].body) == 1
+
+
+def test_transitively_dead_chain_removed():
+    b = FunctionBuilder("f", params=["a"])
+    b.block("entry")
+    b.assign("d1", "add", "a", 1)
+    b.assign("d2", "add", "d1", 1)
+    b.assign("d3", "add", "d2", 1)
+    b.ret("a")
+    func = b.build()
+    construct_ssa(func)
+    assert eliminate_dead_code(func) == 3
+    assert func.blocks["entry"].body == []
+
+
+def test_output_keeps_value_alive():
+    b = FunctionBuilder("f", params=["a"])
+    b.block("entry")
+    b.assign("x", "add", "a", 1)
+    b.output("x")
+    b.ret()
+    func = b.build()
+    construct_ssa(func)
+    assert eliminate_dead_code(func) == 0
+
+
+def test_branch_condition_kept(diamond):
+    ssa = as_ssa(diamond)
+    eliminate_dead_code(ssa)
+    verify_ssa(ssa)
+    entry = ssa.blocks["entry"]
+    assert entry.terminator.cond is not None
+
+
+def test_dead_phi_removed(while_loop):
+    """A loop-carried value nobody reads disappears entirely."""
+    b = FunctionBuilder("f", params=["n"])
+    b.block("entry")
+    b.copy("i", 0)
+    b.copy("junk", 1)
+    b.jump("head")
+    b.block("head")
+    b.assign("junk", "add", "junk", "junk")  # dead accumulator
+    b.assign("c", "lt", "i", "n")
+    b.branch("c", "body", "done")
+    b.block("body")
+    b.assign("i", "add", "i", 1)
+    b.jump("head")
+    b.block("done")
+    b.ret("i")
+    func = b.build()
+    construct_ssa(func)
+    removed = eliminate_dead_code(func)
+    assert removed >= 2  # the junk phi and its add
+    verify_ssa(func)
+    assert run_function(func, [4]).return_value == 4
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=30_000))
+def test_semantics_preserved(seed):
+    spec = ProgramSpec(name="dce", seed=seed, max_depth=2)
+    prog = generate_program(spec)
+    construct_ssa(prog.func)
+    args = random_args(spec, 1)
+    expected = run_function(copy.deepcopy(prog.func), args)
+    eliminate_dead_code(prog.func)
+    verify_ssa(prog.func)
+    after = run_function(prog.func, args)
+    assert after.observable() == expected.observable()
+    assert after.dynamic_cost <= expected.dynamic_cost
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=30_000))
+def test_idempotent(seed):
+    spec = ProgramSpec(name="dcei", seed=seed, max_depth=2)
+    prog = generate_program(spec)
+    construct_ssa(prog.func)
+    eliminate_dead_code(prog.func)
+    assert eliminate_dead_code(prog.func) == 0

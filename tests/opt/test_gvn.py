@@ -1,0 +1,169 @@
+"""Tests for global value numbering."""
+
+import copy
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.generator import ProgramSpec, generate_program, random_args
+from repro.ir.builder import FunctionBuilder
+from repro.opt.gvn import global_value_numbering
+from repro.profiles.interp import run_function
+from repro.ssa.construct import construct_ssa
+from repro.ssa.ssa_verifier import verify_ssa
+from tests.conftest import as_ssa
+
+AB = ("add", ("var", "a"), ("var", "b"))
+
+
+def test_requires_ssa(straightline):
+    with pytest.raises(ValueError):
+        global_value_numbering(straightline)
+
+
+def test_dominated_recomputation_replaced(straightline):
+    ssa = as_ssa(straightline)
+    result = global_value_numbering(ssa)
+    assert result.replaced == 1
+    verify_ssa(ssa)
+    run = run_function(ssa, [2, 3])
+    assert run.return_value == 25
+    assert run.expr_counts.get(AB, 0) == 1
+
+
+def test_sees_through_copies():
+    """GVN's value-based advantage over lexical PRE."""
+    b = FunctionBuilder("f", params=["u", "v"])
+    b.block("entry")
+    b.copy("a", "u")
+    b.copy("b", "v")
+    b.assign("x", "add", "a", "b")
+    b.assign("y", "add", "u", "v")   # same value, different names
+    b.assign("r", "mul", "x", "y")
+    b.ret("r")
+    ssa = as_ssa(b.build())
+    result = global_value_numbering(ssa)
+    assert result.replaced == 1
+    run = run_function(ssa, [3, 4])
+    assert run.return_value == 49
+
+
+def test_commutative_canonicalisation():
+    b = FunctionBuilder("f", params=["u", "v"])
+    b.block("entry")
+    b.assign("x", "add", "u", "v")
+    b.assign("y", "add", "v", "u")   # commuted: same value
+    b.assign("s", "sub", "u", "v")
+    b.assign("t", "sub", "v", "u")   # NOT commutative: different value
+    b.output("x")
+    b.output("y")
+    b.output("s")
+    b.output("t")
+    b.ret()
+    ssa = as_ssa(b.build())
+    result = global_value_numbering(ssa)
+    assert result.replaced == 1  # only the commuted add folds
+    run = run_function(ssa, [7, 2])
+    assert run.output == [9, 9, 5, -5]
+
+
+def test_no_replacement_across_siblings(diamond):
+    """Dominance-scoped: a computation in one arm cannot serve the other
+    arm or the join — that is PRE's job, not GVN's."""
+    ssa = as_ssa(diamond)
+    result = global_value_numbering(ssa)
+    assert result.replaced == 0
+
+
+def test_constant_value_numbers_shared():
+    b = FunctionBuilder("f")
+    b.block("entry")
+    b.copy("x", 5)
+    b.copy("y", 5)
+    b.assign("p", "add", "x", 1)
+    b.assign("q", "add", "y", 1)   # same value number chain
+    b.output("p")
+    b.output("q")
+    b.ret()
+    ssa = as_ssa(b.build())
+    result = global_value_numbering(ssa)
+    assert result.replaced == 1
+
+
+def test_phi_with_identical_inputs_folded():
+    b = FunctionBuilder("f", params=["u", "c"])
+    b.block("entry")
+    b.branch("c", "l", "r")
+    b.block("l")
+    b.copy("x", "u")
+    b.jump("j")
+    b.block("r")
+    b.copy("x", "u")
+    b.jump("j")
+    b.block("j")
+    b.assign("y", "add", "u", 1)
+    b.assign("z", "add", "x", 1)   # x == u by value through the phi
+    b.output("y")
+    b.output("z")
+    b.ret()
+    ssa = as_ssa(b.build())
+    result = global_value_numbering(ssa)
+    assert result.phis_folded >= 1
+    assert result.replaced == 1
+
+
+def test_version_kill_prevents_folding():
+    b = FunctionBuilder("f", params=["a", "b"])
+    b.block("entry")
+    b.assign("x", "add", "a", "b")
+    b.assign("a", "add", "a", 1)
+    b.assign("y", "add", "a", "b")   # different a version: keep
+    b.assign("r", "mul", "x", "y")
+    b.ret("r")
+    ssa = as_ssa(b.build())
+    result = global_value_numbering(ssa)
+    assert result.replaced == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=40_000))
+def test_semantics_preserved(seed):
+    spec = ProgramSpec(name="gvn", seed=seed, max_depth=2)
+    prog = generate_program(spec)
+    construct_ssa(prog.func)
+    args = random_args(spec, 1)
+    expected = run_function(copy.deepcopy(prog.func), args)
+    global_value_numbering(prog.func)
+    verify_ssa(prog.func)
+    after = run_function(prog.func, args)
+    assert after.observable() == expected.observable()
+    assert after.dynamic_cost <= expected.dynamic_cost
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=0, max_value=40_000))
+def test_gvn_then_pre_never_worse(seed):
+    """GVN before MC-SSAPRE composes cleanly and never loses."""
+    from repro.core.mcssapre.driver import run_mc_ssapre
+    from repro.pipeline import prepare
+    from repro.ssa.destruct import destruct_ssa
+
+    spec = ProgramSpec(name="gvnp", seed=seed, max_depth=2)
+    prog = generate_program(spec)
+    prepared = prepare(prog.func)
+    args = random_args(spec, 1)
+    train = run_function(prepared, args)
+
+    def compile_cost(with_gvn: bool) -> int:
+        work = copy.deepcopy(prepared)
+        construct_ssa(work)
+        if with_gvn:
+            global_value_numbering(work)
+        run_mc_ssapre(work, train.profile.nodes_only(), validate=True)
+        destruct_ssa(work)
+        out = run_function(work, args)
+        assert out.observable() == train.observable()
+        return out.dynamic_cost
+
+    assert compile_cost(True) <= compile_cost(False)

@@ -1,0 +1,162 @@
+"""Tests for sparse conditional constant propagation."""
+
+import copy
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.generator import ProgramSpec, generate_program, random_args
+from repro.ir.builder import FunctionBuilder
+from repro.ir.instructions import Jump
+from repro.ir.values import Const
+from repro.opt.sccp import sparse_conditional_constant_propagation as sccp
+from repro.profiles.interp import run_function
+from repro.ssa.construct import construct_ssa
+from repro.ssa.ssa_verifier import verify_ssa
+
+
+def test_requires_ssa(straightline):
+    with pytest.raises(ValueError):
+        sccp(straightline)
+
+
+def test_straightline_folding():
+    b = FunctionBuilder("f")
+    b.block("entry")
+    b.copy("x", 6)
+    b.copy("y", 7)
+    b.assign("z", "mul", "x", "y")
+    b.ret("z")
+    func = b.build()
+    construct_ssa(func)
+    result = sccp(func)
+    assert result.constants_found >= 3
+    term = func.blocks["entry"].terminator
+    assert term.value == Const(42)
+
+
+def test_constant_branch_folded_and_dead_arm_removed():
+    b = FunctionBuilder("f", params=["a"])
+    b.block("entry")
+    b.copy("flag", 1)
+    b.branch("flag", "taken", "dead")
+    b.block("taken")
+    b.assign("r", "add", "a", 1)
+    b.ret("r")
+    b.block("dead")
+    b.assign("r", "add", "a", 999)
+    b.ret("r")
+    func = b.build()
+    construct_ssa(func)
+    result = sccp(func)
+    assert result.branches_folded == 1
+    assert result.blocks_removed == 1
+    assert "dead" not in func.blocks
+    assert isinstance(func.blocks["entry"].terminator, Jump)
+    verify_ssa(func)
+    assert run_function(func, [5]).return_value == 6
+
+
+def test_phi_over_executable_edges_only():
+    """The dead arm's constant must not pollute the phi's meet — the
+    whole point of *conditional* constant propagation."""
+    b = FunctionBuilder("f", params=["a"])
+    b.block("entry")
+    b.copy("flag", 0)
+    b.branch("flag", "dead", "taken")
+    b.block("dead")
+    b.copy("x", 111)
+    b.jump("join")
+    b.block("taken")
+    b.copy("x", 7)
+    b.jump("join")
+    b.block("join")
+    b.assign("r", "add", "x", "a")
+    b.ret("r")
+    func = b.build()
+    construct_ssa(func)
+    result = sccp(func)
+    # x is the constant 7: only the executable edge feeds the phi.
+    assert run_function(func, [1]).return_value == 8
+    entry_add = func.blocks["join"].body[0]
+    assert entry_add.rhs.left == Const(7)
+
+
+def test_loop_counter_stays_varying(while_loop):
+    construct_ssa(while_loop)
+    snapshot = [
+        run_function(copy.deepcopy(while_loop), [2, 3, n]).observable()
+        for n in (0, 4)
+    ]
+    sccp(while_loop)
+    verify_ssa(while_loop)
+    got = [run_function(while_loop, [2, 3, n]).observable() for n in (0, 4)]
+    assert got == snapshot
+
+
+def test_constant_through_phi_loop():
+    """A loop-carried value that never changes folds to its constant."""
+    b = FunctionBuilder("f", params=["n"])
+    b.block("entry")
+    b.copy("k", 5)
+    b.copy("i", 0)
+    b.jump("head")
+    b.block("head")
+    b.assign("c", "lt", "i", "n")
+    b.branch("c", "body", "done")
+    b.block("body")
+    b.copy("k", "k")  # re-binds k to itself each iteration
+    b.assign("i", "add", "i", 1)
+    b.jump("head")
+    b.block("done")
+    b.assign("r", "add", "k", 1)
+    b.ret("r")
+    func = b.build()
+    construct_ssa(func)
+    sccp(func)
+    term_block = func.blocks["done"]
+    assert term_block.body[-1].rhs == Const(6) or run_function(
+        func, [3]
+    ).return_value == 6
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=30_000))
+def test_semantics_preserved(seed):
+    spec = ProgramSpec(name="sccp", seed=seed, max_depth=2)
+    prog = generate_program(spec)
+    construct_ssa(prog.func)
+    args = random_args(spec, 1)
+    expected = run_function(copy.deepcopy(prog.func), args)
+    sccp(prog.func)
+    verify_ssa(prog.func)
+    after = run_function(prog.func, args)
+    assert after.observable() == expected.observable()
+    assert after.dynamic_cost <= expected.dynamic_cost
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=0, max_value=30_000))
+def test_composes_with_pre(seed):
+    """SCCP -> MC-SSAPRE -> copyprop -> DCE, all semantics-preserving."""
+    from repro.core.mcssapre.driver import run_mc_ssapre
+    from repro.opt.copyprop import propagate_copies
+    from repro.opt.dce import eliminate_dead_code
+    from repro.pipeline import prepare
+
+    spec = ProgramSpec(name="pipe", seed=seed, max_depth=2)
+    prog = generate_program(spec)
+    prepared = prepare(prog.func)
+    args = random_args(spec, 1)
+    expected = run_function(prepared, args)
+    work = copy.deepcopy(prepared)
+    construct_ssa(work)
+    sccp(work)
+    run_mc_ssapre(work, expected.profile.nodes_only(), validate=True)
+    propagate_copies(work)
+    eliminate_dead_code(work)
+    verify_ssa(work)
+    after = run_function(work, args)
+    assert after.observable() == expected.observable()
+    assert after.dynamic_cost <= expected.dynamic_cost

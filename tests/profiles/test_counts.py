@@ -1,0 +1,37 @@
+"""Tests for expression-count normalisation."""
+
+from repro.profiles.counts import normalize_expr_counts
+
+
+def test_version_suffixes_stripped():
+    counts = {
+        ("add", ("var", "a_v1"), ("var", "b_v2")): 3,
+        ("add", ("var", "a_v4"), ("var", "b_v2")): 2,
+    }
+    merged = normalize_expr_counts(counts)
+    assert merged == {("add", ("var", "a"), ("var", "b")): 5}
+
+
+def test_constants_untouched():
+    counts = {("add", ("var", "x_v1"), ("const", 7)): 1}
+    merged = normalize_expr_counts(counts)
+    assert merged == {("add", ("var", "x"), ("const", 7)): 1}
+
+
+def test_plain_names_pass_through():
+    counts = {("mul", ("var", "a"), ("var", "b")): 4}
+    assert normalize_expr_counts(counts) == counts
+
+
+def test_unary_keys():
+    counts = {("neg", ("var", "v_v3")): 2, ("neg", ("var", "v")): 1}
+    assert normalize_expr_counts(counts) == {("neg", ("var", "v")): 3}
+
+
+def test_underscore_v_in_name_is_boundary():
+    """Names are split at the first '_v': a user variable literally named
+    like a lowered version collapses with its base — an accepted, documented
+    limitation of the measurement helper (generated programs never use
+    such names)."""
+    counts = {("neg", ("var", "x_value")): 1}
+    assert normalize_expr_counts(counts) == {("neg", ("var", "x")): 1}

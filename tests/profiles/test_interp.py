@@ -1,0 +1,149 @@
+"""Tests for the interpreter/profiler."""
+
+import pytest
+
+from repro.ir.builder import FunctionBuilder
+from repro.profiles.interp import InterpreterError, run_function
+
+
+class TestExecution:
+    def test_return_value(self, straightline):
+        run = run_function(straightline, [2, 3])
+        assert run.return_value == (2 + 3) * (2 + 3)
+
+    def test_output_trace(self, while_loop):
+        b = FunctionBuilder("f", params=["n"])
+        b.block("entry")
+        b.output("n")
+        b.assign("m", "mul", "n", 2)
+        b.output("m")
+        b.ret("m")
+        run = run_function(b.build(), [21])
+        assert run.output == [21, 42]
+        assert run.observable() == (42, (21, 42))
+
+    def test_loop_iterates_correctly(self, while_loop):
+        # body does acc += (a+b) for n iterations
+        run = run_function(while_loop, [2, 3, 5])
+        assert run.return_value == 5 * (2 + 3)
+
+    def test_wrong_arity_rejected(self, straightline):
+        with pytest.raises(InterpreterError):
+            run_function(straightline, [1])
+
+    def test_undefined_read_rejected(self):
+        b = FunctionBuilder("f")
+        b.block("entry")
+        b.copy("x", "ghost")
+        b.ret("x")
+        with pytest.raises(InterpreterError):
+            run_function(b.build(), [])
+
+    def test_step_limit(self, while_loop):
+        with pytest.raises(InterpreterError):
+            run_function(while_loop, [0, 0, 10**9], max_steps=100)
+
+    def test_void_return(self):
+        b = FunctionBuilder("f")
+        b.block("entry")
+        b.ret()
+        assert run_function(b.build(), []).return_value is None
+
+
+class TestProfile:
+    def test_node_frequencies(self, while_loop):
+        run = run_function(while_loop, [0, 0, 4])
+        profile = run.profile
+        assert profile.node("entry") == 1
+        assert profile.node("head") == 5   # 4 iterations + exit test
+        assert profile.node("body") == 4
+        assert profile.node("done") == 1
+
+    def test_edge_frequencies(self, while_loop):
+        run = run_function(while_loop, [0, 0, 4])
+        profile = run.profile
+        assert profile.edge("entry", "head") == 1
+        assert profile.edge("body", "head") == 4
+        assert profile.edge("head", "body") == 4
+        assert profile.edge("head", "done") == 1
+
+    def test_flow_conservation(self, while_loop):
+        run = run_function(while_loop, [0, 0, 7])
+        assert run.profile.check_flow_conservation("entry") == []
+
+    def test_branch_both_ways(self, diamond):
+        taken = run_function(diamond, [1, 2, 1]).profile
+        assert taken.node("left") == 1 and taken.node("right") == 0
+        untaken = run_function(diamond, [1, 2, 0]).profile
+        assert untaken.node("left") == 0 and untaken.node("right") == 1
+
+
+class TestCostAndCounts:
+    def test_expr_counts_keyed_lexically(self, straightline):
+        run = run_function(straightline, [1, 1])
+        ab = ("add", ("var", "a"), ("var", "b"))
+        assert run.expr_counts[ab] == 2
+
+    def test_cost_respects_op_table(self):
+        b = FunctionBuilder("f", params=["a"])
+        b.block("entry")
+        b.assign("x", "mul", "a", "a")  # cost 4
+        b.assign("y", "add", "x", 1)    # cost 1
+        b.copy("z", "y")                # cost 0
+        b.ret("z")
+        run = run_function(b.build(), [3])
+        assert run.dynamic_cost == 5
+
+    def test_branch_cost_counted(self, diamond):
+        run = run_function(diamond, [1, 2, 1])
+        # add (1) at left + add (1) at join + branch (1)
+        assert run.dynamic_cost == 3
+
+    def test_loop_cost_scales_with_iterations(self, while_loop):
+        short = run_function(while_loop, [1, 1, 2]).dynamic_cost
+        long = run_function(while_loop, [1, 1, 20]).dynamic_cost
+        assert long > short
+
+
+class TestSSAExecution:
+    def test_phi_selects_by_incoming_edge(self, diamond):
+        from repro.ssa.construct import construct_ssa
+
+        reference = [
+            run_function(diamond, [5, 6, taken]).observable()
+            for taken in (0, 1)
+        ]
+        construct_ssa(diamond)
+        got = [
+            run_function(diamond, [5, 6, taken]).observable()
+            for taken in (0, 1)
+        ]
+        assert got == reference
+
+    def test_parallel_phi_reads(self):
+        """Loop-carried swap via phis must read old values in parallel."""
+        from repro.ir.values import Var
+        from repro.ssa.ssa_verifier import verify_ssa
+
+        b = FunctionBuilder("swap", params=["n"])
+        b.block("entry")
+        b.jump("head")
+        b.block("head")
+        b.phi(Var("x", 2), entry=1, body=Var("y", 2))
+        b.phi(Var("y", 2), entry=2, body=Var("x", 2))
+        b.phi(Var("i", 2), entry=0, body=Var("i", 3))
+        b.assign(Var("c", 1), "lt", Var("i", 2), Var("n", 1))
+        b.branch(Var("c", 1), "body", "done")
+        b.block("body")
+        b.assign(Var("i", 3), "add", Var("i", 2), 1)
+        b.jump("head")
+        b.block("done")
+        b.assign(Var("r", 1), "mul", Var("x", 2), 10)
+        b.assign(Var("r", 2), "add", Var("r", 1), Var("y", 2))
+        b.ret(Var("r", 2))
+        func = b.build()
+        func.params = [Var("n", 1)]
+        verify_ssa(func)
+        assert run_function(func, [0]).return_value == 12
+        assert run_function(func, [1]).return_value == 21
+        assert run_function(func, [2]).return_value == 12

@@ -1,0 +1,62 @@
+"""Tests for the profile container."""
+
+from repro.profiles.profile import ExecutionProfile
+
+
+def make_profile() -> ExecutionProfile:
+    return ExecutionProfile(
+        node_freq={"a": 10, "b": 6, "c": 4},
+        edge_freq={("a", "b"): 6, ("a", "c"): 4},
+    )
+
+
+class TestAccessors:
+    def test_node_and_edge_lookup(self):
+        profile = make_profile()
+        assert profile.node("a") == 10
+        assert profile.edge("a", "b") == 6
+
+    def test_missing_defaults_to_zero(self):
+        profile = make_profile()
+        assert profile.node("zzz") == 0
+        assert profile.edge("b", "a") == 0
+
+
+class TestNodesOnly:
+    def test_drops_edges_keeps_nodes(self):
+        restricted = make_profile().nodes_only()
+        assert restricted.node_freq == {"a": 10, "b": 6, "c": 4}
+        assert restricted.edge_freq == {}
+
+    def test_is_a_copy(self):
+        original = make_profile()
+        restricted = original.nodes_only()
+        restricted.node_freq["a"] = 999
+        assert original.node("a") == 10
+
+
+class TestScaled:
+    def test_halving(self):
+        scaled = make_profile().scaled(0.5)
+        assert scaled.node("a") == 5
+        assert scaled.edge("a", "b") == 3
+
+    def test_never_negative(self):
+        scaled = make_profile().scaled(-1)
+        assert all(v == 0 for v in scaled.node_freq.values())
+
+
+class TestFlowConservation:
+    def test_consistent_profile_passes(self):
+        profile = make_profile()
+        assert profile.check_flow_conservation("a") == []
+
+    def test_inconsistent_profile_flagged(self):
+        profile = make_profile()
+        profile.node_freq["b"] = 7  # in-edges sum to 6
+        assert profile.check_flow_conservation("a") == ["b"]
+
+    def test_entry_exempt(self):
+        profile = make_profile()
+        profile.node_freq["a"] = 123  # entry has no in-edges
+        assert profile.check_flow_conservation("a") == []

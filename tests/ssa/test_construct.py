@@ -1,0 +1,108 @@
+"""Tests for SSA construction."""
+
+import copy
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.generator import ProgramSpec, generate_program, random_args
+from repro.ir.builder import FunctionBuilder
+from repro.profiles.interp import run_function
+from repro.ssa.construct import SSAConstructionError, construct_ssa
+from repro.ssa.ssa_verifier import is_ssa, verify_ssa
+
+
+class TestBasics:
+    def test_produces_valid_ssa(self, diamond, while_loop, straightline):
+        for func in (diamond, while_loop, straightline):
+            construct_ssa(func)
+            verify_ssa(func)
+            assert is_ssa(func)
+
+    def test_phis_placed_at_join(self, while_loop):
+        construct_ssa(while_loop)
+        head = while_loop.blocks["head"]
+        phi_names = {phi.target.name for phi in head.phis}
+        assert {"i", "acc"} <= phi_names
+
+    def test_pruned_no_dead_phis(self, diamond):
+        """x is dead at the join in the diamond: no phi for it."""
+        b = FunctionBuilder("f", params=["c"])
+        b.block("entry")
+        b.branch("c", "l", "r")
+        b.block("l")
+        b.copy("x", 1)
+        b.jump("j")
+        b.block("r")
+        b.copy("x", 2)
+        b.jump("j")
+        b.block("j")
+        b.ret(0)  # x never used
+        func = b.build()
+        construct_ssa(func)
+        assert func.blocks["j"].phis == []
+
+    def test_params_get_version_one(self, straightline):
+        construct_ssa(straightline)
+        assert all(p.version == 1 for p in straightline.params)
+
+    def test_rejects_double_construction(self, diamond):
+        construct_ssa(diamond)
+        with pytest.raises(SSAConstructionError):
+            construct_ssa(diamond)
+
+    def test_rejects_use_of_undefined(self):
+        b = FunctionBuilder("f")
+        b.block("entry")
+        b.assign("x", "add", "ghost", 1)
+        b.ret("x")
+        with pytest.raises(SSAConstructionError):
+            construct_ssa(b.build())
+
+
+class TestSemanticPreservation:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_generated_programs_unchanged(self, seed):
+        spec = ProgramSpec(name="c", seed=seed, max_depth=2)
+        prog = generate_program(spec)
+        args = random_args(spec, 1)
+        before = run_function(copy.deepcopy(prog.func), args)
+        construct_ssa(prog.func)
+        verify_ssa(prog.func)
+        after = run_function(prog.func, args)
+        assert before.observable() == after.observable()
+
+    def test_loop_carried_values(self, while_loop):
+        before = run_function(copy.deepcopy(while_loop), [2, 3, 7])
+        construct_ssa(while_loop)
+        after = run_function(while_loop, [2, 3, 7])
+        assert before.observable() == after.observable()
+
+
+class TestVersioning:
+    def test_every_def_unique(self, while_loop):
+        construct_ssa(while_loop)
+        seen = set()
+        for param in while_loop.params:
+            seen.add((param.name, param.version))
+        for block in while_loop:
+            for var in block.defined_vars():
+                key = (var.name, var.version)
+                assert key not in seen
+                seen.add(key)
+
+    def test_redefinitions_get_increasing_versions(self):
+        b = FunctionBuilder("f", params=["a"])
+        b.block("entry")
+        for _ in range(4):
+            b.assign("x", "add", "a", 1)
+        b.ret("x")
+        func = b.build()
+        construct_ssa(func)
+        versions = [
+            stmt.target.version for stmt in func.blocks["entry"].body
+        ]
+        assert versions == sorted(versions)
+        assert len(set(versions)) == 4

@@ -1,0 +1,189 @@
+"""Tests for out-of-SSA translation, including parallel-copy hazards."""
+
+import copy
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.generator import ProgramSpec, generate_program, random_args
+from repro.ir.builder import FunctionBuilder
+from repro.ir.verifier import verify_function
+from repro.profiles.interp import run_function
+from repro.ssa.construct import construct_ssa
+from repro.ssa.destruct import destruct_ssa, sequentialize_parallel_copies
+from repro.ir.values import Const, Var
+
+
+class TestSequentialize:
+    def fresh(self):
+        counter = [0]
+
+        def make():
+            counter[0] += 1
+            return Var(f"tmp{counter[0]}")
+
+        return make
+
+    def run_copies(self, pairs, env):
+        ordered = sequentialize_parallel_copies(pairs, self.fresh())
+        env = dict(env)
+        for dst, src in ordered:
+            env[dst] = env[src] if isinstance(src, Var) else src.value
+        return env
+
+    def test_independent_copies(self):
+        env = self.run_copies(
+            [(Var("a"), Var("x")), (Var("b"), Var("y"))], {Var("x"): 1, Var("y"): 2}
+        )
+        assert env[Var("a")] == 1 and env[Var("b")] == 2
+
+    def test_swap(self):
+        env = self.run_copies(
+            [(Var("a"), Var("b")), (Var("b"), Var("a"))], {Var("a"): 1, Var("b"): 2}
+        )
+        assert env[Var("a")] == 2 and env[Var("b")] == 1
+
+    def test_three_cycle(self):
+        pairs = [(Var("a"), Var("b")), (Var("b"), Var("c")), (Var("c"), Var("a"))]
+        env = self.run_copies(pairs, {Var("a"): 1, Var("b"): 2, Var("c"): 3})
+        assert (env[Var("a")], env[Var("b")], env[Var("c")]) == (2, 3, 1)
+
+    def test_chain_ordering(self):
+        # a <- b, c <- a : c must read the OLD a.
+        pairs = [(Var("a"), Var("b")), (Var("c"), Var("a"))]
+        env = self.run_copies(pairs, {Var("a"): 10, Var("b"): 20})
+        assert env[Var("c")] == 10 and env[Var("a")] == 20
+
+    def test_shared_source_in_cycle(self):
+        # a <- b, b <- a, c <- b: c needs old b even though b is recycled.
+        pairs = [
+            (Var("a"), Var("b")),
+            (Var("b"), Var("a")),
+            (Var("c"), Var("b")),
+        ]
+        env = self.run_copies(pairs, {Var("a"): 1, Var("b"): 2})
+        assert env[Var("c")] == 2
+        assert env[Var("a")] == 2 and env[Var("b")] == 1
+
+    def test_self_copy_dropped(self):
+        ordered = sequentialize_parallel_copies(
+            [(Var("a"), Var("a"))], self.fresh()
+        )
+        assert ordered == []
+
+    def test_constants_as_sources(self):
+        env = self.run_copies([(Var("a"), Const(9))], {})
+        assert env[Var("a")] == 9
+
+    def test_duplicate_destination_rejected(self):
+        with pytest.raises(ValueError):
+            sequentialize_parallel_copies(
+                [(Var("a"), Var("x")), (Var("a"), Var("y"))], self.fresh()
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_random_permutation_copies(self, seed):
+        """Parallel semantics: dst_i gets OLD value of src_i, always."""
+        import random
+
+        rng = random.Random(seed)
+        n = rng.randint(1, 6)
+        variables = [Var(f"v{i}") for i in range(n)]
+        env = {v: i * 10 for i, v in enumerate(variables)}
+        pairs = [(v, rng.choice(variables)) for v in variables]
+        expected = {dst: env[src] for dst, src in pairs}
+        result = self.run_copies(pairs, env)
+        for dst, value in expected.items():
+            assert result[dst] == value
+
+
+class TestDestruct:
+    def test_round_trip_semantics(self, while_loop):
+        reference = run_function(copy.deepcopy(while_loop), [2, 3, 6])
+        construct_ssa(while_loop)
+        destruct_ssa(while_loop)
+        verify_function(while_loop)
+        result = run_function(while_loop, [2, 3, 6])
+        assert result.observable() == reference.observable()
+
+    def test_no_phis_remain(self, while_loop):
+        construct_ssa(while_loop)
+        destruct_ssa(while_loop)
+        assert all(not block.phis for block in while_loop)
+
+    def test_swap_problem_program(self):
+        """Loop-carried swap: x, y = y, x each iteration."""
+        b = FunctionBuilder("swap", params=["n"])
+        b.block("entry")
+        b.copy("x", 1)
+        b.copy("y", 2)
+        b.copy("i", 0)
+        b.jump("head")
+        b.block("head")
+        b.assign("c", "lt", "i", "n")
+        b.branch("c", "body", "done")
+        b.block("body")
+        b.copy("t", "x")
+        b.copy("x", "y")
+        b.copy("y", "t")
+        b.assign("i", "add", "i", 1)
+        b.jump("head")
+        b.block("done")
+        b.assign("r", "mul", "x", 10)
+        b.assign("r", "add", "r", "y")
+        b.ret("r")
+        func = b.build()
+        expected = [run_function(copy.deepcopy(func), [k]).return_value for k in range(4)]
+        construct_ssa(func)
+        destruct_ssa(func)
+        got = [run_function(copy.deepcopy(func), [k]).return_value for k in range(4)]
+        assert got == expected
+
+    def test_params_rebound(self, straightline):
+        construct_ssa(straightline)
+        destruct_ssa(straightline)
+        assert all(p.version is None for p in straightline.params)
+        run = run_function(straightline, [2, 3])
+        assert run.return_value == 25
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_generated_round_trip(self, seed):
+        spec = ProgramSpec(name="d", seed=seed, max_depth=2)
+        prog = generate_program(spec)
+        args = random_args(spec, 5)
+        reference = run_function(copy.deepcopy(prog.func), args)
+        construct_ssa(prog.func)
+        destruct_ssa(prog.func)
+        verify_function(prog.func)
+        result = run_function(prog.func, args)
+        assert result.observable() == reference.observable()
+
+
+def test_duplicate_pred_swap_phi():
+    """A conditional branch with both arms on the phi block must emit the
+    parallel copy once, not twice (twice would undo a swap)."""
+    from repro.ir.builder import FunctionBuilder
+    from repro.ir.values import Var
+
+    b = FunctionBuilder("f", params=["c"])
+    b.block("entry")
+    b.copy(Var("x", 1), 1)
+    b.copy(Var("y", 1), 2)
+    b.branch(Var("c", 1), "join", "join")
+    b.block("pre2")
+    b.copy(Var("x", 2), 5)
+    b.copy(Var("y", 2), 6)
+    b.jump("join")
+    b.block("join")
+    b.phi(Var("x", 3), entry=Var("y", 1), pre2=Var("y", 2))
+    b.phi(Var("y", 3), entry=Var("x", 1), pre2=Var("x", 2))
+    b.assign(Var("r", 1), "mul", Var("x", 3), 10)
+    b.assign(Var("r", 2), "add", Var("r", 1), Var("y", 3))
+    b.ret(Var("r", 2))
+    func = b.build()
+    func.params = [Var("c", 1)]
+    destruct_ssa(func)
+    assert run_function(func, [0]).return_value == 21

@@ -1,0 +1,92 @@
+"""Tests for the SSA verifier."""
+
+import pytest
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.instructions import Assign, BinOp, Phi
+from repro.ir.values import Var
+from repro.ir.verifier import VerificationError
+from repro.ssa.construct import construct_ssa
+from repro.ssa.ssa_verifier import is_ssa, verify_ssa
+
+
+def make_ssa_diamond(diamond):
+    construct_ssa(diamond)
+    return diamond
+
+
+def test_valid_ssa_passes(diamond, while_loop):
+    construct_ssa(diamond)
+    verify_ssa(diamond)
+    construct_ssa(while_loop)
+    verify_ssa(while_loop)
+
+
+def test_double_definition_rejected(diamond):
+    construct_ssa(diamond)
+    left = diamond.blocks["left"]
+    existing = left.body[0].target
+    left.body.append(Assign(existing, BinOp("add", Var("a", 1), Var("b", 1))))
+    with pytest.raises(VerificationError):
+        verify_ssa(diamond)
+
+
+def test_unversioned_def_rejected(diamond):
+    construct_ssa(diamond)
+    diamond.blocks["left"].body.append(Assign(Var("q"), Var("a", 1)))
+    with pytest.raises(VerificationError):
+        verify_ssa(diamond)
+
+
+def test_use_of_undefined_version_rejected(diamond):
+    construct_ssa(diamond)
+    diamond.blocks["left"].body.append(
+        Assign(Var("q", 1), BinOp("add", Var("a", 99), Var("b", 1)))
+    )
+    with pytest.raises(VerificationError):
+        verify_ssa(diamond)
+
+
+def test_use_not_dominated_by_def_rejected(diamond):
+    construct_ssa(diamond)
+    left = diamond.blocks["left"]
+    x_version = left.body[0].target
+    # Use x in 'right', which 'left' does not dominate.
+    diamond.blocks["right"].body.append(Assign(Var("q", 1), x_version))
+    with pytest.raises(VerificationError):
+        verify_ssa(diamond)
+
+
+def test_use_before_def_in_same_block_rejected():
+    b = FunctionBuilder("f", params=["a"])
+    b.block("entry")
+    b.ret()
+    func = b.build()
+    func.params = [Var("a", 1)]
+    entry = func.blocks["entry"]
+    entry.body.append(Assign(Var("y", 1), Var("x", 1)))
+    entry.body.append(Assign(Var("x", 1), Var("a", 1)))
+    with pytest.raises(VerificationError):
+        verify_ssa(func)
+
+
+def test_phi_arg_must_dominate_pred_end(while_loop):
+    construct_ssa(while_loop)
+    head = while_loop.blocks["head"]
+    phi = head.phis[0]
+    # Replace the entry-edge argument with a version defined in body.
+    body_defs = [stmt.target for stmt in while_loop.blocks["body"].body]
+    phi.args["entry"] = body_defs[0]
+    with pytest.raises(VerificationError):
+        verify_ssa(while_loop)
+
+
+def test_loop_carried_phi_arg_accepted(while_loop):
+    construct_ssa(while_loop)
+    verify_ssa(while_loop)  # back-edge args defined in body: legal
+
+
+def test_is_ssa(diamond, straightline):
+    assert not is_ssa(straightline)
+    construct_ssa(straightline)
+    assert is_ssa(straightline)
