@@ -9,7 +9,7 @@ import copy
 
 from conftest import SUITE_SUBSET, emit
 
-from repro.bench.figures import EFGSizeDistribution, figure11
+from repro.bench.figures import EFGSizeDistribution
 from repro.bench.workloads import load_workload
 from repro.core.mcssapre.driver import run_mc_ssapre
 from repro.pipeline import prepare

@@ -10,7 +10,6 @@ import copy
 
 from conftest import SUITE_SUBSET, emit
 
-from repro.analysis.dataflow import expression_keys
 from repro.bench.workloads import load_workload
 from repro.core.mcssapre.driver import run_mc_ssapre
 from repro.ir.instructions import Assign, BinOp, UnaryOp

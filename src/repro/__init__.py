@@ -23,10 +23,17 @@ paper-to-module map.
 
 from repro.ir.builder import FunctionBuilder
 from repro.ir.function import BasicBlock, Function
-from repro.jit import AdaptiveCompiler
 from repro.ir.printer import format_function
 from repro.ir.values import Const, Var
+from repro.jit import AdaptiveCompiler
 from repro.lang.parser import parse_function, parse_program
+from repro.passes import (
+    AnalysisCache,
+    PassManager,
+    PassReport,
+    build_pipeline,
+    compile,  # noqa: A004 - the package's compile *is* the entry point
+)
 from repro.pipeline import (
     PAPER_VARIANTS,
     VARIANTS,
@@ -37,18 +44,23 @@ from repro.pipeline import (
 from repro.profiles.interp import run_function
 from repro.profiles.profile import ExecutionProfile
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AdaptiveCompiler",
+    "AnalysisCache",
     "BasicBlock",
     "Const",
     "ExecutionProfile",
     "Function",
     "FunctionBuilder",
     "PAPER_VARIANTS",
+    "PassManager",
+    "PassReport",
     "VARIANTS",
     "Var",
+    "build_pipeline",
+    "compile",
     "compile_variant",
     "format_function",
     "parse_function",

@@ -1,0 +1,87 @@
+"""Program analyses, with cache-aware entry points.
+
+Each ``*_of`` helper accepts an optional
+:class:`~repro.passes.cache.AnalysisCache`; with a cache the result is
+memoised and shared across every pass of a pipeline, without one the
+helper computes privately (building an ephemeral cache so that, e.g.,
+the dominator tree and dominance frontiers of a single call still share
+one CFG).
+
+The imports from :mod:`repro.passes` are deferred into the function
+bodies: ``repro.passes.analyses`` imports the analysis submodules, so a
+module-level import here would be circular.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.ir.function import Function
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.liveness import Liveness
+    from repro.analysis.loops import LoopForest
+    from repro.analysis.dominators import DominatorTree
+    from repro.ir.cfg import CFG
+    from repro.passes.cache import AnalysisCache
+
+
+def _ensure(func: Function, cache: "AnalysisCache | None") -> "AnalysisCache":
+    from repro.passes.cache import AnalysisCache
+
+    return AnalysisCache.ensure(func, cache)
+
+
+def cfg_of(func: Function, cache: "AnalysisCache | None" = None) -> "CFG":
+    """The function's CFG view, cached when *cache* is given."""
+    from repro.passes.analyses import CFG_ANALYSIS
+
+    return _ensure(func, cache).get(CFG_ANALYSIS)
+
+
+def dominator_tree_of(
+    func: Function, cache: "AnalysisCache | None" = None
+) -> "DominatorTree":
+    """The function's dominator tree, cached when *cache* is given."""
+    from repro.passes.analyses import DOMTREE_ANALYSIS
+
+    return _ensure(func, cache).get(DOMTREE_ANALYSIS)
+
+
+def dominance_frontiers_of(
+    func: Function, cache: "AnalysisCache | None" = None
+) -> dict[str, set[str]]:
+    """Dominance frontiers of every reachable block."""
+    from repro.passes.analyses import DOMFRONTIER_ANALYSIS
+
+    return _ensure(func, cache).get(DOMFRONTIER_ANALYSIS)
+
+
+def loop_forest_of(
+    func: Function, cache: "AnalysisCache | None" = None
+) -> "LoopForest":
+    """The function's natural-loop forest."""
+    from repro.passes.analyses import LOOPS_ANALYSIS
+
+    return _ensure(func, cache).get(LOOPS_ANALYSIS)
+
+
+def liveness_of(
+    func: Function,
+    by_version: bool = False,
+    cache: "AnalysisCache | None" = None,
+) -> "Liveness":
+    """Live-variable analysis (per base name, or per SSA version)."""
+    from repro.passes.analyses import LIVENESS_ANALYSIS, LIVENESS_SSA_ANALYSIS
+
+    analysis = LIVENESS_SSA_ANALYSIS if by_version else LIVENESS_ANALYSIS
+    return _ensure(func, cache).get(analysis)
+
+
+__all__ = [
+    "cfg_of",
+    "dominator_tree_of",
+    "dominance_frontiers_of",
+    "loop_forest_of",
+    "liveness_of",
+]

@@ -15,15 +15,18 @@ tractable without excluding any optimum.
 
 from __future__ import annotations
 
-import copy
 import itertools
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
+from repro.analysis import cfg_of
 from repro.analysis.dataflow import ExprKey, solve_pre_dataflow
 from repro.baselines.mcpre import apply_insertions_and_rewrite
-from repro.ir.cfg import CFG
 from repro.ir.function import Function
 from repro.profiles.interp import run_function
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.passes.cache import AnalysisCache
 
 
 @dataclass
@@ -34,10 +37,14 @@ class BruteForceOutcome:
     baseline_count: int  # evaluations with no insertions at all
 
 
-def candidate_insertion_edges(func: Function, key: ExprKey) -> list[tuple[str, str]]:
+def candidate_insertion_edges(
+    func: Function,
+    key: ExprKey,
+    cache: "AnalysisCache | None" = None,
+) -> list[tuple[str, str]]:
     """Edges on which inserting the expression could possibly pay off."""
     dataflow = solve_pre_dataflow(func, [key])
-    cfg = CFG(func)
+    cfg = cfg_of(func, cache)
     reachable = set(cfg.reverse_postorder())
     edges = []
     for u in reachable:
@@ -83,7 +90,7 @@ def brute_force_optimum(
     for r in range(len(candidates) + 1):
         for subset in itertools.combinations(candidates, r):
             tried += 1
-            trial = copy.deepcopy(func)
+            trial = func.clone()
             apply_insertions_and_rewrite(trial, key, list(subset), _Sink())
             outcome = run_function(trial, args, max_steps=max_steps)
             count = outcome.expr_counts.get(key, 0)

@@ -20,12 +20,16 @@ on the table relative to MC-SSAPRE while running faster.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
+from repro.analysis import cfg_of
 from repro.analysis.dataflow import ExprKey, expression_keys, solve_pre_dataflow
-from repro.ir.cfg import CFG
 from repro.ir.function import Function
 from repro.ir.ops import is_trapping
 from repro.profiles.profile import ExecutionProfile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.passes.cache import AnalysisCache
 
 
 @dataclass
@@ -55,19 +59,22 @@ def run_ispre(
     profile: ExecutionProfile,
     theta: float = 0.5,
     validate: bool = False,
+    cache: "AnalysisCache | None" = None,
 ) -> ISPREResult:
     """Run ISPRE on a non-SSA function, in place."""
+    from repro.passes.cache import AnalysisCache
     from repro.ssa.ssa_verifier import is_ssa
 
     if is_ssa(func):
         raise ValueError("ISPRE operates on non-SSA input")
+    cache = AnalysisCache.ensure(func, cache)
     result = ISPREResult()
     hot = hot_region(func, profile, theta)
     result.hot_blocks = len(hot)
     if not hot:
         return result
 
-    cfg = CFG(func)
+    cfg = cfg_of(func, cache)
     reachable = set(cfg.reverse_postorder())
     ingress = [
         (u, v)
@@ -80,16 +87,17 @@ def run_ispre(
         if is_trapping(key[0]):
             result.skipped_trapping += 1
             continue
-        inserted = _optimize(func, key, cfg, hot, ingress, result)
+        inserted = _optimize(func, key, ingress, result, cache)
         result.details[key] = inserted
         if validate:
             from repro.ir.verifier import verify_function
 
             verify_function(func)
+    func.mark_code_mutated()
     return result
 
 
-def _optimize(func, key, cfg, hot, ingress, result) -> int:
+def _optimize(func, key, ingress, result, cache) -> int:
     dataflow = solve_pre_dataflow(func, [key])
     # Removability: partially anticipated into the hot side, not already
     # available out of the cold side.
@@ -102,5 +110,5 @@ def _optimize(func, key, cfg, hot, ingress, result) -> int:
 
     from repro.baselines.mcpre import apply_insertions_and_rewrite
 
-    apply_insertions_and_rewrite(func, key, chosen, result)
+    apply_insertions_and_rewrite(func, key, chosen, result, cache)
     return len(chosen)

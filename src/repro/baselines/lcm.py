@@ -26,15 +26,19 @@ MC-PRE vs MC-SSAPRE.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
+from repro.analysis import cfg_of
 from repro.analysis.dataflow import (
     ExprKey,
     expression_keys,
     solve_pre_dataflow,
 )
 from repro.baselines.mcpre import apply_insertions_and_rewrite
-from repro.ir.cfg import CFG
 from repro.ir.function import Function
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.passes.cache import AnalysisCache
 
 
 @dataclass
@@ -54,7 +58,11 @@ class LCMResult:
         return sum(s.insert_edges for s in self.stats)
 
 
-def run_lcm(func: Function, validate: bool = False) -> LCMResult:
+def run_lcm(
+    func: Function,
+    validate: bool = False,
+    cache: "AnalysisCache | None" = None,
+) -> LCMResult:
     """Run lazy code motion on a non-SSA function, in place.
 
     Requires critical edges to be split (insertions go to whichever
@@ -64,22 +72,27 @@ def run_lcm(func: Function, validate: bool = False) -> LCMResult:
 
     if is_ssa(func):
         raise ValueError("LCM operates on non-SSA input")
+    from repro.passes.cache import AnalysisCache
 
+    cache = AnalysisCache.ensure(func, cache)
     result = LCMResult()
     for key in expression_keys(func):
-        insert_edges = _solve_expression(func, key)
+        insert_edges = _solve_expression(func, key, cache)
         result.stats.append(LCMStats(key=key, insert_edges=len(insert_edges)))
-        apply_insertions_and_rewrite(func, key, insert_edges, result)
+        apply_insertions_and_rewrite(func, key, insert_edges, result, cache)
         if validate:
             from repro.ir.verifier import verify_function
 
             verify_function(func)
+    func.mark_code_mutated()
     return result
 
 
-def _solve_expression(func: Function, key: ExprKey) -> list[tuple[str, str]]:
+def _solve_expression(
+    func: Function, key: ExprKey, cache: "AnalysisCache | None" = None
+) -> list[tuple[str, str]]:
     dataflow = solve_pre_dataflow(func, [key])
-    cfg = CFG(func)
+    cfg = cfg_of(func, cache)
     rpo = cfg.reverse_postorder()
     reachable = set(rpo)
     entry = func.entry

@@ -39,17 +39,20 @@ the cross-check at the heart of ``tests/baselines/test_mcpre.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
+from repro.analysis import cfg_of
 from repro.analysis.dataflow import (
     ExprKey,
-    PREDataflow,
     expression_keys,
     solve_pre_dataflow,
 )
 from repro.flownet.mincut import min_cut
 from repro.flownet.network import INFINITE, FlowNetwork
-from repro.ir.cfg import CFG
 from repro.ir.function import Function
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.passes.cache import AnalysisCache
 from repro.ir.instructions import Assign, BinOp, UnaryOp
 from repro.ir.ops import is_trapping
 from repro.ir.values import Var
@@ -87,21 +90,29 @@ def run_mc_pre(
     func: Function,
     profile: ExecutionProfile,
     validate: bool = False,
+    cache: "AnalysisCache | None" = None,
 ) -> MCPREResult:
-    """Run MC-PRE over every candidate expression of a non-SSA function."""
+    """Run MC-PRE over every candidate expression of a non-SSA function.
+
+    Insertions and rewrites touch block bodies only, so the CFG fetched
+    from *cache* stays valid for every expression of the run.
+    """
+    from repro.passes.cache import AnalysisCache
     from repro.ssa.ssa_verifier import is_ssa
 
     if is_ssa(func):
         raise ValueError("MC-PRE operates on non-SSA input")
+    cache = AnalysisCache.ensure(func, cache)
     result = MCPREResult()
     for key in expression_keys(func):
         if is_trapping(key[0]):
             result.skipped_trapping += 1
-        _optimize_expression(func, key, profile, result)
+        _optimize_expression(func, key, profile, result, cache)
         if validate:
             from repro.ir.verifier import verify_function
 
             verify_function(func)
+    func.mark_code_mutated()
     return result
 
 
@@ -110,9 +121,10 @@ def _optimize_expression(
     key: ExprKey,
     profile: ExecutionProfile,
     result: MCPREResult,
+    cache: "AnalysisCache | None" = None,
 ) -> None:
     dataflow = solve_pre_dataflow(func, [key])
-    cfg = CFG(func)
+    cfg = cfg_of(func, cache)
     reachable = set(cfg.reverse_postorder())
 
     local = dataflow.local
@@ -131,7 +143,7 @@ def _optimize_expression(
     if not sinks:
         # Either no occurrence or everything is already fully available;
         # fully redundant occurrences are still deleted below.
-        apply_insertions_and_rewrite(func, key, [], result)
+        apply_insertions_and_rewrite(func, key, [], result, cache)
         return
 
     # Trapping expressions may not be speculated: insertions are only
@@ -182,7 +194,7 @@ def _optimize_expression(
             insert_edges=len(insert_edges),
         )
     )
-    apply_insertions_and_rewrite(func, key, insert_edges, result)
+    apply_insertions_and_rewrite(func, key, insert_edges, result, cache)
 
 
 def _prune(network: FlowNetwork) -> FlowNetwork:
@@ -227,6 +239,7 @@ def apply_insertions_and_rewrite(
     key: ExprKey,
     insert_edges: list[tuple[str, str]],
     result,
+    cache: "AnalysisCache | None" = None,
 ) -> None:
     """Apply insertions, then delete covered occurrences.
 
@@ -236,7 +249,7 @@ def apply_insertions_and_rewrite(
     computation (plus every insertion) defines the temporary.  On non-SSA
     form no merge bookkeeping is needed: all defs write the same ``t``.
     """
-    cfg = CFG(func)
+    cfg = cfg_of(func, cache)
     temp = _temp_for(func, key)
     expr_proto = _find_rhs(func, key)
     if expr_proto is None:

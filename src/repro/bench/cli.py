@@ -10,10 +10,14 @@ Artifacts:
 * ``sec4``    — Section 4 comparison (EFG vs MC-PRE network sizes)
 * ``lifetime``— ablation A1: reverse-labeling vs source-side cut
 * ``profiles``— ablation A2: node-frequency sufficiency
+* ``passes``  — per-pass pipeline report (times, IR sizes, cache hits)
 * ``all``     — every paper artifact, in paper order
 
-Use ``--benchmarks name1,name2`` to restrict table/figure runs and
-``--validate`` to run the IR/SSA verifiers after every transformation.
+Use ``--benchmarks name1,name2`` to restrict table/figure runs,
+``--validate`` to run the IR/SSA verifiers after every transformation,
+``--seed N`` to shift every generator seed (rerunning the suite on fresh
+deterministic program instances), and ``--json`` for machine-readable
+output where supported (``passes``).
 """
 
 from __future__ import annotations
@@ -53,11 +57,24 @@ def main(argv: list[str] | None = None) -> int:
         "artifact",
         choices=[
             "table1", "table2", "fig9", "fig10", "fig11", "sec4",
-            "lifetime", "profiles", "all",
+            "lifetime", "profiles", "passes", "all",
         ],
     )
     parser.add_argument("--benchmarks", help="comma-separated subset of names")
     parser.add_argument("--validate", action="store_true")
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="offset added to every program-generator seed (default 0, "
+        "the canonical suite)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (passes artifact only)",
+    )
     args = parser.parse_args(argv)
 
     start = time.time()
@@ -68,6 +85,7 @@ def main(argv: list[str] | None = None) -> int:
             _parse_names(args.benchmarks, CINT2006),
             "Table 1: CINT2006 dynamic costs and speedup ratios of MC-SSAPRE",
             validate=args.validate,
+            seed_offset=args.seed,
         )
 
     def cfp_table():
@@ -75,6 +93,7 @@ def main(argv: list[str] | None = None) -> int:
             _parse_names(args.benchmarks, CFP2006),
             "Table 2: CFP2006 dynamic costs and speedup ratios of MC-SSAPRE",
             validate=args.validate,
+            seed_offset=args.seed,
         )
 
     if artifact == "table1":
@@ -90,14 +109,36 @@ def main(argv: list[str] | None = None) -> int:
         print(figure11(tables).render())
     elif artifact == "sec4":
         names = _parse_names(args.benchmarks, ALL_BENCHMARKS)
-        comparisons = [compare_workload(w) for w in load_suite(names)]
+        comparisons = [
+            compare_workload(w) for w in load_suite(names, args.seed)
+        ]
         print(render_comparison(comparisons))
     elif artifact == "lifetime":
         names = _parse_names(args.benchmarks, ALL_BENCHMARKS)
-        print(render_lifetime([lifetime_ablation(w) for w in load_suite(names)]))
+        print(
+            render_lifetime(
+                [lifetime_ablation(w) for w in load_suite(names, args.seed)]
+            )
+        )
     elif artifact == "profiles":
         names = _parse_names(args.benchmarks, ALL_BENCHMARKS)
-        print(render_profiles([profile_ablation(w) for w in load_suite(names)]))
+        print(
+            render_profiles(
+                [profile_ablation(w) for w in load_suite(names, args.seed)]
+            )
+        )
+    elif artifact == "passes":
+        from repro.bench.passes_cmd import DEFAULT_BENCHMARK, passes_artifact
+
+        names = _parse_names(args.benchmarks, (DEFAULT_BENCHMARK,))
+        print(
+            passes_artifact(
+                names,
+                seed_offset=args.seed,
+                validate=args.validate,
+                as_json=args.json,
+            )
+        )
     elif artifact == "all":
         t1 = cint_table()
         t2 = cfp_table()
@@ -110,7 +151,9 @@ def main(argv: list[str] | None = None) -> int:
         print(figure11([t1, t2]).render())
         print()
         names = _parse_names(args.benchmarks, ALL_BENCHMARKS)
-        comparisons = [compare_workload(w) for w in load_suite(names)]
+        comparisons = [
+            compare_workload(w) for w in load_suite(names, args.seed)
+        ]
         print(render_comparison(comparisons))
     print(f"\n[elapsed: {time.time() - start:.1f}s]", file=sys.stderr)
     return 0

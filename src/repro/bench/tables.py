@@ -91,26 +91,33 @@ def measure_workload(workload: Workload, validate: bool = False) -> TableRow:
     )
 
 
-def build_table(names: tuple[str, ...], title: str, validate: bool = False) -> Table:
+def build_table(
+    names: tuple[str, ...],
+    title: str,
+    validate: bool = False,
+    seed_offset: int = 0,
+) -> Table:
     table = Table(title=title)
-    for workload in load_suite(names):
+    for workload in load_suite(names, seed_offset):
         table.rows.append(measure_workload(workload, validate=validate))
     return table
 
 
-def table1(validate: bool = False) -> Table:
+def table1(validate: bool = False, seed_offset: int = 0) -> Table:
     """Paper Table 1: CINT2006 costs and speedup ratios."""
     return build_table(
         CINT2006,
         "Table 1: CINT2006 dynamic costs and speedup ratios of MC-SSAPRE",
         validate=validate,
+        seed_offset=seed_offset,
     )
 
 
-def table2(validate: bool = False) -> Table:
+def table2(validate: bool = False, seed_offset: int = 0) -> Table:
     """Paper Table 2: CFP2006 costs and speedup ratios."""
     return build_table(
         CFP2006,
         "Table 2: CFP2006 dynamic costs and speedup ratios of MC-SSAPRE",
         validate=validate,
+        seed_offset=seed_offset,
     )

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections import deque
 
-from repro.core.ssapre.frg import FRG, PhiNode, RealOcc
+from repro.core.ssapre.frg import FRG, PhiNode
 
 
 def compute_full_availability(frg: FRG) -> None:

@@ -26,13 +26,17 @@ deleted — MC-SSAPRE handles local and global redundancy uniformly
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.mcssapre.cut import CutDecision, solve_min_cut
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.passes.cache import AnalysisCache
 from repro.core.mcssapre.dataflow import solve_step3
-from repro.core.mcssapre.efg import EFG, build_efg
+from repro.core.mcssapre.efg import build_efg
 from repro.core.mcssapre.reduction import build_reduced_graph
 from repro.core.mcssapre.willbeavail import compute_will_be_avail_from_cut
-from repro.core.ssapre.codemotion import CodeMotionReport, apply_code_motion
+from repro.core.ssapre.codemotion import apply_code_motion
 from repro.core.ssapre.downsafety import compute_down_safety
 from repro.core.ssapre.driver import PREResult
 from repro.core.ssapre.finalize import finalize
@@ -72,6 +76,7 @@ def run_mc_ssapre(
     validate: bool = False,
     classes: list[ExprClass] | None = None,
     sink_closest: bool = True,
+    cache: "AnalysisCache | None" = None,
 ) -> MCPREResult:
     """Run MC-SSAPRE over every candidate class of *func*, in place.
 
@@ -85,6 +90,9 @@ def run_mc_ssapre(
             "MC-SSAPRE requires critical edges to be split first "
             "(use repro.ir.transforms.split_critical_edges)"
         )
+    from repro.passes.cache import AnalysisCache
+
+    cache = AnalysisCache.ensure(func, cache)
     if classes is None:
         classes = collect_expr_classes(func)
     result = MCPREResult(algorithm="MC-SSAPRE")
@@ -93,7 +101,7 @@ def run_mc_ssapre(
     # shared bit-vector solve for the trapping-class safe fallback (see
     # the comment in run_ssapre for why later CodeMotion cannot
     # invalidate these).
-    frgs = build_frgs(func, classes)
+    frgs = build_frgs(func, classes, cache=cache)
     dataflow = None
 
     for expr in classes:
@@ -134,4 +142,5 @@ def run_mc_ssapre(
         result.reports.append(report)
         if validate and report.changed:
             verify_ssa(func)
+    func.mark_code_mutated()
     return result

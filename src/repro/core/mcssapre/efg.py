@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.mcssapre.reduction import ReducedGraph
-from repro.core.ssapre.frg import PhiNode, PhiOperand, RealOcc
+from repro.core.ssapre.frg import PhiNode, RealOcc
 from repro.flownet.network import INFINITE, FlowNetwork
 from repro.profiles.profile import ExecutionProfile
 

@@ -19,8 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.ssapre.finalize import FinalizePlan, InsertNode, TDef
-from repro.core.ssapre.frg import PhiNode, RealOcc
+from repro.core.ssapre.finalize import FinalizePlan, TDef
 from repro.ir.function import Function
 from repro.ir.instructions import Assign, Phi
 from repro.ir.values import Var

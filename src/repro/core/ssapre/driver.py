@@ -14,10 +14,15 @@ Returns a report per class so benchmarks can count insertions/reloads.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
+from repro.analysis import loop_forest_of
 from repro.analysis.dataflow import solve_pre_dataflow
 from repro.analysis.loops import LoopForest
 from repro.core.ssapre.codemotion import CodeMotionReport, apply_code_motion
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.passes.cache import AnalysisCache
 from repro.core.ssapre.downsafety import (
     compute_down_safety,
     compute_down_safety_sparse,
@@ -58,12 +63,14 @@ def run_ssapre(
     validate: bool = False,
     classes: list[ExprClass] | None = None,
     down_safety: str = "oracle",
+    cache: "AnalysisCache | None" = None,
 ) -> PREResult:
     """Run safe SSAPRE (or SSAPREsp when ``speculate_loops``) in place.
 
     ``down_safety`` selects the DownSafety implementation: ``"oracle"``
     (exact, bit-vector anticipability) or ``"sparse"`` (Kennedy's
-    rename-driven propagation; conservative, never unsafe).
+    rename-driven propagation; conservative, never unsafe).  CFG-derived
+    analyses (dominators, frontiers, loops) come from *cache* when given.
     """
     if down_safety not in ("oracle", "sparse"):
         raise ValueError(f"unknown down_safety mode {down_safety!r}")
@@ -72,6 +79,9 @@ def run_ssapre(
             "SSAPRE requires critical edges to be split first "
             "(use repro.ir.transforms.split_critical_edges)"
         )
+    from repro.passes.cache import AnalysisCache
+
+    cache = AnalysisCache.ensure(func, cache)
     if classes is None:
         classes = collect_expr_classes(func)
     result = PREResult(algorithm="SSAPREsp" if speculate_loops else "SSAPRE")
@@ -80,7 +90,7 @@ def run_ssapre(
     # class: CodeMotion only replaces statements of the class it is
     # processing and introduces fresh temporaries, so neither the other
     # classes' FRGs nor their data-flow facts are invalidated.
-    frgs = build_frgs(func, classes)
+    frgs = build_frgs(func, classes, cache=cache)
     dataflow = None
     if down_safety == "oracle":
         dataflow = solve_pre_dataflow(func, [expr.key for expr in classes])
@@ -96,7 +106,7 @@ def run_ssapre(
             compute_down_safety_sparse(frg)
         if speculate_loops:
             if forest is None:
-                forest = LoopForest(frg.cfg, frg.domtree)
+                forest = loop_forest_of(func, cache)
             result.speculated_phis += apply_loop_speculation(frg, forest)
         compute_will_be_avail(frg)
         plan = finalize(frg)
@@ -104,4 +114,5 @@ def run_ssapre(
         result.reports.append(report)
         if validate and report.changed:
             verify_ssa(func)
+    func.mark_code_mutated()
     return result

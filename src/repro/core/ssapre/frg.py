@@ -25,13 +25,17 @@ its flow network, and on which classic SSAPRE runs its sparse analyses.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
-from repro.analysis.domfrontier import dominance_frontiers, iterated_dominance_frontier
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.passes.cache import AnalysisCache
+
+from repro.analysis import cfg_of, dominance_frontiers_of, dominator_tree_of
+from repro.analysis.domfrontier import iterated_dominance_frontier
 from repro.analysis.dominators import DominatorTree
 from repro.ir.cfg import CFG
 from repro.ir.function import Function
-from repro.ir.instructions import Assign, BinOp, Phi, UnaryOp
+from repro.ir.instructions import Assign, BinOp, UnaryOp
 from repro.ir.ops import is_trapping
 from repro.ir.values import Const, Operand, Var
 
@@ -478,16 +482,21 @@ class _Renamer:
 def build_frgs(
     func: Function,
     classes: list[ExprClass] | None = None,
+    cache: "AnalysisCache | None" = None,
 ) -> dict[ExprKey, FRG]:
     """Run Φ-Insertion and Rename for every class; return the FRGs.
 
     All classes are renamed in a single dominator-tree walk (the per-class
     work is sparse), mirroring how a production SSAPRE keeps one worklist
-    per expression.
+    per expression.  CFG-derived analyses come from *cache* when given
+    (SSA construction just computed them; they are still valid).
     """
-    cfg = CFG(func)
-    domtree = DominatorTree(cfg)
-    frontiers = dominance_frontiers(cfg, domtree)
+    from repro.passes.cache import AnalysisCache
+
+    cache = AnalysisCache.ensure(func, cache)
+    cfg = cfg_of(func, cache)
+    domtree = dominator_tree_of(func, cache)
+    frontiers = dominance_frontiers_of(func, cache)
     if classes is None:
         classes = collect_expr_classes(func)
 

@@ -117,6 +117,7 @@ def remove_unreachable_blocks(func: Function) -> list[str]:
         for phi in block.phis:
             for gone in dead & set(phi.args):
                 del phi.args[gone]
+    func.mark_cfg_mutated()
     return sorted(dead)
 
 

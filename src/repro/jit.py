@@ -21,16 +21,14 @@ the conclusion into an API with tests
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 
-from repro.core.mcssapre.driver import run_mc_ssapre
 from repro.ir.function import Function
+from repro.passes.compiler import compile as compile_func
+from repro.passes.manager import PassReport
 from repro.pipeline import prepare
 from repro.profiles.interp import RunResult, run_function
 from repro.profiles.profile import ExecutionProfile
-from repro.ssa.construct import construct_ssa
-from repro.ssa.destruct import destruct_ssa
 
 
 @dataclass
@@ -44,6 +42,7 @@ class FunctionState:
     executed_blocks: int = 0
     compiled: Function | None = None
     compilations: int = 0
+    last_report: PassReport | None = None
 
     @property
     def tier(self) -> str:
@@ -112,11 +111,12 @@ class AdaptiveCompiler:
             state.executed_blocks += count
 
     def _compile(self, state: FunctionState) -> None:
-        work = copy.deepcopy(state.prepared)
-        construct_ssa(work)
-        # Node counters only — the whole point (paper contribution 3).
-        run_mc_ssapre(work, state.counters.nodes_only())
-        destruct_ssa(work)
-        state.compiled = work
+        # Node counters only — the whole point (paper contribution 3);
+        # the mc-ssapre stage itself narrows the profile to nodes.
+        compiled = compile_func(
+            state.prepared, "mc-ssapre", state.counters
+        )
+        state.compiled = compiled.func
         state.compilations += 1
+        state.last_report = compiled.report
         self._compiled_at[state.source.name] = max(state.executed_blocks, 1)

@@ -15,7 +15,7 @@ into direct uses of ``t``, after which DCE removes the stranded copies.
 from __future__ import annotations
 
 from repro.ir.function import Function
-from repro.ir.instructions import Assign, BinOp, CondJump, Phi, Return, UnaryOp
+from repro.ir.instructions import Assign, BinOp, CondJump, Return, UnaryOp
 from repro.ir.values import Const, Operand, Var
 from repro.ssa.ssa_verifier import is_ssa
 
@@ -100,4 +100,6 @@ def propagate_copies(func: Function, fold_phis: bool = True) -> int:
         elif isinstance(term, Return) and term.value is not None:
             term.value = rewrite(term.value)
 
+    if rewired:
+        func.mark_code_mutated()
     return rewired

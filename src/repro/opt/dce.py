@@ -82,4 +82,6 @@ def eliminate_dead_code(func: Function) -> int:
             else:
                 kept_body.append(stmt)
         block.body = kept_body
+    if removed:
+        func.mark_code_mutated()
     return removed

@@ -21,11 +21,14 @@ GVN before PRE is never worse than PRE alone.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.analysis.dominators import DominatorTree
-from repro.ir.cfg import CFG
+from repro.analysis import dominator_tree_of
 from repro.ir.function import Function
-from repro.ir.instructions import Assign, BinOp, Phi, UnaryOp
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.passes.cache import AnalysisCache
+from repro.ir.instructions import Assign, BinOp, UnaryOp
 from repro.ir.ops import BINARY_OPS
 from repro.ir.values import Const, Operand, Var
 from repro.ssa.ssa_verifier import is_ssa
@@ -41,12 +44,13 @@ class GVNResult:
         return bool(self.replaced or self.phis_folded)
 
 
-def global_value_numbering(func: Function) -> GVNResult:
+def global_value_numbering(
+    func: Function, cache: "AnalysisCache | None" = None
+) -> GVNResult:
     """Run dominator-scoped GVN in place on an SSA function."""
     if not is_ssa(func):
         raise ValueError("GVN requires SSA input")
-    cfg = CFG(func)
-    domtree = DominatorTree(cfg)
+    domtree = dominator_tree_of(func, cache)
     result = GVNResult()
 
     #: value number of each SSA variable / constant (ints, densely issued)
@@ -140,4 +144,6 @@ def global_value_numbering(func: Function) -> GVNResult:
         walk.append((label, True))
         for child in reversed(domtree.children[label]):
             walk.append((child, False))
+    if result.changed:
+        func.mark_code_mutated()
     return result

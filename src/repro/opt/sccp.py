@@ -22,10 +22,14 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.ir import ops as op_tables
-from repro.ir.cfg import CFG, remove_unreachable_blocks
+from repro.ir.cfg import remove_unreachable_blocks
 from repro.ir.function import Function
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.passes.cache import AnalysisCache
 from repro.ir.instructions import (
     Assign,
     BinOp,
@@ -57,11 +61,12 @@ class SCCPResult:
         return bool(self.uses_replaced or self.branches_folded)
 
 
-def sparse_conditional_constant_propagation(func: Function) -> SCCPResult:
+def sparse_conditional_constant_propagation(
+    func: Function, cache: "AnalysisCache | None" = None
+) -> SCCPResult:
     """Run SCCP in place on an SSA function."""
     if not is_ssa(func):
         raise ValueError("SCCP requires SSA input")
-    cfg = CFG(func)
 
     value: dict[Var, object] = {}
     for param in func.params:
@@ -243,4 +248,8 @@ def sparse_conditional_constant_propagation(func: Function) -> SCCPResult:
     # Drop blocks no longer reachable after branch folding, fixing phis.
     removed = remove_unreachable_blocks(func)
     result.blocks_removed = len(removed)
+    if result.branches_folded:
+        func.mark_cfg_mutated()
+    elif result.uses_replaced or result.constants_found:
+        func.mark_code_mutated()
     return result

@@ -1,0 +1,84 @@
+"""Shared analysis descriptors.
+
+One module-level singleton per analysis; everything downstream (SSA
+construction, the PRE drivers, the baselines, the opt passes) requests
+results through these descriptors so a whole pipeline shares one
+computation of each until invalidation.
+
+``depends`` semantics: the CFG, dominator tree, dominance frontiers and
+loop forest are functions of the CFG *shape* only, so instruction-level
+rewrites leave them valid; liveness reads instruction operands, so any
+code mutation invalidates it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.domfrontier import dominance_frontiers
+from repro.analysis.dominators import DominatorTree
+from repro.analysis.liveness import Liveness, compute_liveness
+from repro.analysis.loops import LoopForest
+from repro.ir.cfg import CFG
+from repro.ir.function import Function
+from repro.passes.base import AnalysisPass
+from repro.passes.cache import AnalysisCache, register_analysis
+
+
+class CFGAnalysis(AnalysisPass):
+    name = "cfg"
+    depends = "cfg"
+
+    def compute(self, func: Function, cache: AnalysisCache) -> CFG:
+        return CFG(func)
+
+
+class DominatorTreeAnalysis(AnalysisPass):
+    name = "domtree"
+    depends = "cfg"
+
+    def compute(self, func: Function, cache: AnalysisCache) -> DominatorTree:
+        return DominatorTree(cache.get(CFG_ANALYSIS))
+
+
+class DominanceFrontierAnalysis(AnalysisPass):
+    name = "domfrontier"
+    depends = "cfg"
+
+    def compute(self, func: Function, cache: AnalysisCache) -> dict[str, set[str]]:
+        return dominance_frontiers(
+            cache.get(CFG_ANALYSIS), cache.get(DOMTREE_ANALYSIS)
+        )
+
+
+class LoopForestAnalysis(AnalysisPass):
+    name = "loops"
+    depends = "cfg"
+
+    def compute(self, func: Function, cache: AnalysisCache) -> LoopForest:
+        return LoopForest(cache.get(CFG_ANALYSIS), cache.get(DOMTREE_ANALYSIS))
+
+
+class LivenessAnalysis(AnalysisPass):
+    name = "liveness"
+    depends = "code"
+
+    def compute(self, func: Function, cache: AnalysisCache) -> Liveness:
+        return compute_liveness(func, by_version=False)
+
+
+class VersionedLivenessAnalysis(AnalysisPass):
+    name = "liveness.ssa"
+    depends = "code"
+
+    def compute(self, func: Function, cache: AnalysisCache) -> Liveness:
+        return compute_liveness(func, by_version=True)
+
+
+CFG_ANALYSIS = register_analysis(CFGAnalysis())
+DOMTREE_ANALYSIS = register_analysis(DominatorTreeAnalysis())
+DOMFRONTIER_ANALYSIS = register_analysis(DominanceFrontierAnalysis())
+LOOPS_ANALYSIS = register_analysis(LoopForestAnalysis())
+LIVENESS_ANALYSIS = register_analysis(LivenessAnalysis())
+LIVENESS_SSA_ANALYSIS = register_analysis(VersionedLivenessAnalysis())
+
+#: The preservation tokens implied by an intact CFG shape.
+CFG_FAMILY = frozenset({"cfg"})

@@ -1,0 +1,176 @@
+"""Per-function analysis cache with generation-based invalidation.
+
+Every cache entry remembers the value of the function generation counter
+(:attr:`Function.cfg_generation` or :attr:`Function.code_generation`,
+selected by the analysis's ``depends``) at compute time.  A lookup whose
+recorded generation no longer matches recomputes — so CFG surgery through
+:meth:`Function.add_block` / :meth:`Function.remove_block` (or any
+transform that calls :meth:`Function.mark_cfg_mutated`) invalidates
+dominators, dominance frontiers, loops and liveness automatically, with
+no registration dance.
+
+A :class:`Pass` that declares ``preserves()`` lets the
+:class:`~repro.passes.manager.PassManager` call :meth:`reaffirm` so the
+named entries survive the post-pass generation bump — that is what keeps
+the cache warm across a pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.function import Function
+from repro.passes.base import AnalysisPass, StaleAnalysisError
+
+
+@dataclass
+class _Entry:
+    generation: int
+    value: object
+
+
+class AnalysisCache:
+    """Memoised analyses for exactly one :class:`Function`."""
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self._entries: dict[str, _Entry] = {}
+        #: Per-analysis hit/miss counters (observability; never reset by
+        #: invalidation so they describe the whole cache lifetime).
+        self.hits: dict[str, int] = {}
+        self.misses: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def ensure(cls, func: Function, cache: "AnalysisCache | None") -> "AnalysisCache":
+        """*cache* when given (validated against *func*), else a fresh one."""
+        if cache is None:
+            return cls(func)
+        if cache.func is not func:
+            raise ValueError(
+                f"analysis cache is bound to function {cache.func.name!r}, "
+                f"not {func.name!r}"
+            )
+        return cache
+
+    def _generation(self, analysis: AnalysisPass) -> int:
+        if analysis.depends == "cfg":
+            return self.func.cfg_generation
+        return self.func.code_generation
+
+    # ------------------------------------------------------------------
+    def get(self, analysis: AnalysisPass) -> object:
+        """The up-to-date result of *analysis*, computing on a miss."""
+        entry = self._entries.get(analysis.name)
+        generation = self._generation(analysis)
+        if entry is not None and entry.generation == generation:
+            self.hits[analysis.name] = self.hits.get(analysis.name, 0) + 1
+            return entry.value
+        self.misses[analysis.name] = self.misses.get(analysis.name, 0) + 1
+        value = analysis.compute(self.func, self)
+        # compute() may itself have pulled (and therefore freshly cached)
+        # other analyses; re-read the generation in case a dependency
+        # lazily mutated bookkeeping — analyses never mutate the IR, so
+        # the generation cannot actually move, but being explicit is free.
+        self._entries[analysis.name] = _Entry(self._generation(analysis), value)
+        return value
+
+    def peek(self, analysis: AnalysisPass) -> object | None:
+        """The cached result if fresh, else ``None`` (never computes)."""
+        entry = self._entries.get(analysis.name)
+        if entry is not None and entry.generation == self._generation(analysis):
+            return entry.value
+        return None
+
+    def handle(self, analysis: AnalysisPass) -> "AnalysisHandle":
+        """A live handle whose ``.value`` raises once the result is stale.
+
+        Use this when holding an analysis across code that might mutate
+        the function — a silent stale read becomes a loud
+        :class:`StaleAnalysisError` instead.
+        """
+        self.get(analysis)
+        return AnalysisHandle(self, analysis)
+
+    # ------------------------------------------------------------------
+    def reaffirm(self, names: frozenset[str] | set[str]) -> None:
+        """Re-stamp the named entries to the current generations.
+
+        Called by the pass manager for analyses a pass ``preserves()``
+        even though the generation counters were bumped.
+        """
+        for name in names:
+            entry = self._entries.get(name)
+            if entry is None:
+                continue
+            analysis = _DEPENDS_PROBE.get(name)
+            if analysis is None:
+                continue
+            entry.generation = self._generation(analysis)
+
+    def invalidate(self, name: str | None = None) -> None:
+        """Drop one entry (or all of them) regardless of generations."""
+        if name is None:
+            self._entries.clear()
+        else:
+            self._entries.pop(name, None)
+
+    # ------------------------------------------------------------------
+    def total_hits(self) -> int:
+        return sum(self.hits.values())
+
+    def total_misses(self) -> int:
+        return sum(self.misses.values())
+
+    def counters(self) -> dict[str, tuple[int, int]]:
+        """``{analysis name: (hits, misses)}`` over the cache lifetime."""
+        names = sorted(set(self.hits) | set(self.misses))
+        return {
+            name: (self.hits.get(name, 0), self.misses.get(name, 0))
+            for name in names
+        }
+
+
+class AnalysisHandle:
+    """A checked reference to one cached analysis result."""
+
+    def __init__(self, cache: AnalysisCache, analysis: AnalysisPass) -> None:
+        self._cache = cache
+        self._analysis = analysis
+        self._generation = cache._generation(analysis)
+
+    @property
+    def value(self) -> object:
+        """The analysis result; raises :class:`StaleAnalysisError` if the
+        function has mutated past the point this handle was taken."""
+        current = self._cache._generation(self._analysis)
+        if current != self._generation:
+            raise StaleAnalysisError(
+                f"analysis {self._analysis.name!r} of function "
+                f"{self._cache.func.name!r} is stale: computed at "
+                f"generation {self._generation}, function is now at "
+                f"{current}"
+            )
+        value = self._cache.peek(self._analysis)
+        if value is None:
+            raise StaleAnalysisError(
+                f"analysis {self._analysis.name!r} of function "
+                f"{self._cache.func.name!r} was invalidated"
+            )
+        return value
+
+    def refresh(self) -> "AnalysisHandle":
+        """A new handle at the function's current generation."""
+        return self._cache.handle(self._analysis)
+
+
+#: name → descriptor, used by :meth:`AnalysisCache.reaffirm` to find the
+#: generation kind of a preserved analysis.  Populated by
+#: :mod:`repro.passes.analyses` at import time via :func:`register_analysis`.
+_DEPENDS_PROBE: dict[str, AnalysisPass] = {}
+
+
+def register_analysis(analysis: AnalysisPass) -> AnalysisPass:
+    """Register a shared analysis descriptor (module-level singleton)."""
+    _DEPENDS_PROBE[analysis.name] = analysis
+    return analysis

@@ -1,0 +1,174 @@
+"""The single compilation entry point: :func:`compile`.
+
+One call takes a *prepared* function (see :func:`repro.pipeline.prepare`)
+plus a variant name, clones the input with the fast
+:meth:`Function.clone` (never mutating the caller's copy), runs the
+variant's pipeline spec through a :class:`PassManager`, and returns the
+transformed function together with the PRE driver's result object and a
+structured :class:`PassReport`.
+
+A *pipeline spec* is an ordered list of stages; each stage is either a
+:class:`~repro.passes.base.Pass` instance or the registered name of one
+(see :data:`STAGES`).  The optional SCCP / cleanup neighbours of PRE are
+ordinary stages in the spec — there is no out-of-band post-processing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.ir.function import Function
+from repro.passes.base import Pass, PassError
+from repro.passes.manager import PassManager, PassReport
+from repro.passes.stages import (
+    ConstructSSAPass,
+    CopyPropagationPass,
+    DCEPass,
+    DestructSSAPass,
+    GVNPass,
+    ISPREBaselinePass,
+    LCMBaselinePass,
+    MCPREBaselinePass,
+    MCSSAPREPass,
+    SCCPPass,
+    SSAPREPass,
+    VerifyPass,
+)
+from repro.profiles.profile import ExecutionProfile
+
+#: All PRE variants the compiler can drive (paper Section 5.1 protocol).
+VARIANTS = ("none", "ssapre", "ssapre-sp", "mc-ssapre", "mc-pre", "ispre", "lcm")
+
+#: Stage-name registry for textual pipeline specs.
+STAGES: dict[str, type[Pass] | object] = {
+    "construct-ssa": ConstructSSAPass,
+    "destruct-ssa": DestructSSAPass,
+    "sccp": SCCPPass,
+    "copyprop": CopyPropagationPass,
+    "dce": DCEPass,
+    "gvn": GVNPass,
+    "ssapre": lambda: SSAPREPass(speculate_loops=False),
+    "ssapre-sp": lambda: SSAPREPass(speculate_loops=True),
+    "mc-ssapre": MCSSAPREPass,
+    "mc-pre": MCPREBaselinePass,
+    "ispre": ISPREBaselinePass,
+    "lcm": LCMBaselinePass,
+    "verify": VerifyPass,
+}
+
+#: Pass names whose payload is the variant's primary PRE result.
+_PRE_STAGE_NAMES = ("ssapre", "ssapre-sp", "mc-ssapre", "mc-pre", "ispre", "lcm")
+
+
+def resolve_stage(stage: str | Pass) -> Pass:
+    """A :class:`Pass` instance from a spec entry (name or instance)."""
+    if isinstance(stage, Pass):
+        return stage
+    factory = STAGES.get(stage)
+    if factory is None:
+        raise PassError(
+            f"unknown pipeline stage {stage!r}; known: {sorted(STAGES)}"
+        )
+    return factory()
+
+
+def build_pipeline(
+    variant: str,
+    *,
+    fold_constants: bool = False,
+    cleanup: bool = False,
+) -> list[Pass]:
+    """The default pipeline spec of one PRE variant.
+
+    SSA-based variants bracket their PRE stage with SSA construction and
+    destruction; ``fold_constants`` slots SCCP before PRE and ``cleanup``
+    slots copy propagation + DCE after it, exactly where a production
+    middle-end puts the neighbours of PRE.
+    """
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
+    if variant == "none":
+        return []
+    if variant in ("mc-pre", "ispre", "lcm"):
+        return [resolve_stage(variant)]
+    spec: list[Pass] = [ConstructSSAPass()]
+    if fold_constants:
+        spec.append(SCCPPass())
+    spec.append(resolve_stage(variant))
+    if cleanup:
+        spec.append(CopyPropagationPass())
+        spec.append(DCEPass())
+    spec.append(DestructSSAPass())
+    return spec
+
+
+@dataclass
+class CompiledFunction:
+    """A compiled variant plus the optimisation result and pass report."""
+
+    variant: str
+    func: Function
+    pre_result: object | None = None
+    report: PassReport | None = None
+
+
+def compile(  # noqa: A001 - deliberate: the entry point is *the* compile
+    func: Function,
+    variant: str = "ssapre",
+    profile: ExecutionProfile | None = None,
+    *,
+    pipeline_spec: list[str | Pass] | None = None,
+    validate: bool = False,
+    verify_each: bool = False,
+    clone: bool = True,
+) -> CompiledFunction:
+    """Compile one variant of an already-prepared function.
+
+    The input is never mutated (unless ``clone=False`` is requested by a
+    caller that owns the function).  ``pipeline_spec`` overrides the
+    variant's default stage list; ``validate`` runs the drivers' internal
+    verifiers; ``verify_each`` additionally re-verifies the whole
+    function between passes, naming the pass that broke an invariant.
+
+    The profiled variants (``mc-ssapre``, ``mc-pre``, ``ispre``) raise
+    :class:`ValueError` when *profile* is missing, matching the
+    historical ``compile_variant`` contract.
+    """
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
+    if profile is None and variant in ("mc-ssapre", "mc-pre", "ispre"):
+        raise ValueError(f"{variant} requires an execution profile")
+
+    report = PassReport(function=func.name, variant=variant)
+    t0 = time.perf_counter()
+    work = func.clone() if clone else func
+    report.clone_time = time.perf_counter() - t0
+    report.total_time += report.clone_time
+
+    if pipeline_spec is None:
+        passes = build_pipeline(variant)
+    else:
+        passes = [resolve_stage(stage) for stage in pipeline_spec]
+
+    manager = PassManager(verify_each=verify_each)
+    manager.run(
+        work,
+        passes,
+        profile=profile,
+        validate=validate,
+        variant=variant,
+        report=report,
+    )
+    if validate:
+        from repro.ir.verifier import verify_function
+
+        verify_function(work)
+
+    pre_result = None
+    for ex in report.executions:
+        if ex.name in _PRE_STAGE_NAMES:
+            pre_result = ex.payload
+    return CompiledFunction(
+        variant=variant, func=work, pre_result=pre_result, report=report
+    )

@@ -10,54 +10,56 @@ Mirrors the paper's experimental protocol (Section 5.1):
   ISPRE baselines and an unoptimised control) compiles its own copy;
 * the *reference run* measures dynamic cost and per-expression counts.
 
-The pipeline never mutates its input function.
+The pipeline never mutates its input function.  The heavy lifting lives
+in :mod:`repro.passes` — :func:`compile_variant` is a compatibility
+wrapper over :func:`repro.passes.compiler.compile`, which additionally
+returns a structured :class:`~repro.passes.manager.PassReport` on every
+:class:`CompiledFunction`.
 """
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 
-from repro.baselines.ispre import run_ispre
-from repro.baselines.lcm import run_lcm
-from repro.baselines.mcpre import run_mc_pre
-from repro.core.mcssapre.driver import run_mc_ssapre
-from repro.core.ssapre.driver import run_ssapre
 from repro.ir.cfg import remove_unreachable_blocks
 from repro.ir.function import Function
 from repro.ir.transforms import restructure_while_loops, split_critical_edges
 from repro.ir.verifier import verify_function
+from repro.passes.compiler import (
+    VARIANTS,
+    CompiledFunction,
+    build_pipeline,
+)
+from repro.passes.compiler import (
+    compile as compile_func,
+)
 from repro.profiles.interp import RunResult, run_function
 from repro.profiles.profile import ExecutionProfile
-from repro.ssa.construct import construct_ssa
-from repro.ssa.destruct import destruct_ssa
-from repro.ssa.ssa_verifier import verify_ssa
-
-#: All PRE variants the pipeline can drive.
-VARIANTS = ("none", "ssapre", "ssapre-sp", "mc-ssapre", "mc-pre", "ispre", "lcm")
 
 #: The paper's three compiles (Table 1 / Table 2 columns).
 PAPER_VARIANTS = ("ssapre", "ssapre-sp", "mc-ssapre")
 
+__all__ = [
+    "VARIANTS",
+    "PAPER_VARIANTS",
+    "CompiledFunction",
+    "Measurement",
+    "Experiment",
+    "prepare",
+    "compile_variant",
+    "run_experiment",
+]
+
 
 def prepare(func: Function, restructure: bool = True) -> Function:
     """Normalise a non-SSA source function for optimisation and profiling."""
-    prepared = copy.deepcopy(func)
+    prepared = func.clone()
     remove_unreachable_blocks(prepared)
     if restructure:
         restructure_while_loops(prepared)
     split_critical_edges(prepared)
     verify_function(prepared)
     return prepared
-
-
-@dataclass
-class CompiledFunction:
-    """A compiled variant plus the optimisation report."""
-
-    variant: str
-    func: Function
-    pre_result: object | None = None
 
 
 def compile_variant(
@@ -76,57 +78,20 @@ def compile_variant(
 
     ``fold_constants`` runs SCCP before PRE; ``cleanup`` runs copy
     propagation + DCE after PRE (both SSA-variant only) — the neighbours
-    PRE sits between in a production pipeline.
+    PRE sits between in a production pipeline.  This is a thin wrapper
+    over :func:`repro.passes.compiler.compile` with the two flags
+    translated into pipeline stages.
     """
-    if variant not in VARIANTS:
-        raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
-    work = copy.deepcopy(prepared)
-    result: object | None = None
-
-    if variant in ("ssapre", "ssapre-sp", "mc-ssapre"):
-        construct_ssa(work)
-        if validate:
-            verify_ssa(work)
-        if fold_constants:
-            from repro.opt.sccp import sparse_conditional_constant_propagation
-
-            sparse_conditional_constant_propagation(work)
-            if validate:
-                verify_ssa(work)
-        if variant == "ssapre":
-            result = run_ssapre(work, speculate_loops=False, validate=validate)
-        elif variant == "ssapre-sp":
-            result = run_ssapre(work, speculate_loops=True, validate=validate)
-        else:
-            if profile is None:
-                raise ValueError("mc-ssapre requires an execution profile")
-            # MC-SSAPRE needs node frequencies only; enforce that here.
-            result = run_mc_ssapre(
-                work, profile.nodes_only(), validate=validate
-            )
-        if cleanup:
-            from repro.opt.copyprop import propagate_copies
-            from repro.opt.dce import eliminate_dead_code
-
-            propagate_copies(work)
-            eliminate_dead_code(work)
-            if validate:
-                verify_ssa(work)
-        destruct_ssa(work)
-    elif variant == "mc-pre":
-        if profile is None:
-            raise ValueError("mc-pre requires an execution profile")
-        result = run_mc_pre(work, profile, validate=validate)
-    elif variant == "ispre":
-        if profile is None:
-            raise ValueError("ispre requires an execution profile")
-        result = run_ispre(work, profile, validate=validate)
-    elif variant == "lcm":
-        result = run_lcm(work, validate=validate)
-
-    if validate:
-        verify_function(work)
-    return CompiledFunction(variant=variant, func=work, pre_result=result)
+    spec = build_pipeline(
+        variant, fold_constants=fold_constants, cleanup=cleanup
+    )
+    return compile_func(
+        prepared,
+        variant,
+        profile,
+        pipeline_spec=spec,
+        validate=validate,
+    )
 
 
 @dataclass

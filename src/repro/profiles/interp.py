@@ -27,7 +27,6 @@ from repro.ir.instructions import (
     BinOp,
     CondJump,
     Jump,
-    Output,
     Return,
     UnaryOp,
 )

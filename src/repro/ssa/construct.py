@@ -8,21 +8,36 @@ version stack per base name.  Parameters receive version 1 at entry.
 
 from __future__ import annotations
 
-from repro.analysis.domfrontier import dominance_frontiers, iterated_dominance_frontier
-from repro.analysis.dominators import DominatorTree
-from repro.analysis.liveness import compute_liveness
-from repro.ir.cfg import CFG
+from typing import TYPE_CHECKING
+
+from repro.analysis import (
+    cfg_of,
+    dominance_frontiers_of,
+    dominator_tree_of,
+    liveness_of,
+)
+from repro.analysis.domfrontier import iterated_dominance_frontier
 from repro.ir.function import Function
 from repro.ir.instructions import Assign, BinOp, Phi, UnaryOp
 from repro.ir.values import Const, Operand, Var
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.passes.cache import AnalysisCache
 
 
 class SSAConstructionError(Exception):
     """Raised on input that is already in SSA form or uses undefined vars."""
 
 
-def construct_ssa(func: Function) -> None:
-    """Rewrite *func* into pruned SSA form, in place."""
+def construct_ssa(func: Function, cache: "AnalysisCache | None" = None) -> None:
+    """Rewrite *func* into pruned SSA form, in place.
+
+    All required analyses (CFG, dominators, frontiers, liveness) are
+    fetched through *cache* when given, so a pipeline that already
+    computed them pays nothing here — and since phi insertion and
+    renaming leave the CFG shape untouched, the CFG-derived entries
+    remain valid for the passes that follow.
+    """
     for block in func:
         if block.phis:
             raise SSAConstructionError("input already contains phis")
@@ -30,10 +45,13 @@ def construct_ssa(func: Function) -> None:
             if isinstance(stmt, Assign) and stmt.target.version is not None:
                 raise SSAConstructionError("input already uses SSA versions")
 
-    cfg = CFG(func)
-    domtree = DominatorTree(cfg)
-    frontiers = dominance_frontiers(cfg, domtree)
-    liveness = compute_liveness(func, by_version=False)
+    from repro.passes.cache import AnalysisCache
+
+    cache = AnalysisCache.ensure(func, cache)
+    cfg = cfg_of(func, cache)
+    domtree = dominator_tree_of(func, cache)
+    frontiers = dominance_frontiers_of(func, cache)
+    liveness = liveness_of(func, cache=cache)
     reachable = set(domtree.rpo)
 
     # ------------------------------------------------------------------
@@ -137,3 +155,7 @@ def construct_ssa(func: Function) -> None:
         walk.append((label, True))
         for child in reversed(domtree.children[label]):
             walk.append((child, False))
+
+    # Phi insertion and renaming rewrote instructions (not the CFG):
+    # liveness-style analyses are now stale, dominators remain valid.
+    func.mark_code_mutated()

@@ -12,10 +12,15 @@ pipeline splits critical edges long before this point); this is asserted.
 
 from __future__ import annotations
 
-from repro.ir.cfg import CFG
+from typing import TYPE_CHECKING
+
+from repro.analysis import cfg_of
 from repro.ir.function import Function
-from repro.ir.instructions import Assign, BinOp, Phi, UnaryOp
-from repro.ir.values import Const, Operand, Var
+from repro.ir.instructions import Assign, BinOp, UnaryOp
+from repro.ir.values import Operand, Var
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.passes.cache import AnalysisCache
 
 
 def sequentialize_parallel_copies(
@@ -63,9 +68,9 @@ def _lower_operand(operand: Operand) -> Operand:
     return operand
 
 
-def destruct_ssa(func: Function) -> None:
+def destruct_ssa(func: Function, cache: "AnalysisCache | None" = None) -> None:
     """Rewrite *func* out of SSA form, in place."""
-    cfg = CFG(func)
+    cfg = cfg_of(func, cache)
 
     # 1. Lower phis into copies at predecessor ends.
     temp_counter = [0]
@@ -130,3 +135,6 @@ def destruct_ssa(func: Function) -> None:
             rebinds.append(Assign(_lowered_name(param), Var(param.name)))
     entry.body[:0] = rebinds
     func.params = [p.base for p in func.params]
+    # Phis were lowered to copies and every name rewritten — instruction
+    # mutation only, the CFG shape is untouched.
+    func.mark_code_mutated()

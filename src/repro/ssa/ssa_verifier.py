@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro.analysis.dominators import DominatorTree
 from repro.ir.cfg import CFG
 from repro.ir.function import Function
-from repro.ir.instructions import Assign, Phi
+from repro.ir.instructions import Assign
 from repro.ir.values import Var
 from repro.ir.verifier import VerificationError, verify_function
 

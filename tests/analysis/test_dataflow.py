@@ -5,8 +5,6 @@ anticipability are defined as universally-quantified path properties, so
 on a DAG they can be checked by brute force.
 """
 
-import itertools
-
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -18,7 +16,6 @@ from repro.analysis.dataflow import (
 from repro.bench.generator import ProgramSpec, generate_program
 from repro.ir.builder import FunctionBuilder
 from repro.ir.cfg import CFG
-from repro.ir.instructions import Assign, BinOp, UnaryOp
 
 
 class TestLocalProps:

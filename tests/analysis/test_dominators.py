@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.dominators import DominatorTree, dominators_naive
-from repro.ir.builder import FunctionBuilder
 from repro.ir.cfg import CFG
 from repro.ir.function import Function
 from repro.ir.instructions import CondJump, Jump, Return

@@ -8,9 +8,7 @@ from hypothesis import strategies as st
 
 from repro.baselines.mcpre import run_mc_pre
 from repro.bench.generator import ProgramSpec, generate_program, random_args
-from repro.pipeline import prepare
 from repro.profiles.interp import run_function
-from tests.conftest import build_while_loop
 from tests.core.test_optimality import normalize_counts
 
 

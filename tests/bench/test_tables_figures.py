@@ -3,8 +3,8 @@
 import pytest
 
 from repro.bench.comparison import compare_workload, render_comparison
-from repro.bench.figures import BarChart, EFGSizeDistribution, figure9, figure11
-from repro.bench.tables import Table, build_table, measure_workload
+from repro.bench.figures import EFGSizeDistribution, figure9, figure11
+from repro.bench.tables import Table, build_table
 from repro.bench.workloads import load_workload
 
 

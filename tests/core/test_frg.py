@@ -2,7 +2,6 @@
 
 from repro.core.ssapre.frg import (
     ExprClass,
-    PhiNode,
     build_frg,
     build_frgs,
     collect_expr_classes,

@@ -1,6 +1,5 @@
 """Tests for the min-cut step (7) and cut-driven WillBeAvail (step 8)."""
 
-from repro.analysis.dataflow import solve_pre_dataflow
 from repro.core.mcssapre.cut import solve_min_cut
 from repro.core.mcssapre.dataflow import solve_step3
 from repro.core.mcssapre.efg import build_efg

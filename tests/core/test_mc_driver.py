@@ -10,7 +10,7 @@ from repro.ir.transforms import split_critical_edges
 from repro.profiles.interp import run_function
 from repro.profiles.profile import ExecutionProfile
 from repro.ssa.construct import construct_ssa
-from tests.conftest import as_ssa, build_while_loop
+from tests.conftest import as_ssa
 
 
 class TestDriverContract:

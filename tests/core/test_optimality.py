@@ -10,8 +10,6 @@ Three independent angles:
    profile matches the measured run.
 """
 
-import copy
-
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -19,7 +17,6 @@ from repro.baselines.bruteforce import brute_force_optimum
 from repro.bench.generator import ProgramSpec, generate_program, random_args
 from repro.ir.ops import is_trapping
 from repro.pipeline import prepare, run_experiment
-from repro.profiles.interp import run_function
 
 
 from repro.profiles.counts import normalize_expr_counts as normalize_counts

@@ -5,8 +5,6 @@ on ANY input — not just the profiled one.  Speculative variants are
 allowed to lose on adversarial inputs; a test documents that too.
 """
 
-import copy
-
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

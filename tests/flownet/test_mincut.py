@@ -1,7 +1,5 @@
 """Min-cut extraction tests: validity, minimality, and side selection."""
 
-import random
-
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

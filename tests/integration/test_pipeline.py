@@ -1,18 +1,14 @@
 """Tests for the end-to-end pipeline module."""
 
-import copy
-
 import pytest
 
 from repro.pipeline import (
     PAPER_VARIANTS,
-    VARIANTS,
     compile_variant,
     prepare,
     run_experiment,
 )
 from repro.profiles.interp import run_function
-from tests.conftest import build_while_loop
 
 
 class TestPrepare:

@@ -86,3 +86,58 @@ def test_default_terminator_is_return():
     f = Function("f")
     block = f.add_block("entry")
     assert isinstance(block.terminator, Return)
+
+
+class TestClone:
+    def test_clone_is_deep_for_mutable_state(self, diamond):
+        from repro.ssa.construct import construct_ssa
+
+        construct_ssa(diamond)
+        clone = diamond.clone()
+        assert str(clone) == str(diamond)
+        assert clone.blocks is not diamond.blocks
+        for label in diamond.blocks:
+            orig, copy_ = diamond.blocks[label], clone.blocks[label]
+            assert orig is not copy_
+            assert orig.body is not copy_.body
+            assert all(a is not b for a, b in zip(orig.body, copy_.body))
+            assert all(a is not b for a, b in zip(orig.phis, copy_.phis))
+            assert orig.terminator is not copy_.terminator
+
+    def test_clone_matches_deepcopy_output(self, while_loop):
+        import copy
+
+        assert str(while_loop.clone()) == str(copy.deepcopy(while_loop))
+
+    def test_mutating_clone_leaves_original_untouched(self, while_loop):
+        clone = while_loop.clone()
+        clone.blocks["body"].body.clear()
+        clone.add_block("extra")
+        assert while_loop.blocks["body"].body
+        assert "extra" not in while_loop.blocks
+
+    def test_clone_rename_and_counters(self, diamond):
+        renamed = diamond.clone(name="other")
+        assert renamed.name == "other"
+        assert renamed.params == diamond.params
+        assert renamed.entry == diamond.entry
+        # A fresh label on the clone must not collide with existing ones.
+        label = renamed.add_block().label
+        assert label not in diamond.blocks
+
+
+class TestGenerations:
+    def test_add_and_remove_block_bump_cfg_generation(self, diamond):
+        cfg_gen, code_gen = diamond.cfg_generation, diamond.code_generation
+        diamond.add_block("g1")
+        assert diamond.cfg_generation > cfg_gen
+        assert diamond.code_generation > code_gen
+        cfg_gen = diamond.cfg_generation
+        diamond.remove_block("g1")
+        assert diamond.cfg_generation > cfg_gen
+
+    def test_code_generation_never_lags_cfg(self, diamond):
+        diamond.mark_code_mutated()
+        assert diamond.code_generation > diamond.cfg_generation - 1
+        diamond.mark_cfg_mutated()
+        assert diamond.code_generation >= diamond.cfg_generation

@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 
 from repro.bench.generator import ProgramSpec, generate_program, random_args
 from repro.ir.builder import FunctionBuilder
-from repro.ir.instructions import Assign, BinOp
 from repro.ir.values import Const, Var
 from repro.opt.copyprop import propagate_copies
 from repro.profiles.interp import run_function

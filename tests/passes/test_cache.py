@@ -1,0 +1,132 @@
+"""Analysis-cache semantics: hits, invalidation, staleness, warmth."""
+
+import pytest
+
+from repro.ir.instructions import Jump
+from repro.passes import (
+    CFG_ANALYSIS,
+    DOMTREE_ANALYSIS,
+    LIVENESS_ANALYSIS,
+    LOOPS_ANALYSIS,
+    PRESERVE_CFG,
+    AnalysisCache,
+    Pass,
+    PassManager,
+    StaleAnalysisError,
+)
+
+
+class _SplitTailPass(Pass):
+    """A CFG-mutating pass: diverts the entry through a fresh block."""
+
+    name = "split-tail"
+
+    def run(self, func, ctx):
+        entry = func.blocks[func.entry]
+        old_target = entry.terminator.target
+        fresh = func.add_block()
+        fresh.terminator = Jump(old_target)
+        entry.terminator = Jump(fresh.label)
+
+
+class _RenameNothingPass(Pass):
+    """A code-level pass that leaves the CFG shape alone."""
+
+    name = "rename-nothing"
+
+    def preserves(self):
+        return frozenset({PRESERVE_CFG})
+
+    def run(self, func, ctx):
+        pass
+
+
+def test_hit_and_miss_counters(while_loop):
+    cache = AnalysisCache(while_loop)
+    first = cache.get(DOMTREE_ANALYSIS)
+    second = cache.get(DOMTREE_ANALYSIS)
+    assert first is second
+    # domtree pulls cfg once; the second get is a pure hit.
+    assert cache.counters()["domtree"] == (1, 1)
+    assert cache.counters()["cfg"] == (0, 1)
+    third = cache.get(CFG_ANALYSIS)
+    assert third is cache.get(CFG_ANALYSIS)
+    assert cache.counters()["cfg"] == (2, 1)
+
+
+def test_cfg_mutation_invalidates_dominator_family(while_loop):
+    cache = AnalysisCache(while_loop)
+    domtree = cache.get(DOMTREE_ANALYSIS)
+    loops = cache.get(LOOPS_ANALYSIS)
+    liveness = cache.get(LIVENESS_ANALYSIS)
+
+    PassManager().run(while_loop, [_SplitTailPass()], cache=cache)
+
+    assert cache.peek(DOMTREE_ANALYSIS) is None
+    assert cache.peek(LOOPS_ANALYSIS) is None
+    assert cache.peek(LIVENESS_ANALYSIS) is None
+    assert cache.get(DOMTREE_ANALYSIS) is not domtree
+    assert cache.get(LOOPS_ANALYSIS) is not loops
+    assert cache.get(LIVENESS_ANALYSIS) is not liveness
+
+
+def test_stale_handle_raises(while_loop):
+    cache = AnalysisCache(while_loop)
+    handle = cache.handle(DOMTREE_ANALYSIS)
+    assert handle.value is cache.get(DOMTREE_ANALYSIS)
+
+    PassManager().run(while_loop, [_SplitTailPass()], cache=cache)
+
+    with pytest.raises(StaleAnalysisError, match="domtree.*stale"):
+        handle.value
+    assert handle.refresh().value is cache.get(DOMTREE_ANALYSIS)
+
+
+def test_preserving_pass_keeps_cfg_family_warm(while_loop):
+    cache = AnalysisCache(while_loop)
+    cache.get(DOMTREE_ANALYSIS)
+    cache.get(LOOPS_ANALYSIS)
+    hits_before = cache.total_hits()
+
+    PassManager().run(while_loop, [_RenameNothingPass()], cache=cache)
+
+    # CFG-family results survived the code-generation bump: pure hits.
+    cache.get(DOMTREE_ANALYSIS)
+    cache.get(LOOPS_ANALYSIS)
+    assert cache.total_hits() == hits_before + 2
+    assert cache.counters()["domtree"][1] == 1  # never recomputed
+    # Liveness depends on the code generation, which did move.
+    cache.get(LIVENESS_ANALYSIS)
+    PassManager().run(while_loop, [_RenameNothingPass()], cache=cache)
+    assert cache.peek(LIVENESS_ANALYSIS) is None
+
+
+def test_direct_mutation_invalidates_without_manager(while_loop):
+    """Library transforms self-report: no pass manager involved."""
+    cache = AnalysisCache(while_loop)
+    cfg = cache.get(CFG_ANALYSIS)
+    while_loop.mark_code_mutated()
+    assert cache.get(CFG_ANALYSIS) is cfg  # CFG keyed on cfg generation
+    while_loop.add_block("orphan")
+    assert cache.peek(CFG_ANALYSIS) is None
+    while_loop.remove_block("orphan")
+
+
+def test_ensure_rejects_foreign_cache(while_loop, diamond):
+    cache = AnalysisCache(while_loop)
+    assert AnalysisCache.ensure(while_loop, cache) is cache
+    fresh = AnalysisCache.ensure(diamond, None)
+    assert fresh.func is diamond
+    with pytest.raises(ValueError, match="bound to function"):
+        AnalysisCache.ensure(diamond, cache)
+
+
+def test_explicit_invalidate(while_loop):
+    cache = AnalysisCache(while_loop)
+    cache.get(DOMTREE_ANALYSIS)
+    cache.get(CFG_ANALYSIS)
+    cache.invalidate("domtree")
+    assert cache.peek(DOMTREE_ANALYSIS) is None
+    assert cache.peek(CFG_ANALYSIS) is not None
+    cache.invalidate()
+    assert cache.peek(CFG_ANALYSIS) is None

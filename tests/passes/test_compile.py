@@ -1,0 +1,114 @@
+"""The single compile() entry point across all variants."""
+
+import pytest
+
+from repro.passes import VARIANTS, CompiledFunction, build_pipeline, compile
+from repro.passes.base import PassError
+from repro.passes.stages import GVNPass
+from repro.pipeline import prepare
+from repro.profiles.interp import run_function
+from tests.conftest import small_generated
+
+
+def _prepared(seed=7):
+    prog, train_args, ref_args = small_generated(seed)
+    prepared = prepare(prog.func)
+    train = run_function(prepared, train_args)
+    return prepared, train, ref_args
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_every_variant_compiles_and_preserves_semantics(variant):
+    prepared, train, ref_args = _prepared()
+    expected = run_function(prepared, ref_args).observable()
+    compiled = compile(prepared, variant, train.profile, validate=True)
+    assert isinstance(compiled, CompiledFunction)
+    assert compiled.variant == variant
+    assert compiled.report is not None
+    assert run_function(compiled.func, ref_args).observable() == expected
+
+
+def test_compile_never_mutates_its_input():
+    prepared, train, _ = _prepared()
+    before = prepared.statement_count()
+    compile(prepared, "mc-ssapre", train.profile)
+    assert prepared.statement_count() == before
+
+
+def test_unknown_variant_and_missing_profile_raise():
+    prepared, _, _ = _prepared()
+    with pytest.raises(ValueError, match="unknown variant"):
+        compile(prepared, "sspre")
+    for variant in ("mc-ssapre", "mc-pre", "ispre"):
+        with pytest.raises(ValueError, match="requires an execution profile"):
+            compile(prepared, variant)
+
+
+def test_pre_stage_reuses_construct_ssa_analyses():
+    """The cache hit the refactor exists for: SSA construction computes
+    the dominator tree; SSAPRE's FRG construction reuses it instead of
+    recomputing."""
+    prepared, train, _ = _prepared()
+    report = compile(prepared, "ssapre", train.profile).report
+    construct = report.execution("construct-ssa")
+    pre = report.execution("ssapre")
+    assert construct.cache_misses >= 3  # cfg + domtree + domfrontier
+    assert pre.cache_hits >= 3
+    assert pre.cache_misses == 0
+    hits, misses = report.cache_counters["domtree"]
+    assert misses == 1  # computed exactly once for the whole pipeline
+    assert hits >= 1
+
+
+def test_clone_time_is_recorded():
+    prepared, train, _ = _prepared()
+    report = compile(prepared, "ssapre", train.profile).report
+    assert report.clone_time > 0
+    assert report.total_time >= report.clone_time
+
+
+def test_pipeline_spec_override_runs_custom_stages():
+    prepared, train, ref_args = _prepared()
+    expected = run_function(prepared, ref_args).observable()
+    compiled = compile(
+        prepared,
+        "ssapre",
+        train.profile,
+        pipeline_spec=[
+            "construct-ssa", GVNPass(), "ssapre", "dce", "destruct-ssa",
+        ],
+    )
+    names = [ex.name for ex in compiled.report.executions]
+    assert names == ["construct-ssa", "gvn", "ssapre", "dce", "destruct-ssa"]
+    assert run_function(compiled.func, ref_args).observable() == expected
+    assert compiled.pre_result is not None
+
+
+def test_unknown_stage_name_raises():
+    prepared, _, _ = _prepared()
+    with pytest.raises(PassError, match="unknown pipeline stage"):
+        compile(prepared, "ssapre", pipeline_spec=["construct-ssa", "pre"])
+
+
+def test_build_pipeline_shapes():
+    assert build_pipeline("none") == []
+    assert [p.name for p in build_pipeline("lcm")] == ["lcm"]
+    assert [p.name for p in build_pipeline("ssapre")] == [
+        "construct-ssa", "ssapre", "destruct-ssa",
+    ]
+    assert [p.name for p in build_pipeline(
+        "mc-ssapre", fold_constants=True, cleanup=True
+    )] == [
+        "construct-ssa", "sccp", "mc-ssapre", "copyprop", "dce",
+        "destruct-ssa",
+    ]
+    with pytest.raises(ValueError):
+        build_pipeline("nope")
+
+
+def test_verify_each_end_to_end():
+    prepared, train, _ = _prepared()
+    compiled = compile(
+        prepared, "mc-ssapre", train.profile, verify_each=True
+    )
+    assert compiled.report.verified

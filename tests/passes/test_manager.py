@@ -1,0 +1,93 @@
+"""PassManager observability and the verify-between-passes mode."""
+
+import json
+
+import pytest
+
+from repro.ir.instructions import Assign
+from repro.passes import (
+    Pass,
+    PassManager,
+    PassReport,
+    PassVerificationError,
+)
+from repro.passes.stages import ConstructSSAPass, DestructSSAPass
+
+
+class _BreakSSAPass(Pass):
+    """Deliberately redefines an SSA version (a broken transform)."""
+
+    name = "break-ssa"
+
+    def run(self, func, ctx):
+        block = func.blocks[func.entry]
+        target = None
+        for stmt in block.body:
+            if isinstance(stmt, Assign):
+                target = stmt.target
+                break
+        assert target is not None
+        block.body.append(Assign(target, target))
+
+
+class _CountingPass(Pass):
+    name = "counting"
+
+    def run(self, func, ctx):
+        return 42
+
+
+def test_report_records_sizes_times_and_payloads(while_loop):
+    report = PassManager().run(
+        while_loop,
+        [ConstructSSAPass(), _CountingPass(), DestructSSAPass()],
+        variant="unit",
+    )
+    assert isinstance(report, PassReport)
+    assert [ex.name for ex in report.executions] == [
+        "construct-ssa",
+        "counting",
+        "destruct-ssa",
+    ]
+    construct = report.execution("construct-ssa")
+    assert construct.wall_time >= 0
+    assert construct.blocks_before == construct.blocks_after
+    assert construct.stmts_after >= construct.stmts_before
+    assert report.execution("counting").payload == 42
+    assert report.total_time >= sum(ex.wall_time for ex in report.executions)
+    with pytest.raises(KeyError):
+        report.execution("nonexistent")
+
+
+def test_report_serialises_to_json(while_loop):
+    report = PassManager().run(
+        while_loop, [ConstructSSAPass(), DestructSSAPass()], variant="unit"
+    )
+    data = json.loads(report.to_json())
+    assert data["function"] == while_loop.name
+    assert data["variant"] == "unit"
+    assert [p["pass"] for p in data["passes"]] == [
+        "construct-ssa",
+        "destruct-ssa",
+    ]
+    for entry in data["passes"]:
+        assert set(entry) >= {
+            "wall_ms", "blocks", "statements", "cache_hits", "cache_misses",
+        }
+    assert "cfg" in data["cache"]
+    rendered = report.render()
+    assert "construct-ssa" in rendered
+    assert "cache" in rendered
+
+
+def test_verify_each_names_the_offending_pass(while_loop):
+    manager = PassManager(verify_each=True)
+    with pytest.raises(PassVerificationError, match="'break-ssa'"):
+        manager.run(while_loop, [ConstructSSAPass(), _BreakSSAPass()])
+
+
+def test_verify_each_passes_clean_pipeline(while_loop):
+    report = PassManager(verify_each=True).run(
+        while_loop, [ConstructSSAPass(), DestructSSAPass()]
+    )
+    assert report.verified

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.ir.builder import FunctionBuilder
-from repro.ir.instructions import Assign, BinOp, Phi
+from repro.ir.instructions import Assign, BinOp
 from repro.ir.values import Var
 from repro.ir.verifier import VerificationError
 from repro.ssa.construct import construct_ssa
