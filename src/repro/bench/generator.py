@@ -1,15 +1,24 @@
 """Seeded random generator of structured, terminating IR programs.
 
-Drives both the property-based tests (arbitrary programs with known-safe
-shape) and the SPEC-like synthetic suite (:mod:`repro.bench.workloads`).
+Drives the property-based tests (arbitrary programs with known-safe
+shape), the SPEC-like synthetic suite (:mod:`repro.bench.workloads`) and
+the differential-testing harness (:mod:`repro.check`).
 
-Guarantees, by construction:
+Termination guarantees, by construction:
 
-* every generated program terminates — all loops are counting loops whose
-  bound is a masked value (``(x & mask) + base``) and whose counter and
-  bound variables are reserved names the body never writes;
+* every generated program terminates — all loops are *counting loops*
+  whose bound is a masked value (``(x & mask) + base`` with ``base >= 1``,
+  so every trip count is a finite non-negative integer) and whose counter
+  and bound variables are reserved names (``liN``/``lbN``) that the loop
+  body never writes; the only writes are the scaffold's init and the
+  ``i = add i, 1`` increment;
+* trapping operators (``div``/``mod``) never threaten termination or the
+  interpreter: their semantics are *total* (division by zero yields 0, see
+  :mod:`repro.ir.ops`) — the ``trapping`` flag only restricts what the
+  speculative PRE variants may hoist;
 * every variable is defined before use on every path (locals are
-  initialised at entry);
+  initialised at entry; loop counters are readable inside their own body
+  only);
 * control flow is reducible and branch conditions are data-dependent, so
   different inputs produce genuinely different profiles (train vs ref);
 * a configurable set of *hot expressions* recurs throughout the program —
@@ -21,6 +30,29 @@ branch-heavy with shallow loops; CFP-like programs are loop-heavy with
 deeper nests, longer trip counts, FP-flavoured operators and a higher
 density of invariant expressions (which is why loop-based speculation
 closes more of the gap there, mirroring the paper's Tables 1 and 2).
+
+Trapping-op density
+-------------------
+
+Two schemes control how often a statement applies a trapping operator:
+
+* the legacy two-roll scheme (``trapping_density=None``, the default):
+  a statement first rolls for a hot expression (``hot_prob``), and only a
+  *failed* hot roll may then roll for a trapping op (``trapping_prob``) —
+  so the effective per-statement density is roughly
+  ``(1 - output_prob) * (1 - hot_prob) * trapping_prob``.  This scheme is
+  kept as the default because its exact random-stream consumption defines
+  the canonical benchmark suite;
+* the explicit scheme (``trapping_density=d``): a single roll partitions
+  the non-output statement space into ``[0, d)`` trapping,
+  ``[d, d + (1-d)*hot_prob)`` hot and the rest generic, making ``d`` the
+  exact conditional probability that a computation statement traps.
+
+Independently, ``trapping_hot_prob`` lets *hot expressions themselves* be
+trapping (drawn from ``trapping_ops``), which manufactures partially
+redundant trapping computations — the scenario the safety oracle of
+:mod:`repro.check` exists to police.  Both knobs default to "off" and
+consume no randomness when off, preserving every existing seed's program.
 """
 
 from __future__ import annotations
@@ -57,12 +89,32 @@ class ProgramSpec:
     hot_exprs: int = 4
     hot_prob: float = 0.55
     output_prob: float = 0.10
+    #: Legacy trapping roll, taken only after a failed hot roll (see the
+    #: module docstring for the effective density formula).
     trapping_prob: float = 0.03
+    #: When set, the *exact* conditional probability that a computation
+    #: statement applies a trapping operator (single-roll scheme).
+    trapping_density: float | None = None
+    #: Probability that each chosen hot expression uses a trapping op.
+    trapping_hot_prob: float = 0.0
+    #: The trapping operators the two knobs above draw from.
+    trapping_ops: tuple[str, ...] = ("div", "mod")
     fp_flavor: bool = False
     stable_fraction: float = 0.5
 
     def family_ops(self) -> list[str]:
         return FP_OPS if self.fp_flavor else INT_OPS
+
+    def effective_trapping_density(self) -> float:
+        """The per-computation-statement probability of a trapping op.
+
+        Exact under the explicit scheme; the legacy two-roll estimate
+        otherwise (hot expressions themselves may add more via
+        ``trapping_hot_prob``).
+        """
+        if self.trapping_density is not None:
+            return self.trapping_density
+        return (1.0 - self.hot_prob) * self.trapping_prob
 
 
 @dataclass
@@ -116,7 +168,14 @@ class _Generator:
             pool = self.stable_vars if self.rng.random() < 0.8 else self.all_vars
             x = self.rng.choice(pool)
             y = self.rng.choice(pool)
-            self.hot.append((self.rng.choice(ops), x, y))
+            op = self.rng.choice(ops)
+            # Extra roll only when the knob is on, so default-configured
+            # specs replay the exact historical random stream.
+            if spec.trapping_hot_prob > 0 and (
+                self.rng.random() < spec.trapping_hot_prob
+            ):
+                op = self.rng.choice(list(spec.trapping_ops))
+            self.hot.append((op, x, y))
 
         self._region(spec.max_depth)
         if spec.max_depth > 0 and self.loop_counter == 0:
@@ -155,15 +214,35 @@ class _Generator:
             b.output(rng.choice(self.all_vars))
             return
         target = rng.choice(self.mutable_vars)
+        if spec.trapping_density is not None:
+            # Explicit scheme: one roll, exact trapping density.
+            roll = rng.random()
+            hot_cut = spec.trapping_density + (
+                (1.0 - spec.trapping_density) * spec.hot_prob
+            )
+            if roll < spec.trapping_density:
+                self._trapping_statement(target)
+            elif roll < hot_cut and self.hot:
+                op, x, y = rng.choice(self.hot)
+                b.assign(target, op, x, y)
+            else:
+                b.assign(target, rng.choice(spec.family_ops()),
+                         rng.choice(self.all_vars), rng.choice(self.all_vars))
+            return
+        # Legacy two-roll scheme (canonical benchmark suite stream).
         if rng.random() < spec.hot_prob and self.hot:
             op, x, y = rng.choice(self.hot)
             b.assign(target, op, x, y)
         elif rng.random() < spec.trapping_prob:
-            b.assign(target, rng.choice(TRAPPING_OPS),
-                     rng.choice(self.all_vars), rng.choice(self.all_vars))
+            self._trapping_statement(target)
         else:
             b.assign(target, rng.choice(spec.family_ops()),
                      rng.choice(self.all_vars), rng.choice(self.all_vars))
+
+    def _trapping_statement(self, target: str) -> None:
+        rng = self.rng
+        self.builder.assign(target, rng.choice(list(self.spec.trapping_ops)),
+                            rng.choice(self.all_vars), rng.choice(self.all_vars))
 
     def _branch(self, depth: int) -> None:
         b = self.builder

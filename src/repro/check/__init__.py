@@ -1,0 +1,55 @@
+"""Differential testing, optimality oracles and test-case reduction.
+
+The correctness backstop of the repository (see ``docs/CHECKING.md``):
+
+* :mod:`repro.check.oracles` — executable predicates for the paper's
+  claims (semantic equivalence, computational optimality, lifetime
+  optimality, speculation safety);
+* :mod:`repro.check.driver` — the seeded fuzz loop that builds cases
+  from :mod:`repro.bench.generator` and runs the oracles over every
+  compile variant;
+* :mod:`repro.check.reducer` — delta-debugging shrinker that turns a
+  failing case into a minimal ``.ir`` reproducer;
+* :mod:`repro.check.corpus` — replayable failure artifacts under
+  ``results/check/``;
+* :mod:`repro.check.cli` — the ``python -m repro.check`` entry point.
+"""
+
+from repro.check.driver import (
+    SHAPES,
+    CaseResult,
+    DriverStats,
+    build_case,
+    check_case,
+    failure_predicate,
+    run_case,
+    run_driver,
+    spec_for_shape,
+)
+from repro.check.oracles import (
+    ORACLE_NAMES,
+    ORACLES,
+    CheckCase,
+    OracleFailure,
+    OracleReport,
+)
+from repro.check.reducer import ReductionResult, reduce_function
+
+__all__ = [
+    "SHAPES",
+    "ORACLE_NAMES",
+    "ORACLES",
+    "CaseResult",
+    "CheckCase",
+    "DriverStats",
+    "OracleFailure",
+    "OracleReport",
+    "ReductionResult",
+    "build_case",
+    "check_case",
+    "failure_predicate",
+    "reduce_function",
+    "run_case",
+    "run_driver",
+    "spec_for_shape",
+]

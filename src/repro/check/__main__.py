@@ -1,0 +1,5 @@
+"""``python -m repro.check`` dispatches to :mod:`repro.check.cli`."""
+
+from repro.check.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,136 @@
+"""Failure corpus: durable, replayable artifacts under ``results/check/``.
+
+Every failing case produces two files named by its identity
+``seed<seed>_<shape>_<oracle>_<kind>_<variant>``:
+
+* ``<slug>.json`` — the machine-readable record: the generator seed and
+  shape (enough to regenerate the program bit-for-bit), the oracle
+  transcript (every failure the case produced), and the reduction audit
+  trail;
+* ``<slug>.ir``   — the shrunk function in textual IR, parseable by
+  :mod:`repro.lang.parser` and guaranteed structurally identical to the
+  in-memory function that failed.
+
+A whole run additionally writes ``summary.json`` (schema documented in
+``docs/CHECKING.md`` and pinned by ``tests/check/test_cli.py``).
+
+:func:`replay_artifact` closes the loop: given a ``.json`` artifact it
+re-runs the stored seed through the driver and reports whether the same
+``(oracle, kind, variant)`` failure reappears — the determinism contract
+the whole corpus rests on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.check.driver import CaseResult, run_case
+from repro.check.oracles import OracleFailure, VariantFn
+from repro.check.reducer import ReductionResult
+from repro.ir.printer import format_function
+
+#: Version of the artifact / summary JSON layout.
+SCHEMA_VERSION = 1
+
+#: Default artifact directory, relative to the repository root.
+DEFAULT_OUT_DIR = Path("results") / "check"
+
+
+def failure_slug(result: CaseResult, failure: OracleFailure) -> str:
+    """Filesystem-safe identity of one failure."""
+    variant = failure.variant.replace("/", "-")
+    return (
+        f"seed{result.seed}_{result.shape}_{failure.oracle}"
+        f"_{failure.kind}_{variant}"
+    )
+
+
+def write_failure_artifact(
+    out_dir: Path | str,
+    result: CaseResult,
+    failure: OracleFailure,
+    reduction: ReductionResult | None = None,
+) -> Path:
+    """Persist one failure (and its reduction, if any); returns the .json."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    slug = failure_slug(result, failure)
+
+    original_ir = (
+        format_function(result.case.source) if result.case is not None else None
+    )
+    record = {
+        "schema": SCHEMA_VERSION,
+        "seed": result.seed,
+        "shape": result.shape,
+        "oracle": failure.oracle,
+        "variant": failure.variant,
+        "kind": failure.kind,
+        "detail": failure.detail,
+        "transcript": [f.to_dict() for f in result.failures],
+        "original_ir": original_ir,
+        "reduced_ir": reduction.ir_text if reduction else None,
+        "reduction": (
+            {
+                "blocks": reduction.blocks,
+                "statements": reduction.statements,
+                "rounds": reduction.rounds,
+                "attempts": reduction.attempts,
+                "accepted": reduction.accepted,
+                "trail": [list(step) for step in reduction.trail],
+            }
+            if reduction
+            else None
+        ),
+        "replay": (
+            f"python -m repro.check --replay {out_dir / (slug + '.json')}"
+        ),
+    }
+    json_path = out_dir / f"{slug}.json"
+    json_path.write_text(json.dumps(record, indent=2) + "\n")
+    ir_text = record["reduced_ir"] or original_ir
+    if ir_text is not None:
+        (out_dir / f"{slug}.ir").write_text(ir_text + "\n")
+    return json_path
+
+
+def write_summary(
+    out_dir: Path | str, summary: dict
+) -> Path:
+    """Write the run summary (the same dict ``--json`` prints)."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / "summary.json"
+    path.write_text(json.dumps(summary, indent=2) + "\n")
+    return path
+
+
+def replay_artifact(
+    path: Path | str,
+    *,
+    extra_variants: dict[str, VariantFn] | None = None,
+) -> tuple[bool, CaseResult]:
+    """Re-run a stored failure from its seed; True = it reproduced.
+
+    Failures of injected (out-of-tree) variants need the same
+    ``extra_variants`` mapping that produced them — the artifact stores
+    the variant *name*, not the code.
+    """
+    record = json.loads(Path(path).read_text())
+    oracle = record["oracle"]
+    # Compile failures surface during the build itself, before any oracle.
+    oracles = (oracle,) if oracle != "compile" else ()
+    result = run_case(
+        record["seed"],
+        record["shape"],
+        oracles=oracles,
+        extra_variants=extra_variants,
+    )
+    reproduced = any(
+        f.oracle == oracle
+        and f.kind == record["kind"]
+        and f.variant == record["variant"]
+        for f in result.failures
+    )
+    return reproduced, result

@@ -1,0 +1,389 @@
+"""The seeded fuzz loop: generate → compile every variant → run oracles.
+
+One *case* is one generated program (:mod:`repro.bench.generator`) in one
+of two shapes — ``cint`` (branch-heavy, shallow loops, integer ops) or
+``cfp`` (loop-heavy, FP-flavoured, invariant-dense) — with trapping
+operators enabled, so speculation safety is genuinely at stake.  The
+driver compiles all variants through the single
+:func:`repro.passes.compiler.compile` entry point with verification on,
+classifies anything that goes wrong before the oracles even run
+(``crash`` vs ``verifier-reject``, attributed to the failing pass via the
+:class:`~repro.passes.manager.PassReport`), executes every compiled
+function on shared inputs, and hands the assembled
+:class:`~repro.check.oracles.CheckCase` to the requested oracles.
+
+Everything is deterministic in ``(seed, shape)``: the program, the
+argument vectors, and therefore every compile and run.  That is what lets
+a stored failure replay years later from two integers and a string.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.bench.generator import (
+    ProgramSpec,
+    generate_program,
+    perturbed_args,
+    random_args,
+)
+from repro.ir.function import Function
+from repro.ir.verifier import VerificationError, verify_function
+from repro.passes.compiler import VARIANTS, compile as compile_func
+from repro.pipeline import prepare
+from repro.profiles.interp import InterpreterError, run_function
+from repro.check.oracles import (
+    DEFAULT_MAX_STEPS,
+    ORACLE_NAMES,
+    ORACLES,
+    CheckCase,
+    OracleFailure,
+    OracleReport,
+    VariantFn,
+)
+
+#: The two program families the harness fuzzes (paper Tables 1 and 2).
+SHAPES = ("cint", "cfp")
+
+#: Inputs per case: index 0 trains the profile, the rest are ref-like.
+DEFAULT_INPUTS = 3
+
+
+def spec_for_shape(shape: str, seed: int) -> ProgramSpec:
+    """The generator spec of one fuzz case.
+
+    Unlike the benchmark suite specs (:mod:`repro.bench.workloads`),
+    these keep programs small enough that hundreds of cases compile and
+    run in seconds, and they turn the trapping knobs *up*: an explicit
+    trapping density plus trapping hot expressions, so partially
+    redundant ``div``/``mod`` — the expressions the safety guarantee is
+    about — occur in nearly every program.
+    """
+    if shape == "cint":
+        return ProgramSpec(
+            name=f"cint{seed}",
+            seed=seed,
+            params=3,
+            locals_count=6,
+            region_length=5,
+            max_depth=2,
+            branch_weight=0.38,
+            loop_weight=0.16,
+            loop_mask_bits=4,
+            loop_base=3,
+            hot_exprs=5,
+            hot_prob=0.45,
+            trapping_density=0.08,
+            trapping_hot_prob=0.25,
+            fp_flavor=False,
+            stable_fraction=0.5,
+        )
+    if shape == "cfp":
+        return ProgramSpec(
+            name=f"cfp{seed}",
+            seed=seed,
+            params=3,
+            locals_count=6,
+            region_length=4,
+            max_depth=2,
+            branch_weight=0.14,
+            loop_weight=0.34,
+            loop_mask_bits=5,
+            loop_base=5,
+            hot_exprs=6,
+            hot_prob=0.5,
+            trapping_density=0.05,
+            trapping_hot_prob=0.20,
+            fp_flavor=True,
+            stable_fraction=0.65,
+        )
+    raise ValueError(f"unknown shape {shape!r}; expected one of {SHAPES}")
+
+
+def case_inputs(spec: ProgramSpec, n_inputs: int = DEFAULT_INPUTS) -> list[list[int]]:
+    """Deterministic argument vectors; index 0 is the training vector."""
+    train = random_args(spec, seed=101)
+    inputs = [train]
+    for i in range(1, n_inputs):
+        if i % 2:  # a correlated "ref" input (profile roughly transfers)
+            inputs.append(perturbed_args(spec, train, seed=200 + i))
+        else:  # an independent input (profile may mispredict)
+            inputs.append(random_args(spec, seed=300 + i))
+    return inputs
+
+
+@dataclass
+class CaseResult:
+    """Everything one ``(seed, shape)`` case produced."""
+
+    seed: int
+    shape: str
+    case: CheckCase | None  # None when the control itself failed
+    compile_failures: list[OracleFailure] = field(default_factory=list)
+    reports: list[OracleReport] = field(default_factory=list)
+    skipped: str | None = None  # reason the case was not checkable
+
+    @property
+    def failures(self) -> list[OracleFailure]:
+        out = list(self.compile_failures)
+        for report in self.reports:
+            out.extend(report.failures)
+        return out
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+
+def build_case(
+    seed: int,
+    shape: str,
+    *,
+    spec: ProgramSpec | None = None,
+    source: Function | None = None,
+    n_inputs: int = DEFAULT_INPUTS,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    variants: tuple[str, ...] = VARIANTS,
+    extra_variants: dict[str, VariantFn] | None = None,
+) -> CaseResult:
+    """Generate, prepare, profile and compile one case.
+
+    ``extra_variants`` maps a name to a callable ``(prepared_clone,
+    profile) -> Function`` — the hook the reducer tests use to inject a
+    deliberately broken transformation, and the way an out-of-tree pass
+    can ride the whole harness.  The returned :class:`CaseResult` has
+    ``case=None`` (with ``skipped`` set) when the *control* could not be
+    built or run — that is a generator/interpreter budget problem, not an
+    optimiser bug, so it is reported as a skip rather than a failure.
+    """
+    result = CaseResult(seed=seed, shape=shape, case=None)
+    spec = spec or spec_for_shape(shape, seed)
+    try:
+        source = source if source is not None else generate_program(spec).func
+        prepared = prepare(source)
+        inputs = case_inputs(spec, n_inputs)
+        control_runs = [
+            run_function(prepared, args, max_steps=max_steps) for args in inputs
+        ]
+    except (InterpreterError, VerificationError, ValueError) as exc:
+        result.skipped = f"control failed: {exc!r}"
+        return result
+
+    profile = control_runs[0].profile
+    compiled: dict[str, Function] = {}
+    for variant in variants:
+        try:
+            out = compile_func(prepared, variant, profile, validate=True)
+            verify_function(out.func)
+            compiled[variant] = out.func
+        except VerificationError as exc:
+            result.compile_failures.append(
+                OracleFailure("compile", variant, "verifier-reject", repr(exc))
+            )
+        except Exception as exc:  # noqa: BLE001 - any crash is a finding
+            result.compile_failures.append(
+                OracleFailure("compile", variant, "crash", repr(exc))
+            )
+    for name, fn in (extra_variants or {}).items():
+        try:
+            out_func = fn(prepared.clone(), profile)
+            verify_function(out_func)
+            compiled[name] = out_func
+        except VerificationError as exc:
+            result.compile_failures.append(
+                OracleFailure("compile", name, "verifier-reject", repr(exc))
+            )
+        except Exception as exc:  # noqa: BLE001
+            result.compile_failures.append(
+                OracleFailure("compile", name, "crash", repr(exc))
+            )
+
+    variant_runs: dict[str, list] = {}
+    for name, func in compiled.items():
+        runs: list = []
+        for i, args in enumerate(inputs):
+            try:
+                runs.append(run_function(func, args, max_steps=max_steps))
+            except Exception as exc:  # noqa: BLE001
+                runs.append(None)
+                result.compile_failures.append(
+                    OracleFailure(
+                        "compile", name, "crash",
+                        f"run on input #{i} {args}: {exc!r}",
+                    )
+                )
+        variant_runs[name] = runs
+
+    result.case = CheckCase(
+        seed=seed,
+        shape=shape,
+        spec=spec,
+        source=source,
+        prepared=prepared,
+        inputs=inputs,
+        profile=profile,
+        control_runs=control_runs,
+        compiled=compiled,
+        variant_runs=variant_runs,
+        max_steps=max_steps,
+    )
+    return result
+
+
+def check_case(
+    result: CaseResult, oracles: tuple[str, ...] = ORACLE_NAMES
+) -> CaseResult:
+    """Run the requested oracles over an already-built case, in place."""
+    if result.case is None:
+        return result
+    for name in oracles:
+        oracle = ORACLES.get(name)
+        if oracle is None:
+            raise ValueError(f"unknown oracle {name!r}; known: {ORACLE_NAMES}")
+        result.reports.append(oracle(result.case))
+    return result
+
+
+def run_case(
+    seed: int,
+    shape: str,
+    *,
+    oracles: tuple[str, ...] = ORACLE_NAMES,
+    **build_kwargs,
+) -> CaseResult:
+    """``build_case`` + ``check_case`` in one deterministic call.
+
+    This is the replay entry point: a stored failure is reproduced by
+    calling this with its recorded seed/shape (and, for injected-variant
+    findings, the same ``extra_variants``).
+    """
+    return check_case(build_case(seed, shape, **build_kwargs), oracles)
+
+
+def failure_predicate(
+    seed: int,
+    shape: str,
+    failure: OracleFailure,
+    *,
+    n_inputs: int = DEFAULT_INPUTS,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    extra_variants: dict[str, VariantFn] | None = None,
+):
+    """A reducer predicate: does this exact failure reproduce on a
+    candidate source function?
+
+    "Exact" means the same ``(oracle, kind, variant)`` triple — the
+    detail string legitimately changes as the program shrinks.  The
+    candidate replaces the generated program but keeps the case's seed,
+    shape and therefore argument vectors, so a reduced artifact replays
+    through the very pipeline that caught the original.
+    """
+    oracles = (failure.oracle,) if failure.oracle != "compile" else ()
+
+    def predicate(func: Function) -> bool:
+        result = run_case(
+            seed,
+            shape,
+            oracles=oracles,
+            source=func,
+            n_inputs=n_inputs,
+            max_steps=max_steps,
+            extra_variants=extra_variants,
+        )
+        return any(
+            f.oracle == failure.oracle
+            and f.kind == failure.kind
+            and f.variant == failure.variant
+            for f in result.failures
+        )
+
+    return predicate
+
+
+@dataclass
+class DriverStats:
+    """Aggregate statistics over one fuzz run."""
+
+    cases: int = 0
+    skipped: int = 0
+    #: oracle name -> [checks, failures] (includes the synthetic
+    #: "compile" oracle for pre-oracle crashes and verifier rejects).
+    per_oracle: dict[str, list[int]] = field(default_factory=dict)
+    #: failure kind -> count (crash / verifier-reject / divergence / ...).
+    by_kind: dict[str, int] = field(default_factory=dict)
+    wall_time_s: float = 0.0
+
+    def record(self, result: CaseResult) -> None:
+        self.cases += 1
+        if result.skipped is not None:
+            self.skipped += 1
+            return
+        compile_stats = self.per_oracle.setdefault("compile", [0, 0])
+        compile_stats[0] += len(result.case.compiled) if result.case else 0
+        compile_stats[1] += len(result.compile_failures)
+        for report in result.reports:
+            stats = self.per_oracle.setdefault(report.name, [0, 0])
+            stats[0] += report.checks
+            stats[1] += len(report.failures)
+        for failure in result.failures:
+            self.by_kind[failure.kind] = self.by_kind.get(failure.kind, 0) + 1
+
+    @property
+    def failures(self) -> int:
+        return sum(f for _, f in self.per_oracle.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "cases": self.cases,
+            "skipped": self.skipped,
+            "failures": self.failures,
+            "per_oracle": {
+                name: {"checks": checks, "failures": fails}
+                for name, (checks, fails) in sorted(self.per_oracle.items())
+            },
+            "by_kind": dict(sorted(self.by_kind.items())),
+            "wall_time_s": round(self.wall_time_s, 3),
+        }
+
+
+def run_driver(
+    seeds: int | list[int],
+    shapes: tuple[str, ...] = SHAPES,
+    oracles: tuple[str, ...] = ORACLE_NAMES,
+    *,
+    seed_base: int = 0,
+    n_inputs: int = DEFAULT_INPUTS,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    extra_variants: dict[str, VariantFn] | None = None,
+    on_case=None,
+) -> tuple[DriverStats, list[CaseResult]]:
+    """Fuzz ``seeds`` × ``shapes`` cases and aggregate statistics.
+
+    Returns the stats plus every *failing* case result (passing cases are
+    counted but not kept, so a long run stays O(failures) in memory).
+    ``on_case`` is an optional progress callback receiving each
+    :class:`CaseResult` as it finishes.
+    """
+    if isinstance(seeds, int):
+        seeds = [seed_base + i for i in range(seeds)]
+    stats = DriverStats()
+    failing: list[CaseResult] = []
+    t0 = time.perf_counter()
+    for shape in shapes:
+        for seed in seeds:
+            result = run_case(
+                seed,
+                shape,
+                oracles=oracles,
+                n_inputs=n_inputs,
+                max_steps=max_steps,
+                extra_variants=extra_variants,
+            )
+            stats.record(result)
+            if not result.passed:
+                failing.append(result)
+            if on_case is not None:
+                on_case(result)
+    stats.wall_time_s = time.perf_counter() - t0
+    return stats, failing

@@ -1,0 +1,121 @@
+"""Structural comparison of IR functions.
+
+``parse(print(f))`` must reproduce *f* exactly — same parameters (with SSA
+versions), same entry, same blocks, same instructions.  Textual equality of
+the printed forms is a weaker check (two different in-memory functions can
+print identically, e.g. a versioned parameter ``a.1`` vs a parameter whose
+*name* is the string ``"a.1"``), so the round-trip property tests and the
+test-case reducer compare structure instead.
+
+Block *insertion order* is compared only up to the printer's normalisation
+(entry first): the printer emits the entry block first regardless of where
+it sits in the block map, so a reparsed function may legitimately store it
+first.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import (
+    Assign,
+    BinOp,
+    CondJump,
+    Jump,
+    Output,
+    Phi,
+    Return,
+    UnaryOp,
+)
+
+
+def _ordered_labels(func: Function) -> list[str]:
+    """Block labels in printed order: entry first, then insertion order."""
+    labels = list(func.blocks)
+    if func.entry in labels:
+        labels.remove(func.entry)
+        labels.insert(0, func.entry)
+    return labels
+
+
+def _rhs_diff(path: str, a, b) -> list[str]:
+    if type(a) is not type(b):
+        return [f"{path}: rhs kind {type(a).__name__} != {type(b).__name__}"]
+    if isinstance(a, BinOp):
+        if (a.op, a.left, a.right) != (b.op, b.left, b.right):
+            return [f"{path}: {a} != {b}"]
+    elif isinstance(a, UnaryOp):
+        if (a.op, a.operand) != (b.op, b.operand):
+            return [f"{path}: {a} != {b}"]
+    elif a != b:  # bare operand (copy)
+        return [f"{path}: {a} != {b}"]
+    return []
+
+
+def _block_diff(label: str, a: BasicBlock, b: BasicBlock) -> list[str]:
+    diffs: list[str] = []
+    if len(a.phis) != len(b.phis):
+        diffs.append(f"{label}: {len(a.phis)} phis != {len(b.phis)}")
+    else:
+        for i, (pa, pb) in enumerate(zip(a.phis, b.phis)):
+            assert isinstance(pa, Phi) and isinstance(pb, Phi)
+            if pa.target != pb.target or pa.args != pb.args:
+                diffs.append(f"{label}.phi[{i}]: {pa} != {pb}")
+    if len(a.body) != len(b.body):
+        diffs.append(f"{label}: {len(a.body)} statements != {len(b.body)}")
+    else:
+        for i, (sa, sb) in enumerate(zip(a.body, b.body)):
+            path = f"{label}.body[{i}]"
+            if type(sa) is not type(sb):
+                diffs.append(
+                    f"{path}: {type(sa).__name__} != {type(sb).__name__}"
+                )
+            elif isinstance(sa, Assign):
+                if sa.target != sb.target:
+                    diffs.append(f"{path}: target {sa.target} != {sb.target}")
+                else:
+                    diffs.extend(_rhs_diff(path, sa.rhs, sb.rhs))
+            elif isinstance(sa, Output) and sa.value != sb.value:
+                diffs.append(f"{path}: {sa} != {sb}")
+    ta, tb = a.terminator, b.terminator
+    if type(ta) is not type(tb):
+        diffs.append(
+            f"{label}.term: {type(ta).__name__} != {type(tb).__name__}"
+        )
+    elif isinstance(ta, Jump):
+        if ta.target != tb.target:
+            diffs.append(f"{label}.term: {ta} != {tb}")
+    elif isinstance(ta, CondJump):
+        if (ta.cond, ta.true_target, ta.false_target) != (
+            tb.cond, tb.true_target, tb.false_target
+        ):
+            diffs.append(f"{label}.term: {ta} != {tb}")
+    elif isinstance(ta, Return) and ta.value != tb.value:
+        diffs.append(f"{label}.term: {ta} != {tb}")
+    return diffs
+
+
+def structural_diff(a: Function, b: Function) -> list[str]:
+    """Human-readable differences between two functions (empty = identical).
+
+    Compares names, parameters (including SSA versions), entry labels,
+    printed block order and every phi/statement/terminator field-by-field.
+    """
+    diffs: list[str] = []
+    if a.name != b.name:
+        diffs.append(f"name: {a.name!r} != {b.name!r}")
+    if a.params != b.params:
+        diffs.append(f"params: {a.params} != {b.params}")
+    if a.entry != b.entry:
+        diffs.append(f"entry: {a.entry!r} != {b.entry!r}")
+    order_a, order_b = _ordered_labels(a), _ordered_labels(b)
+    if order_a != order_b:
+        diffs.append(f"block order: {order_a} != {order_b}")
+        return diffs
+    for label in order_a:
+        diffs.extend(_block_diff(label, a.blocks[label], b.blocks[label]))
+    return diffs
+
+
+def structurally_equal(a: Function, b: Function) -> bool:
+    """True when :func:`structural_diff` finds no differences."""
+    return not structural_diff(a, b)

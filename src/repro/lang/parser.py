@@ -84,7 +84,9 @@ class _Parser:
         self.expect("(")
         params: list[Var] = []
         while not self.peek().kind == ")":
-            params.append(Var(self.expect("NAME").text))
+            # parse_var handles the SSA ".N" suffix, so the parameter list
+            # of an SSA-form function (``func f(a.1)``) round-trips.
+            params.append(self.parse_var())
             if self.peek().kind == ",":
                 self.advance()
         self.expect(")")

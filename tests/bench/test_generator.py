@@ -82,6 +82,77 @@ class TestWellFormedness:
         assert hot_keys & set(keys)
 
 
+class TestTrappingKnobs:
+    def test_explicit_density_is_exact_on_average(self):
+        """With trapping_density set, the trapping share of computation
+        statements converges on the knob value."""
+        from repro.ir.instructions import Assign, BinOp
+        from repro.ir.ops import is_trapping
+
+        trapping = total = 0
+        for seed in range(20):
+            spec = ProgramSpec(
+                name="td", seed=seed, max_depth=2, region_length=8,
+                trapping_density=0.30, hot_prob=0.0, output_prob=0.0,
+            )
+            for block in generate_program(spec).func:
+                for stmt in block.body:
+                    if isinstance(stmt, Assign) and isinstance(stmt.rhs, BinOp):
+                        # Skip the scaffold (loop bounds, epilogue).
+                        if stmt.target.name.startswith(("li", "lb", "lc", "ret_", "c")):
+                            continue
+                        total += 1
+                        trapping += is_trapping(stmt.rhs.op)
+        assert total > 200
+        assert abs(trapping / total - 0.30) < 0.08
+
+    def test_trapping_hot_expressions(self):
+        """trapping_hot_prob manufactures redundant trapping computations."""
+        from repro.ir.ops import is_trapping
+
+        spec = ProgramSpec(
+            name="th", seed=11, max_depth=2, hot_exprs=8, trapping_hot_prob=1.0
+        )
+        prog = generate_program(spec)
+        assert prog.hot_expressions
+        assert all(is_trapping(op) for op, _, _ in prog.hot_expressions)
+        verify_function(prog.func)
+        run_function(prog.func, random_args(spec, 1), max_steps=3_000_000)
+
+    def test_knobs_off_consume_no_randomness(self):
+        """Default knob values must reproduce the historical stream: turning
+        a knob on changes the program, turning it back off restores it."""
+        base = generate_program(ProgramSpec(name="k", seed=9)).func
+        off = generate_program(
+            ProgramSpec(name="k", seed=9, trapping_hot_prob=0.0)
+        ).func
+        on = generate_program(
+            ProgramSpec(name="k", seed=9, trapping_hot_prob=1.0)
+        ).func
+        assert str(base) == str(off)
+        assert str(base) != str(on)
+
+    def test_effective_density_formula(self):
+        legacy = ProgramSpec(name="e", hot_prob=0.5, trapping_prob=0.1)
+        assert legacy.effective_trapping_density() == 0.05
+        explicit = ProgramSpec(name="e", trapping_density=0.25)
+        assert explicit.effective_trapping_density() == 0.25
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=20_000))
+    def test_trapping_heavy_programs_verify_and_terminate(self, seed):
+        """Trapping ops are total (div/mod by zero yield 0), so even a
+        trapping-saturated program verifies and terminates."""
+        spec = ProgramSpec(
+            name="tt", seed=seed, max_depth=3,
+            trapping_density=0.5, trapping_hot_prob=0.5,
+        )
+        prog = generate_program(spec)
+        verify_function(prog.func)
+        run = run_function(prog.func, random_args(spec, 1), max_steps=3_000_000)
+        assert run.steps > 0
+
+
 class TestProfiles:
     def test_different_inputs_different_profiles(self):
         # Probe a few seeds: at least one pair of inputs must steer the

@@ -1,0 +1,132 @@
+"""``python -m repro.check`` CLI: JSON schema, artifacts, replay, exit codes."""
+
+import json
+from pathlib import Path
+
+from repro.check.cli import main
+from repro.check.corpus import SCHEMA_VERSION
+
+import pytest
+
+#: The documented summary schema (docs/CHECKING.md).  Additions require a
+#: SCHEMA_VERSION bump; removals/renames are breaking.
+SUMMARY_KEYS = {
+    "schema", "seeds", "seed_base", "shapes", "oracles", "passed",
+    "artifacts", "cases", "skipped", "failures", "per_oracle", "by_kind",
+    "wall_time_s",
+}
+
+
+class TestJsonSummary:
+    @pytest.fixture(scope="class")
+    def summary(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("check")
+        # capsys is function-scoped, so read the summary file instead.
+        rc = main(["--seeds", "2", "--json", "--out", str(out)])
+        data = json.loads((out / "summary.json").read_text())
+        return rc, out, data
+
+    def test_exit_code_clean(self, summary):
+        rc, _, data = summary
+        assert rc == 0
+        assert data["passed"] is True
+
+    def test_stable_schema_keys(self, summary):
+        _, _, data = summary
+        assert set(data) == SUMMARY_KEYS
+        assert data["schema"] == SCHEMA_VERSION
+
+    def test_per_oracle_counts(self, summary):
+        _, _, data = summary
+        assert set(data["per_oracle"]) == {
+            "compile", "equiv", "optimal", "lifetime", "safety",
+        }
+        for counts in data["per_oracle"].values():
+            assert set(counts) == {"checks", "failures"}
+            assert counts["checks"] > 0
+            assert counts["failures"] == 0
+
+    def test_wall_time_and_counts(self, summary):
+        _, _, data = summary
+        assert isinstance(data["wall_time_s"], float)
+        assert data["wall_time_s"] > 0
+        assert data["seeds"] == 2
+        assert data["cases"] == 4  # 2 seeds x 2 shapes
+        assert data["shapes"] == ["cint", "cfp"]
+        assert data["oracles"] == ["equiv", "optimal", "lifetime", "safety"]
+        assert data["artifacts"] == []
+
+    def test_stdout_matches_summary_file(self, tmp_path, capsys):
+        out = tmp_path / "check"
+        main(["--seeds", "1", "--shape", "cint", "--json", "--out", str(out)])
+        printed = json.loads(capsys.readouterr().out)
+        on_disk = json.loads((out / "summary.json").read_text())
+        assert printed == on_disk
+
+
+class TestOptions:
+    def test_single_shape_single_oracle(self, tmp_path):
+        out = tmp_path / "check"
+        rc = main([
+            "--seeds", "1", "--shape", "cfp", "--oracle", "safety",
+            "--json", "--out", str(out),
+        ])
+        data = json.loads((out / "summary.json").read_text())
+        assert rc == 0
+        assert data["shapes"] == ["cfp"]
+        assert data["oracles"] == ["safety"]
+        assert set(data["per_oracle"]) == {"compile", "safety"}
+
+    def test_seed_base_shifts_the_window(self, tmp_path):
+        out = tmp_path / "check"
+        main([
+            "--seeds", "1", "--seed-base", "17", "--shape", "cint",
+            "--oracle", "equiv", "--json", "--out", str(out),
+        ])
+        data = json.loads((out / "summary.json").read_text())
+        assert data["seed_base"] == 17
+        assert data["cases"] == 1
+
+    def test_text_output_mentions_pass(self, tmp_path, capsys):
+        rc = main([
+            "--seeds", "1", "--shape", "cint", "--oracle", "equiv",
+            "--out", str(tmp_path / "check"),
+        ])
+        assert rc == 0
+        assert "PASS" in capsys.readouterr().out
+
+
+class TestReplay:
+    def test_non_reproducing_artifact_exits_nonzero(self, tmp_path, capsys):
+        # A fabricated artifact claiming a failure that main cannot
+        # reproduce: replay must say so and exit 1.
+        artifact = tmp_path / "seed0_cint_equiv_divergence_lcm.json"
+        artifact.write_text(json.dumps({
+            "schema": SCHEMA_VERSION,
+            "seed": 0,
+            "shape": "cint",
+            "oracle": "equiv",
+            "variant": "lcm",
+            "kind": "divergence",
+            "detail": "fabricated",
+        }))
+        rc = main(["--replay", str(artifact)])
+        assert rc == 1
+        assert "DID NOT reproduce" in capsys.readouterr().out
+
+    def test_replay_json_mode(self, tmp_path, capsys):
+        artifact = tmp_path / "seed0_cint_equiv_divergence_lcm.json"
+        artifact.write_text(json.dumps({
+            "schema": SCHEMA_VERSION,
+            "seed": 0,
+            "shape": "cint",
+            "oracle": "equiv",
+            "variant": "lcm",
+            "kind": "divergence",
+            "detail": "fabricated",
+        }))
+        rc = main(["--replay", str(artifact), "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert data["reproduced"] is False
+        assert Path(data["artifact"]) == artifact

@@ -1,0 +1,110 @@
+"""Each oracle must reject its bug class and accept the real compiler."""
+
+from repro.check.driver import build_case, check_case
+from repro.check.oracles import (
+    ORACLE_NAMES,
+    ORACLES,
+    temp_live_range_size,
+)
+from repro.ir.builder import FunctionBuilder
+from repro.ir.instructions import Output
+from repro.ir.values import Const
+
+from tests.check.conftest import (
+    identity_mc_ssapre,
+    premature_insertion,
+    speculate_trapping,
+)
+
+
+def _first_failing_seed(shape, oracle, variant_name, variant_fn, seeds=40):
+    """Scan seeds until the injected bug trips the given oracle."""
+    for seed in range(seeds):
+        result = check_case(
+            build_case(
+                seed, shape, extra_variants={variant_name: variant_fn}
+            ),
+            (oracle,),
+        )
+        failures = [
+            f for f in result.failures
+            if f.variant == variant_name and f.oracle == oracle
+        ]
+        if failures:
+            return seed, result, failures
+    raise AssertionError(
+        f"{variant_name} never tripped the {oracle} oracle in {seeds} seeds"
+    )
+
+
+class TestRegistry:
+    def test_registry_matches_names(self):
+        assert tuple(ORACLES) == ORACLE_NAMES
+
+
+class TestEquivalence:
+    def test_catches_misplaced_insertion(self):
+        _, _, failures = _first_failing_seed(
+            "cint", "equiv", "buggy", premature_insertion
+        )
+        assert failures[0].kind == "divergence"
+        assert "observable" in failures[0].detail
+
+    def test_catches_extra_output(self):
+        def noisy(func, profile):
+            func.entry_block.body.append(Output(Const(424242)))
+            func.mark_code_mutated()
+            return func
+
+        _, _, failures = _first_failing_seed("cint", "equiv", "noisy", noisy, seeds=3)
+        assert failures[0].kind == "divergence"
+
+
+class TestSafety:
+    def test_catches_speculated_trapping_op(self):
+        _, result, failures = _first_failing_seed(
+            "cint", "safety", "spec", speculate_trapping
+        )
+        assert failures[0].kind == "unsafe"
+        # The speculated program is still semantically equivalent (div is
+        # total here): the bug is invisible to the equiv oracle, which is
+        # exactly why the safety oracle exists.
+        equiv = ORACLES["equiv"](result.case)
+        assert not [
+            f for f in equiv.failures if f.variant == "spec"
+        ]
+
+
+class TestOptimality:
+    def test_catches_unoptimised_impostor(self):
+        _, _, failures = _first_failing_seed(
+            "cint", "optimal", "mc-ssapre", identity_mc_ssapre, seeds=10
+        )
+        assert failures[0].kind == "suboptimal"
+
+    def test_real_compiler_is_optimal(self):
+        for seed in range(3):
+            result = check_case(build_case(seed, "cfp"), ("optimal",))
+            (report,) = result.reports
+            assert report.checks > 0
+            assert report.passed
+
+
+class TestLifetime:
+    def test_real_compiler_passes(self):
+        result = check_case(build_case(1, "cint"), ("lifetime",))
+        (report,) = result.reports
+        assert report.checks >= 3
+        assert report.passed
+
+    def test_temp_live_range_counts_only_pre_temps(self):
+        b = FunctionBuilder("f", params=["a"])
+        b.block("entry")
+        b.assign("%pre1", "add", "a", 1)
+        b.jump("next")
+        b.block("next")
+        b.assign("x", "add", "%pre1", "a")
+        b.ret("x")
+        func = b.build()
+        # %pre1 is live into "next"; the ordinary variables are not counted.
+        assert temp_live_range_size(func) == 1

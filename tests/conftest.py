@@ -5,6 +5,17 @@ from __future__ import annotations
 import copy
 
 import pytest
+from hypothesis import settings
+
+# Tier-1 property tests draw deterministic examples: generated programs can
+# contain self-multiplication chains (``v = mul v, v`` in a loop), so an
+# unlucky random seed can produce astronomically large integers whose single
+# multiplication stalls the interpreter for minutes — the step budget bounds
+# steps, not the cost of one step.  A verified-green example set must stay
+# green.  Open-ended randomized exploration lives in ``repro.check``, whose
+# driver classifies and shrinks failures instead of hanging a test run.
+settings.register_profile("tier1", derandomize=True)
+settings.load_profile("tier1")
 
 from repro.bench.generator import ProgramSpec, generate_program, random_args
 from repro.ir.builder import FunctionBuilder

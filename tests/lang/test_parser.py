@@ -142,3 +142,66 @@ class TestRoundTrip:
         ssa = as_ssa(diamond)
         text = format_function(ssa)
         assert format_function(parse_function(text)) == text
+
+
+class TestStructuralRoundTrip:
+    """parse(print(f)) must be *structurally* identical to f — textual
+    equality alone is too weak (it cannot tell a versioned parameter
+    ``a.1`` from a parameter literally named ``"a.1"``)."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000), st.booleans())
+    def test_generated_programs_structural(self, seed, fp):
+        from repro.ir.structural import structural_diff
+
+        prog = generate_program(
+            ProgramSpec(
+                name="srt", seed=seed, max_depth=3, fp_flavor=fp,
+                trapping_density=0.1, trapping_hot_prob=0.3,
+            )
+        )
+        reparsed = parse_function(format_function(prog.func))
+        assert structural_diff(prog.func, reparsed) == []
+
+    def test_versioned_params_round_trip(self, diamond):
+        """SSA functions carry versioned parameters (``func f(a.1)``)."""
+        from repro.ir.structural import structural_diff
+        from tests.conftest import as_ssa
+
+        ssa = as_ssa(diamond)
+        reparsed = parse_function(format_function(ssa))
+        assert structural_diff(ssa, reparsed) == []
+        assert [(p.name, p.version) for p in reparsed.params] == [
+            ("a", 1), ("b", 1), ("c", 1)
+        ]
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=5_000))
+    def test_compiled_ssa_functions_structural(self, seed):
+        """Functions straight out of the PRE pipeline — phis, ``%pre``
+        temporaries, versioned params — survive the round-trip."""
+        from repro.ir.structural import structural_diff
+        from repro.passes.compiler import compile as compile_func
+        from repro.pipeline import prepare
+        from repro.profiles.interp import run_function
+        from repro.bench.generator import random_args
+        from repro.ssa.construct import construct_ssa
+        from repro.core.mcssapre.driver import run_mc_ssapre
+
+        spec = ProgramSpec(name="crt", seed=seed, max_depth=2)
+        prog = generate_program(spec)
+        args = random_args(spec, 1)
+        prepared = prepare(prog.func)
+        train = run_function(prepared, args)
+
+        # Destructed (non-SSA) compile output.
+        compiled = compile_func(prepared, "mc-ssapre", train.profile)
+        reparsed = parse_function(format_function(compiled.func))
+        assert structural_diff(compiled.func, reparsed) == []
+
+        # Still-in-SSA function with phis and %pre temps.
+        ssa = prepared.clone()
+        construct_ssa(ssa)
+        run_mc_ssapre(ssa, train.profile.nodes_only())
+        reparsed = parse_function(format_function(ssa))
+        assert structural_diff(ssa, reparsed) == []
