@@ -16,8 +16,9 @@ Artifacts:
 Use ``--benchmarks name1,name2`` to restrict table/figure runs,
 ``--validate`` to run the IR/SSA verifiers after every transformation,
 ``--seed N`` to shift every generator seed (rerunning the suite on fresh
-deterministic program instances), and ``--json`` for machine-readable
-output where supported (``passes``).
+deterministic program instances), ``--jobs N`` to fan benchmark sweeps
+over worker processes (identical output, less wall time), and ``--json``
+for machine-readable output where supported (``passes``).
 """
 
 from __future__ import annotations
@@ -25,6 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from functools import partial
 
 from repro.bench.ablations import (
     lifetime_ablation,
@@ -35,7 +37,25 @@ from repro.bench.ablations import (
 from repro.bench.comparison import compare_workload, render_comparison
 from repro.bench.figures import figure9, figure10, figure11
 from repro.bench.tables import build_table, table1, table2
-from repro.bench.workloads import ALL_BENCHMARKS, CFP2006, CINT2006, load_suite
+from repro.bench.workloads import (
+    ALL_BENCHMARKS,
+    CFP2006,
+    CINT2006,
+    load_workload,
+)
+from repro.parallel import parallel_map
+
+
+def _compare_named(name: str, *, seed_offset: int):
+    return compare_workload(load_workload(name, seed_offset))
+
+
+def _lifetime_named(name: str, *, seed_offset: int):
+    return lifetime_ablation(load_workload(name, seed_offset))
+
+
+def _profile_named(name: str, *, seed_offset: int):
+    return profile_ablation(load_workload(name, seed_offset))
 
 
 def _parse_names(arg: str | None, default: tuple[str, ...]) -> tuple[str, ...]:
@@ -75,10 +95,24 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="machine-readable output (passes artifact only)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for benchmark sweeps; output is identical "
+        "to a single-process run (default 1)",
+    )
     args = parser.parse_args(argv)
+    jobs = max(1, args.jobs)
 
     start = time.time()
     artifact = args.artifact
+
+    def sweep(worker, names):
+        return parallel_map(
+            partial(worker, seed_offset=args.seed), names, jobs=jobs
+        )
 
     def cint_table():
         return build_table(
@@ -86,6 +120,7 @@ def main(argv: list[str] | None = None) -> int:
             "Table 1: CINT2006 dynamic costs and speedup ratios of MC-SSAPRE",
             validate=args.validate,
             seed_offset=args.seed,
+            jobs=jobs,
         )
 
     def cfp_table():
@@ -94,6 +129,7 @@ def main(argv: list[str] | None = None) -> int:
             "Table 2: CFP2006 dynamic costs and speedup ratios of MC-SSAPRE",
             validate=args.validate,
             seed_offset=args.seed,
+            jobs=jobs,
         )
 
     if artifact == "table1":
@@ -109,24 +145,13 @@ def main(argv: list[str] | None = None) -> int:
         print(figure11(tables).render())
     elif artifact == "sec4":
         names = _parse_names(args.benchmarks, ALL_BENCHMARKS)
-        comparisons = [
-            compare_workload(w) for w in load_suite(names, args.seed)
-        ]
-        print(render_comparison(comparisons))
+        print(render_comparison(sweep(_compare_named, names)))
     elif artifact == "lifetime":
         names = _parse_names(args.benchmarks, ALL_BENCHMARKS)
-        print(
-            render_lifetime(
-                [lifetime_ablation(w) for w in load_suite(names, args.seed)]
-            )
-        )
+        print(render_lifetime(sweep(_lifetime_named, names)))
     elif artifact == "profiles":
         names = _parse_names(args.benchmarks, ALL_BENCHMARKS)
-        print(
-            render_profiles(
-                [profile_ablation(w) for w in load_suite(names, args.seed)]
-            )
-        )
+        print(render_profiles(sweep(_profile_named, names)))
     elif artifact == "passes":
         from repro.bench.passes_cmd import DEFAULT_BENCHMARK, passes_artifact
 
@@ -151,10 +176,7 @@ def main(argv: list[str] | None = None) -> int:
         print(figure11([t1, t2]).render())
         print()
         names = _parse_names(args.benchmarks, ALL_BENCHMARKS)
-        comparisons = [
-            compare_workload(w) for w in load_suite(names, args.seed)
-        ]
-        print(render_comparison(comparisons))
+        print(render_comparison(sweep(_compare_named, names)))
     print(f"\n[elapsed: {time.time() - start:.1f}s]", file=sys.stderr)
     return 0
 

@@ -15,9 +15,16 @@ speedups, CFP's B closer to C than CINT's — is what reproduces.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
-from repro.bench.workloads import CFP2006, CINT2006, Workload, load_suite
+from repro.bench.workloads import (
+    CFP2006,
+    CINT2006,
+    Workload,
+    load_workload,
+)
 from repro.core.mcssapre.driver import MCPREResult as MCSSAPREResult
+from repro.parallel import parallel_map
 from repro.pipeline import run_experiment
 
 
@@ -91,16 +98,32 @@ def measure_workload(workload: Workload, validate: bool = False) -> TableRow:
     )
 
 
+def measure_named(
+    name: str, *, seed_offset: int = 0, validate: bool = False
+) -> TableRow:
+    """Load one named benchmark and measure it (picklable worker)."""
+    return measure_workload(
+        load_workload(name, seed_offset), validate=validate
+    )
+
+
 def build_table(
     names: tuple[str, ...],
     title: str,
     validate: bool = False,
     seed_offset: int = 0,
+    jobs: int = 1,
 ) -> Table:
-    table = Table(title=title)
-    for workload in load_suite(names, seed_offset):
-        table.rows.append(measure_workload(workload, validate=validate))
-    return table
+    """Measure ``names`` (``jobs > 1`` fans benchmarks over processes).
+
+    Each worker rebuilds its workload from the name — generation is
+    deterministic, so the rows are identical to a sequential run and
+    arrive in suite order regardless of which process finishes first.
+    """
+    worker = partial(
+        measure_named, seed_offset=seed_offset, validate=validate
+    )
+    return Table(title=title, rows=parallel_map(worker, names, jobs=jobs))
 
 
 def table1(validate: bool = False, seed_offset: int = 0) -> Table:

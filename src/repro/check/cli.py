@@ -7,7 +7,7 @@ delta-debugging reducer and writes replayable artifacts plus a
 
 Examples::
 
-    python -m repro.check --seeds 200 --oracle all
+    python -m repro.check --seeds 200 --oracle all --jobs 4
     python -m repro.check --seeds 50 --shape cfp --oracle safety --json
     python -m repro.check --replay results/check/seed7_cint_equiv_....json
 
@@ -30,7 +30,9 @@ from repro.check.corpus import (
     write_summary,
 )
 from repro.check.driver import (
+    DEFAULT_ENGINE,
     DEFAULT_INPUTS,
+    ENGINES,
     SHAPES,
     failure_predicate,
     run_driver,
@@ -71,6 +73,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--max-steps", type=int, default=DEFAULT_MAX_STEPS, metavar="N",
         help="interpreter step budget per run",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes; seeds are sharded and the summary is "
+        "identical to a single-process run modulo timing (default 1)",
+    )
+    parser.add_argument(
+        "--engine", choices=ENGINES, default=DEFAULT_ENGINE,
+        help="execution back end for variant runs; the control always "
+        f"uses the reference interpreter (default {DEFAULT_ENGINE})",
     )
     parser.add_argument(
         "--out", default=str(DEFAULT_OUT_DIR), metavar="DIR",
@@ -131,6 +143,8 @@ def main(argv: list[str] | None = None) -> int:
         n_inputs=args.inputs,
         max_steps=args.max_steps,
         on_case=progress,
+        engine=args.engine,
+        jobs=max(1, args.jobs),
     )
 
     artifacts: list[str] = []
@@ -158,6 +172,8 @@ def main(argv: list[str] | None = None) -> int:
         "seed_base": args.seed_base,
         "shapes": list(shapes),
         "oracles": list(oracles),
+        "engine": args.engine,
+        "jobs": max(1, args.jobs),
         "passed": stats.failures == 0,
         "artifacts": artifacts,
         **stats.to_dict(),

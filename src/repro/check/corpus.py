@@ -23,6 +23,8 @@ the whole corpus rests on.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 
 from repro.check.driver import CaseResult, run_case
@@ -30,11 +32,34 @@ from repro.check.oracles import OracleFailure, VariantFn
 from repro.check.reducer import ReductionResult
 from repro.ir.printer import format_function
 
-#: Version of the artifact / summary JSON layout.
-SCHEMA_VERSION = 1
+#: Version of the artifact / summary JSON layout.  v2 added the
+#: ``engine`` and ``jobs`` fields to the run summary.
+SCHEMA_VERSION = 2
 
 #: Default artifact directory, relative to the repository root.
 DEFAULT_OUT_DIR = Path("results") / "check"
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write *text* to *path* atomically (safe under ``--jobs N``).
+
+    A concurrent writer can never leave a torn file behind: the content
+    lands in a same-directory temp file first and is renamed into place
+    (``os.replace`` is atomic on POSIX and Windows).
+    """
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def failure_slug(result: CaseResult, failure: OracleFailure) -> str:
@@ -88,10 +113,10 @@ def write_failure_artifact(
         ),
     }
     json_path = out_dir / f"{slug}.json"
-    json_path.write_text(json.dumps(record, indent=2) + "\n")
+    _atomic_write_text(json_path, json.dumps(record, indent=2) + "\n")
     ir_text = record["reduced_ir"] or original_ir
     if ir_text is not None:
-        (out_dir / f"{slug}.ir").write_text(ir_text + "\n")
+        _atomic_write_text(out_dir / f"{slug}.ir", ir_text + "\n")
     return json_path
 
 
@@ -102,7 +127,7 @@ def write_summary(
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / "summary.json"
-    path.write_text(json.dumps(summary, indent=2) + "\n")
+    _atomic_write_text(path, json.dumps(summary, indent=2) + "\n")
     return path
 
 

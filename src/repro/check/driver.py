@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from functools import partial
 
 from repro.bench.generator import (
     ProgramSpec,
@@ -30,6 +31,7 @@ from repro.bench.generator import (
 )
 from repro.ir.function import Function
 from repro.ir.verifier import VerificationError, verify_function
+from repro.parallel import parallel_map
 from repro.passes.compiler import VARIANTS, compile as compile_func
 from repro.pipeline import prepare
 from repro.profiles.interp import InterpreterError, run_function
@@ -48,6 +50,13 @@ SHAPES = ("cint", "cfp")
 
 #: Inputs per case: index 0 trains the profile, the rest are ref-like.
 DEFAULT_INPUTS = 3
+
+#: Execution back ends for the *variant* runs.  The control always runs
+#: on the tree-walking reference interpreter (it is the semantics
+#: oracle), so fuzzing with the default "compiled" engine differentially
+#: tests the compiled back end on every case for free.
+ENGINES = ("compiled", "reference")
+DEFAULT_ENGINE = "compiled"
 
 
 def spec_for_shape(shape: str, seed: int) -> ProgramSpec:
@@ -146,6 +155,7 @@ def build_case(
     max_steps: int = DEFAULT_MAX_STEPS,
     variants: tuple[str, ...] = VARIANTS,
     extra_variants: dict[str, VariantFn] | None = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> CaseResult:
     """Generate, prepare, profile and compile one case.
 
@@ -156,7 +166,14 @@ def build_case(
     ``case=None`` (with ``skipped`` set) when the *control* could not be
     built or run — that is a generator/interpreter budget problem, not an
     optimiser bug, so it is reported as a skip rather than a failure.
+
+    ``engine`` selects the execution back end for the variant runs; the
+    control always runs on the reference interpreter, so the default
+    "compiled" engine is differentially tested on every case.
     """
+    from repro.pipeline import make_runner
+
+    execute = make_runner(engine)
     result = CaseResult(seed=seed, shape=shape, case=None)
     spec = spec or spec_for_shape(shape, seed)
     try:
@@ -172,11 +189,13 @@ def build_case(
 
     profile = control_runs[0].profile
     compiled: dict[str, Function] = {}
+    caches: dict[str, object] = {}
     for variant in variants:
         try:
             out = compile_func(prepared, variant, profile, validate=True)
             verify_function(out.func)
             compiled[variant] = out.func
+            caches[variant] = out.cache
         except VerificationError as exc:
             result.compile_failures.append(
                 OracleFailure("compile", variant, "verifier-reject", repr(exc))
@@ -190,6 +209,9 @@ def build_case(
             out_func = fn(prepared.clone(), profile)
             verify_function(out_func)
             compiled[name] = out_func
+            from repro.passes.cache import AnalysisCache
+
+            caches[name] = AnalysisCache(out_func)
         except VerificationError as exc:
             result.compile_failures.append(
                 OracleFailure("compile", name, "verifier-reject", repr(exc))
@@ -202,9 +224,10 @@ def build_case(
     variant_runs: dict[str, list] = {}
     for name, func in compiled.items():
         runs: list = []
+        cache = caches.get(name)
         for i, args in enumerate(inputs):
             try:
-                runs.append(run_function(func, args, max_steps=max_steps))
+                runs.append(execute(func, args, max_steps, cache=cache))
             except Exception as exc:  # noqa: BLE001
                 runs.append(None)
                 result.compile_failures.append(
@@ -329,6 +352,24 @@ class DriverStats:
         for failure in result.failures:
             self.by_kind[failure.kind] = self.by_kind.get(failure.kind, 0) + 1
 
+    def merge(self, other: "DriverStats") -> "DriverStats":
+        """Fold another shard's statistics into this one (returns self).
+
+        Addition is commutative and :meth:`to_dict` sorts its maps, so
+        the merged summary is identical no matter in which order the
+        parallel shards complete.  Wall time is deliberately *not*
+        summed: the caller owns the clock for the whole run.
+        """
+        self.cases += other.cases
+        self.skipped += other.skipped
+        for name, (checks, failures) in other.per_oracle.items():
+            stats = self.per_oracle.setdefault(name, [0, 0])
+            stats[0] += checks
+            stats[1] += failures
+        for kind, count in other.by_kind.items():
+            self.by_kind[kind] = self.by_kind.get(kind, 0) + count
+        return self
+
     @property
     def failures(self) -> int:
         return sum(f for _, f in self.per_oracle.values())
@@ -357,6 +398,8 @@ def run_driver(
     max_steps: int = DEFAULT_MAX_STEPS,
     extra_variants: dict[str, VariantFn] | None = None,
     on_case=None,
+    engine: str = DEFAULT_ENGINE,
+    jobs: int = 1,
 ) -> tuple[DriverStats, list[CaseResult]]:
     """Fuzz ``seeds`` × ``shapes`` cases and aggregate statistics.
 
@@ -364,12 +407,36 @@ def run_driver(
     counted but not kept, so a long run stays O(failures) in memory).
     ``on_case`` is an optional progress callback receiving each
     :class:`CaseResult` as it finishes.
+
+    ``jobs > 1`` shards the seed list over worker processes.  Cases are
+    deterministic in ``(seed, shape)``, statistics merge commutatively
+    and the failing list is re-sorted into the sequential (shape, seed)
+    order, so the aggregate is byte-identical to a single-process run
+    apart from wall time.  In parallel mode ``on_case`` only sees
+    *failing* cases (passing ones are counted in the worker and never
+    cross the process boundary), and ``extra_variants`` callables must be
+    picklable (module-level functions).
     """
     if isinstance(seeds, int):
         seeds = [seed_base + i for i in range(seeds)]
+    t0 = time.perf_counter()
+    if jobs > 1 and len(seeds) > 1:
+        stats, failing = _run_driver_parallel(
+            seeds,
+            shapes,
+            oracles,
+            n_inputs=n_inputs,
+            max_steps=max_steps,
+            extra_variants=extra_variants,
+            on_case=on_case,
+            engine=engine,
+            jobs=jobs,
+        )
+        stats.wall_time_s = time.perf_counter() - t0
+        return stats, failing
+
     stats = DriverStats()
     failing: list[CaseResult] = []
-    t0 = time.perf_counter()
     for shape in shapes:
         for seed in seeds:
             result = run_case(
@@ -379,6 +446,7 @@ def run_driver(
                 n_inputs=n_inputs,
                 max_steps=max_steps,
                 extra_variants=extra_variants,
+                engine=engine,
             )
             stats.record(result)
             if not result.passed:
@@ -386,4 +454,66 @@ def run_driver(
             if on_case is not None:
                 on_case(result)
     stats.wall_time_s = time.perf_counter() - t0
+    return stats, failing
+
+
+def _shard_worker(
+    seeds: list[int],
+    *,
+    shapes: tuple[str, ...],
+    oracles: tuple[str, ...],
+    n_inputs: int,
+    max_steps: int,
+    extra_variants: dict[str, VariantFn] | None,
+    engine: str,
+) -> tuple[DriverStats, list[CaseResult]]:
+    """One worker process: a sequential run over its seed shard."""
+    return run_driver(
+        seeds,
+        shapes,
+        oracles,
+        n_inputs=n_inputs,
+        max_steps=max_steps,
+        extra_variants=extra_variants,
+        engine=engine,
+        jobs=1,
+    )
+
+
+def _run_driver_parallel(
+    seeds: list[int],
+    shapes: tuple[str, ...],
+    oracles: tuple[str, ...],
+    *,
+    n_inputs: int,
+    max_steps: int,
+    extra_variants: dict[str, VariantFn] | None,
+    on_case,
+    engine: str,
+    jobs: int,
+) -> tuple[DriverStats, list[CaseResult]]:
+    """Shard seeds round-robin over processes; merge deterministically."""
+    shards = [seeds[i::jobs] for i in range(jobs)]
+    shards = [shard for shard in shards if shard]
+    worker = partial(
+        _shard_worker,
+        shapes=shapes,
+        oracles=oracles,
+        n_inputs=n_inputs,
+        max_steps=max_steps,
+        extra_variants=extra_variants,
+        engine=engine,
+    )
+    stats = DriverStats()
+    failing: list[CaseResult] = []
+    for shard_stats, shard_failing in parallel_map(
+        worker, shards, jobs=len(shards)
+    ):
+        stats.merge(shard_stats)
+        failing.extend(shard_failing)
+    seed_pos = {seed: i for i, seed in enumerate(seeds)}
+    failing.sort(key=lambda r: (shapes.index(r.shape), seed_pos[r.seed]))
+    if on_case is not None:
+        for result in failing:
+            on_case(result)
     return stats, failing

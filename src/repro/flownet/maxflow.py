@@ -12,7 +12,7 @@ code in :mod:`repro.flownet.mincut` works with either.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.flownet.network import FlowNetwork
 
@@ -32,19 +32,41 @@ class Residual:
     to: list[int]
     cap: list[int]
     arc_of_edge: list[int]
+    _arcs_out: list[list[int]] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def arcs_out(self) -> list[list[int]]:
+        """Per-node outgoing arc ids, built once and shared thereafter.
+
+        The arc *topology* is fixed after :func:`build_residual` — flow
+        augmentation only mutates ``cap`` — so one index serves the BFS
+        of both solvers and both reachability helpers.  The per-node
+        order matches ``head``/``next_arc`` traversal, keeping results
+        deterministic and identical to linked-list iteration.
+        """
+        index = self._arcs_out
+        if index is None:
+            index = [[] for _ in self.nodes]
+            for node, arcs in enumerate(index):
+                arc = self.head[node]
+                while arc != -1:
+                    arcs.append(arc)
+                    arc = self.next_arc[arc]
+            self._arcs_out = index
+        return index
 
     def residual_reachable_from_source(self, source_index: int) -> set[int]:
         """Nodes reachable from the source through positive residual arcs."""
+        arcs_out = self.arcs_out()
         seen = {source_index}
         queue = deque([source_index])
         while queue:
             node = queue.popleft()
-            arc = self.head[node]
-            while arc != -1:
+            for arc in arcs_out[node]:
                 if self.cap[arc] > 0 and self.to[arc] not in seen:
                     seen.add(self.to[arc])
                     queue.append(self.to[arc])
-                arc = self.next_arc[arc]
         return seen
 
     def residual_reaching_sink(self, sink_index: int) -> set[int]:
@@ -59,17 +81,15 @@ class Residual:
         # into v with positive residual capacity.  The reverse of arc i is
         # twin(i) = i ^ 1, so "arc into v with cap>0" = arc out of v whose
         # twin has cap>0.
+        arcs_out = self.arcs_out()
         seen = {sink_index}
         queue = deque([sink_index])
         while queue:
             node = queue.popleft()
-            arc = self.head[node]
-            while arc != -1:
-                twin = arc ^ 1
-                if self.cap[twin] > 0 and self.to[arc] not in seen:
+            for arc in arcs_out[node]:
+                if self.cap[arc ^ 1] > 0 and self.to[arc] not in seen:
                     seen.add(self.to[arc])
                     queue.append(self.to[arc])
-                arc = self.next_arc[arc]
         return seen
 
 
@@ -112,6 +132,7 @@ def build_residual(network: FlowNetwork) -> Residual:
 def dinic_max_flow(network: FlowNetwork) -> tuple[int, Residual]:
     """Dinic's blocking-flow algorithm; returns (flow value, residual)."""
     res = build_residual(network)
+    arcs_out = res.arcs_out()
     source = res.node_index[network.source]
     sink = res.node_index[network.sink]
     n = len(res.nodes)
@@ -124,24 +145,23 @@ def dinic_max_flow(network: FlowNetwork) -> tuple[int, Residual]:
         queue = deque([source])
         while queue:
             u = queue.popleft()
-            arc = res.head[u]
-            while arc != -1:
+            for arc in arcs_out[u]:
                 v = res.to[arc]
                 if res.cap[arc] > 0 and level[v] < 0:
                     level[v] = level[u] + 1
                     queue.append(v)
-                arc = res.next_arc[arc]
         if level[sink] < 0:
             return total, res
 
         # DFS blocking flow with current-arc optimisation.
-        current = list(res.head)
+        current = [0] * n
 
         def dfs(u: int, pushed: int) -> int:
             if u == sink:
                 return pushed
-            while current[u] != -1:
-                arc = current[u]
+            row = arcs_out[u]
+            while current[u] < len(row):
+                arc = row[current[u]]
                 v = res.to[arc]
                 if res.cap[arc] > 0 and level[v] == level[u] + 1:
                     flow = dfs(v, min(pushed, res.cap[arc]))
@@ -149,7 +169,7 @@ def dinic_max_flow(network: FlowNetwork) -> tuple[int, Residual]:
                         res.cap[arc] -= flow
                         res.cap[arc ^ 1] += flow
                         return flow
-                current[u] = res.next_arc[arc]
+                current[u] += 1
             return 0
 
         import sys
@@ -170,6 +190,7 @@ _INF = 1 << 62
 def edmonds_karp_max_flow(network: FlowNetwork) -> tuple[int, Residual]:
     """Edmonds–Karp (BFS augmenting paths); differential-test oracle."""
     res = build_residual(network)
+    arcs_out = res.arcs_out()
     source = res.node_index[network.source]
     sink = res.node_index[network.sink]
     n = len(res.nodes)
@@ -181,8 +202,7 @@ def edmonds_karp_max_flow(network: FlowNetwork) -> tuple[int, Residual]:
         found = False
         while queue and not found:
             u = queue.popleft()
-            arc = res.head[u]
-            while arc != -1:
+            for arc in arcs_out[u]:
                 v = res.to[arc]
                 if res.cap[arc] > 0 and parent_arc[v] == -1:
                     parent_arc[v] = arc
@@ -190,7 +210,6 @@ def edmonds_karp_max_flow(network: FlowNetwork) -> tuple[int, Residual]:
                         found = True
                         break
                     queue.append(v)
-                arc = res.next_arc[arc]
         if not found:
             return total, res
         # Find bottleneck.

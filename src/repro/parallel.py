@@ -1,0 +1,42 @@
+"""Deterministic process-parallel map shared by the drivers.
+
+``repro.check``, ``repro.bench`` and ``repro.perf`` all parallelise the
+same way: a picklable worker over an explicit work list, fanned out with
+``--jobs N``.  :func:`parallel_map` is the one primitive they share — an
+order-preserving ``map`` that degrades to a plain loop for ``jobs <= 1``
+(keeping single-process runs free of pool overhead and trivially
+debuggable) and uses :class:`~concurrent.futures.ProcessPoolExecutor`
+otherwise.
+
+Order preservation is what makes the merge deterministic: results come
+back in work-list order regardless of which process finished first, so
+callers can fold them left-to-right and produce byte-identical summaries
+at any job count.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["parallel_map"]
+
+
+def parallel_map(
+    fn: Callable[[T], R], items: Iterable[T], jobs: int = 1
+) -> list[R]:
+    """``[fn(x) for x in items]``, fanned out over ``jobs`` processes.
+
+    Results are returned in input order.  With ``jobs <= 1`` (or fewer
+    than two items) the map runs in-process.  ``fn`` and every item must
+    be picklable in parallel mode — module-level functions and
+    :func:`functools.partial` over them qualify.
+    """
+    work: Sequence[T] = list(items)
+    if jobs <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
+        return list(pool.map(fn, work))

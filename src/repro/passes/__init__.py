@@ -6,6 +6,7 @@ invalidation rules, and the PassReport schema.
 
 from repro.passes.analyses import (
     CFG_ANALYSIS,
+    COMPILED_ANALYSIS,
     DOMFRONTIER_ANALYSIS,
     DOMTREE_ANALYSIS,
     LIVENESS_ANALYSIS,
@@ -41,6 +42,7 @@ __all__ = [
     "AnalysisHandle",
     "AnalysisPass",
     "CFG_ANALYSIS",
+    "COMPILED_ANALYSIS",
     "CompiledFunction",
     "DOMFRONTIER_ANALYSIS",
     "DOMTREE_ANALYSIS",

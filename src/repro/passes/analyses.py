@@ -73,12 +73,31 @@ class VersionedLivenessAnalysis(AnalysisPass):
         return compute_liveness(func, by_version=True)
 
 
+class CompiledProgramAnalysis(AnalysisPass):
+    """The function lowered for the compiled execution back end.
+
+    Any instruction rewrite invalidates the lowering, so ``depends`` is
+    the code generation: run → mutate → run recompiles, while the
+    many-runs-per-compile pattern of the check oracles and the FDO
+    protocol compiles exactly once.
+    """
+
+    name = "compiled"
+    depends = "code"
+
+    def compute(self, func: Function, cache: AnalysisCache) -> object:
+        from repro.profiles.compiled import compile_function
+
+        return compile_function(func)
+
+
 CFG_ANALYSIS = register_analysis(CFGAnalysis())
 DOMTREE_ANALYSIS = register_analysis(DominatorTreeAnalysis())
 DOMFRONTIER_ANALYSIS = register_analysis(DominanceFrontierAnalysis())
 LOOPS_ANALYSIS = register_analysis(LoopForestAnalysis())
 LIVENESS_ANALYSIS = register_analysis(LivenessAnalysis())
 LIVENESS_SSA_ANALYSIS = register_analysis(VersionedLivenessAnalysis())
+COMPILED_ANALYSIS = register_analysis(CompiledProgramAnalysis())
 
 #: The preservation tokens implied by an intact CFG shape.
 CFG_FAMILY = frozenset({"cfg"})

@@ -111,6 +111,12 @@ class CompiledFunction:
     func: Function
     pre_result: object | None = None
     report: PassReport | None = None
+    #: The pipeline's analysis cache, still bound to :attr:`func`.  Kept
+    #: so downstream consumers (the check driver, ``repro.perf``) can run
+    #: the function through the compiled execution back end without
+    #: re-lowering it on every input (see
+    #: :data:`repro.passes.analyses.COMPILED_ANALYSIS`).
+    cache: object | None = None
 
 
 def compile(  # noqa: A001 - deliberate: the entry point is *the* compile
@@ -151,6 +157,9 @@ def compile(  # noqa: A001 - deliberate: the entry point is *the* compile
     else:
         passes = [resolve_stage(stage) for stage in pipeline_spec]
 
+    from repro.passes.cache import AnalysisCache
+
+    cache = AnalysisCache(work)
     manager = PassManager(verify_each=verify_each)
     manager.run(
         work,
@@ -158,6 +167,7 @@ def compile(  # noqa: A001 - deliberate: the entry point is *the* compile
         profile=profile,
         validate=validate,
         variant=variant,
+        cache=cache,
         report=report,
     )
     if validate:
@@ -170,5 +180,9 @@ def compile(  # noqa: A001 - deliberate: the entry point is *the* compile
         if ex.name in _PRE_STAGE_NAMES:
             pre_result = ex.payload
     return CompiledFunction(
-        variant=variant, func=work, pre_result=pre_result, report=report
+        variant=variant,
+        func=work,
+        pre_result=pre_result,
+        report=report,
+        cache=cache,
     )

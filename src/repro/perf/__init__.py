@@ -1,0 +1,27 @@
+"""Pinned performance benchmark suite: ``python -m repro.perf``.
+
+Measures the three things this repository's speed rests on and writes
+them to a machine-readable ``BENCH.json`` (schema documented in
+``docs/PERF.md``):
+
+* **execution** — reference tree-walking interpreter vs the compiled
+  register-machine back end (:mod:`repro.profiles.compiled`) on the
+  standard cint/cfp benchmark shapes, with a bit-identical
+  :class:`~repro.profiles.interp.RunResult` equivalence check on every
+  workload;
+* **compile**  — per-stage pipeline wall time from the
+  :class:`~repro.passes.manager.PassReport` of the MC-SSAPRE compile;
+* **maxflow**  — Dinic vs Edmonds–Karp on deterministic scaling
+  networks (Dinic is the in-tree default; this keeps the evidence
+  fresh).
+
+Exit status is 1 when any equivalence check fails — the perf suite
+doubles as a differential smoke test, so CI can gate on it.
+"""
+
+from repro.perf.bench import (
+    BENCH_SCHEMA_VERSION,
+    run_perf,
+)
+
+__all__ = ["BENCH_SCHEMA_VERSION", "run_perf"]

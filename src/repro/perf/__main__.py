@@ -1,0 +1,6 @@
+"""``python -m repro.perf`` dispatches to :mod:`repro.perf.cli`."""
+
+from repro.perf.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

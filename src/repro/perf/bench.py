@@ -1,0 +1,253 @@
+"""The measurements behind ``BENCH.json``.
+
+Every benchmark here is deterministic in everything but the clock: the
+programs come from the seeded generator suite
+(:mod:`repro.bench.workloads`), the flow networks from a seeded layered
+generator, and every timed section is re-run ``repeat`` times with the
+minimum reported (the standard way to suppress scheduler noise on a
+shared machine).
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from dataclasses import dataclass
+
+from repro.bench.workloads import CFP2006, CINT2006, load_workload
+from repro.flownet.maxflow import dinic_max_flow, edmonds_karp_max_flow
+from repro.flownet.network import FlowNetwork
+from repro.passes.compiler import compile as compile_func
+from repro.pipeline import prepare
+from repro.profiles.compiled import compile_function
+from repro.profiles.interp import RunResult, run_function
+
+#: Version of the BENCH.json layout (documented in docs/PERF.md).
+BENCH_SCHEMA_VERSION = 1
+
+#: Step budget for the measured runs (matches the pipeline default).
+MAX_STEPS = 5_000_000
+
+#: The standard workload: first benchmarks of each family, in suite
+#: order.  Small enough that the full suite runs in seconds, large
+#: enough that the interpreter dispatch overhead dominates.
+STANDARD_WORKLOADS = CINT2006[:3] + CFP2006[:3]
+QUICK_WORKLOADS = (CINT2006[0], CFP2006[0])
+
+#: (layers, width) of the scaling flow networks.
+STANDARD_NETWORKS = ((6, 6), (10, 10), (14, 14))
+QUICK_NETWORKS = ((4, 4), (6, 6))
+
+
+def _best_of(repeat: int, fn) -> tuple[float, object]:
+    """Minimum wall time over ``repeat`` calls, plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeat)):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def runresult_mismatches(a: RunResult, b: RunResult) -> list[str]:
+    """Field names on which two RunResults disagree (empty = identical)."""
+    out = []
+    if a.return_value != b.return_value:
+        out.append("return_value")
+    if a.output != b.output:
+        out.append("output")
+    if dict(a.profile.node_freq) != dict(b.profile.node_freq):
+        out.append("profile.node_freq")
+    if dict(a.profile.edge_freq) != dict(b.profile.edge_freq):
+        out.append("profile.edge_freq")
+    if a.dynamic_cost != b.dynamic_cost:
+        out.append("dynamic_cost")
+    if dict(a.expr_counts) != dict(b.expr_counts):
+        out.append("expr_counts")
+    if a.steps != b.steps:
+        out.append("steps")
+    return out
+
+
+# ----------------------------------------------------------------------
+# Execution: reference interpreter vs compiled back end.
+# ----------------------------------------------------------------------
+
+def bench_execution(names: tuple[str, ...], repeat: int) -> dict:
+    rows = []
+    total_ref = total_compiled = 0.0
+    equivalent = True
+    for name in names:
+        workload = load_workload(name)
+        prepared = prepare(workload.program.func)
+        args = workload.ref_args
+
+        lowering_s, program = _best_of(
+            repeat, lambda: compile_function(prepared)
+        )
+        ref_s, ref_result = _best_of(
+            repeat, lambda: run_function(prepared, args, max_steps=MAX_STEPS)
+        )
+        compiled_s, compiled_result = _best_of(
+            repeat, lambda: program.run(args, max_steps=MAX_STEPS)
+        )
+        mismatches = runresult_mismatches(ref_result, compiled_result)
+        equivalent = equivalent and not mismatches
+        total_ref += ref_s
+        total_compiled += compiled_s
+        rows.append({
+            "name": name,
+            "family": workload.family,
+            "steps": ref_result.steps,
+            "dynamic_cost": ref_result.dynamic_cost,
+            "reference_s": round(ref_s, 6),
+            "compiled_s": round(compiled_s, 6),
+            "lowering_s": round(lowering_s, 6),
+            "speedup": round(ref_s / compiled_s, 2) if compiled_s else 0.0,
+            "mismatches": mismatches,
+        })
+    return {
+        "workloads": rows,
+        "total_reference_s": round(total_ref, 6),
+        "total_compiled_s": round(total_compiled, 6),
+        "speedup": (
+            round(total_ref / total_compiled, 2) if total_compiled else 0.0
+        ),
+        "equivalent": equivalent,
+    }
+
+
+# ----------------------------------------------------------------------
+# Compile pipeline: per-stage wall time from the PassReport.
+# ----------------------------------------------------------------------
+
+def bench_compile(names: tuple[str, ...], repeat: int) -> dict:
+    per_stage: dict[str, dict[str, float]] = {}
+    total_s = 0.0
+    for name in names:
+        workload = load_workload(name)
+        prepared = prepare(workload.program.func)
+        profile = run_function(
+            prepared, workload.train_args, max_steps=MAX_STEPS
+        ).profile
+
+        def compile_once():
+            return compile_func(prepared, "mc-ssapre", profile)
+
+        elapsed, compiled = _best_of(repeat, compile_once)
+        total_s += elapsed
+        for execution in compiled.report.executions:
+            stage = per_stage.setdefault(
+                execution.name, {"calls": 0, "total_s": 0.0}
+            )
+            stage["calls"] += 1
+            stage["total_s"] += execution.wall_time
+    return {
+        "variant": "mc-ssapre",
+        "functions": len(names),
+        "total_s": round(total_s, 6),
+        "per_stage": {
+            name: {
+                "calls": stage["calls"],
+                "total_s": round(stage["total_s"], 6),
+            }
+            for name, stage in sorted(per_stage.items())
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Max-flow: Dinic vs Edmonds-Karp on deterministic scaling networks.
+# ----------------------------------------------------------------------
+
+@dataclass
+class _Lcg:
+    """Tiny deterministic generator (keeps network shapes pinned)."""
+
+    state: int
+
+    def next(self, bound: int) -> int:
+        self.state = (
+            self.state * 6364136223846793005 + 1442695040888963407
+        ) % (1 << 64)
+        return (self.state >> 33) % bound
+
+
+def scaling_network(layers: int, width: int, seed: int = 7) -> FlowNetwork:
+    """A layered network: source → L dense layers of ``width`` → sink.
+
+    Consecutive layers are fully connected with seeded capacities, which
+    forces many short augmenting paths — the regime where Dinic's level
+    graph pays off over Edmonds-Karp's one-path-per-BFS.
+    """
+    rng = _Lcg(seed + 1000003 * layers + width)
+    net = FlowNetwork("s", "t")
+    for j in range(width):
+        net.add_edge("s", (0, j), 1 + rng.next(50))
+    for i in range(layers - 1):
+        for j in range(width):
+            for k in range(width):
+                net.add_edge((i, j), (i + 1, k), 1 + rng.next(20))
+    for j in range(width):
+        net.add_edge((layers - 1, j), "t", 1 + rng.next(50))
+    return net
+
+
+def bench_maxflow(sizes: tuple[tuple[int, int], ...], repeat: int) -> dict:
+    rows = []
+    agreed = True
+    for layers, width in sizes:
+        network = scaling_network(layers, width)
+        dinic_s, (dinic_flow, _) = _best_of(
+            repeat, lambda: dinic_max_flow(network)
+        )
+        ek_s, (ek_flow, _) = _best_of(
+            repeat, lambda: edmonds_karp_max_flow(network)
+        )
+        agreed = agreed and dinic_flow == ek_flow
+        rows.append({
+            "layers": layers,
+            "width": width,
+            "nodes": network.node_count(),
+            "edges": network.edge_count(),
+            "max_flow": dinic_flow,
+            "dinic_s": round(dinic_s, 6),
+            "edmonds_karp_s": round(ek_s, 6),
+            "ek_over_dinic": round(ek_s / dinic_s, 2) if dinic_s else 0.0,
+            "flows_agree": dinic_flow == ek_flow,
+        })
+    return {"networks": rows, "agreed": agreed}
+
+
+# ----------------------------------------------------------------------
+# The whole suite.
+# ----------------------------------------------------------------------
+
+def run_perf(quick: bool = False, repeat: int | None = None) -> dict:
+    """Run every benchmark; returns the BENCH.json payload.
+
+    ``payload["ok"]`` is False when any equivalence check failed (the
+    CLI turns that into exit status 1).
+    """
+    if repeat is None:
+        repeat = 1 if quick else 3
+    names = QUICK_WORKLOADS if quick else STANDARD_WORKLOADS
+    sizes = QUICK_NETWORKS if quick else STANDARD_NETWORKS
+
+    t0 = time.perf_counter()
+    execution = bench_execution(names, repeat)
+    compile_report = bench_compile(names, repeat)
+    maxflow = bench_maxflow(sizes, repeat)
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "quick": quick,
+        "repeat": repeat,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "execution": execution,
+        "compile": compile_report,
+        "maxflow": maxflow,
+        "ok": execution["equivalent"] and maxflow["agreed"],
+        "wall_time_s": round(time.perf_counter() - t0, 3),
+    }

@@ -1,0 +1,77 @@
+"""Command-line entry: ``python -m repro.perf``.
+
+Runs the pinned benchmark suite and writes ``BENCH.json`` (schema in
+``docs/PERF.md``).  ``--quick`` trims the workload and network lists for
+CI smoke runs; ``--json`` prints the payload to stdout as well.
+
+Exit status: 0 when every equivalence check passed, 1 otherwise — the
+timings themselves never fail the run (they are environment-dependent),
+only a compiled-vs-reference divergence or a Dinic-vs-Edmonds-Karp
+disagreement does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.perf.bench import run_perf
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description=(
+            "Benchmark the compiled execution back end, the compile "
+            "pipeline and the max-flow solvers; write BENCH.json."
+        ),
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small workload/network lists, one repetition (CI smoke)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=None, metavar="N",
+        help="timed repetitions per section, minimum reported "
+        "(default 3, or 1 with --quick)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH.json", metavar="PATH",
+        help="output path (default BENCH.json)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="also print the payload to stdout",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_perf(quick=args.quick, repeat=args.repeat)
+    text = json.dumps(payload, indent=2) + "\n"
+    Path(args.out).write_text(text)
+
+    if args.json:
+        print(text, end="")
+    else:
+        execution = payload["execution"]
+        print(f"execution: {execution['speedup']}x compiled over reference "
+              f"({execution['total_reference_s']}s -> "
+              f"{execution['total_compiled_s']}s, "
+              f"equivalent={execution['equivalent']})")
+        print(f"compile:   {payload['compile']['total_s']}s over "
+              f"{payload['compile']['functions']} function(s)")
+        for row in payload["maxflow"]["networks"]:
+            print(f"maxflow:   {row['nodes']}n/{row['edges']}e  "
+                  f"dinic {row['dinic_s']}s  "
+                  f"ek {row['edmonds_karp_s']}s  "
+                  f"({row['ek_over_dinic']}x)")
+        print(f"wrote {args.out}")
+    if not payload["ok"]:
+        print("EQUIVALENCE FAILURE - see BENCH.json", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,7 +39,14 @@ from repro.profiles.profile import ExecutionProfile
 #: The paper's three compiles (Table 1 / Table 2 columns).
 PAPER_VARIANTS = ("ssapre", "ssapre-sp", "mc-ssapre")
 
+#: Execution back ends for the train/ref runs.  "compiled" lowers each
+#: function once (repro.profiles.compiled) and produces RunResults
+#: bit-identical to the tree-walking "reference" interpreter, which is
+#: kept as the differential oracle.
+ENGINES = ("compiled", "reference")
+
 __all__ = [
+    "ENGINES",
     "VARIANTS",
     "PAPER_VARIANTS",
     "CompiledFunction",
@@ -49,6 +56,29 @@ __all__ = [
     "compile_variant",
     "run_experiment",
 ]
+
+
+def make_runner(engine: str):
+    """``(func, args, max_steps, cache=None) -> RunResult`` for *engine*.
+
+    The ``cache`` argument is an optional
+    :class:`~repro.passes.cache.AnalysisCache` bound to ``func``; the
+    compiled engine memoises its lowering there, the reference engine
+    ignores it.
+    """
+    if engine == "reference":
+        def run(func, args, max_steps, cache=None):
+            return run_function(func, args, max_steps=max_steps)
+
+        return run
+    if engine == "compiled":
+        from repro.profiles.compiled import run_compiled
+
+        def run(func, args, max_steps, cache=None):
+            return run_compiled(func, args, max_steps=max_steps, cache=cache)
+
+        return run
+    raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
 
 
 def prepare(func: Function, restructure: bool = True) -> Function:
@@ -131,24 +161,33 @@ def run_experiment(
     restructure: bool = True,
     validate: bool = False,
     max_steps: int = 5_000_000,
+    engine: str = "compiled",
 ) -> Experiment:
     """Prepare, profile with the train input, compile variants, measure.
 
     Raises if any variant changes the program's observable behaviour —
-    the pipeline doubles as the semantic-equivalence harness.
+    the pipeline doubles as the semantic-equivalence harness.  ``engine``
+    selects the execution back end (both produce bit-identical
+    :class:`RunResult` data; "reference" is the differential oracle).
     """
+    from repro.passes.cache import AnalysisCache
+
+    execute = make_runner(engine)
     prepared = prepare(source, restructure=restructure)
-    train = run_function(prepared, train_args, max_steps=max_steps)
+    prepared_cache = AnalysisCache(prepared)
+    train = execute(prepared, train_args, max_steps, cache=prepared_cache)
     experiment = Experiment(prepared=prepared, train_result=train)
 
-    reference = run_function(prepared, ref_args, max_steps=max_steps)
+    reference = execute(prepared, ref_args, max_steps, cache=prepared_cache)
     expected = reference.observable()
 
     for variant in variants:
         compiled = compile_variant(
             prepared, variant, profile=train.profile, validate=validate
         )
-        measured = run_function(compiled.func, ref_args, max_steps=max_steps)
+        measured = execute(
+            compiled.func, ref_args, max_steps, cache=compiled.cache
+        )
         if measured.observable() != expected:
             raise AssertionError(
                 f"variant {variant!r} changed observable behaviour of "

@@ -1,0 +1,505 @@
+"""Compiled execution back end: one-time lowering to a flat register machine.
+
+The reference interpreter (:mod:`repro.profiles.interp`) re-dispatches on
+instruction class and re-hashes :class:`~repro.ir.values.Var` keys on every
+executed statement.  Every experiment in this reproduction — the paper's
+tables and figures, the ``repro.check`` oracles, the FDO train/ref runs —
+bottoms out in that loop, so this module lowers a
+:class:`~repro.ir.function.Function` **once** into specialised Python code
+and executes that instead:
+
+* variables are numbered into list slots — no dict hashing at run time;
+* each basic block becomes one generated Python function executing its
+  whole body straight-line, with operand slots and op handlers resolved
+  at compile time (constants are inlined as literals);
+* phis are pre-grouped per (predecessor, successor) edge and compiled
+  into parallel move sequences at the end of the predecessor;
+* block labels are resolved to integer indices; the run loop is
+  ``e = blocks[b](regs, out)`` plus one edge-counter increment.
+
+Profile, cost and redundancy data are *derived* rather than recorded:
+each statement of a block executes exactly once per block entry, so
+``dynamic_cost``, ``expr_counts`` and ``steps`` are linear functions of
+the per-block execution counts, which in turn derive from per-edge
+traversal counts.  The result is a :class:`~repro.profiles.interp.RunResult`
+bit-identical to the reference interpreter's (same ``dynamic_cost``,
+``expr_counts``, ``profile``, ``steps``, observable behaviour, and the
+same :class:`~repro.profiles.interp.InterpreterError` messages), which
+``tests/profiles/test_compiled.py`` pins over the generator corpus.
+
+Reads that might observe an undefined variable are found by a
+definite-assignment dataflow pass at compile time; only those reads pay a
+sentinel check, so verified programs execute guard-free.
+
+Use :data:`~repro.passes.analyses.COMPILED_ANALYSIS` (or
+:func:`run_compiled` with a cache) to memoise compilation on a
+pass-manager :class:`~repro.passes.cache.AnalysisCache`: the entry is
+keyed by the function's code generation, so repeated runs of an
+unmutated function compile exactly once.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.ir import ops as op_tables
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Assign,
+    BinOp,
+    CondJump,
+    Jump,
+    Output,
+    Return,
+    UnaryOp,
+)
+from repro.ir.values import Const, Operand, Var
+from repro.profiles.interp import InterpreterError, RunResult
+from repro.profiles.profile import ExecutionProfile
+
+#: Default step budget, matching :func:`repro.profiles.interp.run_function`.
+DEFAULT_MAX_STEPS = 2_000_000
+
+
+class _Undef:
+    """Sentinel filling every register slot before its first definition."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<undef>"
+
+
+_UNDEF = _Undef()
+
+
+@dataclass
+class CompiledProgram:
+    """A function lowered to block closures over a register file."""
+
+    name: str
+    n_params: int
+    #: Per parameter, the register slots its value is stored into
+    #: (the versioned parameter variable and its base name, like the
+    #: reference interpreter's dual ``env`` entries).
+    param_slots: list[tuple[int, ...]]
+    labels: list[str]
+    entry_index: int
+    entry_has_phis: bool
+    #: One generated ``(regs, out) -> edge_id`` closure per block;
+    #: returns -1 on function return.
+    block_funcs: list
+    #: Static edge table: traversing edge ``e`` enters block
+    #: ``edge_dst[e]``; ``edge_pairs[e]`` is its (src, dst) label pair.
+    edge_dst: list[int]
+    edge_pairs: list[tuple[str, str]]
+    #: Per block: statements executed per entry (body + terminator).
+    steps_per_block: list[int]
+    #: Per block: weighted dynamic cost charged per entry.
+    cost_per_block: list[int]
+    #: Per block: the ``class_key()`` of every operator application.
+    expr_sites: list[list[tuple]]
+    #: Register file template: ``_UNDEF`` everywhere except slot 0 (the
+    #: return-value slot, preset to ``None`` for void returns).
+    template: list = field(default_factory=list, repr=False)
+    #: Generated Python source, kept for debugging and tests.
+    source: str = field(default="", repr=False)
+
+    def run(
+        self,
+        args: list[int] | None = None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+    ) -> RunResult:
+        """Execute the program; mirrors ``run_function`` exactly."""
+        args = args or []
+        if len(args) != self.n_params:
+            raise InterpreterError(
+                f"{self.name} expects {self.n_params} args, got {len(args)}"
+            )
+        if self.entry_has_phis:
+            raise InterpreterError("entry block must not contain phis")
+
+        regs = self.template[:]
+        for slots, value in zip(self.param_slots, args):
+            for slot in slots:
+                regs[slot] = value
+
+        out: list[int] = []
+        edge_counts = [0] * len(self.edge_dst)
+        blocks = self.block_funcs
+        edge_dst = self.edge_dst
+        steps_of = self.steps_per_block
+        name = self.name
+        steps = 0
+        b = self.entry_index
+        while True:
+            # The whole block (body + terminator) runs or none of it does,
+            # so one bounds check per block entry is exact (see the same
+            # hoisting in the reference interpreter).
+            steps += steps_of[b]
+            if steps > max_steps:
+                raise InterpreterError(
+                    f"{name}: exceeded {max_steps} interpreted steps"
+                )
+            e = blocks[b](regs, out)
+            if e < 0:
+                break
+            edge_counts[e] += 1
+            b = edge_dst[e]
+
+        # Derive counts: every edge traversal enters its destination once;
+        # the entry block is entered once more at start.
+        node_counts = [0] * len(self.labels)
+        node_counts[self.entry_index] = 1
+        for e, count in enumerate(edge_counts):
+            if count:
+                node_counts[edge_dst[e]] += count
+
+        node_freq: Counter[str] = Counter()
+        cost = 0
+        expr_counts: dict[tuple, int] = {}
+        for i, count in enumerate(node_counts):
+            if not count:
+                continue
+            node_freq[self.labels[i]] = count
+            cost += count * self.cost_per_block[i]
+            for key in self.expr_sites[i]:
+                expr_counts[key] = expr_counts.get(key, 0) + count
+
+        edge_freq: Counter[tuple[str, str]] = Counter()
+        for e, count in enumerate(edge_counts):
+            if count:
+                edge_freq[self.edge_pairs[e]] += count
+
+        return RunResult(
+            return_value=regs[0],
+            output=out,
+            profile=ExecutionProfile(node_freq=node_freq, edge_freq=edge_freq),
+            dynamic_cost=cost,
+            expr_counts=expr_counts,
+            steps=steps,
+        )
+
+
+class _Codegen:
+    """Lowers one function to Python source + metadata tables."""
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self.slots: dict[Var, int] = {}
+        self.next_slot = 1  # slot 0 is the return-value slot
+        self.op_funcs: list = []
+        self.op_index: dict[str, int] = {}  # "b:add" / "u:neg" -> table idx
+        self.messages: list[str] = []
+
+    # -- tables --------------------------------------------------------
+    def slot(self, var: Var) -> int:
+        index = self.slots.get(var)
+        if index is None:
+            index = self.next_slot
+            self.slots[var] = index
+            self.next_slot += 1
+        return index
+
+    def op(self, kind: str, name: str) -> int:
+        key = f"{kind}:{name}"
+        index = self.op_index.get(key)
+        if index is None:
+            table = op_tables.BINARY_OPS if kind == "b" else op_tables.UNARY_OPS
+            index = len(self.op_funcs)
+            self.op_funcs.append(table[name].func)
+            self.op_index[key] = index
+        return index
+
+    def message(self, text: str) -> int:
+        self.messages.append(text)
+        return len(self.messages) - 1
+
+    # -- definite assignment ------------------------------------------
+    def _definitely_assigned(self) -> dict[str, set[int] | None]:
+        """Slots definitely written on every path to each block's entry.
+
+        ``None`` means "all slots" (the top element; kept for blocks the
+        dataflow never reaches, which also never execute).
+        """
+        func = self.func
+        entry_in: set[int] = set()
+        for param in func.params:
+            entry_in.add(self.slot(param))
+            entry_in.add(self.slot(param.base))
+
+        defs: dict[str, set[int]] = {}
+        preds: dict[str, list[str]] = {label: [] for label in func.blocks}
+        for label, block in func.blocks.items():
+            block_defs = set()
+            for phi in block.phis:
+                block_defs.add(self.slot(phi.target))
+            for stmt in block.body:
+                if isinstance(stmt, Assign):
+                    block_defs.add(self.slot(stmt.target))
+            defs[label] = block_defs
+            for succ in block.terminator.successors():
+                if succ in preds:
+                    preds[succ].append(label)
+
+        in_sets: dict[str, set[int] | None] = {
+            label: None for label in func.blocks
+        }
+        in_sets[func.entry] = entry_in
+        changed = True
+        while changed:
+            changed = False
+            for label in func.blocks:
+                if label == func.entry:
+                    continue
+                meet: set[int] | None = None
+                for pred in preds[label]:
+                    pred_in = in_sets[pred]
+                    if pred_in is None:
+                        continue
+                    pred_out = pred_in | defs[pred]
+                    meet = pred_out if meet is None else meet & pred_out
+                if meet is not None and meet != in_sets[label]:
+                    old = in_sets[label]
+                    if old is None or meet != old:
+                        in_sets[label] = meet
+                        changed = True
+        return in_sets
+
+    # -- expression lowering ------------------------------------------
+    def _read(
+        self,
+        operand: Operand,
+        defined: set[int],
+        lines: list[str],
+        indent: str,
+        gensym: list[int],
+    ) -> str:
+        """The Python expression reading *operand*; may emit guard lines."""
+        if isinstance(operand, Const):
+            return repr(operand.value)
+        index = self.slot(operand)
+        if index in defined:
+            return f"r[{index}]"
+        gensym[0] += 1
+        temp = f"_g{gensym[0]}"
+        msg = self.message(
+            f"{self.func.name}: read of undefined variable {operand}"
+        )
+        lines.append(f"{indent}{temp} = r[{index}]")
+        lines.append(f"{indent}if {temp} is _U:")
+        lines.append(f"{indent}    raise _IE(_MSGS[{msg}])")
+        # Past the guard this slot is proven defined on this path.
+        defined.add(index)
+        return temp
+
+    def _phi_moves(
+        self,
+        pred_label: str,
+        succ_label: str,
+        defined: set[int],
+        lines: list[str],
+        indent: str,
+        gensym: list[int],
+    ) -> None:
+        """Parallel phi assignment along the (pred, succ) edge."""
+        phis = self.func.blocks[succ_label].phis
+        if not phis:
+            return
+        if len(phis) == 1:
+            phi = phis[0]
+            expr = self._read(phi.args[pred_label], defined, lines, indent, gensym)
+            lines.append(f"{indent}r[{self.slot(phi.target)}] = {expr}")
+            defined.add(self.slot(phi.target))
+            return
+        temps = []
+        for phi in phis:
+            expr = self._read(phi.args[pred_label], defined, lines, indent, gensym)
+            gensym[0] += 1
+            temp = f"_p{gensym[0]}"
+            lines.append(f"{indent}{temp} = {expr}")
+            temps.append(temp)
+        for phi, temp in zip(phis, temps):
+            lines.append(f"{indent}r[{self.slot(phi.target)}] = {temp}")
+            defined.add(self.slot(phi.target))
+
+    # -- main ----------------------------------------------------------
+    def compile(self) -> CompiledProgram:
+        func = self.func
+        assert func.entry is not None
+        labels = list(func.blocks)
+        block_index = {label: i for i, label in enumerate(labels)}
+        in_sets = self._definitely_assigned()
+
+        edge_dst: list[int] = []
+        edge_pairs: list[tuple[str, str]] = []
+        steps_per_block: list[int] = []
+        cost_per_block: list[int] = []
+        expr_sites: list[list[tuple]] = []
+        chunks: list[str] = []
+
+        def new_edge(src: str, dst: str) -> int:
+            edge_dst.append(block_index[dst])
+            edge_pairs.append((src, dst))
+            return len(edge_dst) - 1
+
+        for i, label in enumerate(labels):
+            block = func.blocks[label]
+            gensym = [0]
+            initial = in_sets[label]
+            defined: set[int] = (
+                set(self.slots.values()) if initial is None else set(initial)
+            )
+            cost = op_tables.PHI_COST * len(block.phis)
+            sites: list[tuple] = []
+            block_ops: set[int] = set()
+            for phi in block.phis:
+                defined.add(self.slot(phi.target))
+            body: list[str] = []
+            indent = "    "
+
+            for stmt in block.body:
+                if isinstance(stmt, Assign):
+                    rhs = stmt.rhs
+                    if isinstance(rhs, BinOp):
+                        info = op_tables.BINARY_OPS[rhs.op]
+                        left = self._read(rhs.left, defined, body, indent, gensym)
+                        right = self._read(rhs.right, defined, body, indent, gensym)
+                        op_slot = self.op("b", rhs.op)
+                        block_ops.add(op_slot)
+                        handler = f"_f{op_slot}"
+                        body.append(
+                            f"{indent}r[{self.slot(stmt.target)}] = "
+                            f"{handler}({left}, {right})"
+                        )
+                        cost += info.cost
+                        sites.append(rhs.class_key())
+                    elif isinstance(rhs, UnaryOp):
+                        info = op_tables.UNARY_OPS[rhs.op]
+                        operand = self._read(
+                            rhs.operand, defined, body, indent, gensym
+                        )
+                        op_slot = self.op("u", rhs.op)
+                        block_ops.add(op_slot)
+                        handler = f"_f{op_slot}"
+                        body.append(
+                            f"{indent}r[{self.slot(stmt.target)}] = "
+                            f"{handler}({operand})"
+                        )
+                        cost += info.cost
+                        sites.append(rhs.class_key())
+                    else:
+                        expr = self._read(rhs, defined, body, indent, gensym)
+                        body.append(
+                            f"{indent}r[{self.slot(stmt.target)}] = {expr}"
+                        )
+                        cost += op_tables.COPY_COST
+                    defined.add(self.slot(stmt.target))
+                else:  # Output
+                    expr = self._read(stmt.value, defined, body, indent, gensym)
+                    body.append(f"{indent}out.append({expr})")
+                    cost += op_tables.OUTPUT_COST
+
+            term = block.terminator
+            if isinstance(term, Return):
+                if term.value is not None:
+                    expr = self._read(term.value, defined, body, indent, gensym)
+                    body.append(f"{indent}r[0] = {expr}")
+                body.append(f"{indent}return -1")
+            elif isinstance(term, Jump):
+                self._phi_moves(label, term.target, defined, body, indent, gensym)
+                body.append(f"{indent}return {new_edge(label, term.target)}")
+            elif isinstance(term, CondJump):
+                cost += op_tables.BRANCH_COST
+                cond = self._read(term.cond, defined, body, indent, gensym)
+                body.append(f"{indent}if {cond} != 0:")
+                taken = set(defined)
+                self._phi_moves(
+                    label, term.true_target, taken, body, indent + "    ", gensym
+                )
+                body.append(
+                    f"{indent}    return {new_edge(label, term.true_target)}"
+                )
+                fallthrough = set(defined)
+                self._phi_moves(
+                    label, term.false_target, fallthrough, body, indent, gensym
+                )
+                body.append(
+                    f"{indent}return {new_edge(label, term.false_target)}"
+                )
+            else:  # pragma: no cover - verifier prevents this
+                raise InterpreterError(f"unknown terminator {term!r}")
+
+            params = "".join(f", _f{k}=_OPS[{k}]" for k in sorted(block_ops))
+            chunks.append(f"def _b{i}(r, out{params}):")
+            chunks.extend(body)
+            chunks.append("")
+
+            steps_per_block.append(len(block.body) + 1)
+            cost_per_block.append(cost)
+            expr_sites.append(sites)
+
+        source = "\n".join(chunks)
+        namespace = {
+            "_OPS": self.op_funcs,
+            "_U": _UNDEF,
+            "_IE": InterpreterError,
+            "_MSGS": self.messages,
+        }
+        code = compile(source, f"<compiled {func.name}>", "exec")
+        exec(code, namespace)  # noqa: S102 - self-generated trusted source
+
+        template: list = [_UNDEF] * (self.next_slot)
+        template[0] = None
+        param_slots = [
+            (self.slot(param), self.slot(param.base))
+            if param != param.base
+            else (self.slot(param),)
+            for param in func.params
+        ]
+        return CompiledProgram(
+            name=func.name,
+            n_params=len(func.params),
+            param_slots=param_slots,
+            labels=labels,
+            entry_index=block_index[func.entry],
+            entry_has_phis=bool(func.blocks[func.entry].phis),
+            block_funcs=[namespace[f"_b{i}"] for i in range(len(labels))],
+            edge_dst=edge_dst,
+            edge_pairs=edge_pairs,
+            steps_per_block=steps_per_block,
+            cost_per_block=cost_per_block,
+            expr_sites=expr_sites,
+            template=template,
+            source=source,
+        )
+
+
+def compile_function(func: Function) -> CompiledProgram:
+    """Lower *func* to a :class:`CompiledProgram` (no caching)."""
+    return _Codegen(func).compile()
+
+
+def run_compiled(
+    func: Function,
+    args: list[int] | None = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    *,
+    cache=None,
+) -> RunResult:
+    """Drop-in replacement for :func:`repro.profiles.interp.run_function`.
+
+    With a pass-manager ``cache`` (an
+    :class:`~repro.passes.cache.AnalysisCache` bound to *func*), the
+    lowered program is memoised under the function's code generation, so
+    repeated runs — the common case in the check oracles and the FDO
+    protocol — compile once.
+    """
+    if cache is not None:
+        from repro.passes.analyses import COMPILED_ANALYSIS
+
+        program = cache.get(COMPILED_ANALYSIS)
+    else:
+        program = compile_function(func)
+    return program.run(args, max_steps=max_steps)

@@ -18,6 +18,7 @@ the incoming edge).
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.ir import ops as op_tables
@@ -78,7 +79,7 @@ def run_function(
 
     profile = ExecutionProfile()
     output: list[int] = []
-    expr_counts: dict[tuple, int] = {}
+    expr_counts: Counter[tuple] = Counter()
     cost = 0
     steps = 0
 
@@ -99,10 +100,17 @@ def run_function(
 
     while True:
         block = func.blocks[label]
-        profile.node_freq[label] = profile.node_freq.get(label, 0) + 1
+        # Hoisted step-budget check: the whole block (body + terminator)
+        # executes or none of it does, so one comparison per block entry
+        # raises on exactly the runs the per-statement check did.
+        steps += len(block.body) + 1
+        if steps > max_steps:
+            raise InterpreterError(
+                f"{func.name}: exceeded {max_steps} interpreted steps"
+            )
+        profile.node_freq[label] += 1
         if prev_label is not None:
-            key = (prev_label, label)
-            profile.edge_freq[key] = profile.edge_freq.get(key, 0) + 1
+            profile.edge_freq[(prev_label, label)] += 1
 
         if block.phis:
             if prev_label is None:
@@ -113,25 +121,18 @@ def run_function(
             cost += op_tables.PHI_COST * len(block.phis)
 
         for stmt in block.body:
-            steps += 1
-            if steps > max_steps:
-                raise InterpreterError(
-                    f"{func.name}: exceeded {max_steps} interpreted steps"
-                )
             if isinstance(stmt, Assign):
                 rhs = stmt.rhs
                 if isinstance(rhs, BinOp):
                     info = op_tables.BINARY_OPS[rhs.op]
                     env[stmt.target] = info.func(read(rhs.left), read(rhs.right))
                     cost += info.cost
-                    key = rhs.class_key()
-                    expr_counts[key] = expr_counts.get(key, 0) + 1
+                    expr_counts[rhs.class_key()] += 1
                 elif isinstance(rhs, UnaryOp):
                     info = op_tables.UNARY_OPS[rhs.op]
                     env[stmt.target] = info.func(read(rhs.operand))
                     cost += info.cost
-                    key = rhs.class_key()
-                    expr_counts[key] = expr_counts.get(key, 0) + 1
+                    expr_counts[rhs.class_key()] += 1
                 else:
                     env[stmt.target] = read(rhs)
                     cost += op_tables.COPY_COST
@@ -140,11 +141,6 @@ def run_function(
                 cost += op_tables.OUTPUT_COST
 
         term = block.terminator
-        steps += 1
-        if steps > max_steps:
-            raise InterpreterError(
-                f"{func.name}: exceeded {max_steps} interpreted steps"
-            )
         if isinstance(term, Return):
             return_value = None if term.value is None else read(term.value)
             break

@@ -8,6 +8,7 @@ and so tests can check that MC-SSAPRE really never touches the edge map.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
@@ -17,16 +18,39 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 @dataclass
 class ExecutionProfile:
-    """Node and edge frequencies gathered from (or synthesised for) a run."""
+    """Node and edge frequencies gathered from (or synthesised for) a run.
 
-    node_freq: dict[str, int] = field(default_factory=dict)
-    edge_freq: dict[tuple[str, str], int] = field(default_factory=dict)
+    Both maps are :class:`collections.Counter` instances (missing keys
+    read as 0, increments need no ``get`` dance, and
+    :meth:`Counter.update` adds counts — the operation :meth:`merge`
+    builds on).  Plain dicts passed to the constructor are converted.
+    """
+
+    node_freq: Counter[str] = field(default_factory=Counter)
+    edge_freq: Counter[tuple[str, str]] = field(default_factory=Counter)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.node_freq, Counter):
+            self.node_freq = Counter(self.node_freq)
+        if not isinstance(self.edge_freq, Counter):
+            self.edge_freq = Counter(self.edge_freq)
 
     def node(self, label: str) -> int:
         return self.node_freq.get(label, 0)
 
     def edge(self, src: str, dst: str) -> int:
         return self.edge_freq.get((src, dst), 0)
+
+    def merge(self, other: "ExecutionProfile") -> "ExecutionProfile":
+        """Accumulate *other*'s counts into this profile (returns self).
+
+        The reduction step of the process-parallel drivers: per-shard
+        profiles merge into one suite-wide profile without caring which
+        labels the shards have in common.
+        """
+        self.node_freq.update(other.node_freq)
+        self.edge_freq.update(other.edge_freq)
+        return self
 
     def nodes_only(self) -> "ExecutionProfile":
         """A copy with the edge map dropped.
@@ -68,12 +92,10 @@ class ExecutionProfile:
         output always has, and synthetic profiles should preserve.
         """
         violations = []
-        incoming: dict[str, int] = {}
-        outgoing: dict[str, int] = {}
-        for (src, dst), count in self.edge_freq.items():
-            incoming[dst] = incoming.get(dst, 0) + count
-            outgoing[src] = outgoing.get(src, 0) + count
+        incoming: Counter[str] = Counter()
+        for (_, dst), count in self.edge_freq.items():
+            incoming[dst] += count
         for label, freq in self.node_freq.items():
-            if label != entry and incoming.get(label, 0) != freq:
+            if label != entry and incoming[label] != freq:
                 violations.append(label)
         return violations

@@ -86,3 +86,15 @@ class TestComparison:
         text = render_comparison([comparison])
         assert "sjeng" in text
         assert "effort ratio" in text
+
+
+class TestParallelTable:
+    def test_jobs2_rows_match_sequential(self, small_table):
+        parallel = build_table(("mcf", "sjeng"), "test table", jobs=2)
+        assert [
+            (r.benchmark, r.a_cost, r.b_cost, r.c_cost, r.efg_sizes)
+            for r in parallel.rows
+        ] == [
+            (r.benchmark, r.a_cost, r.b_cost, r.c_cost, r.efg_sizes)
+            for r in small_table.rows
+        ]

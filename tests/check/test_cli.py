@@ -9,11 +9,12 @@ from repro.check.corpus import SCHEMA_VERSION
 import pytest
 
 #: The documented summary schema (docs/CHECKING.md).  Additions require a
-#: SCHEMA_VERSION bump; removals/renames are breaking.
+#: SCHEMA_VERSION bump; removals/renames are breaking.  v2 added
+#: "engine" and "jobs".
 SUMMARY_KEYS = {
-    "schema", "seeds", "seed_base", "shapes", "oracles", "passed",
-    "artifacts", "cases", "skipped", "failures", "per_oracle", "by_kind",
-    "wall_time_s",
+    "schema", "seeds", "seed_base", "shapes", "oracles", "engine", "jobs",
+    "passed", "artifacts", "cases", "skipped", "failures", "per_oracle",
+    "by_kind", "wall_time_s",
 }
 
 

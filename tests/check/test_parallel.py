@@ -1,0 +1,89 @@
+"""Process-parallel fuzzing: ``--jobs N`` must change nothing but time.
+
+The contract: cases are deterministic in ``(seed, shape)``, shard
+statistics merge commutatively, and the failing list is re-sorted into
+sequential order — so a parallel run's summary is byte-identical to a
+single-process run apart from ``wall_time_s`` (and the recorded ``jobs``
+value itself).
+"""
+
+import json
+
+from repro.check.cli import main
+from repro.check.driver import DriverStats, run_driver
+from repro.parallel import parallel_map
+
+#: Summary fields legitimately different between job counts.
+TIMING_KEYS = ("wall_time_s", "jobs")
+
+
+def _mul2(x):
+    return x * 2
+
+
+class TestParallelMap:
+    def test_preserves_order_sequential(self):
+        assert parallel_map(_mul2, [3, 1, 2], jobs=1) == [6, 2, 4]
+
+    def test_preserves_order_parallel(self):
+        assert parallel_map(_mul2, list(range(7)), jobs=3) == [
+            0, 2, 4, 6, 8, 10, 12,
+        ]
+
+    def test_empty(self):
+        assert parallel_map(_mul2, [], jobs=4) == []
+
+
+class TestDriverStatsMerge:
+    def test_addition_is_commutative(self):
+        a = DriverStats(
+            cases=3, skipped=1,
+            per_oracle={"equiv": [6, 1]}, by_kind={"divergence": 1},
+        )
+        b = DriverStats(
+            cases=2, skipped=0,
+            per_oracle={"equiv": [4, 0], "safety": [2, 0]}, by_kind={},
+        )
+        left = DriverStats().merge(a).merge(b).to_dict()
+        right = DriverStats().merge(b).merge(a).to_dict()
+        assert left == right
+        assert left["cases"] == 5
+        assert left["per_oracle"]["equiv"] == {"checks": 10, "failures": 1}
+
+    def test_wall_time_not_summed(self):
+        a = DriverStats(wall_time_s=1.0)
+        merged = DriverStats(wall_time_s=2.0).merge(a)
+        assert merged.wall_time_s == 2.0
+
+
+class TestParallelDriver:
+    def test_jobs2_matches_sequential(self):
+        seq_stats, seq_failing = run_driver(
+            4, ("cint",), ("equiv",), jobs=1
+        )
+        par_stats, par_failing = run_driver(
+            4, ("cint",), ("equiv",), jobs=2
+        )
+        seq = seq_stats.to_dict()
+        par = par_stats.to_dict()
+        seq.pop("wall_time_s")
+        par.pop("wall_time_s")
+        assert par == seq
+        assert [(r.seed, r.shape) for r in par_failing] == [
+            (r.seed, r.shape) for r in seq_failing
+        ]
+
+    def test_cli_summary_identical_modulo_timing(self, tmp_path):
+        summaries = []
+        for jobs in ("1", "2"):
+            out = tmp_path / f"jobs{jobs}"
+            rc = main([
+                "--seeds", "3", "--shape", "cint", "--oracle", "equiv",
+                "--jobs", jobs, "--json", "--out", str(out),
+            ])
+            assert rc == 0
+            data = json.loads((out / "summary.json").read_text())
+            for key in TIMING_KEYS:
+                data.pop(key)
+            summaries.append(data)
+        assert summaries[0] == summaries[1]

@@ -126,3 +126,31 @@ class TestResidualLabelling:
         _, res = dinic_max_flow(net)
         reaching = res.residual_reaching_sink(res.node_index["t"])
         assert res.node_index["s"] not in reaching
+
+
+class TestSharedAdjacencyIndex:
+    def test_built_once_and_reused(self):
+        net = FlowNetwork("s", "t")
+        net.add_edge("s", "a", 2)
+        net.add_edge("a", "t", 2)
+        _, res = dinic_max_flow(net)
+        index = res.arcs_out()
+        assert res.arcs_out() is index
+        res.residual_reachable_from_source(res.node_index["s"])
+        res.residual_reaching_sink(res.node_index["t"])
+        assert res.arcs_out() is index
+
+    def test_matches_linked_list_order(self):
+        net = FlowNetwork("s", "t")
+        net.add_edge("s", "a", 1)
+        net.add_edge("s", "b", 1)
+        net.add_edge("a", "t", 1)
+        net.add_edge("b", "t", 1)
+        _, res = dinic_max_flow(net)
+        for node, arcs in enumerate(res.arcs_out()):
+            walked = []
+            arc = res.head[node]
+            while arc != -1:
+                walked.append(arc)
+                arc = res.next_arc[arc]
+            assert arcs == walked

@@ -1,0 +1,97 @@
+"""``python -m repro.perf``: BENCH.json schema, equivalence gate, CLI."""
+
+import json
+
+from repro.perf.bench import (
+    BENCH_SCHEMA_VERSION,
+    bench_maxflow,
+    runresult_mismatches,
+    scaling_network,
+)
+from repro.perf.cli import main
+from repro.profiles.compiled import run_compiled
+from repro.profiles.interp import run_function
+
+import pytest
+
+#: The documented BENCH.json schema (docs/PERF.md).
+BENCH_KEYS = {
+    "schema", "quick", "repeat", "python", "platform",
+    "execution", "compile", "maxflow", "ok", "wall_time_s",
+}
+WORKLOAD_KEYS = {
+    "name", "family", "steps", "dynamic_cost", "reference_s",
+    "compiled_s", "lowering_s", "speedup", "mismatches",
+}
+
+
+class TestCli:
+    @pytest.fixture(scope="class")
+    def bench(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("perf") / "BENCH.json"
+        rc = main(["--quick", "--out", str(out)])
+        return rc, json.loads(out.read_text())
+
+    def test_exit_clean_and_schema(self, bench):
+        rc, data = bench
+        assert rc == 0
+        assert set(data) == BENCH_KEYS
+        assert data["schema"] == BENCH_SCHEMA_VERSION
+        assert data["quick"] is True
+        assert data["ok"] is True
+
+    def test_execution_section(self, bench):
+        _, data = bench
+        execution = data["execution"]
+        assert execution["equivalent"] is True
+        assert len(execution["workloads"]) == 2
+        for row in execution["workloads"]:
+            assert set(row) == WORKLOAD_KEYS
+            assert row["mismatches"] == []
+            assert row["steps"] > 0
+        assert {r["family"] for r in execution["workloads"]} == {
+            "CINT", "CFP",
+        }
+
+    def test_compile_section_names_pipeline_stages(self, bench):
+        _, data = bench
+        stages = data["compile"]["per_stage"]
+        assert "mc-ssapre" in stages
+        for stage in stages.values():
+            assert stage["calls"] == data["compile"]["functions"]
+
+    def test_maxflow_section(self, bench):
+        _, data = bench
+        assert data["maxflow"]["agreed"] is True
+        for row in data["maxflow"]["networks"]:
+            assert row["flows_agree"] is True
+            assert row["max_flow"] > 0
+
+    def test_json_flag_prints_payload(self, tmp_path, capsys):
+        out = tmp_path / "BENCH.json"
+        rc = main(["--quick", "--repeat", "1", "--json", "--out", str(out)])
+        assert rc == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed == json.loads(out.read_text())
+
+
+class TestHelpers:
+    def test_runresult_mismatches_detects_each_field(self, straightline):
+        ref = run_function(straightline, [2, 3])
+        same = run_compiled(straightline, [2, 3])
+        assert runresult_mismatches(ref, same) == []
+        other = run_compiled(straightline, [5, 9])
+        diff = runresult_mismatches(ref, other)
+        assert "return_value" in diff
+
+    def test_scaling_network_is_deterministic(self):
+        a = scaling_network(4, 3)
+        b = scaling_network(4, 3)
+        assert [e.capacity for e in a.edges] == [
+            e.capacity for e in b.edges
+        ]
+        assert a.node_count() == 4 * 3 + 2
+
+    def test_solvers_agree_on_scaling_networks(self):
+        report = bench_maxflow(((3, 3), (5, 4)), repeat=1)
+        assert report["agreed"] is True

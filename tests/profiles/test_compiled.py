@@ -1,0 +1,155 @@
+"""Differential parity: compiled back end vs the reference interpreter.
+
+The contract is *bit-identical* :class:`RunResult` data — same return
+value, output trace, profile, dynamic cost, per-expression counts and
+step count — plus :class:`InterpreterError` parity (same error, same
+message, at the same step budget).  The property is checked over a
+derandomized seeded generator corpus in both fuzz shapes, with trapping
+operators enabled, so this is the tier-1 pin of the differential test
+the check driver runs at scale.
+"""
+
+import pytest
+
+from repro.bench.generator import generate_program
+from repro.check.driver import case_inputs, spec_for_shape
+from repro.ir.builder import FunctionBuilder
+from repro.passes.cache import AnalysisCache
+from repro.passes.compiler import compile as compile_func
+from repro.pipeline import prepare
+from repro.profiles.compiled import (
+    compile_function,
+    run_compiled,
+)
+from repro.profiles.interp import InterpreterError, run_function
+
+MAX_STEPS = 250_000
+SEEDS = range(12)
+SHAPES = ("cint", "cfp")
+
+
+def assert_bit_identical(ref, got):
+    assert got.return_value == ref.return_value
+    assert got.output == ref.output
+    assert dict(got.profile.node_freq) == dict(ref.profile.node_freq)
+    assert dict(got.profile.edge_freq) == dict(ref.profile.edge_freq)
+    assert got.dynamic_cost == ref.dynamic_cost
+    assert dict(got.expr_counts) == dict(ref.expr_counts)
+    assert got.steps == ref.steps
+
+
+class TestGeneratorCorpus:
+    """Derandomized property over the seeded fuzz corpus (all shapes,
+    trapping operators on)."""
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_prepared_parity(self, shape, seed):
+        spec = spec_for_shape(shape, seed)
+        prepared = prepare(generate_program(spec).func)
+        program = compile_function(prepared)
+        for args in case_inputs(spec):
+            ref = run_function(prepared, args, max_steps=MAX_STEPS)
+            got = program.run(args, max_steps=MAX_STEPS)
+            assert_bit_identical(ref, got)
+
+    @pytest.mark.parametrize("variant", ["mc-ssapre", "ssapre", "lcm"])
+    def test_optimized_variant_parity(self, variant):
+        spec = spec_for_shape("cint", 3)
+        prepared = prepare(generate_program(spec).func)
+        inputs = case_inputs(spec)
+        profile = run_function(
+            prepared, inputs[0], max_steps=MAX_STEPS
+        ).profile
+        out = compile_func(prepared, variant, profile, validate=True)
+        for args in inputs:
+            ref = run_function(out.func, args, max_steps=MAX_STEPS)
+            got = run_compiled(
+                out.func, args, max_steps=MAX_STEPS, cache=out.cache
+            )
+            assert_bit_identical(ref, got)
+
+
+class TestErrorParity:
+    def _diamond_with_partial_def(self):
+        # "maybe" is assigned on only one arm of the diamond, so reading
+        # it afterwards is defined iff the branch went left.
+        b = FunctionBuilder("partial", params=["p"])
+        b.block("entry")
+        b.branch("p", "left", "right")
+        b.block("left")
+        b.assign("maybe", "add", "p", 1)
+        b.jump("join")
+        b.block("right")
+        b.jump("join")
+        b.block("join")
+        b.copy("x", "maybe")
+        b.ret("x")
+        return prepare(b.build(), restructure=False)
+
+    def test_arity_error_matches(self):
+        func = self._diamond_with_partial_def()
+        with pytest.raises(InterpreterError) as ref_exc:
+            run_function(func, [])
+        with pytest.raises(InterpreterError) as got_exc:
+            run_compiled(func, [])
+        assert str(got_exc.value) == str(ref_exc.value)
+
+    def test_undefined_read_matches(self):
+        func = self._diamond_with_partial_def()
+        # Taken branch: defined on both engines, identical results.
+        assert_bit_identical(
+            run_function(func, [1]), run_compiled(func, [1])
+        )
+        # Fallthrough: both engines raise the same message.
+        with pytest.raises(InterpreterError) as ref_exc:
+            run_function(func, [0])
+        with pytest.raises(InterpreterError) as got_exc:
+            run_compiled(func, [0])
+        assert "read of undefined variable" in str(ref_exc.value)
+        assert str(got_exc.value) == str(ref_exc.value)
+
+    @pytest.mark.parametrize("budget", [1, 7, 50, 173, MAX_STEPS])
+    def test_step_budget_parity(self, budget):
+        spec = spec_for_shape("cfp", 1)
+        prepared = prepare(generate_program(spec).func)
+        args = case_inputs(spec)[0]
+        try:
+            ref = run_function(prepared, args, max_steps=budget)
+            ref_outcome = ("ok", ref)
+        except InterpreterError as exc:
+            ref_outcome = ("raise", str(exc))
+        try:
+            got = run_compiled(prepared, args, max_steps=budget)
+            got_outcome = ("ok", got)
+        except InterpreterError as exc:
+            got_outcome = ("raise", str(exc))
+        assert got_outcome[0] == ref_outcome[0]
+        if ref_outcome[0] == "raise":
+            assert got_outcome[1] == ref_outcome[1]
+            assert f"exceeded {budget} interpreted steps" in ref_outcome[1]
+        else:
+            assert_bit_identical(ref_outcome[1], got_outcome[1])
+
+
+class TestCaching:
+    def test_cache_memoises_lowering(self, straightline):
+        cache = AnalysisCache(straightline)
+        from repro.passes.analyses import COMPILED_ANALYSIS
+
+        run_compiled(straightline, [2, 3], cache=cache)
+        first = cache.peek(COMPILED_ANALYSIS)
+        assert first is not None
+        run_compiled(straightline, [4, 5], cache=cache)
+        assert cache.peek(COMPILED_ANALYSIS) is first
+
+    def test_code_mutation_invalidates(self, straightline):
+        cache = AnalysisCache(straightline)
+        from repro.passes.analyses import COMPILED_ANALYSIS
+
+        before = run_compiled(straightline, [2, 3], cache=cache)
+        first = cache.peek(COMPILED_ANALYSIS)
+        straightline.mark_code_mutated()
+        after = run_compiled(straightline, [2, 3], cache=cache)
+        assert cache.peek(COMPILED_ANALYSIS) is not first
+        assert_bit_identical(before, after)

@@ -60,3 +60,28 @@ class TestFlowConservation:
         profile = make_profile()
         profile.node_freq["a"] = 123  # entry has no in-edges
         assert profile.check_flow_conservation("a") == []
+
+
+class TestMerge:
+    def test_counters_add(self):
+        merged = make_profile().merge(
+            ExecutionProfile(
+                node_freq={"a": 1, "d": 2},
+                edge_freq={("a", "b"): 3, ("c", "d"): 2},
+            )
+        )
+        assert merged.node("a") == 11
+        assert merged.node("d") == 2
+        assert merged.edge("a", "b") == 9
+        assert merged.edge("c", "d") == 2
+
+    def test_merge_returns_self_and_mutates(self):
+        profile = make_profile()
+        assert profile.merge(make_profile()) is profile
+        assert profile.node("a") == 20
+
+    def test_merge_empty_is_identity(self):
+        profile = make_profile()
+        profile.merge(ExecutionProfile())
+        assert profile.node_freq == make_profile().node_freq
+        assert profile.edge_freq == make_profile().edge_freq
