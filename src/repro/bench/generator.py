@@ -53,6 +53,20 @@ trapping (drawn from ``trapping_ops``), which manufactures partially
 redundant trapping computations — the scenario the safety oracle of
 :mod:`repro.check` exists to police.  Both knobs default to "off" and
 consume no randomness when off, preserving every existing seed's program.
+
+Composite chains
+----------------
+
+``composite_exprs``/``composite_depth``/``composite_prob`` add *nested
+chains* over the hot expressions: a chain template is a hot expression
+extended link by link (``x = a+b; u = x+c; w = u+d; …``), and each
+emission site picks fresh intermediate targets.  Two sites of the same
+template are therefore lexically *different* composite classes — their
+redundancy only becomes first-order after a PRE round rewrites the
+intermediates into shared temporaries, which is exactly the second-order
+redundancy the rank-ordered iterative worklist
+(:mod:`repro.core.worklist`) exists to chase.  All three knobs default
+to "off" and consume no randomness when off.
 """
 
 from __future__ import annotations
@@ -99,6 +113,15 @@ class ProgramSpec:
     trapping_hot_prob: float = 0.0
     #: The trapping operators the two knobs above draw from.
     trapping_ops: tuple[str, ...] = ("div", "mod")
+    #: Number of composite chain templates (0 = off, no randomness used).
+    composite_exprs: int = 0
+    #: Extension links per chain: the operand nesting depth (= rank) of
+    #: the deepest composite class a chain produces.
+    composite_depth: int = 2
+    #: Probability that a computation statement emits a whole composite
+    #: chain (fresh intermediate targets per site) instead of a single
+    #: statement.
+    composite_prob: float = 0.0
     fp_flavor: bool = False
     stable_fraction: float = 0.5
 
@@ -124,6 +147,11 @@ class GeneratedProgram:
     func: Function
     spec: ProgramSpec
     hot_expressions: list[tuple[str, str, str]] = field(default_factory=list)
+    #: Chain templates: ``(op, x, y)`` base plus ``(op, None, y)`` links
+    #: (``None`` marks "previous link's value").
+    composite_chains: list[list[tuple[str, str | None, str]]] = field(
+        default_factory=list
+    )
 
 
 class _Generator:
@@ -137,6 +165,7 @@ class _Generator:
         self.all_vars: list[str] = list(params)
         self.loop_counter = 0
         self.hot: list[tuple[str, str, str]] = []
+        self.chains: list[list[tuple[str, str | None, str]]] = []
 
     # ------------------------------------------------------------------
     def generate(self) -> GeneratedProgram:
@@ -177,6 +206,27 @@ class _Generator:
                 op = self.rng.choice(list(spec.trapping_ops))
             self.hot.append((op, x, y))
 
+        # Composite chain templates: a hot base extended link by link.
+        # Guarded so default-configured specs consume no extra randomness.
+        if spec.composite_exprs > 0 and self.hot:
+            for _ in range(spec.composite_exprs):
+                chain: list[tuple[str, str | None, str]] = [
+                    self.rng.choice(self.hot)
+                ]
+                for _ in range(max(1, spec.composite_depth)):
+                    pool = (
+                        self.stable_vars
+                        if self.rng.random() < 0.8
+                        else self.all_vars
+                    )
+                    op = self.rng.choice(ops)
+                    if spec.trapping_hot_prob > 0 and (
+                        self.rng.random() < spec.trapping_hot_prob
+                    ):
+                        op = self.rng.choice(list(spec.trapping_ops))
+                    chain.append((op, None, self.rng.choice(pool)))
+                self.chains.append(chain)
+
         self._region(spec.max_depth)
         if spec.max_depth > 0 and self.loop_counter == 0:
             # Guarantee substance: a program with no loop at all would be
@@ -190,7 +240,10 @@ class _Generator:
             b.assign(acc, "xor", acc, var)
         b.ret(acc)
         return GeneratedProgram(
-            func=b.build(), spec=spec, hot_expressions=list(self.hot)
+            func=b.build(),
+            spec=spec,
+            hot_expressions=list(self.hot),
+            composite_chains=list(self.chains),
         )
 
     # ------------------------------------------------------------------
@@ -212,6 +265,13 @@ class _Generator:
         rng = self.rng
         if rng.random() < spec.output_prob:
             b.output(rng.choice(self.all_vars))
+            return
+        # Composite chains roll only when the knob is on (stream-
+        # preserving for every pre-existing spec).
+        if self.chains and spec.composite_prob > 0 and (
+            rng.random() < spec.composite_prob
+        ):
+            self._composite_chain()
             return
         target = rng.choice(self.mutable_vars)
         if spec.trapping_density is not None:
@@ -238,6 +298,23 @@ class _Generator:
         else:
             b.assign(target, rng.choice(spec.family_ops()),
                      rng.choice(self.all_vars), rng.choice(self.all_vars))
+
+    def _composite_chain(self) -> None:
+        """Emit one chain template with fresh intermediates at this site.
+
+        The per-site targets make each site's composite classes lexically
+        distinct (``u = x+c`` here, ``v = y+c`` there): first-order PRE
+        sees no redundancy between them until a round has rewritten the
+        intermediates into shared temporaries.
+        """
+        rng = self.rng
+        b = self.builder
+        chain = rng.choice(self.chains)
+        prev: str | None = None
+        for op, x, y in chain:
+            target = rng.choice(self.mutable_vars)
+            b.assign(target, op, x if prev is None else prev, y)
+            prev = target
 
     def _trapping_statement(self, target: str) -> None:
         rng = self.rng

@@ -6,7 +6,10 @@ variant's pipeline and prints each :class:`~repro.passes.manager.PassReport`
 deltas.  The SSA variants demonstrate the cache paying off: SSA
 construction computes the CFG, dominator tree and dominance frontiers
 (misses), and because instruction rewriting preserves the CFG, the PRE
-stage's FRG construction reuses all three (hits).
+stage's FRG construction reuses all three (hits).  The trailing
+``mc-ssapre-iter`` report compiles with the rank-ordered iterative
+worklist and prints per-round statistics (classes processed, changed,
+insertions, reloads, fixpoint-vs-bound).
 
 The artifact also times ``Function.clone`` against ``copy.deepcopy`` on
 the same prepared function — the input-copy fast path the compiler uses
@@ -20,6 +23,7 @@ import json
 import time
 
 from repro.bench.workloads import load_workload
+from repro.core.worklist import DEFAULT_ITERATIVE_ROUNDS
 from repro.passes.compiler import VARIANTS, compile as compile_func
 from repro.pipeline import prepare
 from repro.profiles.interp import run_function
@@ -70,6 +74,16 @@ def passes_artifact(
                 prepared, variant, train.profile, validate=validate
             )
             assert compiled.report is not None
+            entry["reports"].append(compiled.report)
+        if "mc-ssapre" in variants:
+            # The iterative twin, so the artifact shows per-round stats
+            # (classes processed, insertions, reloads, fixpoint).
+            compiled = compile_func(
+                prepared, "mc-ssapre", train.profile, validate=validate,
+                rounds=DEFAULT_ITERATIVE_ROUNDS,
+            )
+            assert compiled.report is not None
+            compiled.report.variant = "mc-ssapre-iter"
             entry["reports"].append(compiled.report)
         out.append(entry)
     if as_json:

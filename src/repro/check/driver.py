@@ -1,10 +1,12 @@
 """The seeded fuzz loop: generate → compile every variant → run oracles.
 
-One *case* is one generated program (:mod:`repro.bench.generator`) in one
-of two shapes — ``cint`` (branch-heavy, shallow loops, integer ops) or
-``cfp`` (loop-heavy, FP-flavoured, invariant-dense) — with trapping
-operators enabled, so speculation safety is genuinely at stake.  The
-driver compiles all variants through the single
+One *case* is one generated program (:mod:`repro.bench.generator`) in
+one of three shapes — ``cint`` (branch-heavy, shallow loops, integer
+ops), ``cfp`` (loop-heavy, FP-flavoured, invariant-dense) or
+``composite`` (nested expression chains with per-site intermediates,
+the second-order-redundancy family the iterative worklist exists for) —
+with trapping operators enabled, so speculation safety is genuinely at
+stake.  The driver compiles all variants through the single
 :func:`repro.passes.compiler.compile` entry point with verification on,
 classifies anything that goes wrong before the oracles even run
 (``crash`` vs ``verifier-reject``, attributed to the failing pass via the
@@ -29,6 +31,7 @@ from repro.bench.generator import (
     perturbed_args,
     random_args,
 )
+from repro.core.worklist import DEFAULT_ITERATIVE_ROUNDS
 from repro.ir.function import Function
 from repro.ir.verifier import VerificationError, verify_function
 from repro.parallel import parallel_map
@@ -45,8 +48,17 @@ from repro.check.oracles import (
     VariantFn,
 )
 
-#: The two program families the harness fuzzes (paper Tables 1 and 2).
-SHAPES = ("cint", "cfp")
+#: The program families the harness fuzzes: the paper's two (Tables 1
+#: and 2) plus the composite-chain family for second-order redundancy.
+SHAPES = ("cint", "cfp", "composite")
+
+#: Round budget of the always-fuzzed iterative twin variants, and the
+#: names they are recorded under in ``CheckCase.compiled``.  The twins
+#: are policed by the equivalence and safety oracles on every case (the
+#: per-key optimality oracles reference the one-shot drivers by name —
+#: iterative operand rewriting legitimately re-keys expressions).
+ITERATIVE_ROUNDS = DEFAULT_ITERATIVE_ROUNDS
+ITERATIVE_VARIANTS = {"ssapre-iter": "ssapre", "mc-ssapre-iter": "mc-ssapre"}
 
 #: Inputs per case: index 0 trains the profile, the rest are ref-like.
 DEFAULT_INPUTS = 3
@@ -107,6 +119,28 @@ def spec_for_shape(shape: str, seed: int) -> ProgramSpec:
             fp_flavor=True,
             stable_fraction=0.65,
         )
+    if shape == "composite":
+        return ProgramSpec(
+            name=f"composite{seed}",
+            seed=seed,
+            params=3,
+            locals_count=6,
+            region_length=5,
+            max_depth=2,
+            branch_weight=0.30,
+            loop_weight=0.20,
+            loop_mask_bits=4,
+            loop_base=3,
+            hot_exprs=4,
+            hot_prob=0.30,
+            trapping_density=0.06,
+            trapping_hot_prob=0.20,
+            composite_exprs=3,
+            composite_depth=3,
+            composite_prob=0.35,
+            fp_flavor=False,
+            stable_fraction=0.6,
+        )
     raise ValueError(f"unknown shape {shape!r}; expected one of {SHAPES}")
 
 
@@ -156,8 +190,15 @@ def build_case(
     variants: tuple[str, ...] = VARIANTS,
     extra_variants: dict[str, VariantFn] | None = None,
     engine: str = DEFAULT_ENGINE,
+    iterative: bool = True,
 ) -> CaseResult:
     """Generate, prepare, profile and compile one case.
+
+    ``iterative=True`` (default) additionally compiles the iterative
+    worklist twins of the SSA-based drivers
+    (:data:`ITERATIVE_VARIANTS`), so every fuzz case differentially
+    tests the multi-round engine against the reference interpreter and
+    the safety oracle for free.
 
     ``extra_variants`` maps a name to a callable ``(prepared_clone,
     profile) -> Function`` — the hook the reducer tests use to inject a
@@ -190,19 +231,30 @@ def build_case(
     profile = control_runs[0].profile
     compiled: dict[str, Function] = {}
     caches: dict[str, object] = {}
-    for variant in variants:
+    to_compile: list[tuple[str, str, int]] = [
+        (variant, variant, 1) for variant in variants
+    ]
+    if iterative:
+        to_compile.extend(
+            (name, base, ITERATIVE_ROUNDS)
+            for name, base in ITERATIVE_VARIANTS.items()
+            if base in variants
+        )
+    for name, base, rounds in to_compile:
         try:
-            out = compile_func(prepared, variant, profile, validate=True)
+            out = compile_func(
+                prepared, base, profile, validate=True, rounds=rounds
+            )
             verify_function(out.func)
-            compiled[variant] = out.func
-            caches[variant] = out.cache
+            compiled[name] = out.func
+            caches[name] = out.cache
         except VerificationError as exc:
             result.compile_failures.append(
-                OracleFailure("compile", variant, "verifier-reject", repr(exc))
+                OracleFailure("compile", name, "verifier-reject", repr(exc))
             )
         except Exception as exc:  # noqa: BLE001 - any crash is a finding
             result.compile_failures.append(
-                OracleFailure("compile", variant, "crash", repr(exc))
+                OracleFailure("compile", name, "crash", repr(exc))
             )
     for name, fn in (extra_variants or {}).items():
         try:

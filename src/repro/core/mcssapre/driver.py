@@ -36,12 +36,11 @@ from repro.core.mcssapre.dataflow import solve_step3
 from repro.core.mcssapre.efg import build_efg
 from repro.core.mcssapre.reduction import build_reduced_graph
 from repro.core.mcssapre.willbeavail import compute_will_be_avail_from_cut
-from repro.core.ssapre.codemotion import apply_code_motion
-from repro.core.ssapre.downsafety import compute_down_safety
-from repro.core.ssapre.driver import PREResult
+from repro.core.ssapre.codemotion import CodeMotionReport, apply_code_motion
+from repro.core.ssapre.driver import PREResult, run_safe_steps
 from repro.core.ssapre.finalize import finalize
-from repro.core.ssapre.frg import ExprClass, build_frgs, collect_expr_classes
-from repro.core.ssapre.willbeavail import compute_will_be_avail
+from repro.core.ssapre.frg import ExprClass, build_frgs
+from repro.core.worklist import run_rounds
 from repro.ir.function import Function
 from repro.ir.verifier import has_critical_edges
 from repro.profiles.profile import ExecutionProfile
@@ -77,13 +76,17 @@ def run_mc_ssapre(
     classes: list[ExprClass] | None = None,
     sink_closest: bool = True,
     cache: "AnalysisCache | None" = None,
+    rounds: int = 1,
 ) -> MCPREResult:
     """Run MC-SSAPRE over every candidate class of *func*, in place.
 
     ``sink_closest=False`` selects the source-side min cut instead of the
     reverse-labeling cut; it exists only for the lifetime ablation
     benchmark and forfeits lifetime optimality (never computational
-    optimality).
+    optimality).  ``rounds`` bounds the iterative worklist exactly as in
+    :func:`repro.core.ssapre.driver.run_ssapre`: 1 is the classic
+    one-shot driver, more rounds chase second-order redundancy through
+    the occurrence index.
     """
     if has_critical_edges(func):
         raise ValueError(
@@ -93,54 +96,61 @@ def run_mc_ssapre(
     from repro.passes.cache import AnalysisCache
 
     cache = AnalysisCache.ensure(func, cache)
-    if classes is None:
-        classes = collect_expr_classes(func)
     result = MCPREResult(algorithm="MC-SSAPRE")
 
-    # Steps 1 and 2 for every class in one shared rename walk, and one
-    # shared bit-vector solve for the trapping-class safe fallback (see
-    # the comment in run_ssapre for why later CodeMotion cannot
-    # invalidate these).
-    frgs = build_frgs(func, classes, cache=cache)
-    dataflow = None
+    def process_round(
+        fn: Function, work: list[ExprClass]
+    ) -> list[CodeMotionReport]:
+        # Steps 1 and 2 for every class of the round in one shared
+        # rename walk, and one shared bit-vector solve for the
+        # trapping-class safe fallback (see the comment in run_ssapre
+        # for why later CodeMotion cannot invalidate these).
+        frgs = build_frgs(fn, work, cache=cache)
+        dataflow = None
 
-    for expr in classes:
-        frg = frgs[expr.key]
-        if not frg.real_occs:
-            continue
-        if expr.trapping:
-            # Unspeculatable: fall back to the safe placement for this
-            # class (SSAPRE steps 3-4), still deleting full redundancies.
-            if dataflow is None:
-                from repro.analysis.dataflow import solve_pre_dataflow
+        reports = []
+        for expr in work:
+            frg = frgs[expr.key]
+            if not frg.real_occs:
+                continue
+            if expr.trapping:
+                # Unspeculatable: fall back to the safe placement for
+                # this class (SSAPRE steps 3-4, via the shared step
+                # runner), still deleting full redundancies.
+                if dataflow is None:
+                    from repro.analysis.dataflow import solve_pre_dataflow
 
-                dataflow = solve_pre_dataflow(
-                    func, [e.key for e in classes]
-                )
-            compute_down_safety(frg, dataflow)
-            compute_will_be_avail(frg)
-            result.trapping_fallbacks += 1
-        else:
-            solve_step3(frg)  # step 3
-            reduced = build_reduced_graph(frg)  # step 4
-            efg = build_efg(reduced, profile)  # steps 5 and 6
-            decision: CutDecision | None = None
-            if efg is not None:
-                decision = solve_min_cut(efg, sink_closest=sink_closest)  # step 7
-                result.efg_stats.append(
-                    EFGStats(
-                        expr=str(expr),
-                        nodes=efg.node_count,
-                        edges=efg.edge_count,
-                        cut_value=decision.cut.value,
-                        insertions=len(decision.insert_operands),
+                    dataflow = solve_pre_dataflow(
+                        fn, [e.key for e in work]
                     )
-                )
-            compute_will_be_avail_from_cut(frg)  # step 8
-        plan = finalize(frg)  # step 9
-        report = apply_code_motion(func, plan)  # step 10
-        result.reports.append(report)
-        if validate and report.changed:
-            verify_ssa(func)
-    func.mark_code_mutated()
+                run_safe_steps(frg, dataflow=dataflow)
+                result.trapping_fallbacks += 1
+            else:
+                solve_step3(frg)  # step 3
+                reduced = build_reduced_graph(frg)  # step 4
+                efg = build_efg(reduced, profile)  # steps 5 and 6
+                decision: CutDecision | None = None
+                if efg is not None:
+                    decision = solve_min_cut(efg, sink_closest=sink_closest)  # step 7
+                    result.efg_stats.append(
+                        EFGStats(
+                            expr=str(expr),
+                            nodes=efg.node_count,
+                            edges=efg.edge_count,
+                            cut_value=decision.cut.value,
+                            insertions=len(decision.insert_operands),
+                        )
+                    )
+                compute_will_be_avail_from_cut(frg)  # step 8
+            plan = finalize(frg)  # step 9
+            report = apply_code_motion(fn, plan)  # step 10
+            reports.append(report)
+            if validate and report.changed:
+                verify_ssa(fn)
+        return reports
+
+    run_rounds(
+        func, result, process_round,
+        classes=classes, rounds=rounds, validate=validate,
+    )
     return result

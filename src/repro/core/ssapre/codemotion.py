@@ -17,7 +17,7 @@ classes can be processed on the updated function.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.ssapre.finalize import FinalizePlan, TDef
 from repro.ir.function import Function
@@ -27,7 +27,17 @@ from repro.ir.values import Var
 
 @dataclass
 class CodeMotionReport:
-    """What CodeMotion did — consumed by benchmarks and tests."""
+    """What CodeMotion did — consumed by benchmarks and tests.
+
+    Beyond the summary counts, the report carries the statement-level
+    delta the worklist engine feeds back into the occurrence index:
+    ``inserted`` holds every new candidate computation (``(label, stmt)``
+    for edge insertions and the compute half of each save), ``removed``
+    every original statement that was replaced, and ``copies`` the
+    value-equalities the rewrite established (``x = t.v`` pairs from
+    saves and reloads) through which higher-rank operands can be
+    propagated.
+    """
 
     expr: str
     temp_name: str | None
@@ -35,6 +45,9 @@ class CodeMotionReport:
     reloads: int
     insertions: int
     phis: int
+    inserted: list[tuple[str, Assign]] = field(default_factory=list)
+    removed: list[Assign] = field(default_factory=list)
+    copies: list[tuple[Var, Var]] = field(default_factory=list)
 
     @property
     def changed(self) -> bool:
@@ -81,26 +94,37 @@ def apply_code_motion(func: Function, plan: FinalizePlan) -> CodeMotionReport:
         }
         func.blocks[phi.label].phis.append(Phi(Var(temp.name, version_of[id(phi)]), args))
 
+    inserted: list[tuple[str, Assign]] = []
+    removed: list[Assign] = []
+    copies: list[tuple[Var, Var]] = []
+
     # 2. Insertions at predecessor-block ends.
     for node in plan.insertions.values():
         block = func.blocks[node.pred]
         rhs = frg.expr.make_rhs(tuple(node.operand_values))  # type: ignore[arg-type]
-        block.body.append(Assign(define(node), rhs))
+        stmt = Assign(define(node), rhs)
+        block.body.append(stmt)
+        inserted.append((node.pred, stmt))
 
     # 3. Rewrite saves and reloads (touching only the affected blocks).
     replacements: dict[int, list[Assign]] = {}
     touched: set[str] = set()
     for occ in plan.saves:
         tvar = define(occ)
-        replacements[id(occ.stmt)] = [
-            Assign(tvar, occ.stmt.rhs),
-            Assign(occ.stmt.target, tvar),
-        ]
+        compute = Assign(tvar, occ.stmt.rhs)
+        copy = Assign(occ.stmt.target, tvar)
+        replacements[id(occ.stmt)] = [compute, copy]
         touched.add(occ.label)
+        inserted.append((occ.label, compute))
+        removed.append(occ.stmt)
+        copies.append((occ.stmt.target, tvar))
     for occ in plan.occ_reload:
         definition = plan.reloads[id(occ)]
-        replacements[id(occ.stmt)] = [Assign(occ.stmt.target, define(definition))]
+        source = define(definition)
+        replacements[id(occ.stmt)] = [Assign(occ.stmt.target, source)]
         touched.add(occ.label)
+        removed.append(occ.stmt)
+        copies.append((occ.stmt.target, source))
 
     for label in touched:
         block = func.blocks[label]
@@ -116,5 +140,8 @@ def apply_code_motion(func: Function, plan: FinalizePlan) -> CodeMotionReport:
         reloads=len(plan.reloads),
         insertions=len(plan.insertions),
         phis=len(plan.t_phis),
+        inserted=inserted,
+        removed=removed,
+        copies=copies,
     )
 

@@ -1,12 +1,18 @@
 """SSAPRE drivers: safe PRE (compile A) and loop-speculative PRE (B).
 
-`run_ssapre` processes every candidate expression class of a function in
-first-occurrence order, rebuilding the FRG for each class on the current
-(already partially transformed) function, exactly as a phased compiler
-pass would.  Each class goes through:
+`run_ssapre` processes every candidate expression class of a function —
+rank-ordered over the shared occurrence index (see
+:mod:`repro.core.occurrences`) — rebuilding the FRG for each class on
+the current (already partially transformed) function, exactly as a
+phased compiler pass would.  Each class goes through:
 
     Φ-Insertion → Rename → DownSafety [→ loop speculation] →
     WillBeAvail → Finalize → CodeMotion
+
+With ``rounds > 1`` the whole sequence becomes one round of the
+:mod:`repro.core.worklist` engine, which feeds CodeMotion's statement
+deltas back into the occurrence index and re-runs the newly-exposed
+higher-rank classes (second-order redundancy) until fixpoint.
 
 Returns a report per class so benchmarks can count insertions/reloads.
 """
@@ -17,9 +23,10 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.analysis import loop_forest_of
-from repro.analysis.dataflow import solve_pre_dataflow
+from repro.analysis.dataflow import PREDataflow, solve_pre_dataflow
 from repro.analysis.loops import LoopForest
 from repro.core.ssapre.codemotion import CodeMotionReport, apply_code_motion
+from repro.core.worklist import RoundStats, run_rounds
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.passes.cache import AnalysisCache
@@ -28,7 +35,7 @@ from repro.core.ssapre.downsafety import (
     compute_down_safety_sparse,
 )
 from repro.core.ssapre.finalize import finalize
-from repro.core.ssapre.frg import ExprClass, build_frgs, collect_expr_classes
+from repro.core.ssapre.frg import FRG, ExprClass, build_frgs
 from repro.core.ssapre.speculation import apply_loop_speculation
 from repro.core.ssapre.willbeavail import compute_will_be_avail
 from repro.ir.function import Function
@@ -43,6 +50,8 @@ class PREResult:
     algorithm: str
     reports: list[CodeMotionReport] = field(default_factory=list)
     speculated_phis: int = 0
+    round_stats: list[RoundStats] = field(default_factory=list)
+    fixpoint: bool = True
 
     @property
     def total_insertions(self) -> int:
@@ -56,6 +65,35 @@ class PREResult:
     def classes_changed(self) -> int:
         return sum(1 for r in self.reports if r.changed)
 
+    @property
+    def rounds_run(self) -> int:
+        return len(self.round_stats)
+
+
+def run_safe_steps(
+    frg: FRG,
+    *,
+    dataflow: PREDataflow | None = None,
+    forest: LoopForest | None = None,
+) -> int:
+    """The per-class safe-PRE step sequence shared by both drivers.
+
+    DownSafety (oracle when *dataflow* is given, sparse otherwise),
+    optional loop speculation when a *forest* is supplied, then
+    WillBeAvail.  Returns the number of phis speculation promoted.  The
+    MC driver routes trapping expressions through exactly this sequence,
+    so the fallback is the safe algorithm by construction, not a copy.
+    """
+    if dataflow is not None:
+        compute_down_safety(frg, dataflow)
+    else:
+        compute_down_safety_sparse(frg)
+    speculated = 0
+    if forest is not None:
+        speculated = apply_loop_speculation(frg, forest)
+    compute_will_be_avail(frg)
+    return speculated
+
 
 def run_ssapre(
     func: Function,
@@ -64,6 +102,7 @@ def run_ssapre(
     classes: list[ExprClass] | None = None,
     down_safety: str = "oracle",
     cache: "AnalysisCache | None" = None,
+    rounds: int = 1,
 ) -> PREResult:
     """Run safe SSAPRE (or SSAPREsp when ``speculate_loops``) in place.
 
@@ -71,6 +110,9 @@ def run_ssapre(
     (exact, bit-vector anticipability) or ``"sparse"`` (Kennedy's
     rename-driven propagation; conservative, never unsafe).  CFG-derived
     analyses (dominators, frontiers, loops) come from *cache* when given.
+    ``rounds`` bounds the iterative worklist: 1 (default) is the classic
+    one-shot driver; more rounds chase second-order redundancy exposed
+    by earlier code motion.
     """
     if down_safety not in ("oracle", "sparse"):
         raise ValueError(f"unknown down_safety mode {down_safety!r}")
@@ -82,37 +124,39 @@ def run_ssapre(
     from repro.passes.cache import AnalysisCache
 
     cache = AnalysisCache.ensure(func, cache)
-    if classes is None:
-        classes = collect_expr_classes(func)
     result = PREResult(algorithm="SSAPREsp" if speculate_loops else "SSAPRE")
 
-    # One shared rename walk and one shared bit-vector solve cover every
-    # class: CodeMotion only replaces statements of the class it is
-    # processing and introduces fresh temporaries, so neither the other
-    # classes' FRGs nor their data-flow facts are invalidated.
-    frgs = build_frgs(func, classes, cache=cache)
-    dataflow = None
-    if down_safety == "oracle":
-        dataflow = solve_pre_dataflow(func, [expr.key for expr in classes])
-    forest: LoopForest | None = None
-
-    for expr in classes:
-        frg = frgs[expr.key]
-        if not frg.real_occs:
-            continue
+    def process_round(
+        fn: Function, work: list[ExprClass]
+    ) -> list[CodeMotionReport]:
+        # One shared rename walk and one shared bit-vector solve cover
+        # every class of the round: CodeMotion only replaces statements
+        # of the class it is processing and introduces fresh
+        # temporaries, so neither the other classes' FRGs nor their
+        # data-flow facts are invalidated.
+        frgs = build_frgs(fn, work, cache=cache)
+        dataflow = None
         if down_safety == "oracle":
-            compute_down_safety(frg, dataflow)
-        else:
-            compute_down_safety_sparse(frg)
-        if speculate_loops:
-            if forest is None:
-                forest = loop_forest_of(func, cache)
-            result.speculated_phis += apply_loop_speculation(frg, forest)
-        compute_will_be_avail(frg)
-        plan = finalize(frg)
-        report = apply_code_motion(func, plan)
-        result.reports.append(report)
-        if validate and report.changed:
-            verify_ssa(func)
-    func.mark_code_mutated()
+            dataflow = solve_pre_dataflow(fn, [expr.key for expr in work])
+        forest = loop_forest_of(fn, cache) if speculate_loops else None
+
+        reports = []
+        for expr in work:
+            frg = frgs[expr.key]
+            if not frg.real_occs:
+                continue
+            result.speculated_phis += run_safe_steps(
+                frg, dataflow=dataflow, forest=forest
+            )
+            plan = finalize(frg)
+            report = apply_code_motion(fn, plan)
+            reports.append(report)
+            if validate and report.changed:
+                verify_ssa(fn)
+        return reports
+
+    run_rounds(
+        func, result, process_round,
+        classes=classes, rounds=rounds, validate=validate,
+    )
     return result

@@ -1,0 +1,149 @@
+"""The shared rank-ordered worklist engine both PRE drivers run on.
+
+One *round* processes a batch of expression classes (rank-ordered, see
+:mod:`repro.core.occurrences`) through whichever per-class PRE algorithm
+the driver supplies — safe SSAPRE steps or the min-cut formulation.  With
+``rounds=1`` (the default everywhere) the engine reproduces the historic
+one-shot drivers exactly: same class order on rank-0 programs, same
+transformations, no operand rewriting.
+
+With ``rounds > 1`` the engine becomes iterative: after each round it
+absorbs the statement deltas CodeMotion reported into the occurrence
+index, propagates the ``x = t.v`` copies into the operands of the
+remaining indexed occurrences (one targeted step of SSA copy
+propagation), and re-enqueues exactly the classes whose keys changed —
+the newly-exposed higher-rank redundancy.  Iteration stops early when a
+round leaves no dirty classes (*fixpoint*) and is always bounded by
+``rounds``.
+
+CFG-shape preservation
+----------------------
+Every PRE round inserts, deletes and rewrites straight-line statements
+and phis but never adds or removes blocks or edges.  The drivers have
+always relied on this implicitly (they build dominators and frontiers
+once up front); the engine formalises it as a checked contract: after
+every round it asserts ``func.cfg_generation`` is unchanged, which is
+precisely the token the :class:`~repro.passes.cache.AnalysisCache` keys
+CFG-derived analyses on.  Together with the pass-level ``preserves()``
+declarations this guarantees dominators, dominance frontiers and loop
+forests are computed at most once per function per compile, no matter
+how many rounds run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.occurrences import OccurrenceIndex
+from repro.core.ssapre.codemotion import CodeMotionReport
+from repro.core.ssapre.frg import ExprClass
+from repro.ir.function import Function
+from repro.ir.values import Var
+from repro.ssa.ssa_verifier import verify_ssa
+
+#: Round budget used by the iterative pipeline stages (``ssapre-iter``,
+#: ``mc-ssapre-iter``).  A chain of operand nesting depth *d* needs
+#: ``d + 1`` rounds to collapse completely, so this covers every chain
+#: the composite generator emits (depth knob ≤ 3) with one round spare;
+#: deeper programs simply stop at the bound with ``fixpoint=False``.
+DEFAULT_ITERATIVE_ROUNDS = 4
+
+
+@dataclass
+class RoundStats:
+    """Per-round observability, surfaced through ``PassReport``."""
+
+    number: int
+    classes: int
+    changed: int
+    insertions: int
+    reloads: int
+
+    def to_dict(self) -> dict:
+        return {
+            "round": self.number,
+            "classes": self.classes,
+            "changed": self.changed,
+            "insertions": self.insertions,
+            "reloads": self.reloads,
+        }
+
+
+ProcessRound = Callable[[Function, list[ExprClass]], list[CodeMotionReport]]
+
+
+def run_rounds(
+    func: Function,
+    result,
+    process_round: ProcessRound,
+    *,
+    classes: list[ExprClass] | None = None,
+    rounds: int = 1,
+    validate: bool = False,
+) -> None:
+    """Drive *process_round* to fixpoint (or the ``rounds`` bound).
+
+    *result* is the driver's ``PREResult``: the engine appends each
+    round's :class:`RoundStats` to ``result.round_stats``, sets
+    ``result.fixpoint``, and — the part callers observe through the
+    analysis cache — calls ``func.mark_code_mutated()`` only when some
+    round actually changed the program.
+    """
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+
+    index = OccurrenceIndex.build(func)
+    if classes is None:
+        work = index.classes_by_rank()
+    else:
+        work = index.sort_classes(list(classes))
+
+    cfg_generation = func.cfg_generation
+    mutated = False
+    result.fixpoint = True
+    for number in range(1, rounds + 1):
+        if not work:
+            break
+        reports = process_round(func, work)
+        if func.cfg_generation != cfg_generation:
+            raise AssertionError(
+                "PRE round mutated the CFG: code motion must only "
+                "insert/delete straight-line statements "
+                f"(cfg_generation {cfg_generation} -> {func.cfg_generation})"
+            )
+        result.reports.extend(reports)
+        changed = [r for r in reports if r.changed]
+        mutated = mutated or bool(changed)
+        result.round_stats.append(RoundStats(
+            number=number,
+            classes=len(work),
+            changed=len(changed),
+            insertions=sum(r.insertions for r in changed),
+            reloads=sum(r.reloads for r in changed),
+        ))
+
+        copies: dict[tuple[str, int | None], Var] = {}
+        for report in reports:
+            for stmt in report.removed:
+                index.remove_statement(stmt)
+            for label, stmt in report.inserted:
+                index.add_statement(label, stmt)
+            for target, source in report.copies:
+                copies[(target.name, target.version)] = source
+
+        if number == rounds:
+            # Bound reached: report whether more work was exposed, but
+            # leave the program untouched so a bounded run is a prefix
+            # of a longer one.
+            result.fixpoint = not index.has_pending_uses(copies)
+            break
+        dirty = index.rewrite_uses(copies)
+        if dirty and validate:
+            verify_ssa(func)
+        work = [ExprClass(key) for key in sorted(
+            dirty, key=lambda k: (index.rank(k), index.first_seen(k))
+        )]
+
+    if mutated:
+        func.mark_code_mutated()

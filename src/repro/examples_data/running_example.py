@@ -40,6 +40,9 @@ from repro.profiles.profile import ExecutionProfile
 #: lexical keys of the two expressions the narrative follows
 AB_KEY = ("add", ("var", "a"), ("var", "b"))
 CD_KEY = ("add", ("var", "c"), ("var", "d"))
+#: the composite extension: ``u + a`` where ``u`` is the loop-invariant
+#: ``c+d`` — second-order redundancy only the iterative driver removes
+UA_KEY = ("add", ("var", "u"), ("var", "a"))
 
 
 @dataclass
@@ -52,8 +55,17 @@ class RunningExample:
     loop_key: tuple = CD_KEY
 
 
-def build_running_example() -> RunningExample:
+def build_running_example(composite: bool = False) -> RunningExample:
     """Construct the example CFG.
+
+    With ``composite=True`` the hot loop body B9 additionally computes
+    ``v = u + a`` and accumulates it — a rank-1 composite over the
+    loop-invariant ``u = c+d``.  One-shot PRE cannot touch it (``u``'s
+    SSA version is defined inside the loop), but once round 1 hoists
+    ``c+d`` to a preheader temporary and the operand is rewritten
+    through the reload copy, ``u + a`` becomes a loop-invariant class of
+    its own and round 2 hoists it the same speculative way — the
+    smallest end-to-end second-order win.
 
     Shape (node frequencies in parentheses)::
 
@@ -98,6 +110,9 @@ def build_running_example() -> RunningExample:
     b.block("B9")
     b.assign("u", "add", "c", "d")  # loop-invariant occurrence
     b.assign("acc", "add", "acc", "u")
+    if composite:
+        b.assign("v", "add", "u", "a")  # rank-1 composite over u
+        b.assign("acc", "add", "acc", "v")
     b.assign("i", "add", "i", 1)
     b.jump("B8")
     b.block("B10")

@@ -85,6 +85,19 @@ class Pass:
         """Analyses (or the ``"cfg"`` token) still valid after this pass."""
         return frozenset()
 
+    def mutated(self, payload: object | None) -> bool:
+        """Did this run actually change the function?
+
+        Called by the manager after :meth:`run` with the pass's payload.
+        When False, no generation counter is bumped at all — even
+        code-keyed cached analyses (liveness, the compiled-interpreter
+        lowering) stay warm.  The conservative default is True;
+        override it in passes whose payload says whether anything
+        changed (a PRE pass that moved nothing, a copy-propagation pass
+        that found no copies).
+        """
+        return True
+
     def run(self, func: Function, ctx: "PassContext") -> object | None:
         """Transform *func* in place; the return value becomes the
         pass's payload in the :class:`~repro.passes.manager.PassReport`."""

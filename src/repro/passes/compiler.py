@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from repro.core.worklist import DEFAULT_ITERATIVE_ROUNDS
 from repro.ir.function import Function
 from repro.passes.base import Pass, PassError
 from repro.passes.manager import PassManager, PassReport
@@ -55,10 +56,19 @@ STAGES: dict[str, type[Pass] | object] = {
     "ispre": ISPREBaselinePass,
     "lcm": LCMBaselinePass,
     "verify": VerifyPass,
+    # Iterative (rank-ordered worklist) twins of the SSA-based variants.
+    "ssapre-iter": lambda: SSAPREPass(rounds=DEFAULT_ITERATIVE_ROUNDS),
+    "ssapre-sp-iter": lambda: SSAPREPass(
+        speculate_loops=True, rounds=DEFAULT_ITERATIVE_ROUNDS
+    ),
+    "mc-ssapre-iter": lambda: MCSSAPREPass(rounds=DEFAULT_ITERATIVE_ROUNDS),
 }
 
 #: Pass names whose payload is the variant's primary PRE result.
-_PRE_STAGE_NAMES = ("ssapre", "ssapre-sp", "mc-ssapre", "mc-pre", "ispre", "lcm")
+_PRE_STAGE_NAMES = (
+    "ssapre", "ssapre-sp", "mc-ssapre", "mc-pre", "ispre", "lcm",
+    "ssapre-iter", "ssapre-sp-iter", "mc-ssapre-iter",
+)
 
 
 def resolve_stage(stage: str | Pass) -> Pass:
@@ -78,24 +88,39 @@ def build_pipeline(
     *,
     fold_constants: bool = False,
     cleanup: bool = False,
+    rounds: int = 1,
 ) -> list[Pass]:
     """The default pipeline spec of one PRE variant.
 
     SSA-based variants bracket their PRE stage with SSA construction and
     destruction; ``fold_constants`` slots SCCP before PRE and ``cleanup``
     slots copy propagation + DCE after it, exactly where a production
-    middle-end puts the neighbours of PRE.
+    middle-end puts the neighbours of PRE.  ``rounds > 1`` selects the
+    iterative worklist form of the SSA-based PRE stage (the CFG
+    baselines are inherently one-shot and reject it).
     """
     if variant not in VARIANTS:
         raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
     if variant == "none":
         return []
     if variant in ("mc-pre", "ispre", "lcm"):
+        if rounds > 1:
+            raise ValueError(
+                f"variant {variant!r} is a one-shot CFG baseline; "
+                "iterative rounds apply only to the SSA-based variants"
+            )
         return [resolve_stage(variant)]
     spec: list[Pass] = [ConstructSSAPass()]
     if fold_constants:
         spec.append(SCCPPass())
-    spec.append(resolve_stage(variant))
+    if variant == "mc-ssapre":
+        spec.append(MCSSAPREPass(rounds=rounds))
+    else:
+        spec.append(SSAPREPass(
+            speculate_loops=(variant == "ssapre-sp"), rounds=rounds
+        ))
     if cleanup:
         spec.append(CopyPropagationPass())
         spec.append(DCEPass())
@@ -128,6 +153,7 @@ def compile(  # noqa: A001 - deliberate: the entry point is *the* compile
     validate: bool = False,
     verify_each: bool = False,
     clone: bool = True,
+    rounds: int = 1,
 ) -> CompiledFunction:
     """Compile one variant of an already-prepared function.
 
@@ -136,6 +162,8 @@ def compile(  # noqa: A001 - deliberate: the entry point is *the* compile
     variant's default stage list; ``validate`` runs the drivers' internal
     verifiers; ``verify_each`` additionally re-verifies the whole
     function between passes, naming the pass that broke an invariant.
+    ``rounds > 1`` compiles the SSA-based variants with the iterative
+    rank-ordered worklist (ignored when ``pipeline_spec`` is given).
 
     The profiled variants (``mc-ssapre``, ``mc-pre``, ``ispre``) raise
     :class:`ValueError` when *profile* is missing, matching the
@@ -153,7 +181,7 @@ def compile(  # noqa: A001 - deliberate: the entry point is *the* compile
     report.total_time += report.clone_time
 
     if pipeline_spec is None:
-        passes = build_pipeline(variant)
+        passes = build_pipeline(variant, rounds=rounds)
     else:
         passes = [resolve_stage(stage) for stage in pipeline_spec]
 

@@ -144,6 +144,18 @@ class PassReport:
                 f"{ex.stmts_before:>4}->{ex.stmts_after:<5} "
                 f"{ex.cache_hits:>4} {ex.cache_misses:>5}"
             )
+            round_stats = getattr(ex.payload, "round_stats", None)
+            if round_stats:
+                per_round = "; ".join(
+                    f"r{s.number}: {s.changed}/{s.classes} classes, "
+                    f"{s.insertions} ins, {s.reloads} reloads"
+                    for s in round_stats
+                )
+                fixpoint = getattr(ex.payload, "fixpoint", True)
+                lines.append(
+                    f"    rounds: {per_round} "
+                    f"[{'fixpoint' if fixpoint else 'bound reached'}]"
+                )
         lines.append(
             f"  total {self.total_time * 1e3:.2f} ms"
             f" (clone {self.clone_time * 1e3:.2f} ms)"
@@ -164,6 +176,16 @@ def _payload_summary(payload: object | None) -> object | None:
         return None
     if isinstance(payload, (int, float, str, bool)):
         return payload
+    round_stats = getattr(payload, "round_stats", None)
+    if round_stats is not None:
+        # A PREResult: surface the per-round worklist observability.
+        return {
+            "type": type(payload).__name__,
+            "rounds": [stats.to_dict() for stats in round_stats],
+            "fixpoint": payload.fixpoint,
+            "insertions": payload.total_insertions,
+            "reloads": payload.total_reloads,
+        }
     return type(payload).__name__
 
 
@@ -207,7 +229,7 @@ class PassManager:
             payload = p.run(func, ctx)
             elapsed = time.perf_counter() - t0
 
-            self._apply_preserves(func, cache, p)
+            self._apply_preserves(func, cache, p, payload)
             if self.verify_each:
                 self._verify(func, ctx, p)
 
@@ -232,9 +254,19 @@ class PassManager:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _apply_preserves(func: Function, cache: AnalysisCache, p: Pass) -> None:
+    def _apply_preserves(
+        func: Function,
+        cache: AnalysisCache,
+        p: Pass,
+        payload: object | None = None,
+    ) -> None:
         preserved = p.preserves()
         if preserved == PRESERVE_ALL:
+            return
+        if not p.mutated(payload):
+            # The pass declares (via its payload) that it changed
+            # nothing: skip every generation bump so even code-keyed
+            # analyses stay warm.
             return
         if PRESERVE_CFG in preserved:
             func.mark_code_mutated()

@@ -71,6 +71,9 @@ class CopyPropagationPass(Pass):
     def preserves(self) -> frozenset[str]:
         return _CFG_ONLY
 
+    def mutated(self, payload: object | None) -> bool:
+        return bool(payload)
+
     def run(self, func: Function, ctx: PassContext) -> int:
         from repro.opt.copyprop import propagate_copies
 
@@ -82,6 +85,9 @@ class DCEPass(Pass):
 
     def preserves(self) -> frozenset[str]:
         return _CFG_ONLY
+
+    def mutated(self, payload: object | None) -> bool:
+        return bool(payload)
 
     def run(self, func: Function, ctx: PassContext) -> int:
         from repro.opt.dce import eliminate_dead_code
@@ -102,15 +108,30 @@ class GVNPass(Pass):
 
 
 class SSAPREPass(Pass):
-    """Safe SSAPRE (compile A) or loop-speculative SSAPREsp (compile B)."""
+    """Safe SSAPRE (compile A) or loop-speculative SSAPREsp (compile B).
 
-    def __init__(self, speculate_loops: bool = False, down_safety: str = "oracle"):
+    ``rounds > 1`` runs the rank-ordered iterative worklist (the stage
+    is then named with an ``-iter`` suffix so reports distinguish it).
+    """
+
+    def __init__(
+        self,
+        speculate_loops: bool = False,
+        down_safety: str = "oracle",
+        rounds: int = 1,
+    ):
         self.speculate_loops = speculate_loops
         self.down_safety = down_safety
+        self.rounds = rounds
         self.name = "ssapre-sp" if speculate_loops else "ssapre"
+        if rounds > 1:
+            self.name += "-iter"
 
     def preserves(self) -> frozenset[str]:
         return _CFG_ONLY
+
+    def mutated(self, payload: object | None) -> bool:
+        return payload is None or payload.classes_changed > 0
 
     def run(self, func: Function, ctx: PassContext):
         from repro.core.ssapre.driver import run_ssapre
@@ -121,19 +142,30 @@ class SSAPREPass(Pass):
             validate=ctx.validate,
             down_safety=self.down_safety,
             cache=ctx.cache,
+            rounds=self.rounds,
         )
 
 
 class MCSSAPREPass(Pass):
-    """MC-SSAPRE (compile C) — needs node frequencies from the profile."""
+    """MC-SSAPRE (compile C) — needs node frequencies from the profile.
+
+    ``rounds > 1`` runs the rank-ordered iterative worklist (the stage
+    is then named ``mc-ssapre-iter`` so reports distinguish it).
+    """
 
     name = "mc-ssapre"
 
-    def __init__(self, sink_closest: bool = True):
+    def __init__(self, sink_closest: bool = True, rounds: int = 1):
         self.sink_closest = sink_closest
+        self.rounds = rounds
+        if rounds > 1:
+            self.name = "mc-ssapre-iter"
 
     def preserves(self) -> frozenset[str]:
         return _CFG_ONLY
+
+    def mutated(self, payload: object | None) -> bool:
+        return payload is None or payload.classes_changed > 0
 
     def run(self, func: Function, ctx: PassContext):
         from repro.core.mcssapre.driver import run_mc_ssapre
@@ -145,6 +177,7 @@ class MCSSAPREPass(Pass):
             validate=ctx.validate,
             sink_closest=self.sink_closest,
             cache=ctx.cache,
+            rounds=self.rounds,
         )
 
 

@@ -14,7 +14,8 @@ import platform
 import time
 from dataclasses import dataclass
 
-from repro.bench.workloads import CFP2006, CINT2006, load_workload
+from repro.bench.workloads import CFP2006, CINT2006, COMPOSITE, load_workload
+from repro.core.worklist import DEFAULT_ITERATIVE_ROUNDS
 from repro.flownet.maxflow import dinic_max_flow, edmonds_karp_max_flow
 from repro.flownet.network import FlowNetwork
 from repro.passes.compiler import compile as compile_func
@@ -23,7 +24,9 @@ from repro.profiles.compiled import compile_function
 from repro.profiles.interp import RunResult, run_function
 
 #: Version of the BENCH.json layout (documented in docs/PERF.md).
-BENCH_SCHEMA_VERSION = 1
+#: v2 added the "iterative" table (one-shot vs rank-ordered iterative
+#: MC-SSAPRE: compile time, rounds, dynamic-cost deltas).
+BENCH_SCHEMA_VERSION = 2
 
 #: Step budget for the measured runs (matches the pipeline default).
 MAX_STEPS = 5_000_000
@@ -37,6 +40,12 @@ QUICK_WORKLOADS = (CINT2006[0], CFP2006[0])
 #: (layers, width) of the scaling flow networks.
 STANDARD_NETWORKS = ((6, 6), (10, 10), (14, 14))
 QUICK_NETWORKS = ((4, 4), (6, 6))
+
+#: Workloads for the iterative-vs-one-shot comparison: one benchmark per
+#: classic family (where the iterative driver must change nothing) plus
+#: the whole composite-chain suite (where second-order redundancy lives).
+ITERATIVE_WORKLOADS = (CINT2006[0], CFP2006[0]) + COMPOSITE
+QUICK_ITERATIVE_WORKLOADS = (CINT2006[0],) + COMPOSITE[:1]
 
 
 def _best_of(repeat: int, fn) -> tuple[float, object]:
@@ -158,6 +167,81 @@ def bench_compile(names: tuple[str, ...], repeat: int) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Iterative vs one-shot MC-SSAPRE: compile time and dynamic-cost deltas.
+# ----------------------------------------------------------------------
+
+def bench_iterative(names: tuple[str, ...], repeat: int) -> dict:
+    """One-shot vs rank-ordered iterative MC-SSAPRE on each workload.
+
+    Dynamic cost is measured on the *train* input — the input the profile
+    (and hence the optimisation objective) comes from, which is where the
+    paper's optimality claim lives.  ``never_higher`` is the hard gate:
+    the iterative driver's round 1 is the one-shot driver, so extra
+    rounds can only remove weighted computations, never add them.
+    ``strict_win`` records that at least one workload actually improved.
+    """
+    rows = []
+    never_higher = equivalent = True
+    strict_win = False
+    for name in names:
+        workload = load_workload(name)
+        prepared = prepare(workload.program.func)
+        profile = run_function(
+            prepared, workload.train_args, max_steps=MAX_STEPS
+        ).profile
+
+        oneshot_s, oneshot = _best_of(
+            repeat, lambda: compile_func(prepared, "mc-ssapre", profile)
+        )
+        iterative_s, iterative = _best_of(
+            repeat,
+            lambda: compile_func(
+                prepared, "mc-ssapre", profile,
+                rounds=DEFAULT_ITERATIVE_ROUNDS,
+            ),
+        )
+        one_run = run_function(
+            oneshot.func, workload.train_args, max_steps=MAX_STEPS
+        )
+        iter_run = run_function(
+            iterative.func, workload.train_args, max_steps=MAX_STEPS
+        )
+        same_observables = (
+            one_run.return_value == iter_run.return_value
+            and one_run.output == iter_run.output
+        )
+        equivalent = equivalent and same_observables
+        delta = one_run.dynamic_cost - iter_run.dynamic_cost
+        never_higher = never_higher and delta >= 0
+        strict_win = strict_win or delta > 0
+        pre = iterative.pre_result
+        rows.append({
+            "name": name,
+            "family": workload.family,
+            "oneshot_compile_s": round(oneshot_s, 6),
+            "iterative_compile_s": round(iterative_s, 6),
+            "compile_overhead": (
+                round(iterative_s / oneshot_s, 2) if oneshot_s else 0.0
+            ),
+            "rounds_run": pre.rounds_run,
+            "fixpoint": pre.fixpoint,
+            "oneshot_dynamic_cost": one_run.dynamic_cost,
+            "iterative_dynamic_cost": iter_run.dynamic_cost,
+            "cost_delta": delta,
+            "observables_match": same_observables,
+        })
+    return {
+        "variant": "mc-ssapre",
+        "rounds": DEFAULT_ITERATIVE_ROUNDS,
+        "workloads": rows,
+        "never_higher": never_higher,
+        "strict_win": strict_win,
+        "equivalent": equivalent,
+        "ok": never_higher and strict_win and equivalent,
+    }
+
+
+# ----------------------------------------------------------------------
 # Max-flow: Dinic vs Edmonds-Karp on deterministic scaling networks.
 # ----------------------------------------------------------------------
 
@@ -234,10 +318,14 @@ def run_perf(quick: bool = False, repeat: int | None = None) -> dict:
         repeat = 1 if quick else 3
     names = QUICK_WORKLOADS if quick else STANDARD_WORKLOADS
     sizes = QUICK_NETWORKS if quick else STANDARD_NETWORKS
+    iter_names = (
+        QUICK_ITERATIVE_WORKLOADS if quick else ITERATIVE_WORKLOADS
+    )
 
     t0 = time.perf_counter()
     execution = bench_execution(names, repeat)
     compile_report = bench_compile(names, repeat)
+    iterative = bench_iterative(iter_names, repeat)
     maxflow = bench_maxflow(sizes, repeat)
     return {
         "schema": BENCH_SCHEMA_VERSION,
@@ -247,7 +335,12 @@ def run_perf(quick: bool = False, repeat: int | None = None) -> dict:
         "platform": platform.platform(),
         "execution": execution,
         "compile": compile_report,
+        "iterative": iterative,
         "maxflow": maxflow,
-        "ok": execution["equivalent"] and maxflow["agreed"],
+        "ok": (
+            execution["equivalent"]
+            and iterative["ok"]
+            and maxflow["agreed"]
+        ),
         "wall_time_s": round(time.perf_counter() - t0, 3),
     }

@@ -4,10 +4,11 @@ Runs the pinned benchmark suite and writes ``BENCH.json`` (schema in
 ``docs/PERF.md``).  ``--quick`` trims the workload and network lists for
 CI smoke runs; ``--json`` prints the payload to stdout as well.
 
-Exit status: 0 when every equivalence check passed, 1 otherwise — the
-timings themselves never fail the run (they are environment-dependent),
-only a compiled-vs-reference divergence or a Dinic-vs-Edmonds-Karp
-disagreement does.
+Exit status: 0 when every correctness gate passed, 1 otherwise — the
+timings themselves never fail the run (they are environment-dependent);
+a compiled-vs-reference divergence, a Dinic-vs-Edmonds-Karp
+disagreement, or an iterative-PRE regression (dynamic cost higher than
+one-shot anywhere, or no strict win on the composite suite) does.
 """
 
 from __future__ import annotations
@@ -61,6 +62,16 @@ def main(argv: list[str] | None = None) -> int:
               f"equivalent={execution['equivalent']})")
         print(f"compile:   {payload['compile']['total_s']}s over "
               f"{payload['compile']['functions']} function(s)")
+        iterative = payload["iterative"]
+        for row in iterative["workloads"]:
+            print(f"iterative: {row['name']:<10} "
+                  f"{row['rounds_run']} round(s)  cost "
+                  f"{row['oneshot_dynamic_cost']} -> "
+                  f"{row['iterative_dynamic_cost']}  "
+                  f"(compile x{row['compile_overhead']})")
+        print(f"iterative: never_higher={iterative['never_higher']} "
+              f"strict_win={iterative['strict_win']} "
+              f"equivalent={iterative['equivalent']}")
         for row in payload["maxflow"]["networks"]:
             print(f"maxflow:   {row['nodes']}n/{row['edges']}e  "
                   f"dinic {row['dinic_s']}s  "
@@ -68,7 +79,10 @@ def main(argv: list[str] | None = None) -> int:
                   f"({row['ek_over_dinic']}x)")
         print(f"wrote {args.out}")
     if not payload["ok"]:
-        print("EQUIVALENCE FAILURE - see BENCH.json", file=sys.stderr)
+        print(
+            "EQUIVALENCE OR ITERATIVE-GATE FAILURE - see BENCH.json",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

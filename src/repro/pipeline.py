@@ -99,6 +99,7 @@ def compile_variant(
     validate: bool = False,
     fold_constants: bool = False,
     cleanup: bool = False,
+    rounds: int = 1,
 ) -> CompiledFunction:
     """Compile one PRE variant of an already-prepared function.
 
@@ -108,12 +109,14 @@ def compile_variant(
 
     ``fold_constants`` runs SCCP before PRE; ``cleanup`` runs copy
     propagation + DCE after PRE (both SSA-variant only) — the neighbours
-    PRE sits between in a production pipeline.  This is a thin wrapper
-    over :func:`repro.passes.compiler.compile` with the two flags
-    translated into pipeline stages.
+    PRE sits between in a production pipeline.  ``rounds > 1`` selects
+    the iterative rank-ordered worklist form of the SSA-based PRE stage.
+    This is a thin wrapper over :func:`repro.passes.compiler.compile`
+    with the flags translated into pipeline stages.
     """
     spec = build_pipeline(
-        variant, fold_constants=fold_constants, cleanup=cleanup
+        variant, fold_constants=fold_constants, cleanup=cleanup,
+        rounds=rounds,
     )
     return compile_func(
         prepared,
@@ -162,6 +165,7 @@ def run_experiment(
     validate: bool = False,
     max_steps: int = 5_000_000,
     engine: str = "compiled",
+    rounds: int = 1,
 ) -> Experiment:
     """Prepare, profile with the train input, compile variants, measure.
 
@@ -169,6 +173,8 @@ def run_experiment(
     the pipeline doubles as the semantic-equivalence harness.  ``engine``
     selects the execution back end (both produce bit-identical
     :class:`RunResult` data; "reference" is the differential oracle).
+    ``rounds`` is forwarded to the SSA-based variants (iterative
+    worklist); CFG baselines ignore it and stay one-shot.
     """
     from repro.passes.cache import AnalysisCache
 
@@ -182,8 +188,10 @@ def run_experiment(
     expected = reference.observable()
 
     for variant in variants:
+        variant_rounds = rounds if variant in PAPER_VARIANTS else 1
         compiled = compile_variant(
-            prepared, variant, profile=train.profile, validate=validate
+            prepared, variant, profile=train.profile, validate=validate,
+            rounds=variant_rounds,
         )
         measured = execute(
             compiled.func, ref_args, max_steps, cache=compiled.cache

@@ -46,6 +46,9 @@ class TestCLI:
         assert "construct-ssa" in out
         assert "clone" in out and "deepcopy" in out
         assert "cache by analysis" in out
+        # The iterative twin's per-round statistics.
+        assert "PassReport: bwaves [mc-ssapre-iter]" in out
+        assert "rounds: r1:" in out
 
     def test_passes_artifact_json(self, capsys):
         import json

@@ -153,6 +153,44 @@ class TestTrappingKnobs:
         assert run.steps > 0
 
 
+class TestCompositeKnobs:
+    def test_knobs_off_consume_no_randomness(self):
+        base = generate_program(ProgramSpec(name="c", seed=9)).func
+        off = generate_program(
+            ProgramSpec(name="c", seed=9, composite_exprs=0, composite_prob=0.0)
+        ).func
+        on = generate_program(
+            ProgramSpec(
+                name="c", seed=9, composite_exprs=2, composite_prob=0.9
+            )
+        ).func
+        assert str(base) == str(off)
+        assert str(base) != str(on)
+
+    def test_chains_recorded_and_depth_respected(self):
+        spec = ProgramSpec(
+            name="c", seed=3, composite_exprs=3, composite_depth=3,
+            composite_prob=0.5,
+        )
+        prog = generate_program(spec)
+        assert len(prog.composite_chains) == 3
+        for chain in prog.composite_chains:
+            assert len(chain) == 1 + spec.composite_depth
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=20_000))
+    def test_composite_heavy_programs_verify_and_terminate(self, seed):
+        spec = ProgramSpec(
+            name="cc", seed=seed, max_depth=3,
+            composite_exprs=4, composite_depth=4, composite_prob=0.6,
+            trapping_density=0.1, trapping_hot_prob=0.3,
+        )
+        prog = generate_program(spec)
+        verify_function(prog.func)
+        run = run_function(prog.func, random_args(spec, 1), max_steps=3_000_000)
+        assert run.steps > 0
+
+
 class TestProfiles:
     def test_different_inputs_different_profiles(self):
         # Probe a few seeds: at least one pair of inputs must steer the

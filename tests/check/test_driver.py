@@ -39,12 +39,19 @@ class TestBuildCase:
         case = result.case
         assert set(case.compiled) == {
             "none", "ssapre", "ssapre-sp", "mc-ssapre", "mc-pre",
-            "ispre", "lcm",
+            "ispre", "lcm", "ssapre-iter", "mc-ssapre-iter",
         }
         assert len(case.inputs) == 3
         assert len(case.control_runs) == 3
         for runs in case.variant_runs.values():
             assert len(runs) == 3
+
+    def test_iterative_twins_optional(self):
+        result = build_case(0, "cint", iterative=False)
+        assert set(result.case.compiled) == {
+            "none", "ssapre", "ssapre-sp", "mc-ssapre", "mc-pre",
+            "ispre", "lcm",
+        }
 
     def test_budget_exhaustion_skips_instead_of_failing(self):
         result = build_case(0, "cfp", max_steps=5)

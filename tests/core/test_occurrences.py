@@ -1,0 +1,194 @@
+"""The occurrence index and the rank-ordered worklist engine."""
+
+import copy
+
+from repro.core.occurrences import OccurrenceIndex
+from repro.core.ssapre.driver import PREResult, run_ssapre
+from repro.core.ssapre.frg import collect_expr_classes
+from repro.core.worklist import DEFAULT_ITERATIVE_ROUNDS, run_rounds
+from repro.ir.builder import FunctionBuilder
+from repro.ir.printer import format_function
+from repro.ir.values import Var
+from repro.profiles.interp import run_function
+
+from tests.conftest import as_ssa
+
+import pytest
+
+ADD_AB = ("add", ("var", "a"), ("var", "b"))
+ADD_XC = ("add", ("var", "x"), ("var", "c"))
+ADD_YC = ("add", ("var", "y"), ("var", "c"))
+MUL_UV = ("mul", ("var", "u"), ("var", "v"))
+
+
+def chain_func():
+    """The minimal second-order example: ``x+c`` and ``y+c`` only become
+    lexically equal after ``a+b``'s code motion rewrites both operands
+    onto the PRE temporary."""
+    b = FunctionBuilder("chain", params=["a", "b", "c"])
+    b.block("entry")
+    b.assign("x", "add", "a", "b")
+    b.assign("u", "add", "x", "c")
+    b.output("u")
+    b.assign("y", "add", "a", "b")
+    b.assign("v", "add", "y", "c")
+    b.assign("w", "mul", "u", "v")
+    b.ret("w")
+    return b.build()
+
+
+def no_redundancy_func():
+    b = FunctionBuilder("clean", params=["a", "b"])
+    b.block("entry")
+    b.assign("x", "add", "a", "b")
+    b.ret("x")
+    return b.build()
+
+
+class TestIndexBuild:
+    def test_indexes_every_operator_assign(self):
+        index = OccurrenceIndex.build(chain_func())
+        assert index.keys() == [ADD_AB, ADD_XC, ADD_YC, MUL_UV]
+        assert len(index.occurrences(ADD_AB)) == 2
+        assert len(index.occurrences(MUL_UV)) == 1
+
+    def test_matches_collect_expr_classes_population(self):
+        func = as_ssa(chain_func())
+        index = OccurrenceIndex.build(func)
+        assert [c.key for c in index.classes_by_rank()] == [
+            c.key for c in collect_expr_classes(func)
+        ]
+
+    def test_remove_statement_drops_key_when_last(self):
+        func = chain_func()
+        index = OccurrenceIndex.build(func)
+        (occ,) = index.occurrences(MUL_UV)
+        index.remove_statement(occ.stmt)
+        assert MUL_UV not in index.keys()
+        assert index.occurrences(MUL_UV) == []
+
+    def test_remove_unindexed_statement_is_noop(self):
+        func = chain_func()
+        index = OccurrenceIndex.build(func)
+        index.remove_statement(object())
+        assert len(index.keys()) == 4
+
+
+class TestRanks:
+    def test_chain_ranks_are_nesting_depths(self):
+        index = OccurrenceIndex.build(chain_func())
+        assert index.rank(ADD_AB) == 0
+        assert index.rank(ADD_XC) == 1
+        assert index.rank(ADD_YC) == 1
+        assert index.rank(MUL_UV) == 2
+
+    def test_classes_by_rank_orders_by_rank_then_first_seen(self):
+        index = OccurrenceIndex.build(chain_func())
+        assert [c.key for c in index.classes_by_rank()] == [
+            ADD_AB, ADD_XC, ADD_YC, MUL_UV,
+        ]
+
+    def test_def_cycles_stay_finite(self):
+        b = FunctionBuilder("cyc", params=["n"])
+        b.block("entry")
+        b.copy("i", 0)
+        b.assign("i", "add", "i", 1)  # i depends on its own class
+        b.assign("j", "add", "i", 2)
+        b.ret("j")
+        index = OccurrenceIndex.build(b.build())
+        # The cyclic back edge is cut at depth 0: the self-recursive
+        # class ranks 1, a class over it ranks 2 — finite, not infinite.
+        assert index.rank(("add", ("var", "i"), ("const", 1))) == 1
+        assert index.rank(("add", ("var", "i"), ("const", 2))) == 2
+
+
+class TestRewriteUses:
+    def test_rewrites_and_rekeys_users(self):
+        func = chain_func()
+        index = OccurrenceIndex.build(func)
+        # Pretend a+b's result x now lives in temp t: x's users re-key.
+        dirty = index.rewrite_uses({("x", None): Var("t")})
+        assert dirty == {("add", ("var", "t"), ("var", "c"))}
+        assert ADD_XC not in index.keys()
+        assert len(index.occurrences(("add", ("var", "t"), ("var", "c")))) == 1
+
+    def test_trapping_users_are_never_rewritten(self):
+        b = FunctionBuilder("trap", params=["a", "b"])
+        b.block("entry")
+        b.assign("x", "add", "a", "b")
+        b.assign("q", "div", "x", "b")  # trapping user of x
+        b.ret("q")
+        index = OccurrenceIndex.build(b.build())
+        copies = {("x", None): Var("t")}
+        # The div keeps its lexical key (the safety oracle's signature)…
+        assert index.rewrite_uses(copies) == set()
+        assert ("div", ("var", "x"), ("var", "b")) in index.keys()
+        # …and does not count as pending work for the fixpoint flag.
+        assert not index.has_pending_uses(copies)
+
+    def test_has_pending_uses_sees_nontrapping_users(self):
+        index = OccurrenceIndex.build(chain_func())
+        assert index.has_pending_uses({("x", None): Var("t")})
+        assert not index.has_pending_uses({("zzz", None): Var("t")})
+
+
+class TestEngine:
+    def test_rounds_must_be_positive(self):
+        func = as_ssa(chain_func())
+        with pytest.raises(ValueError, match="rounds"):
+            run_ssapre(func, rounds=0)
+
+    def test_round_one_is_the_one_shot_driver(self):
+        default = as_ssa(chain_func())
+        explicit = as_ssa(chain_func())
+        run_ssapre(default)
+        run_ssapre(explicit, rounds=1)
+        assert format_function(default) == format_function(explicit)
+
+    def test_second_order_redundancy_needs_round_two(self):
+        args = [2, 3, 4]
+        costs = {}
+        for rounds in (1, 2, 3):
+            func = as_ssa(chain_func())
+            result = run_ssapre(func, validate=True, rounds=rounds)
+            run = run_function(func, args)
+            costs[rounds] = run.dynamic_cost
+            if rounds == 1:
+                assert not result.fixpoint  # x+c/y+c exposed, not chased
+            if rounds == 3:
+                assert result.fixpoint
+                assert result.rounds_run <= 3
+        reference = run_function(chain_func(), args)
+        assert run.observable() == reference.observable()
+        # One shot removes the second a+b (7 ops -> 6 executed); round 2
+        # additionally collapses x+c/y+c into one class.
+        assert costs[1] > costs[2]
+        assert costs[2] == costs[3]
+
+    def test_round_stats_shape(self):
+        func = as_ssa(chain_func())
+        result = run_ssapre(func, rounds=DEFAULT_ITERATIVE_ROUNDS)
+        assert result.rounds_run >= 2
+        for number, stats in enumerate(result.round_stats, start=1):
+            assert stats.number == number
+            assert stats.classes > 0
+            assert set(stats.to_dict()) == {
+                "round", "classes", "changed", "insertions", "reloads",
+            }
+
+    def test_no_change_leaves_code_generation_alone(self):
+        func = as_ssa(no_redundancy_func())
+        before = func.code_generation
+        result = run_ssapre(func, rounds=DEFAULT_ITERATIVE_ROUNDS)
+        assert result.classes_changed == 0
+        assert func.code_generation == before
+
+    def test_cfg_mutation_is_rejected(self):
+        func = as_ssa(chain_func())
+
+        def mutating_round(f, work):
+            f.mark_cfg_mutated()
+            return []
+
+        with pytest.raises(AssertionError, match="mutated the CFG"):
+            run_rounds(func, PREResult(algorithm="test"), mutating_round)

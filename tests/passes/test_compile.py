@@ -60,6 +60,56 @@ def test_pre_stage_reuses_construct_ssa_analyses():
     assert hits >= 1
 
 
+def test_iterative_rounds_never_recompute_cfg_analyses():
+    """The CFG-shape-preservation contract, observed through the cache:
+    however many rounds the worklist engine runs, every CFG-derived
+    analysis is computed at most once per function per compile."""
+    prepared, train, _ = _prepared()
+    report = compile(prepared, "mc-ssapre", train.profile, rounds=4).report
+    assert report.execution("mc-ssapre-iter").payload.rounds_run >= 1
+    for analysis in ("cfg", "domtree", "domfrontier"):
+        _, misses = report.cache_counters[analysis]
+        assert misses <= 1, analysis
+
+
+def test_iterative_rounds_appear_in_report_dict():
+    prepared, train, _ = _prepared()
+    report = compile(prepared, "mc-ssapre", train.profile, rounds=4).report
+    entry = next(
+        p for p in report.to_dict()["passes"]
+        if p["pass"] == "mc-ssapre-iter"
+    )
+    payload = entry["payload"]
+    assert payload["rounds"][0]["round"] == 1
+    assert {"classes", "changed", "insertions", "reloads"} <= set(
+        payload["rounds"][0]
+    )
+    assert isinstance(payload["fixpoint"], bool)
+
+
+def test_pure_pre_noop_skips_generation_bump():
+    """A PRE stage that changes no class must not invalidate the
+    code-generation-keyed analyses (the mutated() hook)."""
+    from repro.ir.builder import FunctionBuilder
+    from repro.passes import PassManager
+    from repro.passes.stages import MCSSAPREPass
+    from tests.conftest import as_ssa
+
+    b = FunctionBuilder("clean", params=["a", "b"])
+    b.block("entry")
+    b.assign("x", "add", "a", "b")
+    b.ret("x")
+    func = b.build()
+    profile = run_function(func, [1, 2]).profile
+    func = as_ssa(func)
+    before = func.code_generation
+    report = PassManager().run(
+        func, [MCSSAPREPass(rounds=4)], profile=profile, variant="unit"
+    )
+    assert report.execution("mc-ssapre-iter").payload.classes_changed == 0
+    assert func.code_generation == before
+
+
 def test_clone_time_is_recorded():
     prepared, train, _ = _prepared()
     report = compile(prepared, "ssapre", train.profile).report

@@ -14,14 +14,21 @@ from repro.profiles.interp import run_function
 
 import pytest
 
-#: The documented BENCH.json schema (docs/PERF.md).
+#: The documented BENCH.json schema (docs/PERF.md).  v2 added the
+#: "iterative" section.
 BENCH_KEYS = {
     "schema", "quick", "repeat", "python", "platform",
-    "execution", "compile", "maxflow", "ok", "wall_time_s",
+    "execution", "compile", "iterative", "maxflow", "ok", "wall_time_s",
 }
 WORKLOAD_KEYS = {
     "name", "family", "steps", "dynamic_cost", "reference_s",
     "compiled_s", "lowering_s", "speedup", "mismatches",
+}
+ITERATIVE_ROW_KEYS = {
+    "name", "family", "oneshot_compile_s", "iterative_compile_s",
+    "compile_overhead", "rounds_run", "fixpoint",
+    "oneshot_dynamic_cost", "iterative_dynamic_cost", "cost_delta",
+    "observables_match",
 }
 
 
@@ -59,6 +66,28 @@ class TestCli:
         assert "mc-ssapre" in stages
         for stage in stages.values():
             assert stage["calls"] == data["compile"]["functions"]
+
+    def test_iterative_section(self, bench):
+        _, data = bench
+        iterative = data["iterative"]
+        assert iterative["ok"] is True
+        assert iterative["never_higher"] is True
+        assert iterative["strict_win"] is True
+        assert iterative["equivalent"] is True
+        families = set()
+        for row in iterative["workloads"]:
+            assert set(row) == ITERATIVE_ROW_KEYS
+            assert row["observables_match"] is True
+            assert row["cost_delta"] >= 0
+            assert 1 <= row["rounds_run"] <= iterative["rounds"]
+            families.add(row["family"])
+        # The strict win must come from the composite-chain suite.
+        assert "COMPOSITE" in families
+        assert any(
+            row["cost_delta"] > 0
+            for row in iterative["workloads"]
+            if row["family"] == "COMPOSITE"
+        )
 
     def test_maxflow_section(self, bench):
         _, data = bench
