@@ -174,7 +174,7 @@ def main(argv: list[str] | None = None) -> int:
         "oracles": list(oracles),
         "engine": args.engine,
         "jobs": max(1, args.jobs),
-        "passed": stats.failures == 0,
+        "passed": stats.failures == 0 and not stats.interrupted,
         "artifacts": artifacts,
         **stats.to_dict(),
     }
@@ -192,6 +192,10 @@ def main(argv: list[str] | None = None) -> int:
                   f"{counts['failures']:>3} failures")
         if summary["skipped"]:
             print(f"  skipped  {summary['skipped']} uncheckable case(s)")
+        if summary["interrupted"]:
+            print(f"INTERRUPTED ({stats.interrupt_reason}): partial "
+                  "statistics over the completed shards only",
+                  file=sys.stderr)
         if artifacts:
             print("artifacts:")
             for path in artifacts:

@@ -33,8 +33,10 @@ from repro.check.reducer import ReductionResult
 from repro.ir.printer import format_function
 
 #: Version of the artifact / summary JSON layout.  v2 added the
-#: ``engine`` and ``jobs`` fields to the run summary.
-SCHEMA_VERSION = 2
+#: ``engine`` and ``jobs`` fields to the run summary; v3 added
+#: ``interrupted`` (partial statistics after Ctrl-C / worker death) and
+#: the ``cache`` consistency oracle to the default oracle set.
+SCHEMA_VERSION = 3
 
 #: Default artifact directory, relative to the repository root.
 DEFAULT_OUT_DIR = Path("results") / "check"

@@ -34,7 +34,7 @@ from repro.bench.generator import (
 from repro.core.worklist import DEFAULT_ITERATIVE_ROUNDS
 from repro.ir.function import Function
 from repro.ir.verifier import VerificationError, verify_function
-from repro.parallel import parallel_map
+from repro.parallel import ParallelMapError, parallel_map
 from repro.passes.compiler import VARIANTS, compile as compile_func
 from repro.pipeline import prepare
 from repro.profiles.interp import InterpreterError, run_function
@@ -388,6 +388,11 @@ class DriverStats:
     #: failure kind -> count (crash / verifier-reject / divergence / ...).
     by_kind: dict[str, int] = field(default_factory=dict)
     wall_time_s: float = 0.0
+    #: True when the run was cut short (Ctrl-C, dead worker process) and
+    #: these statistics therefore cover only the completed shards.
+    interrupted: bool = False
+    #: What cut the run short (exception class name), when interrupted.
+    interrupt_reason: str | None = None
 
     def record(self, result: CaseResult) -> None:
         self.cases += 1
@@ -420,6 +425,9 @@ class DriverStats:
             stats[1] += failures
         for kind, count in other.by_kind.items():
             self.by_kind[kind] = self.by_kind.get(kind, 0) + count
+        self.interrupted = self.interrupted or other.interrupted
+        if self.interrupt_reason is None:
+            self.interrupt_reason = other.interrupt_reason
         return self
 
     @property
@@ -437,6 +445,7 @@ class DriverStats:
             },
             "by_kind": dict(sorted(self.by_kind.items())),
             "wall_time_s": round(self.wall_time_s, 3),
+            "interrupted": self.interrupted,
         }
 
 
@@ -558,9 +567,15 @@ def _run_driver_parallel(
     )
     stats = DriverStats()
     failing: list[CaseResult] = []
-    for shard_stats, shard_failing in parallel_map(
-        worker, shards, jobs=len(shards)
-    ):
+    try:
+        shard_results = parallel_map(worker, shards, jobs=len(shards))
+    except ParallelMapError as exc:
+        # Cut short (Ctrl-C, dead worker): keep every completed shard's
+        # statistics and failures instead of discarding the whole run.
+        shard_results = list(exc.partial.values())
+        stats.interrupted = True
+        stats.interrupt_reason = type(exc.cause).__name__
+    for shard_stats, shard_failing in shard_results:
         stats.merge(shard_stats)
         failing.extend(shard_failing)
     seed_pos = {seed: i for i, seed in enumerate(seeds)}

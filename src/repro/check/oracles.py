@@ -20,6 +20,12 @@ profile, and every compiled variant):
 * **safety** — *no unsafe speculation* (Section 2): no variant may
   evaluate a trapping expression (``div``/``mod``/``fdiv``) on an
   execution where the control never evaluates it.
+* **cache** — *cache consistency*: an artifact served warm from the
+  :mod:`repro.serve` store (memory hit, disk round-trip, or an
+  independent recompile under the same content address) must run
+  bit-identically to the cold compile — same observables, dynamic cost,
+  step count and per-expression counts on every input.  The claim that
+  makes content-addressed serving sound.
 
 Oracles only *observe*; the fuzz driver (:mod:`repro.check.driver`) builds
 the case, and the reducer (:mod:`repro.check.reducer`) shrinks whatever
@@ -42,7 +48,7 @@ from repro.profiles.interp import RunResult, run_function
 from repro.profiles.profile import ExecutionProfile
 
 #: Canonical oracle names, in the order the driver runs them.
-ORACLE_NAMES = ("equiv", "optimal", "lifetime", "safety")
+ORACLE_NAMES = ("equiv", "optimal", "lifetime", "safety", "cache")
 
 #: Variable-name prefixes of PRE-introduced temporaries.
 TEMP_PREFIXES = ("%pre", "%mcpre", "%t")
@@ -376,10 +382,117 @@ def safety_oracle(case: CheckCase) -> OracleReport:
     return report
 
 
+# ----------------------------------------------------------------------
+# cache
+# ----------------------------------------------------------------------
+#: Variant the cache-consistency oracle round-trips (profile-guided, so
+#: the intensional train_args keying and the training rerun are on trial).
+_CACHE_VARIANT = "mc-ssapre"
+
+
+def _run_fingerprint(artifact, args: list[int], max_steps: int) -> tuple:
+    """Everything one served run observably is, as a comparable value."""
+    from repro.profiles.interp import InterpreterError
+    from repro.serve.server import execute_artifact
+
+    try:
+        run = execute_artifact(artifact, tuple(args), max_steps)
+    except InterpreterError as exc:
+        return ("error", str(exc))
+    return (
+        run.observable(),
+        run.dynamic_cost,
+        run.steps,
+        tuple(sorted(normalize_expr_counts(run.expr_counts).items())),
+    )
+
+
+def cache_consistency_oracle(case: CheckCase) -> OracleReport:
+    """Warm-cache answers are bit-identical to cold compiles.
+
+    Builds the serving artifact cold, round-trips it through a real
+    two-tier :class:`~repro.serve.store.ArtifactStore` (memory hit, then
+    a fresh store over the same directory forcing the disk/pickle path),
+    rebuilds it cold a second time under the same content address, and
+    requires all four to run identically on every case input.
+    """
+    import shutil
+    import tempfile
+
+    # Local import: the serve package layers *on top of* the checker;
+    # the core oracles must stay importable without it.
+    from repro.pipeline import PipelineConfig
+    from repro.serve.keys import artifact_key
+    from repro.serve.server import build_artifact
+    from repro.serve.store import ArtifactStore
+
+    report = OracleReport("cache")
+    config = PipelineConfig(variant=_CACHE_VARIANT)
+    train_args = tuple(case.inputs[0])
+    key = artifact_key(case.prepared, config, train_args=train_args)
+    cold = build_artifact(
+        case.prepared, config, key=key, train_args=train_args,
+        max_steps=case.max_steps,
+    )
+    if cold.degraded:
+        report.checks += 1
+        report.fail(
+            _CACHE_VARIANT, "crash",
+            f"cold build degraded: {cold.degraded_reason}",
+        )
+        return report
+
+    tmp = tempfile.mkdtemp(prefix="repro-cache-oracle-")
+    try:
+        store = ArtifactStore.with_disk(tmp)
+        store.put(key, cold)
+        warm_memory, tier = store.get(key)
+        report.checks += 1
+        if tier != "memory":
+            report.fail(
+                _CACHE_VARIANT, "cache-miss",
+                f"just-stored artifact missed the memory tier (tier={tier!r})",
+            )
+            return report
+        # A fresh store over the same directory models a warm *restart*:
+        # the artifact must survive pickling and the disk round-trip.
+        warm_disk, disk_tier = ArtifactStore.with_disk(tmp).get(key)
+        report.checks += 1
+        if disk_tier != "disk":
+            report.fail(
+                _CACHE_VARIANT, "cache-miss",
+                f"stored artifact missed the disk tier (tier={disk_tier!r})",
+            )
+            return report
+        recompiled = build_artifact(
+            case.prepared, config, key=key, train_args=train_args,
+            max_steps=case.max_steps,
+        )
+        for i, args in enumerate(case.inputs):
+            expected = _run_fingerprint(cold, args, case.max_steps)
+            for source, artifact in (
+                ("memory-hit", warm_memory),
+                ("disk-hit", warm_disk),
+                ("recompile", recompiled),
+            ):
+                report.checks += 1
+                got = _run_fingerprint(artifact, args, case.max_steps)
+                if got != expected:
+                    report.fail(
+                        _CACHE_VARIANT, "cache-divergence",
+                        f"input #{i} {args}: {source} run {got!r} != "
+                        f"cold run {expected!r}",
+                    )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return report
+
+
 #: Oracle registry, in driver execution order.
 ORACLES: Mapping[str, Callable[[CheckCase], OracleReport]] = {
     "equiv": equivalence_oracle,
     "optimal": optimality_oracle,
     "lifetime": lifetime_oracle,
     "safety": safety_oracle,
+    "cache": cache_consistency_oracle,
 }

@@ -17,11 +17,22 @@ preserved).  Example::
     done:
       ret i
     }
+
+``format_function(f, normalize=True)`` additionally renumbers SSA
+versions into a canonical dense sequence (per base name, in order of
+first textual occurrence), so two structurally identical functions that
+differ only in value numbering print to identical bytes.  That is the
+determinism guarantee the content-addressed cache keys of
+:mod:`repro.serve.keys` are built on: normalized printing is a pure
+function of program *structure*, and ``parse(print(f))`` re-prints to
+the same bytes (pinned by ``tests/ir/test_printer_normalize.py``).
 """
 
 from __future__ import annotations
 
 from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Assign, BinOp, UnaryOp
+from repro.ir.values import Operand, Var
 
 
 def format_block(block: BasicBlock, indent: str = "  ") -> str:
@@ -34,16 +45,108 @@ def format_block(block: BasicBlock, indent: str = "  ") -> str:
     return "\n".join(lines)
 
 
-def format_function(func: Function) -> str:
-    params = ", ".join(str(p) for p in func.params)
-    lines = [f"func {func.name}({params}) {{"]
-    # Entry block first, then the rest in insertion order.
+def _printed_blocks(func: Function) -> list[BasicBlock]:
+    """Blocks in printed order: entry first, then insertion order."""
     ordered = list(func.blocks.values())
     if func.entry is not None:
         entry = func.blocks[func.entry]
         ordered.remove(entry)
         ordered.insert(0, entry)
-    for block in ordered:
+    return ordered
+
+
+def format_function(func: Function, *, normalize: bool = False) -> str:
+    if normalize:
+        func = normalize_versions(func)
+    params = ", ".join(str(p) for p in func.params)
+    lines = [f"func {func.name}({params}) {{"]
+    for block in _printed_blocks(func):
         lines.append(format_block(block))
     lines.append("}")
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# SSA-version normalization
+# ----------------------------------------------------------------------
+def version_renumbering(func: Function) -> dict[Var, Var]:
+    """The canonical renumbering map of every *versioned* variable.
+
+    Versions are reassigned densely (1, 2, 3, ...) per base name, in
+    order of first occurrence in a scan that follows printed order
+    exactly: parameters, then each block (entry first, insertion order)
+    — phi targets and their arguments (in the sorted predecessor order
+    the printer emits), body statements (target, then operands), and the
+    terminator.  The scan is a pure function of program structure, so
+    any injective re-versioning of the input yields the same map image.
+    Unversioned variables are untouched.
+    """
+    mapping: dict[Var, Var] = {}
+    next_version: dict[str, int] = {}
+
+    def visit(operand: Operand | None) -> None:
+        if not isinstance(operand, Var) or operand.version is None:
+            return
+        if operand in mapping:
+            return
+        version = next_version.get(operand.name, 0) + 1
+        next_version[operand.name] = version
+        mapping[operand] = Var(operand.name, version)
+
+    for param in func.params:
+        visit(param)
+    for block in _printed_blocks(func):
+        for phi in block.phis:
+            visit(phi.target)
+            for _, arg in sorted(phi.args.items()):
+                visit(arg)
+        for stmt in block.body:
+            if isinstance(stmt, Assign):
+                visit(stmt.target)
+            for operand in stmt.used_operands():
+                visit(operand)
+        for operand in block.terminator.used_operands():
+            visit(operand)
+    return mapping
+
+
+def normalize_versions(func: Function) -> Function:
+    """A clone of *func* with SSA versions canonically renumbered.
+
+    The clone is structurally identical to the input up to the (bijective
+    per name) version renumbering of :func:`version_renumbering`; a
+    function with no versioned variables comes back as a plain clone.
+    """
+    mapping = version_renumbering(func)
+    out = func.clone()
+    if not mapping:
+        return out
+
+    def subst(operand: Operand) -> Operand:
+        return mapping.get(operand, operand) if isinstance(operand, Var) else operand
+
+    out.params = [subst(param) for param in out.params]
+    for block in out.blocks.values():
+        for phi in block.phis:
+            phi.target = subst(phi.target)
+            phi.args = {label: subst(arg) for label, arg in phi.args.items()}
+        for stmt in block.body:
+            if isinstance(stmt, Assign):
+                stmt.target = subst(stmt.target)
+                rhs = stmt.rhs
+                if isinstance(rhs, BinOp):
+                    rhs.left = subst(rhs.left)
+                    rhs.right = subst(rhs.right)
+                elif isinstance(rhs, UnaryOp):
+                    rhs.operand = subst(rhs.operand)
+                else:
+                    stmt.rhs = subst(rhs)
+            else:  # Output
+                stmt.value = subst(stmt.value)
+        term = block.terminator
+        for attr in ("cond", "value"):
+            if hasattr(term, attr):
+                operand = getattr(term, attr)
+                if operand is not None:
+                    setattr(term, attr, subst(operand))
+    return out

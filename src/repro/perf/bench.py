@@ -25,8 +25,10 @@ from repro.profiles.interp import RunResult, run_function
 
 #: Version of the BENCH.json layout (documented in docs/PERF.md).
 #: v2 added the "iterative" table (one-shot vs rank-ordered iterative
-#: MC-SSAPRE: compile time, rounds, dynamic-cost deltas).
-BENCH_SCHEMA_VERSION = 2
+#: MC-SSAPRE: compile time, rounds, dynamic-cost deltas).  v3 added the
+#: "serving" section (cold vs warm artifact-cache throughput, hit-rate
+#: and single-flight coalescing gates over :mod:`repro.serve`).
+BENCH_SCHEMA_VERSION = 3
 
 #: Step budget for the measured runs (matches the pipeline default).
 MAX_STEPS = 5_000_000
@@ -242,6 +244,126 @@ def bench_iterative(names: tuple[str, ...], repeat: int) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Serving: cold vs warm artifact-cache throughput + consistency gates.
+# ----------------------------------------------------------------------
+
+#: Cold-to-warm throughput the artifact cache must deliver.  A warm
+#: request skips training + optimisation + lowering and pays only
+#: parse/prepare/key/execute, so well below this means the cache (or the
+#: key computation) has regressed into the request path.
+SERVING_MIN_SPEEDUP = 5.0
+
+#: Clients racing one key in the coalescing gate.
+SERVING_COALESCE_CLIENTS = 8
+
+
+def bench_serving(
+    repeat: int, requests: int = 96, unique: int = 6
+) -> dict:
+    """The :mod:`repro.serve` workload, gated four ways.
+
+    * **speedup** — serving the ``unique`` distinct requests warm (every
+      artifact cached) must beat serving them cold (every artifact
+      compiled) by :data:`SERVING_MIN_SPEEDUP`;
+    * **equivalent** — warm answers must be bit-identical to cold ones
+      (observables, dynamic cost, step count);
+    * **hit rate** — the interleaved load-generator run must achieve
+      exactly the hit rate its request mix admits, with zero mismatches
+      against the reference interpreter;
+    * **coalescing** — :data:`SERVING_COALESCE_CLIENTS` concurrent
+      identical requests must trigger exactly one compile.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.serve.loadgen import WorkloadSpec, build_workload, run_load
+    from repro.serve.server import CompileService
+
+    spec = WorkloadSpec(requests=requests, unique=unique)
+    workload = build_workload(spec)
+    pool = workload.requests[:unique]
+
+    def cold_pass():
+        with CompileService() as service:
+            return [service.handle(request) for request in pool]
+
+    cold_s, cold_responses = _best_of(repeat, cold_pass)
+
+    warm_service = CompileService()
+    for request in pool:  # populate the cache once
+        warm_service.handle(request)
+    warm_s, warm_responses = _best_of(
+        repeat,
+        lambda: [warm_service.handle(request) for request in pool],
+    )
+    warm_service.close()
+
+    def answer(response):
+        return (
+            response.status,
+            response.observable(),
+            response.dynamic_cost,
+            response.steps,
+        )
+
+    equivalent = all(
+        answer(cold) == answer(warm)
+        for cold, warm in zip(cold_responses, warm_responses)
+    ) and all(r.status == "ok" for r in cold_responses)
+
+    with CompileService() as service:
+        load_report, _responses = run_load(service, workload, jobs=1)
+
+    with CompileService(max_workers=SERVING_COALESCE_CLIENTS) as service:
+        with ThreadPoolExecutor(
+            max_workers=SERVING_COALESCE_CLIENTS
+        ) as clients:
+            raced = list(
+                clients.map(
+                    service.handle, [pool[0]] * SERVING_COALESCE_CLIENTS
+                )
+            )
+        race_compiles = service.metrics.get("compiles")
+        race_coalesced = service.metrics.get("coalesced")
+        race_ok = (
+            race_compiles == 1
+            and all(r.status == "ok" for r in raced)
+        )
+
+    speedup = round(cold_s / warm_s, 2) if warm_s else 0.0
+    hit_rate_ok = (
+        load_report.hit_rate >= load_report.expected_hit_rate
+        and load_report.mismatches == 0
+        and load_report.errors == 0
+        and load_report.timeouts == 0
+    )
+    return {
+        "requests": requests,
+        "unique": unique,
+        "cold_s": round(cold_s, 6),
+        "warm_s": round(warm_s, 6),
+        "speedup": speedup,
+        "min_speedup": SERVING_MIN_SPEEDUP,
+        "equivalent": equivalent,
+        "hit_rate": round(load_report.hit_rate, 4),
+        "expected_hit_rate": round(load_report.expected_hit_rate, 4),
+        "mismatches": load_report.mismatches,
+        "load_rps": round(load_report.rps, 2),
+        "coalescing": {
+            "clients": SERVING_COALESCE_CLIENTS,
+            "compiles": race_compiles,
+            "coalesced": race_coalesced,
+            "ok": race_ok,
+        },
+        "ok": (
+            speedup >= SERVING_MIN_SPEEDUP
+            and equivalent
+            and hit_rate_ok
+            and race_ok
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
 # Max-flow: Dinic vs Edmonds-Karp on deterministic scaling networks.
 # ----------------------------------------------------------------------
 
@@ -326,6 +448,7 @@ def run_perf(quick: bool = False, repeat: int | None = None) -> dict:
     execution = bench_execution(names, repeat)
     compile_report = bench_compile(names, repeat)
     iterative = bench_iterative(iter_names, repeat)
+    serving = bench_serving(repeat, requests=36 if quick else 96)
     maxflow = bench_maxflow(sizes, repeat)
     return {
         "schema": BENCH_SCHEMA_VERSION,
@@ -336,10 +459,12 @@ def run_perf(quick: bool = False, repeat: int | None = None) -> dict:
         "execution": execution,
         "compile": compile_report,
         "iterative": iterative,
+        "serving": serving,
         "maxflow": maxflow,
         "ok": (
             execution["equivalent"]
             and iterative["ok"]
+            and serving["ok"]
             and maxflow["agreed"]
         ),
         "wall_time_s": round(time.perf_counter() - t0, 3),

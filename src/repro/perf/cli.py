@@ -72,6 +72,16 @@ def main(argv: list[str] | None = None) -> int:
         print(f"iterative: never_higher={iterative['never_higher']} "
               f"strict_win={iterative['strict_win']} "
               f"equivalent={iterative['equivalent']}")
+        serving = payload["serving"]
+        print(f"serving:   {serving['speedup']}x warm over cold "
+              f"({serving['cold_s']}s -> {serving['warm_s']}s per "
+              f"{serving['unique']} request(s), "
+              f"equivalent={serving['equivalent']})")
+        print(f"serving:   hit rate {serving['hit_rate']} "
+              f"(admits {serving['expected_hit_rate']}), "
+              f"{serving['mismatches']} mismatch(es), "
+              f"coalescing {serving['coalescing']['compiles']} compile(s) "
+              f"for {serving['coalescing']['clients']} client(s)")
         for row in payload["maxflow"]["networks"]:
             print(f"maxflow:   {row['nodes']}n/{row['edges']}e  "
                   f"dinic {row['dinic_s']}s  "
@@ -80,7 +90,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {args.out}")
     if not payload["ok"]:
         print(
-            "EQUIVALENCE OR ITERATIVE-GATE FAILURE - see BENCH.json",
+            "EQUIVALENCE, ITERATIVE OR SERVING GATE FAILURE - see BENCH.json",
             file=sys.stderr,
         )
         return 1

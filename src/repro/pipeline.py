@@ -52,10 +52,64 @@ __all__ = [
     "CompiledFunction",
     "Measurement",
     "Experiment",
+    "PipelineConfig",
     "prepare",
     "compile_variant",
     "run_experiment",
 ]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """A cache-keyable description of one compile.
+
+    Frozen and hashable: two equal configs always build the same pipeline
+    spec, so ``(function structure, config, engine)`` identifies a
+    compiled artifact — the contract :mod:`repro.serve.keys` fingerprints
+    with :meth:`canonical`.  ``validate`` is deliberately *not* part of
+    the config: it toggles internal checking, never the produced code.
+    """
+
+    variant: str = "mc-ssapre"
+    fold_constants: bool = False
+    cleanup: bool = False
+    rounds: int = 1
+
+    def __post_init__(self) -> None:
+        if self.variant not in VARIANTS:
+            raise ValueError(
+                f"unknown variant {self.variant!r}; expected one of {VARIANTS}"
+            )
+        if self.rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {self.rounds}")
+
+    def stages(self):
+        """The pipeline spec this config describes (a list of passes)."""
+        return build_pipeline(
+            self.variant,
+            fold_constants=self.fold_constants,
+            cleanup=self.cleanup,
+            rounds=self.rounds,
+        )
+
+    def canonical(self) -> str:
+        """A stable one-line rendering, suitable for hashing.
+
+        Field order is fixed; booleans render as 0/1.  Any new field must
+        be appended here (changing existing positions would silently
+        re-key every cached artifact — bump
+        :data:`repro.serve.keys.KEY_SCHEMA` instead when that is the
+        intent).
+        """
+        return (
+            f"variant={self.variant};fold={int(self.fold_constants)};"
+            f"cleanup={int(self.cleanup)};rounds={self.rounds}"
+        )
+
+    @property
+    def needs_profile(self) -> bool:
+        """True when this config's variant requires an execution profile."""
+        return self.variant in ("mc-ssapre", "mc-pre", "ispre")
 
 
 def make_runner(engine: str):
@@ -94,12 +148,13 @@ def prepare(func: Function, restructure: bool = True) -> Function:
 
 def compile_variant(
     prepared: Function,
-    variant: str,
+    variant: str | None = None,
     profile: ExecutionProfile | None = None,
     validate: bool = False,
     fold_constants: bool = False,
     cleanup: bool = False,
     rounds: int = 1,
+    config: PipelineConfig | None = None,
 ) -> CompiledFunction:
     """Compile one PRE variant of an already-prepared function.
 
@@ -111,18 +166,31 @@ def compile_variant(
     propagation + DCE after PRE (both SSA-variant only) — the neighbours
     PRE sits between in a production pipeline.  ``rounds > 1`` selects
     the iterative rank-ordered worklist form of the SSA-based PRE stage.
-    This is a thin wrapper over :func:`repro.passes.compiler.compile`
-    with the flags translated into pipeline stages.
+    A :class:`PipelineConfig` may be passed instead of the individual
+    flags (the serving layer's cache-keyable form); mixing both is an
+    error.  This is a thin wrapper over
+    :func:`repro.passes.compiler.compile` with the flags translated into
+    pipeline stages.
     """
-    spec = build_pipeline(
-        variant, fold_constants=fold_constants, cleanup=cleanup,
-        rounds=rounds,
-    )
+    if config is not None:
+        if variant is not None or fold_constants or cleanup or rounds != 1:
+            raise ValueError(
+                "pass either a PipelineConfig or individual flags, not both"
+            )
+    else:
+        if variant is None:
+            raise ValueError("compile_variant needs a variant or a config")
+        config = PipelineConfig(
+            variant=variant,
+            fold_constants=fold_constants,
+            cleanup=cleanup,
+            rounds=rounds,
+        )
     return compile_func(
         prepared,
-        variant,
+        config.variant,
         profile,
-        pipeline_spec=spec,
+        pipeline_spec=config.stages(),
         validate=validate,
     )
 

@@ -63,12 +63,24 @@ DEFAULT_MAX_STEPS = 2_000_000
 
 
 class _Undef:
-    """Sentinel filling every register slot before its first definition."""
+    """Sentinel filling every register slot before its first definition.
+
+    Identity matters: the generated guards test ``value is _UNDEF``, so
+    unpickling must hand back the module singleton, never a new instance
+    (otherwise a persisted program would stop detecting undefined reads).
+    """
 
     __slots__ = ()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return "<undef>"
+
+    def __reduce__(self):
+        return (_undef_singleton, ())
+
+
+def _undef_singleton() -> "_Undef":
+    return _UNDEF
 
 
 _UNDEF = _Undef()
@@ -103,8 +115,32 @@ class CompiledProgram:
     #: Register file template: ``_UNDEF`` everywhere except slot 0 (the
     #: return-value slot, preset to ``None`` for void returns).
     template: list = field(default_factory=list, repr=False)
-    #: Generated Python source, kept for debugging and tests.
+    #: Generated Python source, kept for debugging, tests — and pickling:
+    #: together with :attr:`op_keys` and :attr:`messages` it is enough to
+    #: regenerate :attr:`block_funcs`, so programs are pickle-stable
+    #: (the artifact cache of :mod:`repro.serve.store` relies on this).
     source: str = field(default="", repr=False)
+    #: Operator-table keys ("b:add" / "u:neg") in ``_OPS`` index order.
+    op_keys: list[str] = field(default_factory=list, repr=False)
+    #: Interned error messages referenced by the generated guards.
+    messages: list[str] = field(default_factory=list, repr=False)
+
+    # -- pickling ------------------------------------------------------
+    # The block closures are generated code bound to op-handler defaults;
+    # they cannot be pickled, but they are a pure function of (source,
+    # op_keys, messages), so __setstate__ regenerates them.  Unpickled
+    # programs are bit-identical in behaviour, including the identity of
+    # the undefined-read sentinel (see _Undef.__reduce__).
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["block_funcs"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.block_funcs = _exec_block_funcs(
+            self.source, self.op_keys, self.messages, len(self.labels)
+        )
 
     def run(
         self,
@@ -180,6 +216,38 @@ class CompiledProgram:
             expr_counts=expr_counts,
             steps=steps,
         )
+
+
+def _resolve_op(key: str):
+    """The operator handler behind a ``"b:add"`` / ``"u:neg"`` table key."""
+    kind, _, name = key.partition(":")
+    table = op_tables.BINARY_OPS if kind == "b" else op_tables.UNARY_OPS
+    return table[name].func
+
+
+def _exec_block_funcs(
+    source: str,
+    op_keys: list[str],
+    messages: list[str],
+    n_blocks: int,
+    name: str = "program",
+) -> list:
+    """Execute generated *source* and return its block closures in order.
+
+    Shared between first-time lowering and unpickling: the closures are a
+    pure function of the generated source plus the op/message tables, so
+    regenerating them after a round-trip through the artifact store
+    yields behaviourally identical programs.
+    """
+    namespace = {
+        "_OPS": [_resolve_op(key) for key in op_keys],
+        "_U": _UNDEF,
+        "_IE": InterpreterError,
+        "_MSGS": messages,
+    }
+    code = compile(source, f"<compiled {name}>", "exec")
+    exec(code, namespace)  # noqa: S102 - self-generated trusted source
+    return [namespace[f"_b{i}"] for i in range(n_blocks)]
 
 
 class _Codegen:
@@ -441,14 +509,12 @@ class _Codegen:
             expr_sites.append(sites)
 
         source = "\n".join(chunks)
-        namespace = {
-            "_OPS": self.op_funcs,
-            "_U": _UNDEF,
-            "_IE": InterpreterError,
-            "_MSGS": self.messages,
-        }
-        code = compile(source, f"<compiled {func.name}>", "exec")
-        exec(code, namespace)  # noqa: S102 - self-generated trusted source
+        op_keys: list[str] = [""] * len(self.op_funcs)
+        for key, index in self.op_index.items():
+            op_keys[index] = key
+        block_funcs = _exec_block_funcs(
+            source, op_keys, self.messages, len(labels), name=func.name
+        )
 
         template: list = [_UNDEF] * (self.next_slot)
         template[0] = None
@@ -465,7 +531,7 @@ class _Codegen:
             labels=labels,
             entry_index=block_index[func.entry],
             entry_has_phis=bool(func.blocks[func.entry].phis),
-            block_funcs=[namespace[f"_b{i}"] for i in range(len(labels))],
+            block_funcs=block_funcs,
             edge_dst=edge_dst,
             edge_pairs=edge_pairs,
             steps_per_block=steps_per_block,
@@ -473,6 +539,8 @@ class _Codegen:
             expr_sites=expr_sites,
             template=template,
             source=source,
+            op_keys=op_keys,
+            messages=self.messages,
         )
 
 

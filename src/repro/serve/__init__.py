@@ -1,0 +1,39 @@
+"""Content-addressed compile-and-run serving layer.
+
+The package turns the experiment pipeline into a service: requests carry
+a source program, a :class:`~repro.pipeline.PipelineConfig` and an input
+vector; compiled artifacts are cached under structural content addresses
+(:mod:`repro.serve.keys`) in a two-tier store (:mod:`repro.serve.store`),
+concurrent identical requests coalesce onto one compile
+(:mod:`repro.serve.server`), and everything is observable
+(:mod:`repro.serve.metrics`).  ``python -m repro.serve`` is the CLI;
+``docs/SERVING.md`` is the design document.
+"""
+
+from repro.serve.keys import KEY_SCHEMA, artifact_key, function_fingerprint
+from repro.serve.metrics import METRICS_SCHEMA, ServeMetrics
+from repro.serve.server import (
+    CompileRequest,
+    CompileService,
+    ServeResponse,
+    build_artifact,
+    execute_artifact,
+)
+from repro.serve.store import Artifact, ArtifactStore, DiskStore, MemoryStore
+
+__all__ = [
+    "KEY_SCHEMA",
+    "METRICS_SCHEMA",
+    "Artifact",
+    "ArtifactStore",
+    "CompileRequest",
+    "CompileService",
+    "DiskStore",
+    "MemoryStore",
+    "ServeMetrics",
+    "ServeResponse",
+    "artifact_key",
+    "build_artifact",
+    "execute_artifact",
+    "function_fingerprint",
+]

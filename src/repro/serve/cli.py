@@ -1,0 +1,266 @@
+"""Command-line entry: ``python -m repro.serve``.
+
+Two subcommands:
+
+``serve``
+    Run a :class:`~repro.serve.server.CompileService` over a JSON-lines
+    protocol: one request object per input line, one response object per
+    output line (schema in ``docs/SERVING.md``).  By default the
+    transport is stdin/stdout (pipe-friendly, trivially scriptable);
+    ``--port`` switches to a threaded TCP server speaking the same
+    line protocol, one connection per client.
+
+``load``
+    Build the deterministic load-generator workload
+    (:mod:`repro.serve.loadgen`), drive it through an in-process service
+    with ``--jobs`` client threads, and gate on the results: non-zero
+    exit when any answer mismatched the reference interpreter, any
+    request errored, or the hit rate fell below ``--min-hit-rate``.
+    This is the CI serving smoke job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.serve.loadgen import (
+    DEFAULT_VARIANTS,
+    WorkloadSpec,
+    build_workload,
+    run_load,
+)
+from repro.serve.server import (
+    DEFAULT_TIMEOUT_S,
+    CompileRequest,
+    CompileService,
+)
+from repro.serve.store import ArtifactStore
+
+
+def _make_service(args: argparse.Namespace) -> CompileService:
+    if args.cache_dir:
+        store = ArtifactStore.with_disk(
+            args.cache_dir, max_entries=args.max_entries
+        )
+    else:
+        store = ArtifactStore()
+        store.memory.max_entries = args.max_entries
+    return CompileService(
+        store, max_workers=args.workers, timeout_s=args.timeout
+    )
+
+
+def _handle_line(service: CompileService, line: str) -> dict:
+    """One protocol exchange: JSON request line in, response dict out."""
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return {"status": "error", "error": f"bad JSON: {exc}"}
+    if isinstance(data, dict) and data.get("cmd") == "metrics":
+        return service.metrics.to_dict()
+    try:
+        request = CompileRequest.from_dict(data)
+    except (TypeError, ValueError) as exc:
+        return {"status": "error", "error": str(exc)}
+    return service.handle(request).to_dict()
+
+
+def _serve_stdio(service: CompileService) -> None:
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        print(json.dumps(_handle_line(service, line)), flush=True)
+
+
+def _serve_tcp(service: CompileService, host: str, port: int) -> None:
+    import socketserver
+
+    class Handler(socketserver.StreamRequestHandler):
+        def handle(self) -> None:
+            for raw in self.rfile:
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line:
+                    continue
+                payload = json.dumps(_handle_line(service, line)) + "\n"
+                self.wfile.write(payload.encode())
+                self.wfile.flush()
+
+    class Server(socketserver.ThreadingTCPServer):
+        allow_reuse_address = True
+        daemon_threads = True
+
+    with Server((host, port), Handler) as server:
+        actual_port = server.server_address[1]
+        print(f"serving on {host}:{actual_port}", file=sys.stderr, flush=True)
+        server.serve_forever()
+
+
+def _write_metrics(service: CompileService, path: str | None) -> None:
+    if path:
+        Path(path).write_text(
+            json.dumps(service.metrics.to_dict(), indent=2) + "\n"
+        )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    service = _make_service(args)
+    try:
+        if args.port is not None:
+            _serve_tcp(service, args.host, args.port)
+        else:
+            _serve_stdio(service)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        _write_metrics(service, args.metrics_out)
+        service.close()
+    return 0
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    spec = WorkloadSpec(
+        requests=args.requests,
+        unique=args.unique,
+        variants=tuple(args.variants.split(",")),
+        seed=args.seed,
+        rounds=args.rounds,
+    )
+    workload = build_workload(spec)
+    service = _make_service(args)
+    try:
+        report, _responses = run_load(service, workload, jobs=args.jobs)
+    finally:
+        _write_metrics(service, args.metrics_out)
+        service.close()
+
+    payload = report.to_dict()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"load: {report.requests} request(s), {report.ok} ok, "
+            f"{report.errors} error(s), {report.timeouts} timeout(s), "
+            f"{report.degraded} degraded"
+        )
+        print(
+            f"load: hit rate {report.hit_rate:.3f} "
+            f"(workload admits {report.expected_hit_rate:.3f}), "
+            f"{report.rps:.1f} req/s over {report.wall_s:.3f}s"
+        )
+        served = ", ".join(
+            f"{name}={count}"
+            for name, count in sorted(report.served_by.items())
+        )
+        print(f"load: served_by {served}")
+        print(f"load: mismatches {report.mismatches}")
+
+    failures = []
+    if report.mismatches:
+        failures.append(f"{report.mismatches} mismatch(es) vs reference")
+    if report.errors:
+        failures.append(f"{report.errors} error response(s)")
+    if report.hit_rate < args.min_hit_rate:
+        failures.append(
+            f"hit rate {report.hit_rate:.3f} < required {args.min_hit_rate:.3f}"
+        )
+    if failures:
+        print("LOAD GATE FAILURE: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+def _add_service_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="enable the on-disk artifact tier rooted at DIR",
+    )
+    parser.add_argument(
+        "--max-entries", type=int, default=256, metavar="N",
+        help="in-memory LRU capacity (default 256)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="compile worker threads (default 4)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=DEFAULT_TIMEOUT_S, metavar="S",
+        help=f"per-request deadline in seconds (default {DEFAULT_TIMEOUT_S:g})",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the final metrics snapshot as JSON to PATH",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description=(
+            "Content-addressed compile-and-run service over the PRE "
+            "pipeline, plus its load-generator driver."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser(
+        "serve", help="serve JSON-lines requests from stdin or a TCP port"
+    )
+    _add_service_args(serve)
+    serve.add_argument(
+        "--port", type=int, default=None, metavar="P",
+        help="listen on TCP port P instead of stdin (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", metavar="H",
+        help="bind address for --port (default 127.0.0.1)",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    load = sub.add_parser(
+        "load", help="run the deterministic serving workload and gate on it"
+    )
+    _add_service_args(load)
+    load.add_argument(
+        "--requests", type=int, default=100, metavar="N",
+        help="total requests to issue (default 100)",
+    )
+    load.add_argument(
+        "--unique", type=int, default=6, metavar="N",
+        help="distinct (program, config) pool size (default 6)",
+    )
+    load.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="concurrent client threads (default 1)",
+    )
+    load.add_argument(
+        "--variants", default=",".join(DEFAULT_VARIANTS), metavar="V1,V2",
+        help=f"variants to cycle over (default {','.join(DEFAULT_VARIANTS)})",
+    )
+    load.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="base generator seed (default 0)",
+    )
+    load.add_argument(
+        "--rounds", type=int, default=1, metavar="N",
+        help="PRE rounds per compile (default 1)",
+    )
+    load.add_argument(
+        "--min-hit-rate", type=float, default=0.0, metavar="X",
+        help="fail unless the final hit rate reaches X (default 0.0)",
+    )
+    load.add_argument(
+        "--json", action="store_true",
+        help="print the load report as JSON instead of a summary",
+    )
+    load.set_defaults(func=cmd_load)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

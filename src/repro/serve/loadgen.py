@@ -1,0 +1,201 @@
+"""Deterministic load generator and differential checker for the service.
+
+A workload is a pool of ``unique`` distinct programs (drawn from the
+fuzz-driver generator shapes, so they are the same population
+``repro.check`` polices) served ``requests`` times in an interleaved
+round-robin: request *j* asks for pool entry ``j % unique``.  Every pool
+entry past the first visit is therefore a cache hit (or a coalesced wait
+under concurrency), which makes the achievable hit rate an exact
+function of the spec — ``(requests - unique) / requests`` — and lets the
+CI gate assert against it.
+
+Each request's expected observable behaviour is precomputed on the
+reference interpreter over the *unoptimised* prepared function, so the
+run doubles as a differential test: any served answer that deviates is a
+**mismatch**, whether it came from a fresh compile, the cache, or a
+degraded fallback.  The CI smoke job requires zero.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.bench.generator import generate_program
+from repro.check.driver import SHAPES, case_inputs, spec_for_shape
+from repro.ir.printer import format_function
+from repro.pipeline import prepare
+from repro.profiles.interp import run_function
+from repro.serve.server import CompileRequest, CompileService, ServeResponse
+
+DEFAULT_VARIANTS = ("mc-ssapre", "ssapre")
+
+__all__ = [
+    "DEFAULT_VARIANTS",
+    "WorkloadSpec",
+    "Workload",
+    "LoadReport",
+    "build_workload",
+    "run_load",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Deterministic description of one load run."""
+
+    requests: int = 100
+    unique: int = 6
+    shapes: tuple[str, ...] = SHAPES
+    variants: tuple[str, ...] = DEFAULT_VARIANTS
+    seed: int = 0
+    rounds: int = 1
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ValueError("requests must be >= 1")
+        if not 1 <= self.unique <= self.requests:
+            raise ValueError("unique must be in [1, requests]")
+        for shape in self.shapes:
+            if shape not in SHAPES:
+                raise ValueError(f"unknown shape {shape!r}; expected one of {SHAPES}")
+
+    def expected_hit_rate(self) -> float:
+        """The hit rate a correct cache must reach on this workload."""
+        return (self.requests - self.unique) / self.requests
+
+
+@dataclass
+class Workload:
+    """The materialised request sequence plus per-request expectations."""
+
+    spec: WorkloadSpec
+    requests: list[CompileRequest]
+    #: ``expected[i]`` is request *i*'s reference observable
+    #: ``(return_value, output_tuple)``.
+    expected: list[tuple]
+
+
+def build_workload(spec: WorkloadSpec) -> Workload:
+    """Materialise the request sequence for *spec* (pure, deterministic)."""
+    pool: list[tuple[CompileRequest, dict]] = []
+    for i in range(spec.unique):
+        shape = spec.shapes[i % len(spec.shapes)]
+        gen_seed = spec.seed + i
+        program_spec = spec_for_shape(shape, gen_seed)
+        generated = generate_program(program_spec)
+        inputs = case_inputs(program_spec)
+        base = CompileRequest(
+            source=format_function(generated.func),
+            variant=spec.variants[i % len(spec.variants)],
+            train_args=tuple(inputs[0]),
+            rounds=spec.rounds,
+        )
+        prepared = prepare(generated.func)
+        pool.append((base, {"prepared": prepared, "inputs": inputs[1:]}))
+
+    requests: list[CompileRequest] = []
+    expected: list[tuple] = []
+    oracle_cache: dict[tuple[int, tuple[int, ...]], tuple] = {}
+    for j in range(spec.requests):
+        i = j % spec.unique
+        base, extra = pool[i]
+        ref_inputs = extra["inputs"]
+        args = tuple(ref_inputs[(j // spec.unique) % len(ref_inputs)])
+        requests.append(
+            CompileRequest(
+                source=base.source,
+                args=args,
+                variant=base.variant,
+                train_args=base.train_args,
+                rounds=base.rounds,
+            )
+        )
+        cache_key = (i, args)
+        if cache_key not in oracle_cache:
+            result = run_function(extra["prepared"], list(args))
+            oracle_cache[cache_key] = result.observable()
+        expected.append(oracle_cache[cache_key])
+    return Workload(spec=spec, requests=requests, expected=expected)
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load run, JSON-exportable for the CI artifact."""
+
+    requests: int
+    ok: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    degraded: int = 0
+    mismatches: int = 0
+    served_by: dict[str, int] = field(default_factory=dict)
+    hit_rate: float = 0.0
+    expected_hit_rate: float = 0.0
+    wall_s: float = 0.0
+    rps: float = 0.0
+    metrics: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "degraded": self.degraded,
+            "mismatches": self.mismatches,
+            "served_by": dict(sorted(self.served_by.items())),
+            "hit_rate": round(self.hit_rate, 4),
+            "expected_hit_rate": round(self.expected_hit_rate, 4),
+            "wall_s": round(self.wall_s, 6),
+            "rps": round(self.rps, 2),
+            "metrics": self.metrics,
+        }
+
+
+def run_load(
+    service: CompileService,
+    workload: Workload,
+    *,
+    jobs: int = 1,
+) -> tuple[LoadReport, list[ServeResponse]]:
+    """Drive *workload* through *service* with ``jobs`` client threads.
+
+    Responses come back in request order regardless of concurrency, so
+    ``responses[i]`` always pairs with ``workload.expected[i]``.
+    """
+    start = time.perf_counter()
+    if jobs <= 1:
+        responses = [service.handle(request) for request in workload.requests]
+    else:
+        with ThreadPoolExecutor(
+            max_workers=jobs, thread_name_prefix="repro-loadgen"
+        ) as pool:
+            responses = list(pool.map(service.handle, workload.requests))
+    wall = time.perf_counter() - start
+
+    report = LoadReport(
+        requests=len(responses),
+        expected_hit_rate=workload.spec.expected_hit_rate(),
+        wall_s=wall,
+        rps=len(responses) / wall if wall > 0 else 0.0,
+    )
+    for response, expected in zip(responses, workload.expected):
+        if response.status == "ok":
+            report.ok += 1
+            if response.observable() != expected:
+                report.mismatches += 1
+        elif response.status == "timeout":
+            report.timeouts += 1
+        else:
+            report.errors += 1
+        if response.degraded:
+            report.degraded += 1
+        if response.served_by is not None:
+            report.served_by[response.served_by] = (
+                report.served_by.get(response.served_by, 0) + 1
+            )
+    report.hit_rate = service.metrics.hit_rate()
+    report.metrics = service.metrics.to_dict()
+    return report, responses

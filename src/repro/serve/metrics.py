@@ -1,0 +1,151 @@
+"""Serving metrics: counters and latency histograms, exported as JSON.
+
+One :class:`ServeMetrics` instance per service.  Everything is guarded
+by one lock (requests touch several counters and a histogram each; a
+torn read would make the CI hit-rate gate flaky), and
+:meth:`ServeMetrics.to_dict` takes a consistent snapshot under the same
+lock.  The schema is pinned by ``tests/serve/test_metrics.py`` and
+documented in ``docs/SERVING.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: Version of the exported metrics JSON layout.
+METRICS_SCHEMA = 1
+
+#: Histogram bucket upper bounds in seconds (log-spaced, the usual
+#: serving-latency decades), plus an implicit +inf bucket.
+LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+#: Counter names, in export order.  Kept in one tuple so the exporter,
+#: the reset path and the schema test cannot drift apart.
+COUNTERS = (
+    "requests",          # every request the service accepted
+    "hits_memory",       # artifact served from the in-memory LRU
+    "hits_disk",         # artifact served from the on-disk store
+    "misses",            # artifact had to be built
+    "coalesced",         # request waited on another request's compile
+    "compiles",          # artifact builds that ran a real compile
+    "compile_failures",  # compiles that raised (artifact degraded)
+    "degraded",          # requests served by the reference interpreter
+    "timeouts",          # requests that exceeded their deadline
+    "errors",            # requests that failed outright (bad input, run error)
+    "evictions",         # in-memory LRU evictions
+    "disk_corrupt",      # on-disk artifacts dropped as unreadable
+)
+
+__all__ = [
+    "COUNTERS",
+    "LATENCY_BUCKETS",
+    "METRICS_SCHEMA",
+    "Histogram",
+    "ServeMetrics",
+]
+
+
+class Histogram:
+    """A fixed-bucket latency histogram (seconds).
+
+    Not thread-safe on its own; :class:`ServeMetrics` serialises access.
+    """
+
+    def __init__(self, bounds: tuple[float, ...] = LATENCY_BUCKETS) -> None:
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1: the +inf bucket
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+        for i, bound in enumerate(self.bounds):
+            if seconds <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def to_dict(self) -> dict:
+        buckets = {f"le_{bound:g}": n for bound, n in zip(self.bounds, self.counts)}
+        buckets["le_inf"] = self.counts[-1]
+        return {
+            "count": self.count,
+            "sum_s": round(self.total, 6),
+            "min_s": round(self.min, 6) if self.count else 0.0,
+            "max_s": round(self.max, 6),
+            "mean_s": round(self.total / self.count, 6) if self.count else 0.0,
+            "buckets": buckets,
+        }
+
+
+class ServeMetrics:
+    """Thread-safe counters + histograms for one compile service."""
+
+    #: Histogram names, in export order.
+    HISTOGRAMS = ("compile_s", "execute_s", "request_s")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters = dict.fromkeys(COUNTERS, 0)
+        self._histograms = {name: Histogram() for name in self.HISTOGRAMS}
+
+    # ------------------------------------------------------------------
+    def inc(self, counter: str, amount: int = 1) -> None:
+        if counter not in self._counters:
+            raise KeyError(f"unknown counter {counter!r}; known: {COUNTERS}")
+        with self._lock:
+            self._counters[counter] += amount
+
+    def observe(self, histogram: str, seconds: float) -> None:
+        hist = self._histograms.get(histogram)
+        if hist is None:
+            raise KeyError(
+                f"unknown histogram {histogram!r}; known: {self.HISTOGRAMS}"
+            )
+        with self._lock:
+            hist.observe(seconds)
+
+    def get(self, counter: str) -> int:
+        with self._lock:
+            return self._counters[counter]
+
+    # ------------------------------------------------------------------
+    def hit_rate(self) -> float:
+        """Fraction of requests that never waited on a compile of their own.
+
+        Memory hits, disk hits and coalesced requests all count: none of
+        them paid for a compile, which is the cost the cache exists to
+        amortise.  0.0 before any request.
+        """
+        with self._lock:
+            hits = (
+                self._counters["hits_memory"]
+                + self._counters["hits_disk"]
+                + self._counters["coalesced"]
+            )
+            requests = self._counters["requests"]
+        return hits / requests if requests else 0.0
+
+    def to_dict(self) -> dict:
+        """A consistent JSON-safe snapshot of every counter and histogram."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = {
+                name: hist.to_dict() for name, hist in self._histograms.items()
+            }
+        hits = counters["hits_memory"] + counters["hits_disk"] + counters["coalesced"]
+        requests = counters["requests"]
+        return {
+            "schema": METRICS_SCHEMA,
+            "counters": counters,
+            "hit_rate": round(hits / requests, 4) if requests else 0.0,
+            "histograms": histograms,
+        }

@@ -1,0 +1,404 @@
+"""The compile-and-run service: cache, single-flight, timeout, fallback.
+
+:class:`CompileService` is the front end the CLI (and the tests) drive.
+One request carries a source program, a pipeline configuration and an
+argument vector; the service answers with the program's observable
+behaviour plus where the answer came from:
+
+* **memory / disk** — the artifact was already cached;
+* **compile** — this request built the artifact (and cached it);
+* **coalesced** — another in-flight request for the same key was already
+  building it, so this one just waited for that build (single-flight:
+  N concurrent identical requests trigger exactly one compile).
+
+Failure is graceful by construction: if the requested variant's compile
+raises, the service degrades to the *prepared* function on the reference
+interpreter — the answer stays correct, only slower, and the response is
+marked ``degraded``.  A build that exceeds the request's deadline answers
+``timeout`` without poisoning the cache (the build keeps running and
+later requests hit its artifact).
+
+:func:`build_artifact` is the pure build step, deliberately usable
+without a service — the ``cache`` oracle in :mod:`repro.check` calls it
+directly to prove warm-cache answers bit-identical to cold compiles.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
+
+from repro.ir.function import Function
+from repro.lang.parser import parse_function
+from repro.pipeline import ENGINES, PipelineConfig, compile_variant, make_runner, prepare
+from repro.profiles.compiled import compile_function
+from repro.profiles.interp import InterpreterError, RunResult, run_function
+from repro.serve.keys import artifact_key
+from repro.serve.metrics import ServeMetrics
+from repro.serve.store import Artifact, ArtifactStore
+
+#: Default per-request deadline (seconds).  Generous: tier-1 compiles run
+#: in milliseconds; the deadline exists for adversarial inputs.
+DEFAULT_TIMEOUT_S = 30.0
+
+DEFAULT_MAX_STEPS = 2_000_000
+
+__all__ = [
+    "DEFAULT_TIMEOUT_S",
+    "CompileRequest",
+    "ServeResponse",
+    "CompileService",
+    "build_artifact",
+    "execute_artifact",
+]
+
+
+@dataclass(frozen=True)
+class CompileRequest:
+    """One serving request: a program, a pipeline config, an input vector."""
+
+    source: str
+    args: tuple[int, ...] = ()
+    variant: str = "mc-ssapre"
+    #: Training input for profile-guided variants; part of the cache key.
+    train_args: tuple[int, ...] | None = None
+    engine: str = "compiled"
+    fold_constants: bool = False
+    cleanup: bool = False
+    rounds: int = 1
+    max_steps: int = DEFAULT_MAX_STEPS
+
+    def config(self) -> PipelineConfig:
+        return PipelineConfig(
+            variant=self.variant,
+            fold_constants=self.fold_constants,
+            cleanup=self.cleanup,
+            rounds=self.rounds,
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CompileRequest":
+        """Build a request from one JSON-lines record (the wire format)."""
+        if not isinstance(data, dict):
+            raise ValueError(f"request must be a JSON object, got {type(data).__name__}")
+        if "source" not in data:
+            raise ValueError("request is missing 'source'")
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown request fields: {sorted(unknown)}")
+        kwargs = dict(data)
+        kwargs["args"] = tuple(kwargs.get("args", ()))
+        if kwargs.get("train_args") is not None:
+            kwargs["train_args"] = tuple(kwargs["train_args"])
+        return cls(**kwargs)
+
+
+@dataclass
+class ServeResponse:
+    """One serving answer: status, provenance and observable behaviour."""
+
+    status: str  # "ok" | "error" | "timeout"
+    served_by: str | None = None  # "compile" | "memory" | "disk" | "coalesced"
+    key: str | None = None
+    variant: str | None = None
+    degraded: bool = False
+    return_value: int | None = None
+    output: tuple[int, ...] = ()
+    dynamic_cost: int | None = None
+    steps: int | None = None
+    error: str | None = None
+    timings: dict[str, float] = field(default_factory=dict)
+
+    def observable(self) -> tuple:
+        return (self.return_value, tuple(self.output))
+
+    def to_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "served_by": self.served_by,
+            "key": self.key,
+            "variant": self.variant,
+            "degraded": self.degraded,
+            "return_value": self.return_value,
+            "output": list(self.output),
+            "dynamic_cost": self.dynamic_cost,
+            "steps": self.steps,
+            "error": self.error,
+            "timings": {k: round(v, 6) for k, v in self.timings.items()},
+        }
+
+
+def build_artifact(
+    prepared: Function,
+    config: PipelineConfig,
+    *,
+    key: str,
+    engine: str = "compiled",
+    train_args: tuple[int, ...] | None = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> Artifact:
+    """Cold-build one artifact: train, optimise, lower.  Pure — no cache.
+
+    This is the single definition of "what a cache miss computes"; the
+    server and the ``cache`` consistency oracle share it, so whatever a
+    warm hit returns is byte-comparable against a fresh call of this.
+    Compile failures degrade to the prepared function on the reference
+    interpreter rather than raising: a served answer must exist for every
+    well-formed program.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    profile = None
+    if config.needs_profile:
+        if train_args is None:
+            raise ValueError(
+                f"variant {config.variant!r} is profile-guided and needs train_args"
+            )
+        runner = make_runner(engine)
+        profile = runner(prepared, list(train_args), max_steps).profile
+    try:
+        compiled = compile_variant(prepared, profile=profile, config=config)
+    except Exception as exc:  # noqa: BLE001 - degrade, never fail the request
+        return Artifact(
+            key=key,
+            variant=config.variant,
+            engine=engine,
+            func=prepared,
+            program=None,
+            report=None,
+            degraded=True,
+            degraded_reason=f"{type(exc).__name__}: {exc}",
+        )
+    program = compile_function(compiled.func) if engine == "compiled" else None
+    report = compiled.report.to_dict() if compiled.report is not None else None
+    return Artifact(
+        key=key,
+        variant=config.variant,
+        engine=engine,
+        func=compiled.func,
+        program=program,
+        report=report,
+    )
+
+
+def execute_artifact(
+    artifact: Artifact,
+    args: tuple[int, ...],
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> RunResult:
+    """Run a served artifact: compiled program if present, else reference."""
+    if artifact.program is not None:
+        return artifact.program.run(list(args), max_steps=max_steps)
+    return run_function(artifact.func, list(args), max_steps=max_steps)
+
+
+class _Flight:
+    """One in-flight build; waiters block on :attr:`done`."""
+
+    __slots__ = ("done", "artifact", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.artifact: Artifact | None = None
+        self.error: BaseException | None = None
+
+
+class CompileService:
+    """Thread-safe compile-and-run front end over an :class:`ArtifactStore`."""
+
+    def __init__(
+        self,
+        store: ArtifactStore | None = None,
+        metrics: ServeMetrics | None = None,
+        *,
+        max_workers: int = 4,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        build: Callable[..., Artifact] | None = None,
+    ) -> None:
+        self.store = store or ArtifactStore()
+        self.metrics = metrics or ServeMetrics()
+        self.timeout_s = timeout_s
+        self._corrupt_seen = self.store.disk_corrupt
+        #: Injectable cold-build (tests swap in slow/failing builds to
+        #: exercise coalescing and timeouts deterministically).
+        self._build = build or build_artifact
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+        self._inflight: dict[str, _Flight] = {}
+        self._inflight_lock = threading.Lock()
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "CompileService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def handle(self, request: CompileRequest) -> ServeResponse:
+        """Serve one request end to end.  Never raises: errors become
+        ``status="error"`` responses so one bad request cannot take down
+        the serving loop."""
+        t_start = time.perf_counter()
+        self.metrics.inc("requests")
+        try:
+            response = self._handle(request, t_start)
+        except Exception as exc:  # noqa: BLE001 - the loop must survive
+            self.metrics.inc("errors")
+            response = ServeResponse(
+                status="error",
+                variant=request.variant,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        response.timings["request_s"] = time.perf_counter() - t_start
+        self.metrics.observe("request_s", response.timings["request_s"])
+        return response
+
+    # ------------------------------------------------------------------
+    def _handle(self, request: CompileRequest, t_start: float) -> ServeResponse:
+        config = request.config()  # validates variant/rounds
+        prepared = prepare(parse_function(request.source))
+        key = artifact_key(
+            prepared,
+            config,
+            engine=request.engine,
+            train_args=request.train_args,
+        )
+        deadline = t_start + self.timeout_s
+
+        artifact, tier = self.store.get(key)
+        self._sync_disk_corrupt()
+        if artifact is not None:
+            self.metrics.inc("hits_memory" if tier == "memory" else "hits_disk")
+            served_by = tier
+        else:
+            artifact, served_by = self._build_single_flight(
+                key, prepared, config, request, deadline
+            )
+            if artifact is None:  # deadline passed while building
+                self.metrics.inc("timeouts")
+                return ServeResponse(
+                    status="timeout",
+                    key=key,
+                    variant=config.variant,
+                    error=f"build exceeded {self.timeout_s:g}s deadline",
+                )
+        if artifact.degraded:
+            self.metrics.inc("degraded")
+
+        t_exec = time.perf_counter()
+        try:
+            result = execute_artifact(artifact, request.args, request.max_steps)
+        except InterpreterError as exc:
+            self.metrics.inc("errors")
+            return ServeResponse(
+                status="error",
+                served_by=served_by,
+                key=key,
+                variant=config.variant,
+                degraded=artifact.degraded,
+                error=f"InterpreterError: {exc}",
+            )
+        execute_s = time.perf_counter() - t_exec
+        self.metrics.observe("execute_s", execute_s)
+
+        return ServeResponse(
+            status="ok",
+            served_by=served_by,
+            key=key,
+            variant=config.variant,
+            degraded=artifact.degraded,
+            return_value=result.return_value,
+            output=tuple(result.output),
+            dynamic_cost=result.dynamic_cost,
+            steps=result.steps,
+            timings={"execute_s": execute_s},
+        )
+
+    # ------------------------------------------------------------------
+    def _build_single_flight(
+        self,
+        key: str,
+        prepared: Function,
+        config: PipelineConfig,
+        request: CompileRequest,
+        deadline: float,
+    ) -> tuple[Artifact | None, str]:
+        """Build (or wait for) the artifact for *key*; exactly one build
+        runs per key no matter how many requests race on it."""
+        with self._inflight_lock:
+            flight = self._inflight.get(key)
+            leader = flight is None
+            if leader:
+                flight = _Flight()
+                self._inflight[key] = flight
+        if not leader:
+            # Someone else is compiling this key: wait for their result.
+            self.metrics.inc("coalesced")
+            if not flight.done.wait(timeout=max(0.0, deadline - time.perf_counter())):
+                return None, "coalesced"
+            if flight.error is not None:
+                raise flight.error
+            return flight.artifact, "coalesced"
+
+        self.metrics.inc("misses")
+        future = self._executor.submit(self._run_build, key, config, request, prepared)
+        try:
+            artifact = future.result(timeout=max(0.0, deadline - time.perf_counter()))
+        except FutureTimeout:
+            # The build keeps running; when it lands it resolves the
+            # flight and populates the cache for later requests.
+            return None, "compile"
+        return artifact, "compile"
+
+    def _sync_disk_corrupt(self) -> None:
+        """Mirror the disk store's corruption count into the metrics."""
+        corrupt = self.store.disk_corrupt
+        if corrupt > self._corrupt_seen:
+            self.metrics.inc("disk_corrupt", corrupt - self._corrupt_seen)
+            self._corrupt_seen = corrupt
+
+    def _run_build(
+        self,
+        key: str,
+        config: PipelineConfig,
+        request: CompileRequest,
+        prepared: Function,
+    ) -> Artifact:
+        """The leader's build, run on the executor so it can outlive a
+        timed-out request.  Resolves the flight and fills the cache."""
+        flight = self._inflight[key]
+        t0 = time.perf_counter()
+        try:
+            self.metrics.inc("compiles")
+            artifact = self._build(
+                prepared,
+                config,
+                key=key,
+                engine=request.engine,
+                train_args=request.train_args,
+                max_steps=request.max_steps,
+            )
+            if artifact.degraded:
+                self.metrics.inc("compile_failures")
+            self.metrics.observe("compile_s", time.perf_counter() - t0)
+            evicted = self.store.put(key, artifact)
+            if evicted:
+                self.metrics.inc("evictions", len(evicted))
+            flight.artifact = artifact
+            return artifact
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._inflight_lock:
+                self._inflight.pop(key, None)
+            flight.done.set()

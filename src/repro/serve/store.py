@@ -1,0 +1,276 @@
+"""Two-tier artifact cache: in-memory LRU over an optional on-disk store.
+
+The unit of storage is an :class:`Artifact` — everything one compile
+produced that later requests can reuse: the optimised function, its
+lowered :class:`~repro.profiles.compiled.CompiledProgram` (pickle-stable
+since the program regenerates its closures from source on load), and the
+artifact-safe :class:`~repro.passes.manager.PassReport` summary.
+
+Tiers:
+
+* :class:`MemoryStore` — a bounded LRU (entry count *and* approximate
+  bytes).  Hot keys stay resident; eviction order is pinned by
+  ``tests/serve/test_store.py``.
+* :class:`DiskStore` — one pickle file per key under a sharded
+  directory, written via temp-file + :func:`os.replace` so readers can
+  never observe a torn artifact, and read through a corruption-tolerant
+  loader: any unreadable file (truncated, garbage, wrong schema) counts
+  as a miss, is quarantined out of the way, and the artifact is simply
+  recompiled — a cache must never turn a bad disk into a wrong answer.
+* :class:`ArtifactStore` — the two-tier facade the server talks to:
+  memory first, then disk (promoting hits into memory), writes go to
+  both.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.ir.function import Function
+from repro.profiles.compiled import CompiledProgram
+
+#: Version of the pickled artifact layout.  Bump on any incompatible
+#: change to :class:`Artifact`; old files then read as corrupt (a miss)
+#: instead of deserialising into a lie.
+ARTIFACT_SCHEMA = 1
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "Artifact",
+    "MemoryStore",
+    "DiskStore",
+    "ArtifactStore",
+]
+
+
+@dataclass
+class Artifact:
+    """One cached compile: optimised function + lowered program + report."""
+
+    key: str
+    variant: str
+    engine: str
+    #: The optimised (non-SSA) function, ready for the reference engine.
+    func: Function
+    #: The lowered program for the compiled engine; ``None`` when the
+    #: artifact is degraded (the compile failed and the service fell back
+    #: to the prepared function on the reference interpreter).
+    program: CompiledProgram | None = None
+    #: Artifact-safe pass report (``PassReport.to_dict()``): plain JSON
+    #: data, no live payload objects, so it pickles and serves cheaply.
+    report: dict | None = None
+    #: True when :attr:`func` is the *prepared* (unoptimised) function
+    #: because the requested variant's compile raised.
+    degraded: bool = False
+    #: Why the artifact is degraded (repr of the compile error).
+    degraded_reason: str | None = None
+    schema: int = ARTIFACT_SCHEMA
+    #: Pickled size in bytes; computed on first use (see ``nbytes``).
+    _nbytes: int | None = field(default=None, repr=False, compare=False)
+
+    def nbytes(self) -> int:
+        """Approximate in-memory footprint: the pickled size.
+
+        Computed once and cached — artifacts are immutable after
+        construction.  Pickling is also exactly what the disk tier does,
+        so the two tiers account size identically.
+        """
+        if self._nbytes is None:
+            buf = io.BytesIO()
+            pickle.dump(self, buf, protocol=pickle.HIGHEST_PROTOCOL)
+            self._nbytes = buf.tell()
+        return self._nbytes
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_nbytes"] = None  # recomputed lazily on the other side
+        return state
+
+
+class MemoryStore:
+    """A thread-safe LRU bounded by entry count and approximate bytes."""
+
+    def __init__(
+        self, max_entries: int = 256, max_bytes: int = 256 << 20
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.evictions = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Artifact]" = OrderedDict()
+        self._bytes = 0
+
+    def get(self, key: str) -> Artifact | None:
+        with self._lock:
+            artifact = self._entries.get(key)
+            if artifact is not None:
+                self._entries.move_to_end(key)
+            return artifact
+
+    def put(self, key: str, artifact: Artifact) -> list[str]:
+        """Insert (or refresh) *key*; returns the keys evicted to fit it.
+
+        An artifact larger than ``max_bytes`` still caches (it just
+        evicts everything else): refusing it would turn the hottest
+        oversized program into a permanent miss.
+        """
+        evicted: list[str] = []
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes()
+            self._entries[key] = artifact
+            self._bytes += artifact.nbytes()
+            while len(self._entries) > self.max_entries or (
+                self._bytes > self.max_bytes and len(self._entries) > 1
+            ):
+                victim_key, victim = self._entries.popitem(last=False)
+                self._bytes -= victim.nbytes()
+                self.evictions += 1
+                evicted.append(victim_key)
+        return evicted
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> list[str]:
+        """Current keys, least-recently-used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def bytes_used(self) -> int:
+        with self._lock:
+            return self._bytes
+
+
+class DiskStore:
+    """One pickle file per artifact under ``root``, written atomically."""
+
+    SUFFIX = ".artifact.pkl"
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.corrupt = 0
+
+    def path(self, key: str) -> Path:
+        # Two-level sharding keeps directories small under heavy traffic.
+        return self.root / key[:2] / f"{key}{self.SUFFIX}"
+
+    def get(self, key: str) -> Artifact | None:
+        """Load an artifact, treating *any* failure as a miss.
+
+        A truncated write (power loss mid-``os.replace`` is impossible,
+        but a torn copy from elsewhere is not), a pickle from a newer
+        schema, or plain garbage: all quarantine the file (best-effort
+        rename to ``*.corrupt``) and return ``None`` so the caller
+        recompiles.
+        """
+        path = self.path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            artifact = pickle.loads(blob)
+            if not isinstance(artifact, Artifact) or artifact.schema != ARTIFACT_SCHEMA:
+                raise ValueError("wrong artifact type or schema")
+            if artifact.key != key:
+                raise ValueError("artifact key does not match its filename")
+        except Exception:  # noqa: BLE001 - corruption is expected, not fatal
+            self.corrupt += 1
+            try:
+                os.replace(path, path.with_suffix(".corrupt"))
+            except OSError:
+                pass
+            return None
+        return artifact
+
+    def put(self, key: str, artifact: Artifact) -> None:
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(artifact, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def keys(self) -> list[str]:
+        return sorted(
+            p.name[: -len(self.SUFFIX)]
+            for p in self.root.glob(f"*/*{self.SUFFIX}")
+        )
+
+
+class ArtifactStore:
+    """The two-tier facade: memory LRU in front of an optional disk store."""
+
+    def __init__(
+        self,
+        memory: MemoryStore | None = None,
+        disk: DiskStore | None = None,
+    ) -> None:
+        self.memory = memory or MemoryStore()
+        self.disk = disk
+
+    @classmethod
+    def with_disk(
+        cls,
+        root: Path | str,
+        *,
+        max_entries: int = 256,
+        max_bytes: int = 256 << 20,
+    ) -> "ArtifactStore":
+        return cls(
+            memory=MemoryStore(max_entries=max_entries, max_bytes=max_bytes),
+            disk=DiskStore(root),
+        )
+
+    def get(self, key: str) -> tuple[Artifact | None, str | None]:
+        """``(artifact, tier)``: tier is "memory", "disk" or ``None``.
+
+        Disk hits are promoted into the memory tier so the next lookup
+        is cheap.
+        """
+        artifact = self.memory.get(key)
+        if artifact is not None:
+            return artifact, "memory"
+        if self.disk is not None:
+            artifact = self.disk.get(key)
+            if artifact is not None:
+                self.memory.put(key, artifact)
+                return artifact, "disk"
+        return None, None
+
+    def put(self, key: str, artifact: Artifact) -> list[str]:
+        """Write through both tiers; returns memory-tier evictions."""
+        evicted = self.memory.put(key, artifact)
+        if self.disk is not None:
+            self.disk.put(key, artifact)
+        return evicted
+
+    @property
+    def evictions(self) -> int:
+        return self.memory.evictions
+
+    @property
+    def disk_corrupt(self) -> int:
+        return self.disk.corrupt if self.disk is not None else 0

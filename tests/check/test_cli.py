@@ -10,11 +10,11 @@ import pytest
 
 #: The documented summary schema (docs/CHECKING.md).  Additions require a
 #: SCHEMA_VERSION bump; removals/renames are breaking.  v2 added
-#: "engine" and "jobs".
+#: "engine" and "jobs"; v3 added "interrupted" and the "cache" oracle.
 SUMMARY_KEYS = {
     "schema", "seeds", "seed_base", "shapes", "oracles", "engine", "jobs",
     "passed", "artifacts", "cases", "skipped", "failures", "per_oracle",
-    "by_kind", "wall_time_s",
+    "by_kind", "wall_time_s", "interrupted",
 }
 
 
@@ -40,7 +40,7 @@ class TestJsonSummary:
     def test_per_oracle_counts(self, summary):
         _, _, data = summary
         assert set(data["per_oracle"]) == {
-            "compile", "equiv", "optimal", "lifetime", "safety",
+            "compile", "equiv", "optimal", "lifetime", "safety", "cache",
         }
         for counts in data["per_oracle"].values():
             assert set(counts) == {"checks", "failures"}
@@ -54,8 +54,11 @@ class TestJsonSummary:
         assert data["seeds"] == 2
         assert data["cases"] == 6  # 2 seeds x 3 shapes
         assert data["shapes"] == ["cint", "cfp", "composite"]
-        assert data["oracles"] == ["equiv", "optimal", "lifetime", "safety"]
+        assert data["oracles"] == [
+            "equiv", "optimal", "lifetime", "safety", "cache",
+        ]
         assert data["artifacts"] == []
+        assert data["interrupted"] is False
 
     def test_stdout_matches_summary_file(self, tmp_path, capsys):
         out = tmp_path / "check"

@@ -118,7 +118,7 @@ class TestRunDriver:
         d = stats.to_dict()
         assert set(d) == {
             "cases", "skipped", "failures", "per_oracle", "by_kind",
-            "wall_time_s",
+            "interrupted", "wall_time_s",
         }
         assert all(
             set(v) == {"checks", "failures"} for v in d["per_oracle"].values()

@@ -8,16 +8,40 @@ value itself).
 """
 
 import json
+import os
+
+import pytest
 
 from repro.check.cli import main
 from repro.check.driver import DriverStats, run_driver
-from repro.parallel import parallel_map
+from repro.parallel import ParallelMapError, parallel_map
 
 #: Summary fields legitimately different between job counts.
 TIMING_KEYS = ("wall_time_s", "jobs")
 
 
 def _mul2(x):
+    return x * 2
+
+
+def _interrupt_on_3(x):
+    # A worker raising KeyboardInterrupt models Ctrl-C deterministically:
+    # the pool forwards BaseExceptions from workers just like a signal in
+    # the main thread would surface mid-wait.
+    if x == 3:
+        raise KeyboardInterrupt
+    return x * 2
+
+
+def _exit_on_2(x):
+    if x == 2:
+        os._exit(41)  # hard worker death: no exception, no cleanup
+    return x * 2
+
+
+def _value_error_on_1(x):
+    if x == 1:
+        raise ValueError("worker bug")
     return x * 2
 
 
@@ -32,6 +56,65 @@ class TestParallelMap:
 
     def test_empty(self):
         assert parallel_map(_mul2, [], jobs=4) == []
+
+
+class TestInterruption:
+    def test_keyboard_interrupt_surfaces_partial_results(self):
+        with pytest.raises(ParallelMapError) as info:
+            parallel_map(_interrupt_on_3, list(range(8)), jobs=4)
+        error = info.value
+        assert isinstance(error.cause, KeyboardInterrupt)
+        assert error.total == 8
+        # Whatever completed is correct and indexed by input position.
+        assert error.partial
+        assert 3 not in error.partial
+        assert all(error.partial[i] == i * 2 for i in error.partial)
+
+    def test_dead_worker_process_surfaces_partial_results(self):
+        with pytest.raises(ParallelMapError) as info:
+            parallel_map(_exit_on_2, list(range(6)), jobs=3)
+        error = info.value
+        assert type(error.cause).__name__ == "BrokenProcessPool"
+        assert error.total == 6
+        assert all(error.partial[i] == i * 2 for i in error.partial)
+
+    def test_ordinary_worker_exception_propagates_unwrapped(self):
+        # A bug in the worker function is the caller's exception, not an
+        # infrastructure failure.
+        with pytest.raises(ValueError, match="worker bug"):
+            parallel_map(_value_error_on_1, list(range(5)), jobs=2)
+
+
+def _shard_boom(seeds, **kwargs):
+    raise KeyboardInterrupt
+
+
+class TestInterruptedDriver:
+    def test_merge_propagates_interrupted_flag(self):
+        clean = DriverStats(cases=2)
+        cut = DriverStats(cases=1, interrupted=True,
+                          interrupt_reason="KeyboardInterrupt")
+        merged = DriverStats().merge(clean).merge(cut)
+        assert merged.interrupted is True
+        assert merged.interrupt_reason == "KeyboardInterrupt"
+        assert merged.to_dict()["interrupted"] is True
+
+    def test_to_dict_reports_interrupted(self):
+        assert DriverStats().to_dict()["interrupted"] is False
+
+    def test_parallel_driver_returns_partial_stats_on_interrupt(
+        self, monkeypatch
+    ):
+        # Make every shard worker die with Ctrl-C: the driver must come
+        # back with interrupted stats instead of a traceback.
+        import repro.check.driver as driver_module
+
+        monkeypatch.setattr(driver_module, "_shard_worker", _shard_boom)
+        stats, failing = run_driver(4, ("cint",), ("equiv",), jobs=2)
+        assert stats.interrupted is True
+        assert stats.interrupt_reason == "KeyboardInterrupt"
+        assert failing == []
+        assert stats.cases == 0  # no shard completed
 
 
 class TestDriverStatsMerge:

@@ -1,0 +1,115 @@
+"""Printer normalization: the determinism guarantee behind cache keys.
+
+Two structurally identical functions that differ only in SSA value
+numbering must print to identical bytes under ``normalize=True``, and
+``parse(print(f, normalize=True))`` must re-print to the same bytes —
+the soundness precondition of :mod:`repro.serve.keys`.
+"""
+
+from repro.bench.generator import generate_program
+from repro.check.driver import spec_for_shape
+from repro.ir.printer import format_function, normalize_versions, version_renumbering
+from repro.ir.structural import structurally_equal
+from repro.ir.values import Var
+from repro.lang.parser import parse_function
+from repro.pipeline import prepare
+from repro.ssa.construct import construct_ssa
+
+import pytest
+
+
+def _ssa_corpus():
+    """A handful of generated programs, prepared and in SSA form."""
+    out = []
+    for shape in ("cint", "cfp", "composite"):
+        for seed in (0, 1, 2):
+            func = prepare(generate_program(spec_for_shape(shape, seed)).func)
+            construct_ssa(func)
+            out.append(func)
+    return out
+
+
+CORPUS = _ssa_corpus()
+
+
+def _shuffle_versions(func, stride: int = 7, offset: int = 100):
+    """An injective re-versioning: structurally identical, new value ids."""
+    shuffled = func.clone()
+    mapping = {}
+
+    def subst(operand):
+        if not isinstance(operand, Var) or operand.version is None:
+            return operand
+        if operand not in mapping:
+            mapping[operand] = Var(operand.name, operand.version * stride + offset)
+        return mapping[operand]
+
+    shuffled.params = [subst(p) for p in shuffled.params]
+    for block in shuffled.blocks.values():
+        for phi in block.phis:
+            phi.target = subst(phi.target)
+            phi.args = {label: subst(arg) for label, arg in phi.args.items()}
+        for stmt in block.body:
+            from repro.ir.instructions import Assign, BinOp, UnaryOp
+
+            if isinstance(stmt, Assign):
+                stmt.target = subst(stmt.target)
+                if isinstance(stmt.rhs, BinOp):
+                    stmt.rhs.left = subst(stmt.rhs.left)
+                    stmt.rhs.right = subst(stmt.rhs.right)
+                elif isinstance(stmt.rhs, UnaryOp):
+                    stmt.rhs.operand = subst(stmt.rhs.operand)
+                else:
+                    stmt.rhs = subst(stmt.rhs)
+            else:
+                stmt.value = subst(stmt.value)
+        term = block.terminator
+        for attr in ("cond", "value"):
+            if hasattr(term, attr) and getattr(term, attr) is not None:
+                setattr(term, attr, subst(getattr(term, attr)))
+    return shuffled
+
+
+class TestNormalizedPrinting:
+    @pytest.mark.parametrize("func", CORPUS, ids=lambda f: f.name)
+    def test_stable_across_version_renumbering(self, func):
+        shuffled = _shuffle_versions(func)
+        assert format_function(func) != format_function(shuffled)  # sanity
+        assert format_function(func, normalize=True) == format_function(
+            shuffled, normalize=True
+        )
+
+    @pytest.mark.parametrize("func", CORPUS, ids=lambda f: f.name)
+    def test_parse_reprint_round_trips_to_same_bytes(self, func):
+        text = format_function(func, normalize=True)
+        reparsed = parse_function(text)
+        assert format_function(reparsed, normalize=True) == text
+        # The normalized text is itself already in normal form.
+        assert format_function(reparsed) == text
+
+    @pytest.mark.parametrize("func", CORPUS, ids=lambda f: f.name)
+    def test_normalization_preserves_structure_modulo_versions(self, func):
+        normalized = normalize_versions(func)
+        # Renormalizing a normalized function is the identity.
+        assert structurally_equal(normalize_versions(normalized), normalized)
+        # And the normalized clone still parses + prints consistently.
+        assert format_function(normalized) == format_function(
+            func, normalize=True
+        )
+
+    def test_renumbering_is_injective_per_name(self):
+        for func in CORPUS:
+            mapping = version_renumbering(func)
+            seen = set()
+            for old, new in mapping.items():
+                assert old.name == new.name
+                assert new.version is not None
+                assert new not in seen
+                seen.add(new)
+
+    def test_non_ssa_function_unchanged(self):
+        func = prepare(
+            generate_program(spec_for_shape("cint", 3)).func
+        )
+        assert version_renumbering(func) == {}
+        assert format_function(func, normalize=True) == format_function(func)

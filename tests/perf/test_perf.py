@@ -15,10 +15,16 @@ from repro.profiles.interp import run_function
 import pytest
 
 #: The documented BENCH.json schema (docs/PERF.md).  v2 added the
-#: "iterative" section.
+#: "iterative" section; v3 added "serving".
 BENCH_KEYS = {
     "schema", "quick", "repeat", "python", "platform",
-    "execution", "compile", "iterative", "maxflow", "ok", "wall_time_s",
+    "execution", "compile", "iterative", "serving", "maxflow", "ok",
+    "wall_time_s",
+}
+SERVING_KEYS = {
+    "requests", "unique", "cold_s", "warm_s", "speedup", "min_speedup",
+    "equivalent", "hit_rate", "expected_hit_rate", "mismatches",
+    "load_rps", "coalescing", "ok",
 }
 WORKLOAD_KEYS = {
     "name", "family", "steps", "dynamic_cost", "reference_s",
@@ -88,6 +94,20 @@ class TestCli:
             for row in iterative["workloads"]
             if row["family"] == "COMPOSITE"
         )
+
+    def test_serving_section(self, bench):
+        _, data = bench
+        serving = data["serving"]
+        assert set(serving) == SERVING_KEYS
+        assert serving["ok"] is True
+        assert serving["equivalent"] is True
+        assert serving["mismatches"] == 0
+        assert serving["speedup"] >= serving["min_speedup"]
+        assert serving["hit_rate"] >= serving["expected_hit_rate"]
+        coalescing = serving["coalescing"]
+        assert coalescing["ok"] is True
+        assert coalescing["compiles"] == 1
+        assert coalescing["clients"] > 1
 
     def test_maxflow_section(self, bench):
         _, data = bench

@@ -1,0 +1,103 @@
+"""Content-addressed keys: renumbering-stable, semantics-sensitive."""
+
+import pytest
+
+from repro.pipeline import PipelineConfig, prepare
+from repro.profiles.interp import run_function
+from repro.serve.keys import (
+    artifact_key,
+    function_fingerprint,
+    profile_fingerprint,
+)
+
+from tests.conftest import as_ssa, build_diamond, build_straightline
+from tests.ir.test_printer_normalize import _shuffle_versions
+
+
+class TestFunctionFingerprint:
+    def test_stable_across_ssa_version_renumbering(self):
+        func = as_ssa(build_diamond())
+        assert function_fingerprint(func) == function_fingerprint(
+            _shuffle_versions(func)
+        )
+
+    def test_name_does_not_count(self):
+        a = build_diamond()
+        b = build_diamond()
+        b.name = "renamed"
+        assert function_fingerprint(a) == function_fingerprint(b)
+
+    def test_different_bodies_differ(self):
+        assert function_fingerprint(build_diamond()) != function_fingerprint(
+            build_straightline()
+        )
+
+    def test_deterministic(self):
+        assert function_fingerprint(build_diamond()) == function_fingerprint(
+            build_diamond()
+        )
+
+
+class TestProfileFingerprint:
+    def _profile(self, args):
+        return run_function(prepare(build_diamond()), args).profile
+
+    def test_same_run_same_fingerprint(self):
+        assert profile_fingerprint(self._profile([1, 2, 1])) == (
+            profile_fingerprint(self._profile([1, 2, 1]))
+        )
+
+    def test_different_path_different_fingerprint(self):
+        # c=0 vs c=1 takes the other diamond arm.
+        assert profile_fingerprint(self._profile([1, 2, 1])) != (
+            profile_fingerprint(self._profile([1, 2, 0]))
+        )
+
+
+class TestArtifactKey:
+    def setup_method(self):
+        self.prepared = prepare(build_diamond())
+
+    def test_every_input_is_keyed(self):
+        base = artifact_key(self.prepared, PipelineConfig(variant="ssapre"))
+        assert base != artifact_key(
+            self.prepared, PipelineConfig(variant="lcm")
+        )
+        assert base != artifact_key(
+            self.prepared, PipelineConfig(variant="ssapre", rounds=3)
+        )
+        assert base != artifact_key(
+            self.prepared, PipelineConfig(variant="ssapre"),
+            engine="reference",
+        )
+        assert base != artifact_key(
+            self.prepared, PipelineConfig(variant="ssapre"),
+            train_args=(1, 2, 3),
+        )
+
+    def test_train_args_key_is_intensional(self):
+        config = PipelineConfig(variant="mc-ssapre")
+        a = artifact_key(self.prepared, config, train_args=(1, 2, 1))
+        b = artifact_key(self.prepared, config, train_args=(1, 2, 1))
+        c = artifact_key(self.prepared, config, train_args=(1, 2, 0))
+        assert a == b != c
+
+    def test_profile_guided_requires_profile_or_train_args(self):
+        with pytest.raises(ValueError, match="profile-guided"):
+            artifact_key(self.prepared, PipelineConfig(variant="mc-ssapre"))
+
+    def test_rejects_both_profile_and_train_args(self):
+        profile = run_function(self.prepared, [1, 2, 1]).profile
+        with pytest.raises(ValueError, match="not both"):
+            artifact_key(
+                self.prepared, PipelineConfig(variant="mc-ssapre"),
+                train_args=(1, 2, 1), profile=profile,
+            )
+
+    def test_extensional_profile_keying(self):
+        config = PipelineConfig(variant="mc-ssapre")
+        p1 = run_function(self.prepared, [1, 2, 1]).profile
+        p2 = run_function(self.prepared, [1, 2, 1]).profile
+        assert artifact_key(self.prepared, config, profile=p1) == (
+            artifact_key(self.prepared, config, profile=p2)
+        )

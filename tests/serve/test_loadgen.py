@@ -1,0 +1,78 @@
+"""Load generator: deterministic workloads, differential gates."""
+
+import pytest
+
+from repro.serve.loadgen import WorkloadSpec, build_workload, run_load
+from repro.serve.server import CompileService
+
+
+class TestWorkloadSpec:
+    def test_expected_hit_rate(self):
+        spec = WorkloadSpec(requests=100, unique=6)
+        assert spec.expected_hit_rate() == pytest.approx(0.94)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(requests=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(requests=5, unique=6)
+        with pytest.raises(ValueError):
+            WorkloadSpec(shapes=("nope",))
+
+
+class TestBuildWorkload:
+    def test_deterministic(self):
+        spec = WorkloadSpec(requests=12, unique=4)
+        a = build_workload(spec)
+        b = build_workload(spec)
+        assert [r.source for r in a.requests] == [
+            r.source for r in b.requests
+        ]
+        assert [r.args for r in a.requests] == [r.args for r in b.requests]
+        assert a.expected == b.expected
+
+    def test_round_robin_over_the_pool(self):
+        workload = build_workload(WorkloadSpec(requests=9, unique=3))
+        sources = [r.source for r in workload.requests]
+        assert sources[0:3] == sources[3:6] == sources[6:9]
+        assert len(set(sources[0:3])) == 3
+
+    def test_profile_guided_requests_carry_train_args(self):
+        workload = build_workload(
+            WorkloadSpec(requests=4, unique=2, variants=("mc-ssapre",))
+        )
+        assert all(r.train_args is not None for r in workload.requests)
+
+
+class TestRunLoad:
+    def test_serial_run_hits_the_admitted_rate_with_zero_mismatches(self):
+        workload = build_workload(WorkloadSpec(requests=12, unique=4))
+        with CompileService() as service:
+            report, responses = run_load(service, workload, jobs=1)
+        assert report.ok == 12
+        assert report.errors == report.timeouts == 0
+        assert report.mismatches == 0
+        assert report.hit_rate == pytest.approx(report.expected_hit_rate)
+        assert report.served_by["compile"] == 4
+        assert report.served_by["memory"] == 8
+        assert len(responses) == 12
+
+    def test_concurrent_run_compiles_each_key_once(self):
+        workload = build_workload(WorkloadSpec(requests=16, unique=4))
+        with CompileService() as service:
+            report, _ = run_load(service, workload, jobs=4)
+        assert report.mismatches == 0
+        assert report.errors == 0
+        assert service.metrics.get("compiles") == 4
+        # misses + coalesced + hits account for every request.
+        assert report.hit_rate >= report.expected_hit_rate
+
+    def test_report_is_json_safe(self):
+        import json
+
+        workload = build_workload(WorkloadSpec(requests=4, unique=2))
+        with CompileService() as service:
+            report, _ = run_load(service, workload)
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["requests"] == 4
+        assert data["metrics"]["schema"] >= 1

@@ -1,0 +1,89 @@
+"""Serving metrics: pinned schema, histogram maths, hit rate."""
+
+import json
+
+import pytest
+
+from repro.serve.metrics import (
+    COUNTERS,
+    LATENCY_BUCKETS,
+    METRICS_SCHEMA,
+    Histogram,
+    ServeMetrics,
+)
+
+#: The documented metrics export schema (docs/SERVING.md).  Additions
+#: require a METRICS_SCHEMA bump.
+EXPORT_KEYS = {"schema", "counters", "hit_rate", "histograms"}
+HISTOGRAM_KEYS = {"count", "sum_s", "min_s", "max_s", "mean_s", "buckets"}
+COUNTER_NAMES = {
+    "requests", "hits_memory", "hits_disk", "misses", "coalesced",
+    "compiles", "compile_failures", "degraded", "timeouts", "errors",
+    "evictions", "disk_corrupt",
+}
+
+
+class TestSchema:
+    def test_pinned_counter_set(self):
+        assert set(COUNTERS) == COUNTER_NAMES
+
+    def test_export_shape_is_json_safe(self):
+        metrics = ServeMetrics()
+        metrics.inc("requests")
+        metrics.observe("request_s", 0.003)
+        data = json.loads(json.dumps(metrics.to_dict()))
+        assert set(data) == EXPORT_KEYS
+        assert data["schema"] == METRICS_SCHEMA
+        assert set(data["counters"]) == COUNTER_NAMES
+        assert set(data["histograms"]) == {
+            "compile_s", "execute_s", "request_s",
+        }
+        for hist in data["histograms"].values():
+            assert set(hist) == HISTOGRAM_KEYS
+
+    def test_unknown_counter_and_histogram_are_rejected(self):
+        metrics = ServeMetrics()
+        with pytest.raises(KeyError):
+            metrics.inc("typo")
+        with pytest.raises(KeyError):
+            metrics.observe("typo", 1.0)
+
+
+class TestHistogram:
+    def test_observations_land_in_the_right_buckets(self):
+        hist = Histogram()
+        hist.observe(0.00005)   # below the first bound
+        hist.observe(0.3)       # in (0.25, 0.5]
+        hist.observe(100.0)     # above every bound -> +inf
+        data = hist.to_dict()
+        assert data["count"] == 3
+        assert data["buckets"]["le_0.0001"] == 1
+        assert data["buckets"]["le_0.5"] == 1
+        assert data["buckets"]["le_inf"] == 1
+        assert sum(data["buckets"].values()) == 3
+        assert data["min_s"] == 0.00005
+        assert data["max_s"] == 100.0
+
+    def test_empty_histogram_exports_zeros(self):
+        data = Histogram().to_dict()
+        assert data["count"] == 0
+        assert data["mean_s"] == 0.0
+        assert data["min_s"] == 0.0
+
+    def test_bounds_are_strictly_increasing(self):
+        assert list(LATENCY_BUCKETS) == sorted(set(LATENCY_BUCKETS))
+
+
+class TestHitRate:
+    def test_memory_disk_and_coalesced_all_count(self):
+        metrics = ServeMetrics()
+        for counter, amount in (
+            ("requests", 10), ("hits_memory", 4), ("hits_disk", 1),
+            ("coalesced", 2), ("misses", 3),
+        ):
+            metrics.inc(counter, amount)
+        assert metrics.hit_rate() == pytest.approx(0.7)
+        assert metrics.to_dict()["hit_rate"] == pytest.approx(0.7)
+
+    def test_zero_requests_is_zero_not_nan(self):
+        assert ServeMetrics().hit_rate() == 0.0

@@ -1,0 +1,158 @@
+"""Two-tier artifact store: LRU order, disk round-trip, corruption."""
+
+import pickle
+
+from repro.serve.store import (
+    ARTIFACT_SCHEMA,
+    ArtifactStore,
+    DiskStore,
+    MemoryStore,
+)
+
+from tests.conftest import build_diamond, build_straightline, build_while_loop
+from tests.serve.conftest import make_artifact
+
+
+def _three_artifacts():
+    return [
+        make_artifact(build_diamond()),
+        make_artifact(build_while_loop()),
+        make_artifact(build_straightline()),
+    ]
+
+
+class TestMemoryStore:
+    def test_lru_eviction_order(self):
+        (ka, a), (kb, b), (kc, c) = _three_artifacts()
+        store = MemoryStore(max_entries=2)
+        store.put(ka, a)
+        store.put(kb, b)
+        assert store.get(ka) is a  # refresh a: b is now least recent
+        evicted = store.put(kc, c)
+        assert evicted == [kb]
+        assert store.get(kb) is None
+        assert store.get(ka) is a
+        assert store.get(kc) is c
+        assert store.evictions == 1
+
+    def test_byte_bound_evicts_oldest(self):
+        (ka, a), (kb, b), _ = _three_artifacts()
+        store = MemoryStore(
+            max_entries=10, max_bytes=a.nbytes() + b.nbytes() - 1
+        )
+        store.put(ka, a)
+        assert store.put(kb, b) == [ka]
+        assert store.bytes_used() == b.nbytes()
+
+    def test_oversized_artifact_still_caches(self):
+        (ka, a), _, _ = _three_artifacts()
+        store = MemoryStore(max_entries=10, max_bytes=1)
+        assert store.put(ka, a) == []
+        assert store.get(ka) is a
+
+    def test_reput_same_key_does_not_grow(self):
+        (ka, a), _, _ = _three_artifacts()
+        store = MemoryStore(max_entries=4)
+        store.put(ka, a)
+        store.put(ka, a)
+        assert len(store) == 1
+        assert store.bytes_used() == a.nbytes()
+
+
+class TestDiskStore:
+    def test_round_trip_executes_identically(self, tmp_path, diamond_artifact):
+        key, artifact = diamond_artifact
+        disk = DiskStore(tmp_path)
+        disk.put(key, artifact)
+        loaded = DiskStore(tmp_path).get(key)
+        assert loaded is not None
+        assert loaded.key == key
+        assert loaded.variant == artifact.variant
+        args = [4, 5, 1]
+        assert loaded.program.run(args).observable() == (
+            artifact.program.run(args).observable()
+        )
+        assert loaded.program.run(args).dynamic_cost == (
+            artifact.program.run(args).dynamic_cost
+        )
+
+    def test_truncated_file_is_a_miss_not_a_crash(
+        self, tmp_path, diamond_artifact
+    ):
+        key, artifact = diamond_artifact
+        disk = DiskStore(tmp_path)
+        disk.put(key, artifact)
+        path = disk.path(key)
+        path.write_bytes(path.read_bytes()[: 20])
+        assert disk.get(key) is None
+        assert disk.corrupt == 1
+        assert not path.exists()  # quarantined out of the way
+        assert disk.get(key) is None  # stays a clean miss
+
+    def test_garbage_file_is_a_miss(self, tmp_path, diamond_artifact):
+        key, artifact = diamond_artifact
+        disk = DiskStore(tmp_path)
+        disk.put(key, artifact)
+        disk.path(key).write_bytes(b"not a pickle at all")
+        assert disk.get(key) is None
+        assert disk.corrupt == 1
+
+    def test_wrong_schema_is_a_miss(self, tmp_path, diamond_artifact):
+        key, artifact = diamond_artifact
+        artifact.schema = ARTIFACT_SCHEMA + 1
+        disk = DiskStore(tmp_path)
+        disk.put(key, artifact)
+        assert disk.get(key) is None
+        assert disk.corrupt == 1
+
+    def test_wrong_key_in_file_is_a_miss(self, tmp_path, diamond_artifact):
+        key, artifact = diamond_artifact
+        disk = DiskStore(tmp_path)
+        disk.put(key, artifact)
+        hijack = "f" * len(key)
+        disk.path(hijack).parent.mkdir(parents=True, exist_ok=True)
+        disk.path(hijack).write_bytes(pickle.dumps(artifact))
+        assert disk.get(hijack) is None
+        assert disk.corrupt == 1
+
+    def test_missing_key_is_a_plain_miss(self, tmp_path):
+        disk = DiskStore(tmp_path)
+        assert disk.get("0" * 64) is None
+        assert disk.corrupt == 0
+
+    def test_keys_listing(self, tmp_path):
+        disk = DiskStore(tmp_path)
+        pairs = _three_artifacts()
+        for key, artifact in pairs:
+            disk.put(key, artifact)
+        assert disk.keys() == sorted(key for key, _ in pairs)
+
+
+class TestArtifactStore:
+    def test_disk_hit_promotes_to_memory(self, tmp_path, diamond_artifact):
+        key, artifact = diamond_artifact
+        ArtifactStore.with_disk(tmp_path).put(key, artifact)
+        fresh = ArtifactStore.with_disk(tmp_path)  # models a restart
+        _, tier = fresh.get(key)
+        assert tier == "disk"
+        _, tier = fresh.get(key)
+        assert tier == "memory"
+
+    def test_memory_only_store_misses_cleanly(self, diamond_artifact):
+        key, artifact = diamond_artifact
+        store = ArtifactStore()
+        assert store.get(key) == (None, None)
+        store.put(key, artifact)
+        got, tier = store.get(key)
+        assert got is artifact
+        assert tier == "memory"
+        assert store.disk_corrupt == 0
+
+    def test_corruption_counter_surfaces(self, tmp_path, diamond_artifact):
+        key, artifact = diamond_artifact
+        store = ArtifactStore.with_disk(tmp_path)
+        store.put(key, artifact)
+        store.disk.path(key).write_bytes(b"garbage")
+        fresh = ArtifactStore.with_disk(tmp_path)
+        assert fresh.get(key) == (None, None)
+        assert fresh.disk_corrupt == 1
