@@ -17,8 +17,10 @@ Use ``--benchmarks name1,name2`` to restrict table/figure runs,
 ``--validate`` to run the IR/SSA verifiers after every transformation,
 ``--seed N`` to shift every generator seed (rerunning the suite on fresh
 deterministic program instances), ``--jobs N`` to fan benchmark sweeps
-over worker processes (identical output, less wall time), and ``--json``
-for machine-readable output where supported (``passes``).
+over worker processes (identical output, less wall time), ``--json``
+for machine-readable output where supported (``passes``), and
+``--solver {mincut,lospre,auto}`` to pick the mc-ssapre speculation
+back end (``passes``).
 """
 
 from __future__ import annotations
@@ -43,6 +45,7 @@ from repro.bench.workloads import (
     CINT2006,
     load_workload,
 )
+from repro.core.solvers.base import SOLVER_NAMES
 from repro.parallel import parallel_map
 
 
@@ -94,6 +97,14 @@ def main(argv: list[str] | None = None) -> int:
         "--json",
         action="store_true",
         help="machine-readable output (passes artifact only)",
+    )
+    parser.add_argument(
+        "--solver",
+        choices=SOLVER_NAMES,
+        default="mincut",
+        help="speculation solver for mc-ssapre compiles (passes artifact "
+        "only): the exact min-cut back end, the linear-time lospre DP, "
+        "or auto (shape classifier picks per function; default mincut)",
     )
     parser.add_argument(
         "--jobs",
@@ -162,6 +173,7 @@ def main(argv: list[str] | None = None) -> int:
                 seed_offset=args.seed,
                 validate=args.validate,
                 as_json=args.json,
+                solver=args.solver,
             )
         )
     elif artifact == "all":

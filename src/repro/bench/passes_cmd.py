@@ -57,8 +57,14 @@ def passes_artifact(
     seed_offset: int = 0,
     validate: bool = False,
     as_json: bool = False,
+    solver: str = "mincut",
 ) -> str:
-    """Render the per-pass report for each benchmark and variant."""
+    """Render the per-pass report for each benchmark and variant.
+
+    ``solver`` picks the mc-ssapre speculation back end
+    ("mincut"/"lospre"/"auto"); which solver actually ran shows up in
+    the mc-ssapre stage's payload summary.
+    """
     out: list[dict] = []
     for name in names:
         workload = load_workload(name, seed_offset)
@@ -71,7 +77,8 @@ def passes_artifact(
         }
         for variant in variants:
             compiled = compile_func(
-                prepared, variant, train.profile, validate=validate
+                prepared, variant, train.profile, validate=validate,
+                solver=solver if variant == "mc-ssapre" else "mincut",
             )
             assert compiled.report is not None
             entry["reports"].append(compiled.report)
@@ -80,7 +87,7 @@ def passes_artifact(
             # (classes processed, insertions, reloads, fixpoint).
             compiled = compile_func(
                 prepared, "mc-ssapre", train.profile, validate=validate,
-                rounds=DEFAULT_ITERATIVE_ROUNDS,
+                rounds=DEFAULT_ITERATIVE_ROUNDS, solver=solver,
             )
             assert compiled.report is not None
             compiled.report.variant = "mc-ssapre-iter"

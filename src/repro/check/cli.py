@@ -34,6 +34,7 @@ from repro.check.driver import (
     DEFAULT_INPUTS,
     ENGINES,
     SHAPES,
+    SOLVER_CHOICES,
     failure_predicate,
     run_driver,
 )
@@ -83,6 +84,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--engine", choices=ENGINES, default=DEFAULT_ENGINE,
         help="execution back end for variant runs; the control always "
         f"uses the reference interpreter (default {DEFAULT_ENGINE})",
+    )
+    parser.add_argument(
+        "--solver", choices=SOLVER_CHOICES, default="mincut",
+        help="speculation solver for the mc-ssapre variants: the exact "
+        "min-cut back end, the linear-time lospre DP, or auto (shape "
+        "classifier picks per function).  The mc-ssapre-lospre twin "
+        "always runs regardless (default mincut)",
     )
     parser.add_argument(
         "--out", default=str(DEFAULT_OUT_DIR), metavar="DIR",
@@ -145,6 +153,7 @@ def main(argv: list[str] | None = None) -> int:
         on_case=progress,
         engine=args.engine,
         jobs=max(1, args.jobs),
+        solver=args.solver,
     )
 
     artifacts: list[str] = []
@@ -174,6 +183,7 @@ def main(argv: list[str] | None = None) -> int:
         "oracles": list(oracles),
         "engine": args.engine,
         "jobs": max(1, args.jobs),
+        "solver": args.solver,
         "passed": stats.failures == 0 and not stats.interrupted,
         "artifacts": artifacts,
         **stats.to_dict(),

@@ -35,8 +35,10 @@ from repro.ir.printer import format_function
 #: Version of the artifact / summary JSON layout.  v2 added the
 #: ``engine`` and ``jobs`` fields to the run summary; v3 added
 #: ``interrupted`` (partial statistics after Ctrl-C / worker death) and
-#: the ``cache`` consistency oracle to the default oracle set.
-SCHEMA_VERSION = 3
+#: the ``cache`` consistency oracle to the default oracle set; v4 added
+#: the ``solver`` field and the always-on ``mc-ssapre-lospre``
+#: differential twin (exact-compared by the optimality oracle).
+SCHEMA_VERSION = 4
 
 #: Default artifact directory, relative to the repository root.
 DEFAULT_OUT_DIR = Path("results") / "check"

@@ -60,6 +60,18 @@ SHAPES = ("cint", "cfp", "composite")
 ITERATIVE_ROUNDS = DEFAULT_ITERATIVE_ROUNDS
 ITERATIVE_VARIANTS = {"ssapre-iter": "ssapre", "mc-ssapre-iter": "mc-ssapre"}
 
+#: Always-compiled differential twin: MC-SSAPRE under the linear-time
+#: lospre solver (one-shot).  Named in
+#: :data:`repro.check.oracles._OPTIMAL_PEERS`, so the optimality oracle
+#: requires its per-expression dynamic counts to equal the min-cut
+#: compile's *exactly* on every fuzz seed — the solver exactness
+#: contract (refused classes fall back to the min cut inside the driver,
+#: so the twin exists on every case).
+SOLVER_TWIN = "mc-ssapre-lospre"
+
+#: Solver knobs ``build_case`` accepts for the main mc-ssapre compiles.
+SOLVER_CHOICES = ("mincut", "lospre", "auto")
+
 #: Inputs per case: index 0 trains the profile, the rest are ref-like.
 DEFAULT_INPUTS = 3
 
@@ -191,6 +203,7 @@ def build_case(
     extra_variants: dict[str, VariantFn] | None = None,
     engine: str = DEFAULT_ENGINE,
     iterative: bool = True,
+    solver: str = "mincut",
 ) -> CaseResult:
     """Generate, prepare, profile and compile one case.
 
@@ -199,6 +212,12 @@ def build_case(
     (:data:`ITERATIVE_VARIANTS`), so every fuzz case differentially
     tests the multi-round engine against the reference interpreter and
     the safety oracle for free.
+
+    ``solver`` forces the speculation solver of the *main* mc-ssapre
+    compiles (one-shot and iterative).  Independent of it, whenever
+    "mc-ssapre" is among the variants the case also compiles the
+    :data:`SOLVER_TWIN` — mc-ssapre under ``solver="lospre"`` — which
+    the optimality oracle exact-compares against the main compile.
 
     ``extra_variants`` maps a name to a callable ``(prepared_clone,
     profile) -> Function`` — the hook the reducer tests use to inject a
@@ -229,21 +248,32 @@ def build_case(
         return result
 
     profile = control_runs[0].profile
+    if solver not in SOLVER_CHOICES:
+        raise ValueError(
+            f"unknown solver {solver!r}; expected one of {SOLVER_CHOICES}"
+        )
+
+    def _solver_for(base: str) -> str:
+        return solver if base == "mc-ssapre" else "mincut"
+
     compiled: dict[str, Function] = {}
     caches: dict[str, object] = {}
-    to_compile: list[tuple[str, str, int]] = [
-        (variant, variant, 1) for variant in variants
+    to_compile: list[tuple[str, str, int, str]] = [
+        (variant, variant, 1, _solver_for(variant)) for variant in variants
     ]
     if iterative:
         to_compile.extend(
-            (name, base, ITERATIVE_ROUNDS)
+            (name, base, ITERATIVE_ROUNDS, _solver_for(base))
             for name, base in ITERATIVE_VARIANTS.items()
             if base in variants
         )
-    for name, base, rounds in to_compile:
+    if "mc-ssapre" in variants:
+        to_compile.append((SOLVER_TWIN, "mc-ssapre", 1, "lospre"))
+    for name, base, rounds, base_solver in to_compile:
         try:
             out = compile_func(
-                prepared, base, profile, validate=True, rounds=rounds
+                prepared, base, profile, validate=True, rounds=rounds,
+                solver=base_solver,
             )
             verify_function(out.func)
             compiled[name] = out.func
@@ -461,6 +491,7 @@ def run_driver(
     on_case=None,
     engine: str = DEFAULT_ENGINE,
     jobs: int = 1,
+    solver: str = "mincut",
 ) -> tuple[DriverStats, list[CaseResult]]:
     """Fuzz ``seeds`` × ``shapes`` cases and aggregate statistics.
 
@@ -492,6 +523,7 @@ def run_driver(
             on_case=on_case,
             engine=engine,
             jobs=jobs,
+            solver=solver,
         )
         stats.wall_time_s = time.perf_counter() - t0
         return stats, failing
@@ -508,6 +540,7 @@ def run_driver(
                 max_steps=max_steps,
                 extra_variants=extra_variants,
                 engine=engine,
+                solver=solver,
             )
             stats.record(result)
             if not result.passed:
@@ -527,6 +560,7 @@ def _shard_worker(
     max_steps: int,
     extra_variants: dict[str, VariantFn] | None,
     engine: str,
+    solver: str,
 ) -> tuple[DriverStats, list[CaseResult]]:
     """One worker process: a sequential run over its seed shard."""
     return run_driver(
@@ -538,6 +572,7 @@ def _shard_worker(
         extra_variants=extra_variants,
         engine=engine,
         jobs=1,
+        solver=solver,
     )
 
 
@@ -552,6 +587,7 @@ def _run_driver_parallel(
     on_case,
     engine: str,
     jobs: int,
+    solver: str,
 ) -> tuple[DriverStats, list[CaseResult]]:
     """Shard seeds round-robin over processes; merge deterministically."""
     shards = [seeds[i::jobs] for i in range(jobs)]
@@ -564,6 +600,7 @@ def _run_driver_parallel(
         max_steps=max_steps,
         extra_variants=extra_variants,
         engine=engine,
+        solver=solver,
     )
     stats = DriverStats()
     failing: list[CaseResult] = []

@@ -141,8 +141,11 @@ def equivalence_oracle(case: CheckCase) -> OracleReport:
 # ----------------------------------------------------------------------
 # optimal
 # ----------------------------------------------------------------------
-#: Variants whose per-expression counts MC-SSAPRE must exactly match.
-_OPTIMAL_PEERS = ("mc-pre",)
+#: Variants whose per-expression counts MC-SSAPRE must exactly match:
+#: MC-PRE (an independent optimal algorithm over the same profile) and
+#: the lospre solver twin (the same placement problem solved by tree
+#: decomposition instead of max-flow — the solver exactness contract).
+_OPTIMAL_PEERS = ("mc-pre", "mc-ssapre-lospre")
 #: Variants MC-SSAPRE must never lose to, per expression and in total.
 _DOMINATED = ("ssapre", "ssapre-sp", "ispre", "lcm", "none")
 

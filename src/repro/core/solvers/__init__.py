@@ -1,0 +1,32 @@
+"""Pluggable speculation solvers for MC-SSAPRE's placement decision."""
+
+from repro.core.solvers.base import (
+    DEFAULT_SOLVER,
+    SOLVER_NAMES,
+    SolverDecision,
+    SpeculationSolver,
+    resolve_solver,
+)
+from repro.core.solvers.lospre import DEFAULT_MAX_WIDTH, LospreSolver
+from repro.core.solvers.mincut import MinCutSolver
+from repro.core.solvers.shape import (
+    DEFAULT_CFG_WIDTH_BOUND,
+    ShapeReport,
+    classify_cfg,
+    select_solver,
+)
+
+__all__ = [
+    "DEFAULT_CFG_WIDTH_BOUND",
+    "DEFAULT_MAX_WIDTH",
+    "DEFAULT_SOLVER",
+    "SOLVER_NAMES",
+    "LospreSolver",
+    "MinCutSolver",
+    "ShapeReport",
+    "SolverDecision",
+    "SpeculationSolver",
+    "classify_cfg",
+    "resolve_solver",
+    "select_solver",
+]

@@ -1,0 +1,265 @@
+"""The linear-time lospre speculation solver.
+
+Krause's observation (arXiv 2011.10789): lifetime-optimal speculative
+PRE is NP-hard in general but *linear-time* on graphs of bounded
+treewidth — and structured programs, which is what real front ends and
+our generator overwhelmingly produce, have small treewidth.  This module
+solves the same placement problem as
+:class:`~repro.core.solvers.mincut.MinCutSolver` by dynamic programming
+over a width-bounded elimination order instead of by max-flow.
+
+The reduction.  A minimum s-t cut is a *vertex partition* problem: assign
+every node a side, ``S`` (source) or ``T`` (sink); a directed edge
+``(u, v, cap)`` costs ``cap`` exactly when ``u ∈ S`` and ``v ∈ T``.  On
+the essential flow graph the source and the sink have fixed sides, and
+every SPR occurrence is forced into ``T`` by its infinite sink edge, so
+the only true variables are the included Φ nodes:
+
+* a source edge (⊥ operand of Φ ``A``) costs its weight iff ``A ∈ T`` —
+  a unary factor;
+* a type 1 edge ``A → B`` costs its weight iff ``A ∈ S`` and ``B ∈ T`` —
+  a binary factor;
+* a type 2 edge (Φ ``A`` → occurrence) costs its weight iff ``A ∈ S`` —
+  a unary factor.
+
+Lifetime optimality (Theorem 9) picks, among all minimum cuts, the
+unique one **closest to the sink** — equivalently, by the min-cut
+lattice, the one whose sink side is smallest.  The DP therefore
+minimises the pair ``(cut value, |T|)`` lexicographically; because that
+optimum is achieved by exactly one partition, the DP's placement is
+bit-identical to the reverse-labelling cut of
+:func:`repro.flownet.mincut.min_cut` — the exactness contract the
+``repro.check`` optimality twin enforces on every fuzz seed.
+
+The machinery is bucket elimination over a min-degree order: eliminating
+a Φ joins every factor that mentions it and minimises it out, recording
+a backtrack table; the largest scope met is the width of the (implicit)
+tree decomposition.  If it ever exceeds the bound the solver *refuses*
+(returns ``None``) and the driver falls back to the min cut.  Under the
+bound ``w`` the whole solve is ``O(n · 2^(w+1))`` — linear in the
+reduced graph for fixed ``w``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING
+
+from repro.core.solvers.base import SolverDecision, SpeculationSolver
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.mcssapre.reduction import ReducedGraph
+    from repro.profiles.profile import ExecutionProfile
+
+#: Largest elimination width the DP will accept.  2^(w+1) table rows per
+#: elimination keeps the "linear time" promise honest; reduced graphs
+#: wider than this go to the flow network instead.
+DEFAULT_MAX_WIDTH = 8
+
+_S, _T = 0, 1
+
+
+class _Factor:
+    """A cost table over a tuple of Φ variables (scaled lexicographic)."""
+
+    __slots__ = ("vars", "values", "alive")
+
+    def __init__(self, variables: tuple[int, ...], values: list[int]):
+        self.vars = variables
+        self.values = values
+        self.alive = True
+
+
+class LospreSolver(SpeculationSolver):
+    """Width-bounded tree-decomposition DP for the placement problem."""
+
+    name = "lospre"
+
+    def __init__(self, max_width: int = DEFAULT_MAX_WIDTH) -> None:
+        self.max_width = max_width
+
+    def solve(
+        self, reduced: "ReducedGraph", profile: "ExecutionProfile"
+    ) -> SolverDecision | None:
+        if reduced.is_empty():  # nothing to place (mirrors build_efg)
+            return None
+
+        phis = reduced.phis
+        n = len(phis)
+        index = {id(phi): i for i, phi in enumerate(phis)}
+        # Lexicographic (cut value, |T|) as one exact integer: every Φ
+        # contributes at most 1 to |T|, so scaling cost by n+1 keeps the
+        # two components from interfering.
+        scale = n + 1
+
+        unary = [[0, 0] for _ in range(n)]  # unary[i][side] cost
+        for i in range(n):
+            unary[i][_T] += 1  # the |T| tie-break term
+        for operand in reduced.bottom_operands:
+            # source ∈ S: cut iff the operand's Φ lands in T.
+            unary[index[id(operand.phi)]][_T] += profile.node(operand.pred) * scale
+        for edge in reduced.type2_edges:
+            # occurrence forced into T: cut iff the defining Φ stays in S.
+            unary[index[id(edge.source_phi)]][_S] += (
+                profile.node(edge.occ.label) * scale
+            )
+
+        # Binary factors from type 1 edges.  Self-loops can never cross a
+        # partition and zero-weight edges never change the optimum (they
+        # contribute no cost and no residual arc), so both are dropped —
+        # fewer adjacencies, smaller width, identical placement.
+        pair_cost: dict[tuple[int, int], list[int]] = {}
+        for edge in reduced.type1_edges:
+            a = index[id(edge.source_phi)]
+            b = index[id(edge.target_phi)]
+            weight = profile.node(edge.operand.pred) * scale
+            if a == b or weight == 0:
+                continue
+            lo, hi = (a, b) if a < b else (b, a)
+            table = pair_cost.setdefault((lo, hi), [0, 0, 0, 0])
+            # Row index: bit0 = lo's side, bit1 = hi's side.  Cut iff the
+            # edge's source is S and its target is T.
+            if a < b:
+                table[_S | (_T << 1)] += weight  # a=S, b=T
+            else:
+                table[_T | (_S << 1)] += weight  # b=T, a=S
+
+        factors = [_Factor((i,), unary[i]) for i in range(n)]
+        for (lo, hi), table in sorted(pair_cost.items()):
+            factors.append(_Factor((lo, hi), table))
+
+        assignment = self._eliminate(n, factors)
+        if assignment is None:
+            return None
+        width, total, sides = assignment
+
+        # Translate the partition into the same side effects and decision
+        # shape as solve_min_cut: clear every candidate flag, then set the
+        # crossing edges' payloads.
+        decision = SolverDecision(
+            solver=self.name,
+            cut_value=total // scale,
+            nodes=2 + n + len(reduced.spr_occs),
+            edges=(
+                len(reduced.bottom_operands)
+                + len(reduced.type1_edges)
+                + 2 * len(reduced.type2_edges)
+            ),
+            width=width,
+        )
+        for operand in reduced.bottom_operands:
+            operand.insert = False
+        for edge in reduced.type1_edges:
+            edge.operand.insert = False
+        for operand in reduced.bottom_operands:
+            if sides[index[id(operand.phi)]] == _T:
+                operand.insert = True
+                decision.insert_operands.append(operand)
+        for edge in reduced.type1_edges:
+            a = index[id(edge.source_phi)]
+            b = index[id(edge.target_phi)]
+            if sides[a] == _S and sides[b] == _T:
+                edge.operand.insert = True
+                decision.insert_operands.append(edge.operand)
+        for edge in reduced.type2_edges:
+            if sides[index[id(edge.source_phi)]] == _S:
+                decision.in_place_occs.append(edge.occ)
+        return decision
+
+    def _eliminate(
+        self, n: int, factors: list[_Factor]
+    ) -> tuple[int, int, list[int]] | None:
+        """Bucket elimination + backtracking.
+
+        Returns ``(width, objective, sides)`` or ``None`` on width
+        overflow.  ``sides[i]`` is 0 (S) or 1 (T) for Φ ``i``.
+        """
+        by_var: dict[int, list[_Factor]] = {i: [] for i in range(n)}
+        adj: dict[int, set[int]] = {i: set() for i in range(n)}
+        for factor in factors:
+            for v in factor.vars:
+                by_var[v].append(factor)
+            if len(factor.vars) == 2:
+                a, b = factor.vars
+                adj[a].add(b)
+                adj[b].add(a)
+
+        # Min-degree with a lazy heap: ``adj[u]`` is kept equal to u's
+        # adjacency *among remaining vars*, so an entry ``(d, u)`` is
+        # current iff ``d == len(adj[u])``; stale entries are skipped on
+        # pop.  Same (degree, index) order as a linear scan would pick,
+        # but O(n·w·log n) instead of O(n²) — this is where the solver's
+        # linear-time promise lives or dies.
+        remaining = set(range(n))
+        heap = [(len(adj[u]), u) for u in range(n)]
+        heapq.heapify(heap)
+        backtrack: list[tuple[int, tuple[int, ...], list[int]]] = []
+        constant = 0
+        width = 0
+        while remaining:
+            degree, v = heapq.heappop(heap)
+            if v not in remaining or degree != len(adj[v]):
+                continue  # stale: v eliminated or its degree changed
+            rest = tuple(sorted(adj[v]))
+            if len(rest) > self.max_width:
+                return None
+            width = max(width, len(rest))
+            scope = (v, *rest)
+            position = {u: p for p, u in enumerate(scope)}
+
+            bucket = [f for f in by_var[v] if f.alive]
+            for factor in bucket:
+                factor.alive = False
+            # Per-factor bit gather: scope assignment row -> factor row.
+            gathers = [
+                [position[u] for u in factor.vars] for factor in bucket
+            ]
+
+            size = 1 << len(scope)
+            joined = [0] * size
+            for row in range(size):
+                total = 0
+                for factor, gather in zip(bucket, gathers):
+                    sub = 0
+                    for bit, pos in enumerate(gather):
+                        sub |= ((row >> pos) & 1) << bit
+                    total += factor.values[sub]
+                joined[row] = total
+
+            half = 1 << len(rest)
+            message = [0] * half
+            choice = [0] * half
+            for rest_row in range(half):
+                keep_s = joined[rest_row << 1]
+                keep_t = joined[(rest_row << 1) | 1]
+                if keep_t < keep_s:
+                    message[rest_row] = keep_t
+                    choice[rest_row] = _T
+                else:  # ties prefer S; on the optimal path ties cannot
+                    message[rest_row] = keep_s  # occur (the optimum is
+                    choice[rest_row] = _S  # a unique partition).
+            backtrack.append((v, rest, choice))
+
+            remaining.discard(v)
+            if rest:
+                new_factor = _Factor(rest, message)
+                factors.append(new_factor)
+                for u in rest:
+                    by_var[u].append(new_factor)
+                    adj[u].discard(v)
+                for i, a in enumerate(rest):
+                    for b in rest[i + 1 :]:
+                        adj[a].add(b)
+                        adj[b].add(a)
+                for u in rest:
+                    heapq.heappush(heap, (len(adj[u]), u))
+            else:
+                constant += message[0]
+
+        sides = [0] * n
+        for v, rest, choice in reversed(backtrack):
+            rest_row = 0
+            for bit, u in enumerate(rest):
+                rest_row |= sides[u] << bit
+            sides[v] = choice[rest_row]
+        return width, constant, sides

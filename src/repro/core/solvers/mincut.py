@@ -1,0 +1,52 @@
+"""The flow-network speculation solver (the paper's steps 5–7).
+
+Wraps the essential-flow-graph construction
+(:mod:`repro.core.mcssapre.efg`) and the reverse-labelled minimum cut
+(:mod:`repro.core.mcssapre.cut`, :mod:`repro.flownet`) behind the
+:class:`~repro.core.solvers.base.SpeculationSolver` interface.  The flow
+network is built, solved and discarded entirely inside :meth:`solve` —
+no other layer sees it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.solvers.base import SolverDecision, SpeculationSolver
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.mcssapre.reduction import ReducedGraph
+    from repro.profiles.profile import ExecutionProfile
+
+
+class MinCutSolver(SpeculationSolver):
+    """Single-source single-sink min cut with sink-side tie-breaking.
+
+    ``sink_closest=False`` selects the source-side cut instead; it
+    exists only for the lifetime ablation benchmark and forfeits
+    lifetime (never computational) optimality.
+    """
+
+    name = "mincut"
+
+    def __init__(self, sink_closest: bool = True) -> None:
+        self.sink_closest = sink_closest
+
+    def solve(
+        self, reduced: "ReducedGraph", profile: "ExecutionProfile"
+    ) -> SolverDecision | None:
+        from repro.core.mcssapre.cut import solve_min_cut
+        from repro.core.mcssapre.efg import build_efg
+
+        efg = build_efg(reduced, profile)
+        if efg is None:  # no SPR occurrence: nothing to place
+            return None
+        cut = solve_min_cut(efg, sink_closest=self.sink_closest)
+        return SolverDecision(
+            solver=self.name,
+            cut_value=cut.cut.value,
+            insert_operands=cut.insert_operands,
+            in_place_occs=cut.in_place_occs,
+            nodes=efg.node_count,
+            edges=efg.edge_count,
+        )

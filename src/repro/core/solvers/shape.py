@@ -1,0 +1,129 @@
+"""CFG shape classification and the ``auto`` solver-selection policy.
+
+The lospre DP is linear only while the elimination width stays bounded,
+and whether it will is (essentially) a property of the **control-flow
+graph alone**: the DP's variable graph — the included Φs with their
+def-use edges — is a *minor* of the CFG (contract each Φ's reaching
+region onto its defining node), and treewidth never grows under minors.
+A CFG whose underlying undirected graph eliminates within the width
+bound therefore makes every per-class reduced graph tractable too; the
+bound transfer is exact for treewidth and heuristic for the greedy
+widths both layers actually compute, which is why the DP keeps its own
+per-class refusal as a safety net.  Classifying the *function* rather
+than each reduced graph buys two things:
+
+* the verdict is deterministic from function structure, independent of
+  the profile and of which expression classes exist — so the serving
+  layer can resolve ``solver="auto"`` to a concrete solver *before*
+  hashing a cache key (the key records the solver actually used);
+* one classification covers every class and every iterative round,
+  because rounds preserve CFG shape (the worklist engine's contract).
+
+The classifier runs the same greedy min-degree elimination the DP uses,
+over the undirected CFG, and reports the width it achieved — structured
+if/loop nests come out with small constant width (series-parallel-ish
+graphs are width ≤ 2), while dense or irreducible flowgraphs blow the
+bound and are routed to the min cut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.solvers.base import SOLVER_NAMES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ir.function import Function
+
+#: Elimination-width bound for accepting a CFG into the lospre lane.
+#: Deliberately at most the DP's own bound
+#: (:data:`repro.core.solvers.lospre.DEFAULT_MAX_WIDTH`) so acceptance
+#: here implies the DP never refuses mid-compile.
+DEFAULT_CFG_WIDTH_BOUND = 8
+
+
+@dataclass(frozen=True)
+class ShapeReport:
+    """The classifier's verdict for one function."""
+
+    accepted: bool
+    #: Width achieved by the greedy elimination, or the bound+1 witness
+    #: scope size minus one at the point the bound was exceeded.
+    width: int
+    blocks: int
+    reason: str
+
+    def solver_name(self) -> str:
+        return "lospre" if self.accepted else "mincut"
+
+
+def cfg_elimination_width(
+    adjacency: dict[str, set[str]], bound: int
+) -> tuple[bool, int]:
+    """Greedy min-degree elimination width of an undirected graph.
+
+    Returns ``(True, width)`` when the graph eliminates within ``bound``,
+    else ``(False, width_at_overflow)``.  Deterministic: ties on degree
+    break toward the smallest label.
+    """
+    adj = {node: set(neigh) for node, neigh in adjacency.items()}
+    remaining = set(adj)
+    width = 0
+    while remaining:
+        node = min(remaining, key=lambda u: (len(adj[u] & remaining), u))
+        neighbors = adj[node] & remaining
+        width = max(width, len(neighbors))
+        if width > bound:
+            return False, width
+        remaining.discard(node)
+        for a in neighbors:
+            adj[a].update(neighbors - {a})
+    return True, width
+
+
+def classify_cfg(
+    func: "Function", *, bound: int = DEFAULT_CFG_WIDTH_BOUND
+) -> ShapeReport:
+    """Classify *func*'s CFG for lospre eligibility."""
+    adjacency: dict[str, set[str]] = {label: set() for label in func.blocks}
+    for label, block in func.blocks.items():
+        for succ in block.successors():
+            if succ == label:
+                continue  # self-loops never widen an elimination
+            adjacency[label].add(succ)
+            adjacency.setdefault(succ, set()).add(label)
+    accepted, width = cfg_elimination_width(adjacency, bound)
+    if accepted:
+        reason = f"elimination width {width} <= bound {bound}"
+    else:
+        reason = f"elimination width exceeded bound {bound}"
+    return ShapeReport(
+        accepted=accepted,
+        width=width,
+        blocks=len(func.blocks),
+        reason=reason,
+    )
+
+
+def select_solver(
+    func: "Function", requested: str
+) -> tuple[str, ShapeReport | None]:
+    """Resolve a solver *request* against a concrete function.
+
+    ``auto`` classifies the CFG and picks ``lospre`` or ``mincut``;
+    forced names pass through unchanged (``lospre`` still classifies, so
+    callers get the shape report and the per-class DP keeps its own
+    refusal as a safety net).  Returns ``(solver_name, report)`` where
+    the report is ``None`` only for a forced ``mincut``.
+    """
+    if requested not in SOLVER_NAMES:
+        raise ValueError(
+            f"unknown solver {requested!r}; expected one of {SOLVER_NAMES}"
+        )
+    if requested == "mincut":
+        return "mincut", None
+    report = classify_cfg(func)
+    if requested == "lospre":
+        return "lospre", report
+    return report.solver_name(), report

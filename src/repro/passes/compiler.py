@@ -89,6 +89,7 @@ def build_pipeline(
     fold_constants: bool = False,
     cleanup: bool = False,
     rounds: int = 1,
+    solver: str = "mincut",
 ) -> list[Pass]:
     """The default pipeline spec of one PRE variant.
 
@@ -97,12 +98,19 @@ def build_pipeline(
     slots copy propagation + DCE after it, exactly where a production
     middle-end puts the neighbours of PRE.  ``rounds > 1`` selects the
     iterative worklist form of the SSA-based PRE stage (the CFG
-    baselines are inherently one-shot and reject it).
+    baselines are inherently one-shot and reject it).  ``solver`` picks
+    the mc-ssapre speculation back end ("mincut"/"lospre"/"auto"); the
+    other variants accept only the default.
     """
     if variant not in VARIANTS:
         raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
     if rounds < 1:
         raise ValueError(f"rounds must be >= 1, got {rounds}")
+    if solver != "mincut" and variant != "mc-ssapre":
+        raise ValueError(
+            f"solver={solver!r} applies only to the mc-ssapre variant, "
+            f"not {variant!r}"
+        )
     if variant == "none":
         return []
     if variant in ("mc-pre", "ispre", "lcm"):
@@ -116,7 +124,7 @@ def build_pipeline(
     if fold_constants:
         spec.append(SCCPPass())
     if variant == "mc-ssapre":
-        spec.append(MCSSAPREPass(rounds=rounds))
+        spec.append(MCSSAPREPass(rounds=rounds, solver=solver))
     else:
         spec.append(SSAPREPass(
             speculate_loops=(variant == "ssapre-sp"), rounds=rounds
@@ -154,6 +162,7 @@ def compile(  # noqa: A001 - deliberate: the entry point is *the* compile
     verify_each: bool = False,
     clone: bool = True,
     rounds: int = 1,
+    solver: str = "mincut",
 ) -> CompiledFunction:
     """Compile one variant of an already-prepared function.
 
@@ -163,7 +172,8 @@ def compile(  # noqa: A001 - deliberate: the entry point is *the* compile
     verifiers; ``verify_each`` additionally re-verifies the whole
     function between passes, naming the pass that broke an invariant.
     ``rounds > 1`` compiles the SSA-based variants with the iterative
-    rank-ordered worklist (ignored when ``pipeline_spec`` is given).
+    rank-ordered worklist and ``solver`` picks the mc-ssapre speculation
+    back end (both ignored when ``pipeline_spec`` is given).
 
     The profiled variants (``mc-ssapre``, ``mc-pre``, ``ispre``) raise
     :class:`ValueError` when *profile* is missing, matching the
@@ -181,7 +191,7 @@ def compile(  # noqa: A001 - deliberate: the entry point is *the* compile
     report.total_time += report.clone_time
 
     if pipeline_spec is None:
-        passes = build_pipeline(variant, rounds=rounds)
+        passes = build_pipeline(variant, rounds=rounds, solver=solver)
     else:
         passes = [resolve_stage(stage) for stage in pipeline_spec]
 

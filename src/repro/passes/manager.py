@@ -144,6 +144,19 @@ class PassReport:
                 f"{ex.stmts_before:>4}->{ex.stmts_after:<5} "
                 f"{ex.cache_hits:>4} {ex.cache_misses:>5}"
             )
+            solver_used = getattr(ex.payload, "solver_used", None)
+            if solver_used is not None:
+                requested = getattr(ex.payload, "solver_requested", None)
+                note = f"    solver: {solver_used}"
+                if requested not in (None, solver_used):
+                    note += f" (requested {requested})"
+                width = getattr(ex.payload, "shape_width", None)
+                if width is not None:
+                    note += f", shape width {width}"
+                refusals = getattr(ex.payload, "lospre_refusals", 0)
+                if refusals:
+                    note += f", {refusals} refusal(s)"
+                lines.append(note)
             round_stats = getattr(ex.payload, "round_stats", None)
             if round_stats:
                 per_round = "; ".join(
@@ -179,13 +192,23 @@ def _payload_summary(payload: object | None) -> object | None:
     round_stats = getattr(payload, "round_stats", None)
     if round_stats is not None:
         # A PREResult: surface the per-round worklist observability.
-        return {
+        summary = {
             "type": type(payload).__name__,
             "rounds": [stats.to_dict() for stats in round_stats],
             "fixpoint": payload.fixpoint,
             "insertions": payload.total_insertions,
             "reloads": payload.total_reloads,
         }
+        solver_used = getattr(payload, "solver_used", None)
+        if solver_used is not None:
+            # An MCPREResult: record which speculation solver ran.
+            summary["solver"] = solver_used
+            summary["solver_requested"] = payload.solver_requested
+            if payload.shape_width is not None:
+                summary["shape_width"] = payload.shape_width
+            if payload.lospre_refusals:
+                summary["lospre_refusals"] = payload.lospre_refusals
+        return summary
     return type(payload).__name__
 
 

@@ -151,13 +151,22 @@ class MCSSAPREPass(Pass):
 
     ``rounds > 1`` runs the rank-ordered iterative worklist (the stage
     is then named ``mc-ssapre-iter`` so reports distinguish it).
+    ``solver`` picks the speculation back end ("mincut", "lospre",
+    "auto" — :mod:`repro.core.solvers`); which one actually ran is
+    recorded on the driver result and surfaced in the pass report.
     """
 
     name = "mc-ssapre"
 
-    def __init__(self, sink_closest: bool = True, rounds: int = 1):
+    def __init__(
+        self,
+        sink_closest: bool = True,
+        rounds: int = 1,
+        solver: str = "mincut",
+    ):
         self.sink_closest = sink_closest
         self.rounds = rounds
+        self.solver = solver
         if rounds > 1:
             self.name = "mc-ssapre-iter"
 
@@ -178,6 +187,7 @@ class MCSSAPREPass(Pass):
             sink_closest=self.sink_closest,
             cache=ctx.cache,
             rounds=self.rounds,
+            solver=self.solver,
         )
 
 

@@ -18,6 +18,7 @@ import json
 import sys
 from pathlib import Path
 
+from repro.core.solvers.base import SOLVER_NAMES
 from repro.perf.bench import run_perf
 
 
@@ -39,6 +40,13 @@ def main(argv: list[str] | None = None) -> int:
         "(default 3, or 1 with --quick)",
     )
     parser.add_argument(
+        "--solver", choices=SOLVER_NAMES, default="mincut",
+        help="speculation solver the compile section times: the exact "
+        "min-cut back end, the linear-time lospre DP, or auto (shape "
+        "classifier picks per function); the solver-scaling section "
+        "always measures both (default mincut)",
+    )
+    parser.add_argument(
         "--out", default="BENCH.json", metavar="PATH",
         help="output path (default BENCH.json)",
     )
@@ -48,7 +56,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    payload = run_perf(quick=args.quick, repeat=args.repeat)
+    payload = run_perf(
+        quick=args.quick, repeat=args.repeat, solver=args.solver
+    )
     text = json.dumps(payload, indent=2) + "\n"
     Path(args.out).write_text(text)
 
@@ -72,11 +82,24 @@ def main(argv: list[str] | None = None) -> int:
         print(f"iterative: never_higher={iterative['never_higher']} "
               f"strict_win={iterative['strict_win']} "
               f"equivalent={iterative['equivalent']}")
+        scaling = payload["solver_scaling"]
+        for row in scaling["sizes"]:
+            print(f"solver:    {row['kills']:>4} kills "
+                  f"({row['blocks']} blocks)  "
+                  f"mincut {row['mincut_solve_s']}s  "
+                  f"lospre {row['lospre_solve_s']}s  "
+                  f"({row['solver_speedup']}x, width {row['max_width']})")
+        print(f"solver:    speedup {scaling['speedup_at_largest']}x at "
+              f"largest size (gate {scaling['min_speedup']}x), "
+              f"equivalent={scaling['equivalent']} "
+              f"accepted={scaling['accepted']}")
         serving = payload["serving"]
         print(f"serving:   {serving['speedup']}x warm over cold "
               f"({serving['cold_s']}s -> {serving['warm_s']}s per "
               f"{serving['unique']} request(s), "
               f"equivalent={serving['equivalent']})")
+        print(f"serving:   cold solver=auto request {serving['cold_auto_s']}s "
+              f"(ok={serving['auto_ok']})")
         print(f"serving:   hit rate {serving['hit_rate']} "
               f"(admits {serving['expected_hit_rate']}), "
               f"{serving['mismatches']} mismatch(es), "
@@ -90,7 +113,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {args.out}")
     if not payload["ok"]:
         print(
-            "EQUIVALENCE, ITERATIVE OR SERVING GATE FAILURE - see BENCH.json",
+            "EQUIVALENCE, ITERATIVE, SOLVER OR SERVING GATE FAILURE "
+            "- see BENCH.json",
             file=sys.stderr,
         )
         return 1

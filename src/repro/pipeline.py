@@ -19,8 +19,10 @@ returns a structured :class:`~repro.passes.manager.PassReport` on every
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
+from repro.core.solvers.base import SOLVER_NAMES
 from repro.ir.cfg import remove_unreachable_blocks
 from repro.ir.function import Function
 from repro.ir.transforms import restructure_while_loops, split_critical_edges
@@ -74,6 +76,16 @@ class PipelineConfig:
     fold_constants: bool = False
     cleanup: bool = False
     rounds: int = 1
+    #: Speculation solver for the mc-ssapre variant: "mincut", "lospre"
+    #: or "auto" (classify the CFG per function; see repro.core.solvers).
+    solver: str = "mincut"
+
+    #: Fields deliberately *excluded* from :meth:`canonical` — knobs that
+    #: can never change the produced code.  Every other field is keyed by
+    #: construction; a field that is neither excluded here nor of a
+    #: canonical-safe scalar type makes :meth:`canonical` raise, so a new
+    #: knob can never silently alias serve cache keys.
+    _CANONICAL_EXCLUDE = frozenset()
 
     def __post_init__(self) -> None:
         if self.variant not in VARIANTS:
@@ -82,6 +94,15 @@ class PipelineConfig:
             )
         if self.rounds < 1:
             raise ValueError(f"rounds must be >= 1, got {self.rounds}")
+        if self.solver not in SOLVER_NAMES:
+            raise ValueError(
+                f"unknown solver {self.solver!r}; expected one of {SOLVER_NAMES}"
+            )
+        if self.solver != "mincut" and self.variant != "mc-ssapre":
+            raise ValueError(
+                f"solver={self.solver!r} applies only to the mc-ssapre "
+                f"variant, not {self.variant!r}"
+            )
 
     def stages(self):
         """The pipeline spec this config describes (a list of passes)."""
@@ -90,21 +111,53 @@ class PipelineConfig:
             fold_constants=self.fold_constants,
             cleanup=self.cleanup,
             rounds=self.rounds,
+            solver=self.solver,
         )
+
+    def resolved(self, func: Function) -> "PipelineConfig":
+        """This config with ``solver="auto"`` resolved for *func*.
+
+        The shape classifier is deterministic from function structure, so
+        the resolution is stable — the serving layer keys artifacts by
+        the resolved config, making ``auto`` share cache entries with
+        whichever forced solver it picks.
+        """
+        if self.solver != "auto":
+            return self
+        from repro.core.solvers.shape import select_solver
+
+        name, _ = select_solver(func, "auto")
+        return dataclasses.replace(self, solver=name)
 
     def canonical(self) -> str:
         """A stable one-line rendering, suitable for hashing.
 
-        Field order is fixed; booleans render as 0/1.  Any new field must
-        be appended here (changing existing positions would silently
-        re-key every cached artifact — bump
-        :data:`repro.serve.keys.KEY_SCHEMA` instead when that is the
-        intent).
+        Derived from the dataclass fields *by construction*: every field
+        participates, in declaration order, unless it is named in
+        :data:`_CANONICAL_EXCLUDE`; booleans render as 0/1.  A field
+        whose value is not a canonical-safe scalar (bool/int/str) raises
+        — classify it explicitly (make it renderable or exclude it)
+        before it can alias cache keys.  Reordering or renaming fields
+        re-keys every cached artifact; bump
+        :data:`repro.serve.keys.KEY_SCHEMA` when that is the intent.
         """
-        return (
-            f"variant={self.variant};fold={int(self.fold_constants)};"
-            f"cleanup={int(self.cleanup)};rounds={self.rounds}"
-        )
+        parts = []
+        for spec in dataclasses.fields(self):
+            if spec.name in self._CANONICAL_EXCLUDE:
+                continue
+            value = getattr(self, spec.name)
+            if isinstance(value, bool):
+                rendered = str(int(value))
+            elif isinstance(value, (int, str)):
+                rendered = str(value)
+            else:
+                raise TypeError(
+                    f"PipelineConfig field {spec.name!r} has no canonical "
+                    f"rendering for {type(value).__name__} values; add it "
+                    "to _CANONICAL_EXCLUDE or make it a bool/int/str"
+                )
+            parts.append(f"{spec.name}={rendered}")
+        return ";".join(parts)
 
     @property
     def needs_profile(self) -> bool:
@@ -154,6 +207,7 @@ def compile_variant(
     fold_constants: bool = False,
     cleanup: bool = False,
     rounds: int = 1,
+    solver: str = "mincut",
     config: PipelineConfig | None = None,
 ) -> CompiledFunction:
     """Compile one PRE variant of an already-prepared function.
@@ -165,7 +219,9 @@ def compile_variant(
     ``fold_constants`` runs SCCP before PRE; ``cleanup`` runs copy
     propagation + DCE after PRE (both SSA-variant only) — the neighbours
     PRE sits between in a production pipeline.  ``rounds > 1`` selects
-    the iterative rank-ordered worklist form of the SSA-based PRE stage.
+    the iterative rank-ordered worklist form of the SSA-based PRE stage;
+    ``solver`` picks the mc-ssapre speculation back end (mincut, lospre
+    or auto — see :mod:`repro.core.solvers`).
     A :class:`PipelineConfig` may be passed instead of the individual
     flags (the serving layer's cache-keyable form); mixing both is an
     error.  This is a thin wrapper over
@@ -173,7 +229,13 @@ def compile_variant(
     pipeline stages.
     """
     if config is not None:
-        if variant is not None or fold_constants or cleanup or rounds != 1:
+        if (
+            variant is not None
+            or fold_constants
+            or cleanup
+            or rounds != 1
+            or solver != "mincut"
+        ):
             raise ValueError(
                 "pass either a PipelineConfig or individual flags, not both"
             )
@@ -185,6 +247,7 @@ def compile_variant(
             fold_constants=fold_constants,
             cleanup=cleanup,
             rounds=rounds,
+            solver=solver,
         )
     return compile_func(
         prepared,

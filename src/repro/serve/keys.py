@@ -39,7 +39,9 @@ from repro.profiles.profile import ExecutionProfile
 #: Version of the canonical key payload.  Changing how any section is
 #: rendered requires a bump: old artifacts then miss (and are recompiled)
 #: instead of being served under a stale interpretation.
-KEY_SCHEMA = 1
+#: 2: PipelineConfig.canonical() is now derived from the dataclass fields
+#:    (full field names, solver knob included).
+KEY_SCHEMA = 2
 
 __all__ = [
     "KEY_SCHEMA",
@@ -112,7 +114,14 @@ def artifact_key(
     function, the engine and these arguments) or ``profile``
     (extensional: hash the counts themselves) must be provided for
     profile-guided configs; profile-free configs may omit both.
+
+    ``solver="auto"`` is keyed by the solver it *resolves to* for this
+    function (the shape classifier is deterministic from function
+    structure), so an auto request shares its artifact with the forced
+    solver it would pick — and two configs that place code differently
+    can never collide on one key.
     """
+    config = config.resolved(func)
     if profile is not None and train_args is not None:
         raise ValueError("pass either train_args or profile, not both")
     if profile is None and train_args is None and config.needs_profile:

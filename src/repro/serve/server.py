@@ -70,6 +70,9 @@ class CompileRequest:
     fold_constants: bool = False
     cleanup: bool = False
     rounds: int = 1
+    #: Speculation solver for mc-ssapre requests ("mincut"/"lospre"/
+    #: "auto"); "auto" is cache-keyed by the solver it resolves to.
+    solver: str = "mincut"
     max_steps: int = DEFAULT_MAX_STEPS
 
     def config(self) -> PipelineConfig:
@@ -78,6 +81,7 @@ class CompileRequest:
             fold_constants=self.fold_constants,
             cleanup=self.cleanup,
             rounds=self.rounds,
+            solver=self.solver,
         )
 
     @classmethod
@@ -264,8 +268,12 @@ class CompileService:
 
     # ------------------------------------------------------------------
     def _handle(self, request: CompileRequest, t_start: float) -> ServeResponse:
-        config = request.config()  # validates variant/rounds
+        config = request.config()  # validates variant/rounds/solver
         prepared = prepare(parse_function(request.source))
+        # Resolve solver="auto" against the prepared function once: the
+        # key, the build and the artifact's report all see the concrete
+        # solver the classifier picked.
+        config = config.resolved(prepared)
         key = artifact_key(
             prepared,
             config,

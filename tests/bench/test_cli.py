@@ -65,6 +65,28 @@ class TestCLI:
         pre = report["passes"][1]
         assert pre["cache_hits"] >= 3 and pre["cache_misses"] == 0
 
+    @pytest.mark.parametrize("solver", ["mincut", "lospre", "auto"])
+    def test_passes_artifact_solver_flag(self, capsys, solver):
+        import json
+
+        out = run_cli(
+            capsys, "passes", "--json", "--benchmarks", "bwaves",
+            "--solver", solver,
+        )
+        data = json.loads(out)
+        report = next(
+            r for r in data[0]["reports"] if r["variant"] == "mc-ssapre"
+        )
+        pre = next(p for p in report["passes"] if p["pass"] == "mc-ssapre")
+        assert pre["payload"]["solver_requested"] == solver
+        # "auto" resolves per function; forced names are used verbatim.
+        expected = {"mincut", "lospre"} if solver == "auto" else {solver}
+        assert pre["payload"]["solver"] in expected
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["passes", "--solver", "simplex"])
+
     def test_seed_offset_changes_the_table(self, capsys):
         base = run_cli(capsys, "table1", "--benchmarks", "mcf")
         same = run_cli(capsys, "table1", "--benchmarks", "mcf", "--seed", "0")

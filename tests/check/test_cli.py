@@ -10,11 +10,12 @@ import pytest
 
 #: The documented summary schema (docs/CHECKING.md).  Additions require a
 #: SCHEMA_VERSION bump; removals/renames are breaking.  v2 added
-#: "engine" and "jobs"; v3 added "interrupted" and the "cache" oracle.
+#: "engine" and "jobs"; v3 added "interrupted" and the "cache" oracle;
+#: v4 added "solver" and the always-on mc-ssapre-lospre twin.
 SUMMARY_KEYS = {
     "schema", "seeds", "seed_base", "shapes", "oracles", "engine", "jobs",
-    "passed", "artifacts", "cases", "skipped", "failures", "per_oracle",
-    "by_kind", "wall_time_s", "interrupted",
+    "solver", "passed", "artifacts", "cases", "skipped", "failures",
+    "per_oracle", "by_kind", "wall_time_s", "interrupted",
 }
 
 
@@ -98,6 +99,24 @@ class TestOptions:
         ])
         assert rc == 0
         assert "PASS" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("solver", ["mincut", "lospre", "auto"])
+    def test_solver_flag_accepted_and_recorded(self, tmp_path, solver):
+        out = tmp_path / "check"
+        rc = main([
+            "--seeds", "1", "--shape", "cint", "--oracle", "optimal",
+            "--solver", solver, "--json", "--out", str(out),
+        ])
+        data = json.loads((out / "summary.json").read_text())
+        assert rc == 0
+        assert data["passed"] is True
+        assert data["solver"] == solver
+
+    def test_unknown_solver_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--seeds", "1", "--solver", "simplex"])
+        assert excinfo.value.code == 2
+        assert "--solver" in capsys.readouterr().err
 
 
 class TestReplay:

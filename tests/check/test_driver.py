@@ -2,6 +2,7 @@
 
 from repro.check.driver import (
     SHAPES,
+    SOLVER_TWIN,
     build_case,
     check_case,
     run_case,
@@ -40,6 +41,7 @@ class TestBuildCase:
         assert set(case.compiled) == {
             "none", "ssapre", "ssapre-sp", "mc-ssapre", "mc-pre",
             "ispre", "lcm", "ssapre-iter", "mc-ssapre-iter",
+            "mc-ssapre-lospre",
         }
         assert len(case.inputs) == 3
         assert len(case.control_runs) == 3
@@ -47,11 +49,27 @@ class TestBuildCase:
             assert len(runs) == 3
 
     def test_iterative_twins_optional(self):
+        # The solver twin is independent of the iterative knob: it rides
+        # along whenever mc-ssapre itself is compiled.
         result = build_case(0, "cint", iterative=False)
         assert set(result.case.compiled) == {
             "none", "ssapre", "ssapre-sp", "mc-ssapre", "mc-pre",
-            "ispre", "lcm",
+            "ispre", "lcm", "mc-ssapre-lospre",
         }
+
+    def test_solver_twin_matches_main_compile(self):
+        case = build_case(0, "cint").case
+        assert format_function(case.compiled[SOLVER_TWIN]) == (
+            format_function(case.compiled["mc-ssapre"])
+        )
+
+    def test_forced_lospre_produces_identical_case(self):
+        mincut = build_case(0, "cint", solver="mincut").case
+        lospre = build_case(0, "cint", solver="lospre").case
+        for name in mincut.compiled:
+            assert format_function(lospre.compiled[name]) == (
+                format_function(mincut.compiled[name])
+            ), name
 
     def test_budget_exhaustion_skips_instead_of_failing(self):
         result = build_case(0, "cfp", max_steps=5)

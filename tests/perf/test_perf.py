@@ -4,9 +4,11 @@ import json
 
 from repro.perf.bench import (
     BENCH_SCHEMA_VERSION,
+    bench_compile,
     bench_maxflow,
     runresult_mismatches,
     scaling_network,
+    solver_scaling_text,
 )
 from repro.perf.cli import main
 from repro.profiles.compiled import run_compiled
@@ -15,16 +17,23 @@ from repro.profiles.interp import run_function
 import pytest
 
 #: The documented BENCH.json schema (docs/PERF.md).  v2 added the
-#: "iterative" section; v3 added "serving".
+#: "iterative" section; v3 added "serving"; v4 added "solver_scaling",
+#: the top-level "solver" knob and the serving solver=auto pin.
 BENCH_KEYS = {
-    "schema", "quick", "repeat", "python", "platform",
-    "execution", "compile", "iterative", "serving", "maxflow", "ok",
-    "wall_time_s",
+    "schema", "quick", "repeat", "solver", "python", "platform",
+    "execution", "compile", "iterative", "solver_scaling", "serving",
+    "maxflow", "ok", "wall_time_s",
 }
 SERVING_KEYS = {
-    "requests", "unique", "cold_s", "warm_s", "speedup", "min_speedup",
-    "equivalent", "hit_rate", "expected_hit_rate", "mismatches",
-    "load_rps", "coalescing", "ok",
+    "requests", "unique", "cold_s", "warm_s", "cold_auto_s", "auto_ok",
+    "speedup", "min_speedup", "equivalent", "hit_rate",
+    "expected_hit_rate", "mismatches", "load_rps", "coalescing", "ok",
+}
+SOLVER_SCALING_ROW_KEYS = {
+    "kills", "blocks", "classes_solved", "largest_phis",
+    "mincut_solve_s", "lospre_solve_s", "solver_speedup",
+    "mincut_compile_s", "lospre_compile_s", "max_width", "refusals",
+    "mincut_dynamic_cost", "lospre_dynamic_cost", "mismatches",
 }
 WORKLOAD_KEYS = {
     "name", "family", "steps", "dynamic_cost", "reference_s",
@@ -73,6 +82,38 @@ class TestCli:
         for stage in stages.values():
             assert stage["calls"] == data["compile"]["functions"]
 
+    def test_per_stage_sums_do_not_exceed_total(self, bench):
+        # Regression: _best_of used to pair the fastest wall time with
+        # the *last* repeat's per-stage report, so stage sums could
+        # exceed the reported total (3.188s of mc-ssapre inside a
+        # 2.968s compile).  Stages must now come from the same repeat
+        # that produced the total.
+        _, data = bench
+        compile_section = data["compile"]
+        stage_sum = sum(
+            stage["total_s"] for stage in compile_section["per_stage"].values()
+        )
+        # Small tolerance: per-stage and total are rounded independently.
+        assert stage_sum <= compile_section["total_s"] + 0.01
+
+    def test_solver_scaling_section(self, bench):
+        _, data = bench
+        scaling = data["solver_scaling"]
+        assert scaling["ok"] is True
+        assert scaling["equivalent"] is True
+        assert scaling["accepted"] is True
+        assert scaling["speedup_at_largest"] >= scaling["min_speedup"]
+        sizes = [row["kills"] for row in scaling["sizes"]]
+        assert sizes == sorted(sizes) and len(sizes) >= 2
+        for row in scaling["sizes"]:
+            assert set(row) == SOLVER_SCALING_ROW_KEYS
+            assert row["mismatches"] == []
+            assert row["refusals"] == 0
+            # Exact-cost gate: lospre placement matches min-cut.
+            assert row["lospre_dynamic_cost"] == row["mincut_dynamic_cost"]
+            assert row["blocks"] > row["kills"]
+            assert row["max_width"] >= 1
+
     def test_iterative_section(self, bench):
         _, data = bench
         iterative = data["iterative"]
@@ -108,6 +149,9 @@ class TestCli:
         assert coalescing["ok"] is True
         assert coalescing["compiles"] == 1
         assert coalescing["clients"] > 1
+        # The solver=auto cold-request pin (schema v4).
+        assert serving["auto_ok"] is True
+        assert serving["cold_auto_s"] > 0
 
     def test_maxflow_section(self, bench):
         _, data = bench
@@ -122,6 +166,24 @@ class TestCli:
         assert rc == 0
         printed = json.loads(capsys.readouterr().out)
         assert printed == json.loads(out.read_text())
+
+    def test_solver_flag_rejects_unknown_value(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--quick", "--solver", "bogus"])
+        assert excinfo.value.code == 2
+        assert "--solver" in capsys.readouterr().err
+
+
+class TestSolverKnob:
+    """``--solver`` plumbing: every accepted value drives the compile
+    section (satellite of the pluggable-solver issue)."""
+
+    @pytest.mark.parametrize("solver", ["mincut", "lospre", "auto"])
+    def test_bench_compile_accepts_each_solver(self, solver):
+        payload = bench_compile(("bwaves",), repeat=1, solver=solver)
+        assert payload["solver"] == solver
+        assert payload["total_s"] > 0
+        assert "mc-ssapre" in payload["per_stage"]
 
 
 class TestHelpers:
@@ -144,3 +206,9 @@ class TestHelpers:
     def test_solvers_agree_on_scaling_networks(self):
         report = bench_maxflow(((3, 3), (5, 4)), repeat=1)
         assert report["agreed"] is True
+
+    def test_solver_scaling_text_is_deterministic(self):
+        a = solver_scaling_text(4)
+        assert a == solver_scaling_text(4)
+        # One kill diamond per iteration index: k `eq` guards.
+        assert a.count("= eq i,") == 4

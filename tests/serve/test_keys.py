@@ -101,3 +101,30 @@ class TestArtifactKey:
         assert artifact_key(self.prepared, config, profile=p1) == (
             artifact_key(self.prepared, config, profile=p2)
         )
+
+
+class TestSolverKeying:
+    def setup_method(self):
+        self.prepared = prepare(build_diamond())
+
+    def _key(self, solver):
+        return artifact_key(
+            self.prepared,
+            PipelineConfig(variant="mc-ssapre", solver=solver),
+            train_args=(1, 2, 1),
+        )
+
+    def test_solvers_key_distinct_artifacts(self):
+        assert self._key("mincut") != self._key("lospre")
+
+    def test_auto_shares_the_resolved_solver_key(self):
+        # The diamond's CFG is accepted by the shape classifier, so
+        # auto resolves to lospre — and must share its cache entry,
+        # not mint a third key.
+        assert self._key("auto") == self._key("lospre")
+        assert self._key("auto") != self._key("mincut")
+
+    def test_key_schema_pins_the_solver_aware_layout(self):
+        from repro.serve.keys import KEY_SCHEMA
+
+        assert KEY_SCHEMA == 2

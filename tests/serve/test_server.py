@@ -94,6 +94,47 @@ class TestBasicServing:
         assert "train_args" in response.error
         assert service.metrics.get("errors") == 1
 
+    def test_solver_on_the_wire(self, loop_source):
+        request = CompileRequest.from_dict({
+            "source": loop_source, "args": [2, 3, 5],
+            "variant": "mc-ssapre", "train_args": [2, 3, 4],
+            "solver": "lospre",
+        })
+        assert request.solver == "lospre"
+        with CompileService() as service:
+            response = service.handle(request)
+        assert response.status == "ok"
+        assert not response.degraded
+
+    def test_auto_request_shares_the_resolved_cache_entry(
+        self, loop_source
+    ):
+        # The loop CFG is accepted by the shape classifier, so auto
+        # resolves to lospre and the second request must be a cache hit
+        # on the same key, not a second compile.
+        with CompileService() as service:
+            forced = service.handle(CompileRequest(
+                source=loop_source, args=(2, 3, 5), variant="mc-ssapre",
+                train_args=(2, 3, 4), solver="lospre",
+            ))
+            auto = service.handle(CompileRequest(
+                source=loop_source, args=(2, 3, 5), variant="mc-ssapre",
+                train_args=(2, 3, 4), solver="auto",
+            ))
+            assert service.metrics.get("compiles") == 1
+        assert forced.key == auto.key
+        assert auto.served_by == "memory"
+        assert auto.observable() == forced.observable()
+
+    def test_unknown_solver_is_a_request_error(self, loop_source):
+        with CompileService() as service:
+            response = service.handle(CompileRequest(
+                source=loop_source, args=(2, 3, 5), variant="mc-ssapre",
+                train_args=(2, 3, 4), solver="simplex",
+            ))
+        assert response.status == "error"
+        assert "solver" in response.error
+
 
 class TestSingleFlight:
     def test_concurrent_identical_requests_compile_once(
