@@ -41,8 +41,11 @@ from repro.profiles.interp import RunResult, run_function
 #: and speedup gates), the ``solver`` knob on the compile section, the
 #: ``cold_auto_s`` solver=auto cold-request latency in the serving
 #: section, and fixed per-stage accounting so stage sums can no longer
-#: exceed the compile wall total.
-BENCH_SCHEMA_VERSION = 4
+#: exceed the compile wall total.  v5 added the serving section's
+#: "adaptation" block: the online re-optimisation loop gated on
+#: promotion, non-blocking drift recompiles, >=1 hot swap, and
+#: post-swap bit-identity vs a from-scratch build (metrics schema 2).
+BENCH_SCHEMA_VERSION = 5
 
 #: Step budget for the measured runs (matches the pipeline default).
 MAX_STEPS = 5_000_000
@@ -606,6 +609,191 @@ def bench_serving(
 
 
 # ----------------------------------------------------------------------
+# Adaptation: drift-triggered recompilation + hot swap, gated.
+# ----------------------------------------------------------------------
+
+#: Tier/drift knobs for the adaptation scenario: small enough that the
+#: whole loop (warmup -> promote -> drift -> swap) resolves in a couple
+#: dozen requests.
+ADAPT_WARMUP = 2
+ADAPT_THRESHOLD = 0.2
+ADAPT_MIN_SAMPLES = 4
+
+#: Requests that must be served, correctly and from the old binding,
+#: while the drift-triggered recompile is deliberately parked.
+ADAPT_BLOCKED_REQUESTS = 8
+
+
+def bench_adaptation() -> dict:
+    """The serving layer's online re-optimisation loop, gated four ways.
+
+    A loop program is promoted under a long-trip-count profile, then the
+    workload phase-shifts to trip count zero.  The gates:
+
+    * **promoted** — the key must move interpreter -> compiled via a
+      background promotion build (>=1 ``tier_promotions``);
+    * **non_blocking_ok** — the drift-triggered recompile is parked
+      behind an event, and every request issued while it is parked must
+      be answered correctly from the *old* binding (a recompile never
+      blocks the serve path);
+    * **swapped** — releasing the build must land >=1 hot swap
+      (generation 2 under the same structural key);
+    * **swap_identical** — the swapped-in artifact must be bit-identical
+      (content address, observables, dynamic cost, step count) to a
+      from-scratch :func:`~repro.serve.server.build_artifact` under the
+      exact live-profile snapshot the swap recorded.
+
+    One scenario, not a timing loop: the numbers reported (for the
+    record) are the max in-park request latency and the end-to-end wall.
+    """
+    import threading
+
+    from repro.ir.builder import FunctionBuilder
+    from repro.ir.printer import format_function
+    from repro.serve.adapt import AdaptConfig
+    from repro.serve.server import (
+        CompileRequest,
+        CompileService,
+        build_artifact,
+        execute_artifact,
+    )
+
+    b = FunctionBuilder("adapt_loop", params=["a", "b", "n"])
+    b.block("entry")
+    b.copy("i", 0)
+    b.copy("acc", 0)
+    b.jump("head")
+    b.block("head")
+    b.assign("c", "lt", "i", "n")
+    b.branch("c", "body", "done")
+    b.block("body")
+    b.assign("v", "mul", "a", "b")
+    b.assign("acc", "add", "acc", "v")
+    b.assign("i", "add", "i", 1)
+    b.jump("head")
+    b.block("done")
+    b.assign("tail", "mul", "a", "b")
+    b.assign("acc", "add", "acc", "tail")
+    b.ret("acc")
+    source = format_function(b.build())
+
+    class _Gate:
+        """Build wrapper that parks builds while ``active`` is set."""
+
+        def __init__(self) -> None:
+            self.active = threading.Event()
+            self.parked = threading.Event()
+            self.release = threading.Event()
+
+        def __call__(self, prepared, config, **kwargs):
+            if self.active.is_set():
+                self.parked.set()
+                self.release.wait(timeout=60.0)
+            return build_artifact(prepared, config, **kwargs)
+
+    def request(n: int) -> CompileRequest:
+        return CompileRequest(source=source, args=(3, 4, n), variant="mc-ssapre")
+
+    t0 = time.perf_counter()
+    gate = _Gate()
+    service = CompileService(
+        build=gate,
+        adapt=AdaptConfig(
+            warmup=ADAPT_WARMUP,
+            threshold=ADAPT_THRESHOLD,
+            min_samples=ADAPT_MIN_SAMPLES,
+        ),
+    )
+    try:
+        # Phase one: long loops; warm up and promote under that profile.
+        for _ in range(ADAPT_WARMUP + 1):
+            service.handle(request(12))
+        drained = service.adapt.drain(timeout=60.0)
+        (state,) = service.adapt._states.values()
+        promoted = (
+            drained
+            and state.binding is not None
+            and state.binding.generation == 1
+            and service.metrics.get("tier_promotions") >= 1
+        )
+
+        # Phase two: the loop collapses.  Park the recompile the drift
+        # detector schedules and keep the requests coming.
+        gate.active.set()
+        expected = run_function(state.prepared, [3, 4, 0]).observable()
+        warm_requests = 0
+        while not gate.parked.wait(timeout=0.0) and warm_requests < 64:
+            service.handle(request(0))
+            warm_requests += 1
+        drift_fired = gate.parked.wait(timeout=10.0)
+
+        blocked_max_s = 0.0
+        blocked_ok = True
+        for _ in range(ADAPT_BLOCKED_REQUESTS):
+            t_req = time.perf_counter()
+            response = service.handle(request(0))
+            blocked_max_s = max(blocked_max_s, time.perf_counter() - t_req)
+            blocked_ok = blocked_ok and (
+                response.status == "ok"
+                and response.served_by == "memory"
+                and response.observable() == expected
+            )
+        non_blocking_ok = drift_fired and blocked_ok
+
+        gate.release.set()
+        gate.active.clear()
+        drained = service.adapt.drain(timeout=60.0) and drained
+        binding = state.binding
+        swapped = (
+            drained
+            and service.metrics.get("hot_swaps") >= 1
+            and binding.generation >= 2
+        )
+
+        # Bit-identity: a cold build under the swap's recorded profile
+        # must reproduce the swapped artifact exactly.
+        fresh = build_artifact(
+            state.prepared,
+            state.config,
+            key=binding.key,
+            engine=state.engine,
+            profile=binding.profile,
+        )
+        swap_identical = fresh.key == binding.key and not fresh.degraded
+        for n in (0, 5, 12):
+            served = execute_artifact(binding.artifact, (3, 4, n), MAX_STEPS)
+            rebuilt = execute_artifact(fresh, (3, 4, n), MAX_STEPS)
+            swap_identical = swap_identical and (
+                served.observable() == rebuilt.observable()
+                and served.dynamic_cost == rebuilt.dynamic_cost
+                and served.steps == rebuilt.steps
+            )
+
+        counters = service.metrics.to_dict()["counters"]
+        return {
+            "warmup": ADAPT_WARMUP,
+            "threshold": ADAPT_THRESHOLD,
+            "min_samples": ADAPT_MIN_SAMPLES,
+            "promotions": counters["tier_promotions"],
+            "drift_events": counters["drift_events"],
+            "recompiles": counters["recompiles"],
+            "hot_swaps": counters["hot_swaps"],
+            "generation": binding.generation if binding else 0,
+            "requests_during_recompile": ADAPT_BLOCKED_REQUESTS,
+            "blocked_request_max_s": round(blocked_max_s, 6),
+            "promoted": promoted,
+            "non_blocking_ok": non_blocking_ok,
+            "swapped": swapped,
+            "swap_identical": swap_identical,
+            "wall_s": round(time.perf_counter() - t0, 6),
+            "ok": promoted and non_blocking_ok and swapped and swap_identical,
+        }
+    finally:
+        gate.release.set()
+        service.close()
+
+
+# ----------------------------------------------------------------------
 # Max-flow: Dinic vs Edmonds-Karp on deterministic scaling networks.
 # ----------------------------------------------------------------------
 
@@ -701,6 +889,9 @@ def run_perf(
     iterative = bench_iterative(iter_names, repeat)
     solver_scaling = bench_solver_scaling(scaling_sizes, repeat)
     serving = bench_serving(repeat, requests=36 if quick else 96)
+    adaptation = bench_adaptation()
+    serving["adaptation"] = adaptation
+    serving["ok"] = bool(serving["ok"] and adaptation["ok"])
     maxflow = bench_maxflow(sizes, repeat)
     return {
         "schema": BENCH_SCHEMA_VERSION,

@@ -105,6 +105,13 @@ def main(argv: list[str] | None = None) -> int:
               f"{serving['mismatches']} mismatch(es), "
               f"coalescing {serving['coalescing']['compiles']} compile(s) "
               f"for {serving['coalescing']['clients']} client(s)")
+        adaptation = serving["adaptation"]
+        print(f"serving:   adaptation promotions={adaptation['promotions']} "
+              f"drift_events={adaptation['drift_events']} "
+              f"hot_swaps={adaptation['hot_swaps']} "
+              f"non_blocking={adaptation['non_blocking_ok']} "
+              f"swap_identical={adaptation['swap_identical']} "
+              f"(ok={adaptation['ok']})")
         for row in payload["maxflow"]["networks"]:
             print(f"maxflow:   {row['nodes']}n/{row['edges']}e  "
                   f"dinic {row['dinic_s']}s  "

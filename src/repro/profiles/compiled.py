@@ -124,6 +124,14 @@ class CompiledProgram:
     op_keys: list[str] = field(default_factory=list, repr=False)
     #: Interned error messages referenced by the generated guards.
     messages: list[str] = field(default_factory=list, repr=False)
+    #: Optional live-profiling hook: called with the derived node-
+    #: frequency :class:`~collections.Counter` after every successful
+    #: run.  Costs one ``is not None`` test per run when unset.  The
+    #: adaptation tier (:mod:`repro.serve.adapt`) attaches its fold here
+    #: so block dispatch keeps feeding the live profile no matter which
+    #: code path executes the program.  Never pickled: a hook is runtime
+    #: wiring, not artifact content.
+    profile_hook: object = field(default=None, repr=False, compare=False)
 
     # -- pickling ------------------------------------------------------
     # The block closures are generated code bound to op-handler defaults;
@@ -134,6 +142,7 @@ class CompiledProgram:
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         state["block_funcs"] = None
+        state["profile_hook"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -207,6 +216,9 @@ class CompiledProgram:
         for e, count in enumerate(edge_counts):
             if count:
                 edge_freq[self.edge_pairs[e]] += count
+
+        if self.profile_hook is not None:
+            self.profile_hook(node_freq)
 
         return RunResult(
             return_value=regs[0],

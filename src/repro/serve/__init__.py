@@ -5,12 +5,20 @@ a source program, a :class:`~repro.pipeline.PipelineConfig` and an input
 vector; compiled artifacts are cached under structural content addresses
 (:mod:`repro.serve.keys`) in a two-tier store (:mod:`repro.serve.store`),
 concurrent identical requests coalesce onto one compile
-(:mod:`repro.serve.server`), and everything is observable
-(:mod:`repro.serve.metrics`).  ``python -m repro.serve`` is the CLI;
-``docs/SERVING.md`` is the design document.
+(:mod:`repro.serve.server`), everything is observable
+(:mod:`repro.serve.metrics`), and the adaptation tier keeps served
+artifacts matched to live traffic (:mod:`repro.serve.adapt`).
+``python -m repro.serve`` is the CLI; ``docs/SERVING.md`` is the design
+document.
 """
 
-from repro.serve.keys import KEY_SCHEMA, artifact_key, function_fingerprint
+from repro.serve.adapt import AdaptConfig
+from repro.serve.keys import (
+    KEY_SCHEMA,
+    artifact_key,
+    function_fingerprint,
+    structural_key,
+)
 from repro.serve.metrics import METRICS_SCHEMA, ServeMetrics
 from repro.serve.server import (
     CompileRequest,
@@ -24,6 +32,7 @@ from repro.serve.store import Artifact, ArtifactStore, DiskStore, MemoryStore
 __all__ = [
     "KEY_SCHEMA",
     "METRICS_SCHEMA",
+    "AdaptConfig",
     "Artifact",
     "ArtifactStore",
     "CompileRequest",
@@ -36,4 +45,5 @@ __all__ = [
     "build_artifact",
     "execute_artifact",
     "function_fingerprint",
+    "structural_key",
 ]

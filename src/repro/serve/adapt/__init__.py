@@ -1,0 +1,26 @@
+"""Online re-optimisation for the serving layer (docs/SERVING.md).
+
+The feedback loop the paper's premise implies: artifacts are only
+optimal w.r.t. an execution profile, so the serving tier collects *live*
+profiles from served runs (:mod:`~repro.serve.adapt.live`), scores them
+against the profile each artifact was compiled under
+(:mod:`~repro.serve.adapt.drift`), recompiles in the background and
+hot-swaps bindings on drift (:mod:`~repro.serve.adapt.manager`), and
+runs new keys through a cheap interpreter tier before paying for a
+compile at all (:mod:`~repro.serve.adapt.tier`).
+"""
+
+from repro.serve.adapt.drift import DriftDetector, DriftVerdict
+from repro.serve.adapt.live import LiveProfile
+from repro.serve.adapt.manager import AdaptationManager, AdaptConfig, Binding
+from repro.serve.adapt.tier import TierPolicy
+
+__all__ = [
+    "AdaptConfig",
+    "AdaptationManager",
+    "Binding",
+    "DriftDetector",
+    "DriftVerdict",
+    "LiveProfile",
+    "TierPolicy",
+]

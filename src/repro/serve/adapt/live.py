@@ -1,0 +1,149 @@
+"""Live execution-profile accumulation for served programs.
+
+Every served run already derives its per-block execution counts — the
+reference interpreter counts them directly and the compiled back end
+reconstructs them from edge traversals (:mod:`repro.profiles.compiled`)
+— so live profiling costs one :meth:`LiveProfile.fold` per request:
+a dict update under a lock, no extra instrumentation in the hot loop.
+
+The accumulator is *bounded*: when the total folded block weight passes
+``max_weight`` the counts are halved (exponential decay in O(blocks)),
+so the profile tracks recent traffic with bounded memory of the past —
+a stale distribution cannot pin the detector below threshold forever,
+and the integer counts can never overflow into pathological min-cut
+capacities when the snapshot is fed back into MC-SSAPRE.
+
+Two views are maintained, because two consumers need different weightings:
+
+* :meth:`LiveProfile.node_freq` — the raw count sum.  This is the true
+  expected per-request node frequency (times the sample count), exactly
+  the profile a recompile should optimise under.
+* :meth:`LiveProfile.mean_freq` — the sum of per-run *normalized*
+  distributions, so every request votes with equal weight.  This is the
+  drift signal: when a phase shift makes runs much shorter (loops
+  collapse), the new runs carry almost no count mass and a count-weighted
+  mixture can never register the change, while the per-run mean moves in
+  direct proportion to the fraction of requests that shifted.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from collections.abc import Mapping
+
+from repro.profiles.profile import ExecutionProfile
+
+#: Default total block-count budget before a decay step halves the
+#: accumulator.  High enough that single runs never immediately decay,
+#: low enough that a phase shift dominates within tens of runs.
+DEFAULT_MAX_WEIGHT = 1 << 20
+
+__all__ = ["DEFAULT_MAX_WEIGHT", "LiveProfile", "normalized"]
+
+
+def normalized(freq: Mapping[str, float]) -> dict[str, float]:
+    """*freq* as a probability distribution (empty stays empty)."""
+    total = sum(freq.values())
+    if total <= 0:
+        return {}
+    return {label: count / total for label, count in freq.items() if count}
+
+
+class LiveProfile:
+    """Thread-safe node-frequency accumulator with bounded decay."""
+
+    def __init__(self, max_weight: int = DEFAULT_MAX_WEIGHT) -> None:
+        if max_weight < 1:
+            raise ValueError("max_weight must be >= 1")
+        self.max_weight = max_weight
+        self._lock = threading.Lock()
+        self._node_freq: Counter[str] = Counter()
+        self._mean_freq: dict[str, float] = {}
+        self._weight = 0
+        self._samples = 0
+        self._decays = 0
+
+    # ------------------------------------------------------------------
+    def fold(self, node_freq: Mapping[str, int]) -> None:
+        """Accumulate one run's node counts (one lock, one dict update)."""
+        with self._lock:
+            total = 0
+            for label, count in node_freq.items():
+                if count:
+                    self._node_freq[label] += count
+                    total += count
+            if total:
+                # Equal-weight vote: this run's *distribution*, so short
+                # runs count as much as long ones in the drift signal.
+                for label, count in node_freq.items():
+                    if count:
+                        self._mean_freq[label] = (
+                            self._mean_freq.get(label, 0.0) + count / total
+                        )
+            self._weight += total
+            self._samples += 1
+            if self._weight > self.max_weight:
+                self._decay_locked()
+
+    def _decay_locked(self) -> None:
+        """Halve every count; drop the zeros so labels can age out."""
+        decayed: Counter[str] = Counter()
+        weight = 0
+        for label, count in self._node_freq.items():
+            half = count >> 1
+            if half:
+                decayed[label] = half
+                weight += half
+        self._node_freq = decayed
+        self._weight = weight
+        self._mean_freq = {
+            label: half
+            for label, value in self._mean_freq.items()
+            if (half := value * 0.5) > 1e-12
+        }
+        self._decays += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def samples(self) -> int:
+        with self._lock:
+            return self._samples
+
+    @property
+    def weight(self) -> int:
+        with self._lock:
+            return self._weight
+
+    @property
+    def decays(self) -> int:
+        with self._lock:
+            return self._decays
+
+    def node_freq(self) -> Counter[str]:
+        """A consistent copy of the raw counts."""
+        with self._lock:
+            return Counter(self._node_freq)
+
+    def mean_freq(self) -> dict[str, float]:
+        """The run-weighted frequency sum (each fold contributes its
+        normalized distribution) — the drift-detector's input."""
+        with self._lock:
+            return dict(self._mean_freq)
+
+    def distribution(self) -> dict[str, float]:
+        """The live node-frequency *distribution* (sums to 1, or empty)."""
+        return normalized(self.node_freq())
+
+    def mean_distribution(self) -> dict[str, float]:
+        """The mean per-run node distribution (sums to 1, or empty)."""
+        return normalized(self.mean_freq())
+
+    def snapshot(self) -> ExecutionProfile:
+        """An :class:`ExecutionProfile` view of the current counts.
+
+        Node frequencies only — exactly the signal MC-SSAPRE consumes
+        (the paper's contribution 3 is what makes live re-optimisation
+        this cheap: no edge profile is ever needed).
+        """
+        return ExecutionProfile(node_freq=self.node_freq())

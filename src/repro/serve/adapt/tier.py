@@ -1,0 +1,60 @@
+"""Tiered-execution policy: interpret first, compile when warm.
+
+A brand-new structural key has no live profile, so compiling it
+immediately means optimising against whatever single training vector the
+request happened to carry.  The tier policy instead runs the first
+``warmup`` hits on the reference interpreter over the *prepared*
+(unoptimised) function — profiling comes for free, no compile is paid at
+all — and only then promotes the key to a compiled MC-SSAPRE artifact
+built from the profile those runs accumulated.  The same
+speculate-and-guard shape as a tracing JIT: speculate that the warmup
+traffic predicts the future, guard with the drift detector, bail to the
+interpreter (demotion) when the compiled tier stops being trustworthy.
+
+The policy object is pure decision logic; per-key state (hit counts,
+bindings) lives in the :class:`~repro.serve.adapt.manager.AdaptationManager`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Execution tiers, cheapest first.
+TIER_INTERP = "interp"
+TIER_COMPILED = "compiled"
+
+#: Default interpreter runs before a key is promoted.
+DEFAULT_WARMUP = 4
+
+__all__ = [
+    "TIER_INTERP",
+    "TIER_COMPILED",
+    "DEFAULT_WARMUP",
+    "TierPolicy",
+]
+
+
+@dataclass(frozen=True)
+class TierPolicy:
+    """When to promote a key out of the interpreter tier."""
+
+    #: Interpreter-served hits before promotion is scheduled.  0 means
+    #: promote on the very first hit (compile eagerly, classic serving).
+    warmup: int = DEFAULT_WARMUP
+
+    def __post_init__(self) -> None:
+        if self.warmup < 0:
+            raise ValueError("warmup must be >= 0")
+
+    def should_promote(self, hits: int) -> bool:
+        """True once *hits* interpreter runs have accumulated."""
+        return hits >= self.warmup
+
+    def tier_for(self, hits: int, bound: bool) -> str:
+        """The tier a request is served on right now.
+
+        ``bound`` is whether a compiled artifact binding is live for the
+        key; promotion is asynchronous, so a key past its warmup still
+        serves on the interpreter until the background build lands.
+        """
+        return TIER_COMPILED if bound else TIER_INTERP

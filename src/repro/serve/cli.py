@@ -23,9 +23,19 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import tempfile
+import threading
 from pathlib import Path
 
+from repro.serve.adapt import AdaptConfig
+from repro.serve.adapt.drift import (
+    DEFAULT_MIN_SAMPLES,
+    DEFAULT_THRESHOLD,
+    DRIFT_METRICS,
+)
+from repro.serve.adapt.tier import DEFAULT_WARMUP
 from repro.serve.loadgen import (
     DEFAULT_VARIANTS,
     WorkloadSpec,
@@ -48,9 +58,67 @@ def _make_service(args: argparse.Namespace) -> CompileService:
     else:
         store = ArtifactStore()
         store.memory.max_entries = args.max_entries
+    adapt = None
+    if getattr(args, "adapt", False):
+        adapt = AdaptConfig(
+            warmup=args.warmup,
+            metric=args.drift_metric,
+            threshold=args.drift_threshold,
+            min_samples=args.min_samples,
+        )
     return CompileService(
-        store, max_workers=args.workers, timeout_s=args.timeout
+        store, max_workers=args.workers, timeout_s=args.timeout, adapt=adapt
     )
+
+
+class _MetricsDumper:
+    """Background thread writing periodic metrics snapshots to one path.
+
+    Every snapshot is a full, self-consistent JSON document written via
+    temp file + :func:`os.replace`, so a reader polling the path can
+    never observe a torn write.
+    """
+
+    def __init__(
+        self, service: CompileService, path: str, interval_s: float
+    ) -> None:
+        self.service = service
+        self.path = Path(path)
+        self.interval_s = max(0.05, interval_s)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-metrics-dump", daemon=True
+        )
+
+    def start(self) -> "_MetricsDumper":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self.dump()  # final snapshot, so short runs still leave one
+
+    def dump(self) -> None:
+        payload = json.dumps(self.service.metrics.to_dict(), indent=2) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=f".{self.path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.dump()
 
 
 def _handle_line(service: CompileService, line: str) -> dict:
@@ -108,6 +176,11 @@ def _write_metrics(service: CompileService, path: str | None) -> None:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     service = _make_service(args)
+    dumper = None
+    if args.metrics_dump:
+        dumper = _MetricsDumper(
+            service, args.metrics_dump, args.metrics_dump_every
+        ).start()
     try:
         if args.port is not None:
             _serve_tcp(service, args.host, args.port)
@@ -116,9 +189,31 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        if dumper is not None:
+            dumper.stop()
         _write_metrics(service, args.metrics_out)
         service.close()
     return 0
+
+
+def _post_drift_verification(service, workload) -> tuple[int, int]:
+    """Replay the pool once after draining background recompiles.
+
+    Every response must still match the reference interpreter — this is
+    the "post-swap answers are bit-identical" check, run against
+    whichever artifacts the hot swaps left bound.  Returns
+    ``(verified, mismatches)``.
+    """
+    unique = workload.spec.unique
+    verified = mismatches = 0
+    for request, expected in zip(
+        workload.requests[:unique], workload.expected[:unique]
+    ):
+        response = service.handle(request)
+        verified += 1
+        if response.status != "ok" or response.observable() != expected:
+            mismatches += 1
+    return verified, mismatches
 
 
 def cmd_load(args: argparse.Namespace) -> int:
@@ -128,16 +223,52 @@ def cmd_load(args: argparse.Namespace) -> int:
         variants=tuple(args.variants.split(",")),
         seed=args.seed,
         rounds=args.rounds,
+        drift_at=args.drift_at,
     )
     workload = build_workload(spec)
     service = _make_service(args)
+    dumper = None
+    if args.metrics_dump:
+        dumper = _MetricsDumper(
+            service, args.metrics_dump, args.metrics_dump_every
+        ).start()
+    adaptation: dict | None = None
     try:
         report, _responses = run_load(service, workload, jobs=args.jobs)
+        if service.adapt is not None:
+            # Let in-flight promotions/recompiles land, then prove the
+            # swapped-in artifacts still answer exactly like the
+            # reference interpreter.
+            drained = service.adapt.drain(timeout=args.timeout)
+            verified, swap_mismatches = _post_drift_verification(
+                service, workload
+            )
+            report.mismatches += swap_mismatches
+            counters = service.metrics.to_dict()["counters"]
+            adaptation = {
+                "drained": drained,
+                "post_swap_verified": verified,
+                "post_swap_mismatches": swap_mismatches,
+                "live_samples": counters["live_samples"],
+                "tier_interp": counters["tier_interp"],
+                "drift_events": counters["drift_events"],
+                "recompiles": counters["recompiles"],
+                "hot_swaps": counters["hot_swaps"],
+                "tier_promotions": counters["tier_promotions"],
+                "tier_demotions": counters["tier_demotions"],
+                "rollbacks": counters["rollbacks"],
+                "keys": service.adapt.describe(),
+            }
+            report.metrics = service.metrics.to_dict()
     finally:
+        if dumper is not None:
+            dumper.stop()
         _write_metrics(service, args.metrics_out)
         service.close()
 
     payload = report.to_dict()
+    if adaptation is not None:
+        payload["adaptation"] = adaptation
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
@@ -157,6 +288,14 @@ def cmd_load(args: argparse.Namespace) -> int:
         )
         print(f"load: served_by {served}")
         print(f"load: mismatches {report.mismatches}")
+        if adaptation is not None:
+            print(
+                "load: adaptation promotions="
+                f"{adaptation['tier_promotions']} "
+                f"drift_events={adaptation['drift_events']} "
+                f"hot_swaps={adaptation['hot_swaps']} "
+                f"post_swap_mismatches={adaptation['post_swap_mismatches']}"
+            )
 
     failures = []
     if report.mismatches:
@@ -167,6 +306,21 @@ def cmd_load(args: argparse.Namespace) -> int:
         failures.append(
             f"hit rate {report.hit_rate:.3f} < required {args.min_hit_rate:.3f}"
         )
+    if adaptation is not None:
+        if not adaptation["drained"]:
+            failures.append("background recompiles did not drain")
+        if adaptation["hot_swaps"] < args.min_hot_swaps:
+            failures.append(
+                f"hot swaps {adaptation['hot_swaps']} < required "
+                f"{args.min_hot_swaps}"
+            )
+        if adaptation["tier_promotions"] < args.min_promotions:
+            failures.append(
+                f"tier promotions {adaptation['tier_promotions']} < required "
+                f"{args.min_promotions}"
+            )
+    elif args.min_hot_swaps or args.min_promotions:
+        failures.append("--min-hot-swaps/--min-promotions require --adapt")
     if failures:
         print("LOAD GATE FAILURE: " + "; ".join(failures), file=sys.stderr)
         return 1
@@ -193,6 +347,50 @@ def _add_service_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--metrics-out", default=None, metavar="PATH",
         help="write the final metrics snapshot as JSON to PATH",
+    )
+    parser.add_argument(
+        "--metrics-dump", default=None, metavar="PATH",
+        help=(
+            "periodically write full metrics snapshots to PATH "
+            "(atomic replace; see --metrics-dump-every)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-dump-every", type=float, default=5.0, metavar="S",
+        help="interval between --metrics-dump snapshots (default 5s)",
+    )
+    parser.add_argument(
+        "--adapt", action="store_true",
+        help=(
+            "enable the online re-optimisation tier: live profiles, "
+            "tiered execution, drift-triggered recompiles + hot swaps"
+        ),
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=DEFAULT_WARMUP, metavar="N",
+        help=(
+            "interpreter runs before a key is promoted to a compiled "
+            f"artifact (default {DEFAULT_WARMUP}; needs --adapt)"
+        ),
+    )
+    parser.add_argument(
+        "--drift-metric", choices=DRIFT_METRICS, default="l1",
+        help="drift divergence metric (default l1; needs --adapt)",
+    )
+    parser.add_argument(
+        "--drift-threshold", type=float, default=DEFAULT_THRESHOLD,
+        metavar="X",
+        help=(
+            "drift score in (0,1] that triggers a recompile "
+            f"(default {DEFAULT_THRESHOLD:g}; needs --adapt)"
+        ),
+    )
+    parser.add_argument(
+        "--min-samples", type=int, default=DEFAULT_MIN_SAMPLES, metavar="N",
+        help=(
+            "live runs folded before the drift detector may fire "
+            f"(default {DEFAULT_MIN_SAMPLES}; needs --adapt)"
+        ),
     )
 
 
@@ -251,6 +449,21 @@ def main(argv: list[str] | None = None) -> int:
     load.add_argument(
         "--min-hit-rate", type=float, default=0.0, metavar="X",
         help="fail unless the final hit rate reaches X (default 0.0)",
+    )
+    load.add_argument(
+        "--drift-at", type=int, default=None, metavar="K",
+        help=(
+            "phase-shift the workload: requests >= K draw from an "
+            "independent input distribution (drives drift end to end)"
+        ),
+    )
+    load.add_argument(
+        "--min-hot-swaps", type=int, default=0, metavar="N",
+        help="fail unless >= N drift-triggered hot swaps happened (needs --adapt)",
+    )
+    load.add_argument(
+        "--min-promotions", type=int, default=0, metavar="N",
+        help="fail unless >= N interp->compiled promotions happened (needs --adapt)",
     )
     load.add_argument(
         "--json", action="store_true",

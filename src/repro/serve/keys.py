@@ -48,6 +48,7 @@ __all__ = [
     "function_fingerprint",
     "profile_fingerprint",
     "artifact_key",
+    "structural_key",
 ]
 
 
@@ -141,4 +142,30 @@ def artifact_key(
         f"config:{config.canonical()}",
         f"engine:{engine}",
         profile_part,
+    ))
+
+
+def structural_key(
+    func: Function,
+    config: PipelineConfig,
+    *,
+    engine: str = "compiled",
+) -> str:
+    """The profile-free identity of a served program.
+
+    Everything :func:`artifact_key` hashes *except* the profile: function
+    structure, resolved config, engine.  All artifacts compiled for the
+    same program under different profiles share one structural key — this
+    is the level at which the adaptation tier (:mod:`repro.serve.adapt`)
+    accumulates live profiles, detects drift and hot-swaps artifacts:
+    the artifact *content* address changes with every fresh profile, the
+    structural address never does.
+    """
+    config = config.resolved(func)
+    return _digest((
+        f"schema:{KEY_SCHEMA}",
+        f"func:{function_fingerprint(func)}",
+        f"config:{config.canonical()}",
+        f"engine:{engine}",
+        "structural",
     ))

@@ -12,8 +12,15 @@ CI gate assert against it.
 Each request's expected observable behaviour is precomputed on the
 reference interpreter over the *unoptimised* prepared function, so the
 run doubles as a differential test: any served answer that deviates is a
-**mismatch**, whether it came from a fresh compile, the cache, or a
-degraded fallback.  The CI smoke job requires zero.
+**mismatch**, whether it came from a fresh compile, the cache, a
+degraded fallback, or the adaptation tier mid-hot-swap.  The CI smoke
+jobs require zero.
+
+A spec with ``drift_at=K`` is *phase-shifting*: from request ``K`` on,
+argument vectors come from an independent distribution, so the live
+node-frequency mix diverges from the profile the artifacts were compiled
+under — the end-to-end driver for drift-triggered recompilation
+(``python -m repro.serve load --adapt --drift-at K``).
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.bench.generator import generate_program
+from repro.bench.generator import generate_program, random_args
 from repro.check.driver import SHAPES, case_inputs, spec_for_shape
 from repro.ir.printer import format_function
 from repro.pipeline import prepare
@@ -51,6 +58,13 @@ class WorkloadSpec:
     variants: tuple[str, ...] = DEFAULT_VARIANTS
     seed: int = 0
     rounds: int = 1
+    #: Phase shift: requests ``j >= drift_at`` draw their argument
+    #: vectors from an *independent* input distribution (fresh seeded
+    #: draws instead of the train-correlated pool), flipping the node-
+    #: frequency mix mid-run.  This is the workload that drives the
+    #: adaptation tier's drift→recompile→hot-swap path end to end;
+    #: ``None`` keeps the classic stationary workload.
+    drift_at: int | None = None
 
     def __post_init__(self) -> None:
         if self.requests < 1:
@@ -60,6 +74,8 @@ class WorkloadSpec:
         for shape in self.shapes:
             if shape not in SHAPES:
                 raise ValueError(f"unknown shape {shape!r}; expected one of {SHAPES}")
+        if self.drift_at is not None and not 1 <= self.drift_at <= self.requests:
+            raise ValueError("drift_at must be in [1, requests]")
 
     def expected_hit_rate(self) -> float:
         """The hit rate a correct cache must reach on this workload."""
@@ -86,6 +102,14 @@ def build_workload(spec: WorkloadSpec) -> Workload:
         program_spec = spec_for_shape(shape, gen_seed)
         generated = generate_program(program_spec)
         inputs = case_inputs(program_spec)
+        # The post-drift phase: tiny argument values collapse the masked
+        # loop bounds the generator derives from them, so loop trip
+        # counts (and with them the node-frequency distribution the
+        # artifacts were trained under) genuinely move.
+        drift_inputs = [
+            random_args(program_spec, seed=9000 + spec.seed + 31 * i + k, low=0, high=3)
+            for k in range(3)
+        ]
         base = CompileRequest(
             source=format_function(generated.func),
             variant=spec.variants[i % len(spec.variants)],
@@ -93,7 +117,11 @@ def build_workload(spec: WorkloadSpec) -> Workload:
             rounds=spec.rounds,
         )
         prepared = prepare(generated.func)
-        pool.append((base, {"prepared": prepared, "inputs": inputs[1:]}))
+        pool.append((base, {
+            "prepared": prepared,
+            "inputs": inputs[1:],
+            "drift_inputs": drift_inputs,
+        }))
 
     requests: list[CompileRequest] = []
     expected: list[tuple] = []
@@ -101,7 +129,8 @@ def build_workload(spec: WorkloadSpec) -> Workload:
     for j in range(spec.requests):
         i = j % spec.unique
         base, extra = pool[i]
-        ref_inputs = extra["inputs"]
+        drifted = spec.drift_at is not None and j >= spec.drift_at
+        ref_inputs = extra["drift_inputs"] if drifted else extra["inputs"]
         args = tuple(ref_inputs[(j // spec.unique) % len(ref_inputs)])
         requests.append(
             CompileRequest(

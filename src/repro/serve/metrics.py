@@ -13,7 +13,8 @@ from __future__ import annotations
 import threading
 
 #: Version of the exported metrics JSON layout.
-METRICS_SCHEMA = 1
+#: 2: adaptation counters (live profiles, drift, hot swaps, tiering).
+METRICS_SCHEMA = 2
 
 #: Histogram bucket upper bounds in seconds (log-spaced, the usual
 #: serving-latency decades), plus an implicit +inf bucket.
@@ -37,6 +38,15 @@ COUNTERS = (
     "errors",            # requests that failed outright (bad input, run error)
     "evictions",         # in-memory LRU evictions
     "disk_corrupt",      # on-disk artifacts dropped as unreadable
+    # -- adaptation tier (repro.serve.adapt) ---------------------------
+    "live_samples",      # served runs folded into a live profile
+    "tier_interp",       # requests served by the tier-0 interpreter
+    "drift_events",      # drift-detector firings (live vs compile profile)
+    "recompiles",        # background builds the adaptation tier scheduled
+    "hot_swaps",         # artifact bindings atomically replaced
+    "tier_promotions",   # interpreter -> compiled-artifact promotions
+    "tier_demotions",    # compiled-artifact -> interpreter demotions
+    "rollbacks",         # hot swaps undone to the previous artifact
 )
 
 __all__ = [

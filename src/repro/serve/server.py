@@ -31,13 +31,18 @@ from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serve.adapt.manager import AdaptConfig
 
 from repro.ir.function import Function
 from repro.lang.parser import parse_function
 from repro.pipeline import ENGINES, PipelineConfig, compile_variant, make_runner, prepare
 from repro.profiles.compiled import compile_function
 from repro.profiles.interp import InterpreterError, RunResult, run_function
-from repro.serve.keys import artifact_key
+from repro.profiles.profile import ExecutionProfile
+from repro.serve.keys import artifact_key, structural_key
 from repro.serve.metrics import ServeMetrics
 from repro.serve.store import Artifact, ArtifactStore
 
@@ -144,6 +149,7 @@ def build_artifact(
     key: str,
     engine: str = "compiled",
     train_args: tuple[int, ...] | None = None,
+    profile: ExecutionProfile | None = None,
     max_steps: int = DEFAULT_MAX_STEPS,
 ) -> Artifact:
     """Cold-build one artifact: train, optimise, lower.  Pure — no cache.
@@ -151,22 +157,31 @@ def build_artifact(
     This is the single definition of "what a cache miss computes"; the
     server and the ``cache`` consistency oracle share it, so whatever a
     warm hit returns is byte-comparable against a fresh call of this.
-    Compile failures degrade to the prepared function on the reference
-    interpreter rather than raising: a served answer must exist for every
-    well-formed program.
+    Profile-guided configs take either ``train_args`` (intensional: a
+    training run on *engine* produces the profile) or an explicit
+    ``profile`` (extensional — the adaptation tier passes its live
+    snapshot here).  Compile failures degrade to the prepared function on
+    the reference interpreter rather than raising: a served answer must
+    exist for every well-formed program.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
-    profile = None
-    if config.needs_profile:
+    if profile is not None and train_args is not None:
+        raise ValueError("pass either train_args or profile, not both")
+    train_profile = profile if config.needs_profile else None
+    if config.needs_profile and train_profile is None:
         if train_args is None:
             raise ValueError(
-                f"variant {config.variant!r} is profile-guided and needs train_args"
+                f"variant {config.variant!r} is profile-guided and needs "
+                "train_args or an explicit profile"
             )
         runner = make_runner(engine)
-        profile = runner(prepared, list(train_args), max_steps).profile
+        train_profile = runner(prepared, list(train_args), max_steps).profile
+    train_node_freq = (
+        dict(train_profile.node_freq) if train_profile is not None else None
+    )
     try:
-        compiled = compile_variant(prepared, profile=profile, config=config)
+        compiled = compile_variant(prepared, profile=train_profile, config=config)
     except Exception as exc:  # noqa: BLE001 - degrade, never fail the request
         return Artifact(
             key=key,
@@ -177,6 +192,7 @@ def build_artifact(
             report=None,
             degraded=True,
             degraded_reason=f"{type(exc).__name__}: {exc}",
+            train_node_freq=train_node_freq,
         )
     program = compile_function(compiled.func) if engine == "compiled" else None
     report = compiled.report.to_dict() if compiled.report is not None else None
@@ -187,6 +203,7 @@ def build_artifact(
         func=compiled.func,
         program=program,
         report=report,
+        train_node_freq=train_node_freq,
     )
 
 
@@ -223,6 +240,7 @@ class CompileService:
         max_workers: int = 4,
         timeout_s: float = DEFAULT_TIMEOUT_S,
         build: Callable[..., Artifact] | None = None,
+        adapt: "AdaptConfig | None" = None,
     ) -> None:
         self.store = store or ArtifactStore()
         self.metrics = metrics or ServeMetrics()
@@ -236,8 +254,17 @@ class CompileService:
         )
         self._inflight: dict[str, _Flight] = {}
         self._inflight_lock = threading.Lock()
+        #: The online re-optimisation tier (docs/SERVING.md "Adaptation").
+        #: ``None`` keeps the classic compile-on-miss behaviour.
+        self.adapt = None
+        if adapt is not None:
+            from repro.serve.adapt.manager import AdaptationManager
+
+            self.adapt = AdaptationManager(adapt, self)
 
     def close(self) -> None:
+        if self.adapt is not None:
+            self.adapt.close()
         self._executor.shutdown(wait=True)
 
     def __enter__(self) -> "CompileService":
@@ -274,6 +301,8 @@ class CompileService:
         # key, the build and the artifact's report all see the concrete
         # solver the classifier picked.
         config = config.resolved(prepared)
+        if self.adapt is not None:
+            return self._handle_adaptive(request, prepared, config)
         key = artifact_key(
             prepared,
             config,
@@ -332,6 +361,83 @@ class CompileService:
         )
 
     # ------------------------------------------------------------------
+    def _handle_adaptive(
+        self,
+        request: CompileRequest,
+        prepared: Function,
+        config: PipelineConfig,
+    ) -> ServeResponse:
+        """Serve one request through the tiered adaptation loop.
+
+        Identity is the *structural* key (profile excluded): all traffic
+        for one (program, config, engine) shares a live profile and one
+        hot-swappable artifact binding.  An unbound key serves on the
+        reference interpreter over the prepared function (tier 0,
+        profiling for free); a bound key serves the pinned artifact.
+        The binding read is a single reference load of an immutable
+        object, so a request racing a hot swap sees the old artifact or
+        the new one — never a mixture — and never blocks on the swap.
+        """
+        skey = structural_key(prepared, config, engine=request.engine)
+        state = self.adapt.state_for(
+            skey, prepared, config, request.engine, request.max_steps
+        )
+        binding = state.binding  # atomic snapshot; may hot-swap underneath
+        t_exec = time.perf_counter()
+        if binding is None:
+            self.metrics.inc("tier_interp")
+            served_by, key = "interp", skey
+            degraded = False
+            try:
+                result = run_function(
+                    prepared, list(request.args), max_steps=request.max_steps
+                )
+            except InterpreterError as exc:
+                self.metrics.inc("errors")
+                return ServeResponse(
+                    status="error",
+                    served_by=served_by,
+                    key=key,
+                    variant=config.variant,
+                    error=f"InterpreterError: {exc}",
+                )
+            self.adapt.record_interp(state, result)
+        else:
+            self.metrics.inc("hits_memory")
+            served_by, key = "memory", binding.key
+            artifact = binding.artifact
+            degraded = artifact.degraded
+            try:
+                result = execute_artifact(
+                    artifact, request.args, request.max_steps
+                )
+            except InterpreterError as exc:
+                self.metrics.inc("errors")
+                return ServeResponse(
+                    status="error",
+                    served_by=served_by,
+                    key=key,
+                    variant=config.variant,
+                    degraded=degraded,
+                    error=f"InterpreterError: {exc}",
+                )
+            self.adapt.record_served(state, artifact, result)
+        execute_s = time.perf_counter() - t_exec
+        self.metrics.observe("execute_s", execute_s)
+        return ServeResponse(
+            status="ok",
+            served_by=served_by,
+            key=key,
+            variant=config.variant,
+            degraded=degraded,
+            return_value=result.return_value,
+            output=tuple(result.output),
+            dynamic_cost=result.dynamic_cost,
+            steps=result.steps,
+            timings={"execute_s": execute_s},
+        )
+
+    # ------------------------------------------------------------------
     def _build_single_flight(
         self,
         key: str,
@@ -358,7 +464,18 @@ class CompileService:
             return flight.artifact, "coalesced"
 
         self.metrics.inc("misses")
-        future = self._executor.submit(self._run_build, key, config, request, prepared)
+
+        def thunk() -> Artifact:
+            return self._build(
+                prepared,
+                config,
+                key=key,
+                engine=request.engine,
+                train_args=request.train_args,
+                max_steps=request.max_steps,
+            )
+
+        future = self._executor.submit(self._run_build, key, flight, thunk)
         try:
             artifact = future.result(timeout=max(0.0, deadline - time.perf_counter()))
         except FutureTimeout:
@@ -366,6 +483,35 @@ class CompileService:
             # flight and populates the cache for later requests.
             return None, "compile"
         return artifact, "compile"
+
+    def build_keyed(
+        self,
+        key: str,
+        thunk: Callable[[], Artifact],
+        timeout: float | None = None,
+    ) -> Artifact | None:
+        """Single-flight build of *key* from an arbitrary build thunk.
+
+        The shared dedup entry point: the request path and the
+        adaptation tier's background recompiles both route through the
+        same in-flight table, so two paths racing on one content key
+        still compile exactly once.  The leader runs *thunk* on the
+        calling thread (callers are already on a worker); followers wait
+        for the leader's artifact (``None`` only on a timed-out wait).
+        """
+        with self._inflight_lock:
+            flight = self._inflight.get(key)
+            leader = flight is None
+            if leader:
+                flight = _Flight()
+                self._inflight[key] = flight
+        if not leader:
+            if not flight.done.wait(timeout=timeout):
+                return None
+            if flight.error is not None:
+                raise flight.error
+            return flight.artifact
+        return self._run_build(key, flight, thunk)
 
     def _sync_disk_corrupt(self) -> None:
         """Mirror the disk store's corruption count into the metrics."""
@@ -377,24 +523,16 @@ class CompileService:
     def _run_build(
         self,
         key: str,
-        config: PipelineConfig,
-        request: CompileRequest,
-        prepared: Function,
+        flight: _Flight,
+        thunk: Callable[[], Artifact],
     ) -> Artifact:
-        """The leader's build, run on the executor so it can outlive a
-        timed-out request.  Resolves the flight and fills the cache."""
-        flight = self._inflight[key]
+        """The leader's build (request path: on the executor, so it can
+        outlive a timed-out request; adapt path: on the manager's worker).
+        Resolves the flight and fills the cache."""
         t0 = time.perf_counter()
         try:
             self.metrics.inc("compiles")
-            artifact = self._build(
-                prepared,
-                config,
-                key=key,
-                engine=request.engine,
-                train_args=request.train_args,
-                max_steps=request.max_steps,
-            )
+            artifact = thunk()
             if artifact.degraded:
                 self.metrics.inc("compile_failures")
             self.metrics.observe("compile_s", time.perf_counter() - t0)

@@ -39,7 +39,9 @@ from repro.profiles.compiled import CompiledProgram
 #: Version of the pickled artifact layout.  Bump on any incompatible
 #: change to :class:`Artifact`; old files then read as corrupt (a miss)
 #: instead of deserialising into a lie.
-ARTIFACT_SCHEMA = 1
+#: 2: ``train_node_freq`` (the node profile the optimiser trained on,
+#:    kept as the drift baseline for the adaptation tier).
+ARTIFACT_SCHEMA = 2
 
 __all__ = [
     "ARTIFACT_SCHEMA",
@@ -71,6 +73,10 @@ class Artifact:
     degraded: bool = False
     #: Why the artifact is degraded (repr of the compile error).
     degraded_reason: str | None = None
+    #: Node frequencies of the profile this artifact was optimised under
+    #: (``None`` for profile-free variants).  The adaptation tier scores
+    #: live traffic against exactly this baseline to detect drift.
+    train_node_freq: dict[str, int] | None = None
     schema: int = ARTIFACT_SCHEMA
     #: Pickled size in bytes; computed on first use (see ``nbytes``).
     _nbytes: int | None = field(default=None, repr=False, compare=False)

@@ -18,7 +18,8 @@ import pytest
 
 #: The documented BENCH.json schema (docs/PERF.md).  v2 added the
 #: "iterative" section; v3 added "serving"; v4 added "solver_scaling",
-#: the top-level "solver" knob and the serving solver=auto pin.
+#: the top-level "solver" knob and the serving solver=auto pin; v5
+#: added the serving "adaptation" block.
 BENCH_KEYS = {
     "schema", "quick", "repeat", "solver", "python", "platform",
     "execution", "compile", "iterative", "solver_scaling", "serving",
@@ -27,7 +28,14 @@ BENCH_KEYS = {
 SERVING_KEYS = {
     "requests", "unique", "cold_s", "warm_s", "cold_auto_s", "auto_ok",
     "speedup", "min_speedup", "equivalent", "hit_rate",
-    "expected_hit_rate", "mismatches", "load_rps", "coalescing", "ok",
+    "expected_hit_rate", "mismatches", "load_rps", "coalescing",
+    "adaptation", "ok",
+}
+ADAPTATION_KEYS = {
+    "warmup", "threshold", "min_samples", "promotions", "drift_events",
+    "recompiles", "hot_swaps", "generation", "requests_during_recompile",
+    "blocked_request_max_s", "promoted", "non_blocking_ok", "swapped",
+    "swap_identical", "wall_s", "ok",
 }
 SOLVER_SCALING_ROW_KEYS = {
     "kills", "blocks", "classes_solved", "largest_phis",
@@ -152,6 +160,22 @@ class TestCli:
         # The solver=auto cold-request pin (schema v4).
         assert serving["auto_ok"] is True
         assert serving["cold_auto_s"] > 0
+        # The adaptation block (schema v5): interpreter warmup must
+        # promote, the stalled drift recompile must block no requests,
+        # and the hot-swapped artifact must be bit-identical to a
+        # from-scratch build under the recorded live profile.
+        adaptation = serving["adaptation"]
+        assert set(adaptation) == ADAPTATION_KEYS
+        assert adaptation["ok"] is True
+        assert adaptation["promoted"] is True
+        assert adaptation["non_blocking_ok"] is True
+        assert adaptation["swapped"] is True
+        assert adaptation["swap_identical"] is True
+        assert adaptation["promotions"] >= 1
+        assert adaptation["drift_events"] >= 1
+        assert adaptation["hot_swaps"] >= 1
+        assert adaptation["generation"] >= 2
+        assert adaptation["blocked_request_max_s"] < serving["cold_s"]
 
     def test_maxflow_section(self, bench):
         _, data = bench

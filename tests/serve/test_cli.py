@@ -55,6 +55,58 @@ class TestLoad:
         assert data["counters"]["requests"] == 6
 
 
+class TestAdaptLoad:
+    def test_phase_shift_drives_a_hot_swap_end_to_end(self, capsys):
+        rc = main([
+            "load", "--adapt", "--requests", "160", "--unique", "4",
+            "--drift-at", "80", "--warmup", "3",
+            "--drift-threshold", "0.1", "--min-samples", "8",
+            "--min-hot-swaps", "1", "--min-promotions", "1", "--json",
+        ])
+        data = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert data["mismatches"] == 0
+        adaptation = data["adaptation"]
+        assert adaptation["drained"]
+        assert adaptation["tier_promotions"] >= 1
+        assert adaptation["drift_events"] >= 1
+        assert adaptation["hot_swaps"] >= 1
+        assert adaptation["post_swap_mismatches"] == 0
+        assert adaptation["post_swap_verified"] == 4
+        generations = [row["generation"] for row in adaptation["keys"]]
+        assert max(generations) >= 2
+
+    def test_stationary_adaptive_load_promotes_without_swapping(self, capsys):
+        rc = main([
+            "load", "--adapt", "--requests", "24", "--unique", "2",
+            "--warmup", "2", "--min-promotions", "1", "--json",
+        ])
+        data = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert data["mismatches"] == 0
+        assert data["adaptation"]["tier_promotions"] >= 1
+        assert data["adaptation"]["hot_swaps"] == 0
+
+    def test_swap_gates_require_adapt(self, capsys):
+        rc = main([
+            "load", "--requests", "4", "--unique", "2", "--min-hot-swaps", "1",
+        ])
+        assert rc == 1
+        assert "require --adapt" in capsys.readouterr().err
+
+    def test_metrics_dump_leaves_a_final_snapshot(self, tmp_path, capsys):
+        path = tmp_path / "live-metrics.json"
+        rc = main([
+            "load", "--adapt", "--requests", "10", "--unique", "2",
+            "--metrics-dump", str(path), "--metrics-dump-every", "0.05",
+        ])
+        assert rc == 0
+        data = json.loads(path.read_text())
+        assert data["schema"] == METRICS_SCHEMA
+        for counter in ("live_samples", "hot_swaps", "tier_promotions"):
+            assert counter in data["counters"]
+
+
 class TestServeStdio:
     def _serve(self, monkeypatch, lines):
         monkeypatch.setattr(

@@ -20,6 +20,9 @@ COUNTER_NAMES = {
     "requests", "hits_memory", "hits_disk", "misses", "coalesced",
     "compiles", "compile_failures", "degraded", "timeouts", "errors",
     "evictions", "disk_corrupt",
+    # Adaptation-tier counters (schema 2; docs/SERVING.md "Adaptation").
+    "live_samples", "tier_interp", "drift_events", "recompiles",
+    "hot_swaps", "tier_promotions", "tier_demotions", "rollbacks",
 }
 
 
