@@ -45,7 +45,13 @@ from repro.profiles.interp import RunResult, run_function
 #: "adaptation" block: the online re-optimisation loop gated on
 #: promotion, non-blocking drift recompiles, >=1 hot swap, and
 #: post-swap bit-identity vs a from-scratch build (metrics schema 2).
-BENCH_SCHEMA_VERSION = 5
+#: v6 added the serving section's "cluster" block: the sharded
+#: multi-process cluster driven open-loop, gated on aggregate RPS >=
+#: 3x the single-process pin at 4 workers, a p99 latency bound, zero
+#: mismatches, and a cross-process cold-key race compiling exactly
+#: once (metrics schema 3), plus the closed-loop report's
+#: latency/service_rps fields.
+BENCH_SCHEMA_VERSION = 6
 
 #: Step budget for the measured runs (matches the pipeline default).
 MAX_STEPS = 5_000_000
@@ -609,6 +615,151 @@ def bench_serving(
 
 
 # ----------------------------------------------------------------------
+# Cluster: sharded multi-process serving, driven open-loop.
+# ----------------------------------------------------------------------
+
+#: Worker processes in the pinned cluster scenario.
+CLUSTER_WORKERS = 4
+
+#: Aggregate open-loop throughput the 4-worker cluster must sustain,
+#: as a multiple of the single-process closed-loop ``load_rps`` pin.
+CLUSTER_MIN_RPS_RATIO = 3.0
+
+#: Offered open-loop rate, as a multiple of the single-process pin:
+#: above the required ratio (the cluster must *sustain* it, not just be
+#: offered it) with margin below the cluster's measured ceiling.
+CLUSTER_OFFERED_RATIO = 3.6
+
+#: Hard p99 bound on the warm open-loop phase (coordinated-omission-
+#: free: measured from each request's scheduled arrival).
+CLUSTER_P99_MAX_S = 0.25
+
+
+def bench_cluster(load_rps: float, requests: int = 96, unique: int = 6) -> dict:
+    """The sharded serving cluster (docs/SERVING.md "Cluster"), gated.
+
+    Four workers behind the consistent-hash front end, sharing one disk
+    tier and one lock directory.  Three phases:
+
+    * **cold race** — the first pool request fired at every worker port
+      simultaneously (bypassing the ring): merged per-worker
+      ``compiles`` must rise by exactly 1, the losers must rehydrate
+      from disk, and all answers must agree;
+    * **warm pool** — each remaining unique key primed once through the
+      front end (ring routing + in-process single-flight: still one
+      compile per key);
+    * **open loop** — the full workload offered at
+      :data:`CLUSTER_OFFERED_RATIO` x the single-process ``load_rps``
+      pin on a seeded Poisson schedule.  Gates: achieved RPS >=
+      :data:`CLUSTER_MIN_RPS_RATIO` x the pin, CO-free p99 <=
+      :data:`CLUSTER_P99_MAX_S`, zero mismatches/errors/timeouts, and
+      total compiles == the unique pool (exactly one compile per cold
+      key, cluster-wide).
+    """
+    import shutil
+    import tempfile
+
+    from repro.serve.cluster import Cluster, race_cold_key
+    from repro.serve.loadgen import (
+        TCPServiceClient,
+        WorkloadSpec,
+        build_workload,
+        run_open_loop,
+    )
+
+    spec = WorkloadSpec(requests=requests, unique=unique)
+    workload = build_workload(spec)
+    offered = max(50.0, CLUSTER_OFFERED_RATIO * load_rps)
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cluster-cache-")
+    lock_dir = tempfile.mkdtemp(prefix="repro-bench-cluster-locks-")
+    try:
+        with Cluster(
+            CLUSTER_WORKERS, cache_dir=cache_dir, lock_dir=lock_dir
+        ) as cluster:
+            first = workload.requests[0]
+            before = cluster.merged_metrics()["counters"]
+            answers = race_cold_key(
+                cluster.worker_ports(),
+                {
+                    "source": first.source,
+                    "args": list(first.args),
+                    "variant": first.variant,
+                    "rounds": first.rounds,
+                    "train_args": (
+                        list(first.train_args)
+                        if first.train_args is not None else None
+                    ),
+                },
+            )
+            after = cluster.merged_metrics()["counters"]
+            observables = {
+                (a.get("return_value"), tuple(a.get("output") or ()))
+                for a in answers
+            }
+            race = {
+                "clients": len(answers),
+                "compiles": after["compiles"] - before["compiles"],
+                "rehydrates": (
+                    after["lock_rehydrates"] - before["lock_rehydrates"]
+                ),
+                "agreed": len(observables) == 1,
+                "all_ok": all(a.get("status") == "ok" for a in answers),
+            }
+            race["ok"] = (
+                race["compiles"] == 1 and race["agreed"] and race["all_ok"]
+            )
+
+            with TCPServiceClient(cluster.host, cluster.port) as client:
+                for request in workload.requests[:unique]:
+                    client.handle(request)
+
+            report = run_open_loop(
+                cluster.host, cluster.port, workload,
+                rps=offered, seed=1,
+            )
+            merged = cluster.merged_metrics()
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+        shutil.rmtree(lock_dir, ignore_errors=True)
+
+    counters = merged["counters"]
+    ratio = round(report.achieved_rps / load_rps, 2) if load_rps else 0.0
+    clean = (
+        report.mismatches == 0
+        and report.errors == 0
+        and report.timeouts == 0
+    )
+    return {
+        "workers": CLUSTER_WORKERS,
+        "requests": requests,
+        "unique": unique,
+        "single_rps": round(load_rps, 2),
+        "offered_rps": round(offered, 2),
+        "achieved_rps": round(report.achieved_rps, 2),
+        "rps_ratio": ratio,
+        "min_rps_ratio": CLUSTER_MIN_RPS_RATIO,
+        "p99_s": report.latency["p99_s"],
+        "p99_max_s": CLUSTER_P99_MAX_S,
+        "mean_s": report.latency["mean_s"],
+        "max_in_flight": report.max_in_flight,
+        "mismatches": report.mismatches,
+        "errors": report.errors,
+        "timeouts": report.timeouts,
+        "compiles": counters["compiles"],
+        "plan_hits": counters["plan_hits"],
+        "lock_rehydrates": counters["lock_rehydrates"],
+        "race": race,
+        "ok": (
+            ratio >= CLUSTER_MIN_RPS_RATIO
+            and report.latency["p99_s"] <= CLUSTER_P99_MAX_S
+            and clean
+            and counters["compiles"] == unique
+            and race["ok"]
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
 # Adaptation: drift-triggered recompilation + hot swap, gated.
 # ----------------------------------------------------------------------
 
@@ -892,6 +1043,11 @@ def run_perf(
     adaptation = bench_adaptation()
     serving["adaptation"] = adaptation
     serving["ok"] = bool(serving["ok"] and adaptation["ok"])
+    cluster = bench_cluster(
+        serving["load_rps"], requests=36 if quick else 96
+    )
+    serving["cluster"] = cluster
+    serving["ok"] = bool(serving["ok"] and cluster["ok"])
     maxflow = bench_maxflow(sizes, repeat)
     return {
         "schema": BENCH_SCHEMA_VERSION,

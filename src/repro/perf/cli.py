@@ -112,6 +112,14 @@ def main(argv: list[str] | None = None) -> int:
               f"non_blocking={adaptation['non_blocking_ok']} "
               f"swap_identical={adaptation['swap_identical']} "
               f"(ok={adaptation['ok']})")
+        cluster = serving["cluster"]
+        print(f"serving:   cluster {cluster['achieved_rps']} req/s over "
+              f"{cluster['workers']} worker(s) "
+              f"({cluster['rps_ratio']}x single, gate "
+              f"{cluster['min_rps_ratio']}x), p99 {cluster['p99_s']}s "
+              f"(max {cluster['p99_max_s']}s), "
+              f"race compiles={cluster['race']['compiles']} "
+              f"(ok={cluster['ok']})")
         for row in payload["maxflow"]["networks"]:
             print(f"maxflow:   {row['nodes']}n/{row['edges']}e  "
                   f"dinic {row['dinic_s']}s  "

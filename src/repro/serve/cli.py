@@ -17,6 +17,14 @@ Two subcommands:
     exit when any answer mismatched the reference interpreter, any
     request errored, or the hit rate fell below ``--min-hit-rate``.
     This is the CI serving smoke job.
+
+Cluster mode (docs/SERVING.md, "Cluster"): ``serve --cluster N`` runs
+the sharded cluster — N worker processes behind the asyncio front end —
+instead of an in-process service, and ``load --cluster N`` stands up
+that cluster, drives the workload over TCP (closed loop, or open loop
+with ``--open-loop --rps R``), and gates on zero mismatches, the
+exactly-one-compile-per-cold-key invariant (merged per-worker
+``compiles`` == the workload's unique pool), and ``--p99-max``.
 """
 
 from __future__ import annotations
@@ -37,10 +45,13 @@ from repro.serve.adapt.drift import (
 )
 from repro.serve.adapt.tier import DEFAULT_WARMUP
 from repro.serve.loadgen import (
+    DEFAULT_MAX_CONNS,
     DEFAULT_VARIANTS,
+    TCPServiceClient,
     WorkloadSpec,
     build_workload,
     run_load,
+    run_open_loop,
 )
 from repro.serve.server import (
     DEFAULT_TIMEOUT_S,
@@ -67,7 +78,12 @@ def _make_service(args: argparse.Namespace) -> CompileService:
             min_samples=args.min_samples,
         )
     return CompileService(
-        store, max_workers=args.workers, timeout_s=args.timeout, adapt=adapt
+        store,
+        max_workers=args.workers,
+        timeout_s=args.timeout,
+        adapt=adapt,
+        lock_dir=getattr(args, "lock_dir", None),
+        plan_cache=getattr(args, "plan_cache", 0),
     )
 
 
@@ -129,6 +145,10 @@ def _handle_line(service: CompileService, line: str) -> dict:
         return {"status": "error", "error": f"bad JSON: {exc}"}
     if isinstance(data, dict) and data.get("cmd") == "metrics":
         return service.metrics.to_dict()
+    if isinstance(data, dict) and data.get("cmd") == "ping":
+        # Liveness probe for the cluster supervisor: cheap, no service
+        # state touched, so a wedged compile pool still answers.
+        return {"status": "ok", "pong": True}
     try:
         request = CompileRequest.from_dict(data)
     except (TypeError, ValueError) as exc:
@@ -174,7 +194,67 @@ def _write_metrics(service: CompileService, path: str | None) -> None:
         )
 
 
+class _ClusterMetricsProxy:
+    """Duck-types the ``service.metrics`` surface the dumper and the
+    final-snapshot writer read, backed by the cluster's merged view."""
+
+    def __init__(self, cluster) -> None:
+        self.metrics = self
+        self._cluster = cluster
+
+    def to_dict(self) -> dict:
+        return self._cluster.merged_metrics()
+
+
+def _start_cluster(args: argparse.Namespace, n_workers: int):
+    from repro.serve.cluster import Cluster
+    from repro.serve.cluster.frontend import DEFAULT_PLAN_CACHE
+
+    cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="repro-cluster-cache-")
+    lock_dir = args.lock_dir or tempfile.mkdtemp(prefix="repro-cluster-locks-")
+    return Cluster(
+        n_workers,
+        cache_dir=cache_dir,
+        lock_dir=lock_dir,
+        host=getattr(args, "host", "127.0.0.1"),
+        port=getattr(args, "port", None) or 0,
+        plan_cache=args.plan_cache or DEFAULT_PLAN_CACHE,
+        worker_threads=args.workers,
+    ).start()
+
+
+def _serve_cluster(args: argparse.Namespace) -> int:
+    cluster = _start_cluster(args, args.cluster)
+    dumper = None
+    try:
+        print(
+            f"cluster serving on {args.host}:{cluster.port} "
+            f"({args.cluster} workers)",
+            file=sys.stderr, flush=True,
+        )
+        proxy = _ClusterMetricsProxy(cluster)
+        if args.metrics_dump:
+            dumper = _MetricsDumper(
+                proxy, args.metrics_dump, args.metrics_dump_every
+            ).start()
+        try:
+            threading.Event().wait()  # serve until interrupted
+        except KeyboardInterrupt:
+            pass
+        if args.metrics_out:
+            Path(args.metrics_out).write_text(
+                json.dumps(cluster.merged_metrics(), indent=2) + "\n"
+            )
+    finally:
+        if dumper is not None:
+            dumper.stop()
+        cluster.stop()
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
+    if args.cluster:
+        return _serve_cluster(args)
     service = _make_service(args)
     dumper = None
     if args.metrics_dump:
@@ -216,6 +296,135 @@ def _post_drift_verification(service, workload) -> tuple[int, int]:
     return verified, mismatches
 
 
+def _load_cluster(args: argparse.Namespace, spec, workload) -> int:
+    """Drive the workload against a live cluster and gate on it."""
+    from repro.serve.cluster import race_cold_key
+
+    if args.open_loop and not args.rps:
+        print("--open-loop requires --rps", file=sys.stderr)
+        return 2
+    cluster = _start_cluster(args, args.cluster)
+    try:
+        race = None
+        if args.race_check:
+            # The cross-process cold-key race: the same cold request
+            # fired at every worker port simultaneously (bypassing the
+            # ring, which would collapse the race onto one worker).
+            # Exactly one compile must land cluster-wide.
+            before = cluster.merged_metrics()["counters"]
+            first = workload.requests[0]
+            answers = race_cold_key(
+                cluster.worker_ports(),
+                {
+                    "source": first.source,
+                    "args": list(first.args),
+                    "variant": first.variant,
+                    "rounds": first.rounds,
+                    "train_args": (
+                        list(first.train_args)
+                        if first.train_args is not None else None
+                    ),
+                },
+            )
+            after = cluster.merged_metrics()["counters"]
+            observables = {
+                (a.get("return_value"), tuple(a.get("output") or ()))
+                for a in answers
+            }
+            race = {
+                "clients": len(answers),
+                "all_ok": all(a.get("status") == "ok" for a in answers),
+                "agreed": len(observables) == 1,
+                "compiles": after["compiles"] - before["compiles"],
+                "rehydrates": (
+                    after["lock_rehydrates"] - before["lock_rehydrates"]
+                ),
+            }
+        if args.warm_pool:
+            # Prime every unique key once (the cold compiles) so the
+            # measured phase sees steady-state serving; without this an
+            # open-loop run charges the whole cold burst's queueing
+            # delay to the early requests' CO-free latency.
+            with TCPServiceClient(cluster.host, cluster.port) as client:
+                for request in workload.requests[:spec.unique]:
+                    client.handle(request)
+        if args.open_loop:
+            report = run_open_loop(
+                cluster.host, cluster.port, workload,
+                rps=args.rps, seed=args.seed, max_conns=args.max_conns,
+                timeout=args.timeout,
+            )
+        else:
+            with TCPServiceClient(cluster.host, cluster.port) as client:
+                report, _responses = run_load(client, workload, jobs=args.jobs)
+        merged = cluster.merged_metrics()
+        if args.metrics_out:
+            Path(args.metrics_out).write_text(
+                json.dumps(merged, indent=2) + "\n"
+            )
+    finally:
+        cluster.stop()
+
+    payload = report.to_dict()
+    payload["cluster"] = merged["cluster"]
+    payload["merged_counters"] = merged["counters"]
+    if race is not None:
+        payload["race"] = race
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        p99 = report.latency.get("p99_s", 0.0)
+        rps = getattr(report, "achieved_rps", None) or report.rps
+        print(
+            f"cluster load: {report.requests} request(s), {report.ok} ok, "
+            f"{report.errors} error(s), {report.mismatches} mismatch(es)"
+        )
+        print(
+            f"cluster load: {rps:.1f} req/s, p99 {p99 * 1000:.1f}ms, "
+            f"compiles {merged['counters']['compiles']} "
+            f"(pool of {spec.unique})"
+        )
+        if race is not None:
+            print(
+                f"cluster load: cold race compiles={race['compiles']} "
+                f"rehydrates={race['rehydrates']} agreed={race['agreed']}"
+            )
+
+    failures = []
+    if report.mismatches:
+        failures.append(f"{report.mismatches} mismatch(es) vs reference")
+    if report.errors:
+        failures.append(f"{report.errors} error response(s)")
+    if report.timeouts:
+        failures.append(f"{report.timeouts} timeout(s)")
+    # Exactly one compile per cold key, cluster-wide: ring routing plus
+    # cross-process single-flight must never duplicate a build.  The
+    # race check adds one extra key compiled outside the pool count
+    # only if request[0]'s key was re-raced; it is pool key 0, so the
+    # total stays spec.unique.
+    compiles = merged["counters"]["compiles"]
+    if compiles != spec.unique:
+        failures.append(
+            f"{compiles} compile(s) across workers for {spec.unique} "
+            "unique key(s)"
+        )
+    if args.p99_max and report.latency.get("p99_s", 0.0) > args.p99_max:
+        failures.append(
+            f"p99 {report.latency['p99_s']:.4f}s > bound {args.p99_max:g}s"
+        )
+    if race is not None:
+        if not race["all_ok"] or not race["agreed"]:
+            failures.append("cold-key race answers disagreed")
+        if race["compiles"] != 1:
+            failures.append(
+                f"cold-key race compiled {race['compiles']} time(s), not 1"
+            )
+    if failures:
+        print("CLUSTER GATE FAILURE: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_load(args: argparse.Namespace) -> int:
     spec = WorkloadSpec(
         requests=args.requests,
@@ -226,6 +435,8 @@ def cmd_load(args: argparse.Namespace) -> int:
         drift_at=args.drift_at,
     )
     workload = build_workload(spec)
+    if args.cluster:
+        return _load_cluster(args, spec, workload)
     service = _make_service(args)
     dumper = None
     if args.metrics_dump:
@@ -345,6 +556,20 @@ def _add_service_args(parser: argparse.ArgumentParser) -> None:
         help=f"per-request deadline in seconds (default {DEFAULT_TIMEOUT_S:g})",
     )
     parser.add_argument(
+        "--lock-dir", default=None, metavar="DIR",
+        help=(
+            "enable cross-process single-flight: per-key flock build "
+            "locks under DIR (share it, and --cache-dir, across workers)"
+        ),
+    )
+    parser.add_argument(
+        "--plan-cache", type=int, default=0, metavar="N",
+        help=(
+            "memoise up to N request plans (parsed/prepared/keyed "
+            "programs) per service; 0 disables (default)"
+        ),
+    )
+    parser.add_argument(
         "--metrics-out", default=None, metavar="PATH",
         help="write the final metrics snapshot as JSON to PATH",
     )
@@ -416,6 +641,13 @@ def main(argv: list[str] | None = None) -> int:
         "--host", default="127.0.0.1", metavar="H",
         help="bind address for --port (default 127.0.0.1)",
     )
+    serve.add_argument(
+        "--cluster", type=int, default=0, metavar="N",
+        help=(
+            "serve through the sharded cluster: N worker processes "
+            "behind the consistent-hash TCP front end (0 = in-process)"
+        ),
+    )
     serve.set_defaults(func=cmd_serve)
 
     load = sub.add_parser(
@@ -468,6 +700,50 @@ def main(argv: list[str] | None = None) -> int:
     load.add_argument(
         "--json", action="store_true",
         help="print the load report as JSON instead of a summary",
+    )
+    load.add_argument(
+        "--cluster", type=int, default=0, metavar="N",
+        help=(
+            "drive the workload against a live N-worker cluster over "
+            "TCP instead of an in-process service"
+        ),
+    )
+    load.add_argument(
+        "--open-loop", action="store_true",
+        help=(
+            "open-loop mode: arrivals follow a seeded Poisson schedule "
+            "at --rps, independent of server speed (needs --cluster)"
+        ),
+    )
+    load.add_argument(
+        "--rps", type=float, default=0.0, metavar="R",
+        help="offered request rate for --open-loop",
+    )
+    load.add_argument(
+        "--p99-max", type=float, default=0.0, metavar="S",
+        help="fail if p99 latency exceeds S seconds (0 = no gate)",
+    )
+    load.add_argument(
+        "--max-conns", type=int, default=DEFAULT_MAX_CONNS, metavar="N",
+        help=(
+            "open-loop connection-pool size "
+            f"(default {DEFAULT_MAX_CONNS})"
+        ),
+    )
+    load.add_argument(
+        "--warm-pool", action="store_true",
+        help=(
+            "prime every unique key once before the measured load, so "
+            "latency gates see steady-state serving (needs --cluster)"
+        ),
+    )
+    load.add_argument(
+        "--race-check", action="store_true",
+        help=(
+            "before the load, fire the first cold request at every "
+            "worker simultaneously and require exactly one compile "
+            "(needs --cluster)"
+        ),
     )
     load.set_defaults(func=cmd_load)
 

@@ -1,0 +1,29 @@
+"""Sharded serving cluster: TCP front end, hash ring, worker pool.
+
+The cluster tier scales :class:`repro.serve.server.CompileService`
+across processes (docs/SERVING.md, "Cluster"):
+
+* :mod:`repro.serve.cluster.ring` — consistent-hash routing so each
+  structural key has one owning worker and ring changes remap ~1/N of
+  the key space;
+* :mod:`repro.serve.cluster.locks` — ``flock``-based per-key build
+  locks extending single-flight across processes;
+* :mod:`repro.serve.cluster.worker` — worker subprocess lifecycle
+  (spawn, health check, restart on crash);
+* :mod:`repro.serve.cluster.frontend` — the asyncio TCP front end and
+  the :class:`Cluster` orchestrator.
+"""
+
+from repro.serve.cluster.frontend import Cluster, race_cold_key
+from repro.serve.cluster.locks import FileLock, KeyLockManager
+from repro.serve.cluster.ring import HashRing
+from repro.serve.cluster.worker import WorkerHandle
+
+__all__ = [
+    "Cluster",
+    "FileLock",
+    "HashRing",
+    "KeyLockManager",
+    "WorkerHandle",
+    "race_cold_key",
+]

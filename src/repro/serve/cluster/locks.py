@@ -1,0 +1,193 @@
+"""Per-key cross-process build locks (``flock`` + stale breaking).
+
+In-process single-flight (``CompileService._inflight``) coalesces
+concurrent compiles of one key inside one service.  Across worker
+processes that table does not exist, so two workers racing a cold key
+would both compile it.  The cluster closes the gap with per-key file
+locks in a shared directory:
+
+* a builder takes ``<lock_dir>/<key[:2]>/<key>.lock`` before compiling;
+* the race loser blocks on the same lock, and when it finally acquires
+  it the artifact is already on the shared disk tier — it *rehydrates*
+  instead of compiling (the re-check lives in
+  ``CompileService._run_build``);
+* ``flock`` locks die with their holder's fd, so a crashed worker frees
+  its lock automatically; a *hung* worker does not, which is what the
+  stale-breaking path is for: a waiter that finds the lock file's mtime
+  older than ``stale_after`` unlinks it and retries.
+
+The unlink/retry protocol is safe because every acquirer verifies,
+*after* winning ``flock``, that the path still names the inode it
+locked; a lock won on an unlinked or replaced inode is discarded and
+the acquire loop restarts.  Breaking has one benign TOCTOU window (a
+lock refreshed between the staleness ``stat`` and the ``unlink`` can be
+broken while live): the consequence is a duplicate compile, never a
+torn artifact — the disk tier's atomic rename already tolerates
+concurrent writers of the same key.
+"""
+
+from __future__ import annotations
+
+import fcntl
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Iterator, Optional
+
+#: How old (seconds since last mtime refresh) a lock file must be
+#: before a waiter may break it.  Far above any real compile (~0.1 s)
+#: so a live builder is never broken in practice.
+DEFAULT_STALE_AFTER_S = 10.0
+
+#: Polling interval while waiting on a held lock.
+DEFAULT_POLL_S = 0.01
+
+__all__ = [
+    "DEFAULT_POLL_S",
+    "DEFAULT_STALE_AFTER_S",
+    "FileLock",
+    "KeyLockManager",
+    "LockTimeout",
+]
+
+
+class LockTimeout(TimeoutError):
+    """Raised when :meth:`FileLock.acquire` exceeds its timeout."""
+
+
+class FileLock:
+    """One advisory ``flock`` lock, addressed by path.
+
+    Not reentrant and not thread-safe: use one instance per
+    acquire/release pair (``KeyLockManager.holding`` hands out fresh
+    instances).
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        stale_after: float = DEFAULT_STALE_AFTER_S,
+        poll_s: float = DEFAULT_POLL_S,
+        on_break: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.path = os.fspath(path)
+        self.stale_after = stale_after
+        self.poll_s = poll_s
+        self.on_break = on_break
+        self._fd: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def acquire(self, timeout: Optional[float] = None) -> None:
+        """Block until the lock is held (or raise :class:`LockTimeout`)."""
+        if self._fd is not None:
+            raise RuntimeError(f"lock {self.path!r} already held")
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            fd = os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except BlockingIOError:
+                os.close(fd)
+                self._break_if_stale()
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise LockTimeout(f"timed out waiting for {self.path!r}")
+                time.sleep(self.poll_s)
+                continue
+            if not self._path_is(fd):
+                # The file was unlinked (release or stale break) between
+                # our open and flock: we locked a dead inode.  Retry.
+                os.close(fd)
+                continue
+            os.ftruncate(fd, 0)
+            os.write(fd, f"{os.getpid()} {time.time():.6f}\n".encode())
+            self._fd = fd
+            return
+
+    def release(self) -> None:
+        fd, self._fd = self._fd, None
+        if fd is None:
+            return
+        try:
+            # Unlink only if the path still names our inode; a stale
+            # break may have replaced it with someone else's live lock.
+            if self._path_is(fd):
+                os.unlink(self.path)
+        finally:
+            os.close(fd)  # drops the flock
+
+    def locked(self) -> bool:
+        return self._fd is not None
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    # ------------------------------------------------------------------
+    def _path_is(self, fd: int) -> bool:
+        """Does ``self.path`` still name the inode behind ``fd``?"""
+        try:
+            return os.stat(self.path).st_ino == os.fstat(fd).st_ino
+        except FileNotFoundError:
+            return False
+
+    def _break_if_stale(self) -> None:
+        try:
+            age = time.time() - os.stat(self.path).st_mtime
+        except FileNotFoundError:
+            return
+        if age <= self.stale_after:
+            return
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            return  # another waiter broke it first
+        if self.on_break is not None:
+            self.on_break(self.path)
+
+
+class KeyLockManager:
+    """Per-key locks under one shared directory, sharded like the store.
+
+    Lock files live at ``<root>/<key[:2]>/<key>.lock`` so a busy
+    cluster's lock directory mirrors the disk tier's fan-out.  Safe to
+    share one manager across threads: every :meth:`lock` call returns a
+    fresh :class:`FileLock`.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        *,
+        stale_after: float = DEFAULT_STALE_AFTER_S,
+        poll_s: float = DEFAULT_POLL_S,
+        on_break: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.root = Path(root)
+        self.stale_after = stale_after
+        self.poll_s = poll_s
+        self.on_break = on_break
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def lock(self, key: str) -> FileLock:
+        shard = self.root / key[:2]
+        shard.mkdir(parents=True, exist_ok=True)
+        return FileLock(
+            shard / f"{key}.lock",
+            stale_after=self.stale_after,
+            poll_s=self.poll_s,
+            on_break=self.on_break,
+        )
+
+    @contextmanager
+    def holding(self, key: str, timeout: Optional[float] = None) -> Iterator[None]:
+        lock = self.lock(key)
+        lock.acquire(timeout=timeout)
+        try:
+            yield
+        finally:
+            lock.release()

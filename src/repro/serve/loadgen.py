@@ -25,6 +25,12 @@ under — the end-to-end driver for drift-triggered recompilation
 
 from __future__ import annotations
 
+import asyncio
+import dataclasses
+import json
+import random
+import socket
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -34,17 +40,26 @@ from repro.check.driver import SHAPES, case_inputs, spec_for_shape
 from repro.ir.printer import format_function
 from repro.pipeline import prepare
 from repro.profiles.interp import run_function
+from repro.serve.metrics import sample_percentile
 from repro.serve.server import CompileRequest, CompileService, ServeResponse
 
 DEFAULT_VARIANTS = ("mc-ssapre", "ssapre")
 
+#: Default connection-pool size for the open-loop client.
+DEFAULT_MAX_CONNS = 32
+
 __all__ = [
+    "DEFAULT_MAX_CONNS",
     "DEFAULT_VARIANTS",
+    "OpenLoopReport",
+    "TCPServiceClient",
     "WorkloadSpec",
     "Workload",
     "LoadReport",
     "build_workload",
+    "open_loop_schedule",
     "run_load",
+    "run_open_loop",
 ]
 
 
@@ -163,7 +178,20 @@ class LoadReport:
     hit_rate: float = 0.0
     expected_hit_rate: float = 0.0
     wall_s: float = 0.0
+    #: Wall-clock throughput: requests / wall_s.  In a closed loop this
+    #: conflates service time with client think time (the historical
+    #: bias the per-request latency fields below were added to expose);
+    #: kept as-is for BENCH.json compatibility.
     rps: float = 0.0
+    #: Per-request send->receive latency summary (seconds), measured
+    #: from individually recorded timestamps rather than the loop's
+    #: total wall time: p50/p95/p99/mean_s/max_s.
+    latency: dict = field(default_factory=dict)
+    #: Throughput implied by service time alone: requests / (total
+    #: in-service seconds / client threads).  >= rps, and the gap
+    #: between the two is exactly the client-side think time the old
+    #: single-number report hid.
+    service_rps: float = 0.0
     metrics: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
@@ -179,6 +207,8 @@ class LoadReport:
             "expected_hit_rate": round(self.expected_hit_rate, 4),
             "wall_s": round(self.wall_s, 6),
             "rps": round(self.rps, 2),
+            "latency": self.latency,
+            "service_rps": round(self.service_rps, 2),
             "metrics": self.metrics,
         }
 
@@ -193,22 +223,41 @@ def run_load(
 
     Responses come back in request order regardless of concurrency, so
     ``responses[i]`` always pairs with ``workload.expected[i]``.
+
+    Every request records its own send and receive timestamps: the
+    report's ``latency`` block and ``service_rps`` come from those,
+    while the historical ``rps`` stays requests-over-wall-time (which
+    in a closed loop includes the client's own think time between
+    requests).
     """
+
+    def timed_handle(request: CompileRequest) -> tuple[ServeResponse, float, float]:
+        send_t = time.perf_counter()
+        response = service.handle(request)
+        return response, send_t, time.perf_counter()
+
     start = time.perf_counter()
     if jobs <= 1:
-        responses = [service.handle(request) for request in workload.requests]
+        timed = [timed_handle(request) for request in workload.requests]
     else:
         with ThreadPoolExecutor(
             max_workers=jobs, thread_name_prefix="repro-loadgen"
         ) as pool:
-            responses = list(pool.map(service.handle, workload.requests))
+            timed = list(pool.map(timed_handle, workload.requests))
     wall = time.perf_counter() - start
 
+    responses = [response for response, _send, _recv in timed]
+    latencies = [recv - send for _response, send, recv in timed]
+    busy_s = sum(latencies)
     report = LoadReport(
         requests=len(responses),
         expected_hit_rate=workload.spec.expected_hit_rate(),
         wall_s=wall,
         rps=len(responses) / wall if wall > 0 else 0.0,
+        latency=latency_summary(latencies),
+        service_rps=(
+            len(responses) / (busy_s / max(1, jobs)) if busy_s > 0 else 0.0
+        ),
     )
     for response, expected in zip(responses, workload.expected):
         if response.status == "ok":
@@ -228,3 +277,296 @@ def run_load(
     report.hit_rate = service.metrics.hit_rate()
     report.metrics = service.metrics.to_dict()
     return report, responses
+
+
+def latency_summary(latencies: list[float]) -> dict:
+    """The pinned latency block: percentiles + mean/max, in seconds."""
+    if not latencies:
+        return {
+            "p50_s": 0.0, "p95_s": 0.0, "p99_s": 0.0,
+            "mean_s": 0.0, "max_s": 0.0,
+        }
+    return {
+        "p50_s": round(sample_percentile(latencies, 0.5), 6),
+        "p95_s": round(sample_percentile(latencies, 0.95), 6),
+        "p99_s": round(sample_percentile(latencies, 0.99), 6),
+        "mean_s": round(sum(latencies) / len(latencies), 6),
+        "max_s": round(max(latencies), 6),
+    }
+
+
+class TCPServiceClient:
+    """A ``CompileService``-shaped client over the JSON-lines protocol.
+
+    Exposes ``handle(request) -> ServeResponse`` and a ``metrics``
+    facade, so :func:`run_load` (and the CLI's gates) drive a remote
+    server — a single worker or the whole cluster front end — exactly
+    like an in-process service.  Connections are per-thread, so the
+    ``jobs`` fan-out in ``run_load`` maps to real concurrent sockets.
+    """
+
+    def __init__(
+        self, host: str, port: int, *, timeout: float = 120.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._local = threading.local()
+        self._conns: list[socket.socket] = []
+        self._conns_lock = threading.Lock()
+        self.metrics = _RemoteMetrics(self)
+
+    def _exchange(self, payload: dict) -> dict:
+        stream = getattr(self._local, "stream", None)
+        if stream is None:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            sock.settimeout(self.timeout)
+            stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+            self._local.stream = stream
+            with self._conns_lock:
+                self._conns.append(sock)
+        stream.write(json.dumps(payload) + "\n")
+        stream.flush()
+        line = stream.readline()
+        if not line:
+            raise ConnectionError(
+                f"server {self.host}:{self.port} closed the connection"
+            )
+        return json.loads(line)
+
+    def handle(self, request: CompileRequest) -> ServeResponse:
+        return ServeResponse.from_dict(
+            self._exchange(dataclasses.asdict(request))
+        )
+
+    def close(self) -> None:
+        with self._conns_lock:
+            conns, self._conns = self._conns, []
+        for sock in conns:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "TCPServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _RemoteMetrics:
+    """The slice of :class:`ServeMetrics` the load driver reads, served
+    by the remote end's in-band ``{"cmd": "metrics"}``."""
+
+    def __init__(self, client: TCPServiceClient) -> None:
+        self._client = client
+
+    def to_dict(self) -> dict:
+        return self._client._exchange({"cmd": "metrics"})
+
+    def hit_rate(self) -> float:
+        return float(self.to_dict()["hit_rate"])
+
+
+# ----------------------------------------------------------------------
+# Open-loop mode: arrivals follow a fixed schedule, never the server.
+
+def open_loop_schedule(n: int, rps: float, seed: int = 0) -> list[float]:
+    """Deterministic Poisson arrival offsets (seconds from start).
+
+    Exponential inter-arrival gaps at ``rps`` from a seeded PRNG: the
+    schedule is a pure function of ``(n, rps, seed)``, so a bench run
+    is replayable and two processes can agree on the offered load
+    without coordination.  The first arrival is at 0.
+    """
+    if n < 1:
+        return []
+    if rps <= 0:
+        raise ValueError(f"rps must be positive, got {rps}")
+    rng = random.Random(seed)
+    offsets = [0.0]
+    for _ in range(n - 1):
+        offsets.append(offsets[-1] + rng.expovariate(rps))
+    return offsets
+
+
+@dataclass
+class OpenLoopReport:
+    """Outcome of one open-loop run.
+
+    ``latency`` is **coordinated-omission-free**: each request's clock
+    starts at its *scheduled* arrival time, so time spent queueing for
+    a free connection — the signature of a server that cannot keep up —
+    is charged to the request, not silently dropped the way a closed
+    loop drops it.  ``service_latency`` (actual send -> receive) is
+    reported alongside so queue delay and service delay are separable.
+    """
+
+    requests: int
+    offered_rps: float
+    seed: int
+    ok: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    degraded: int = 0
+    mismatches: int = 0
+    served_by: dict[str, int] = field(default_factory=dict)
+    wall_s: float = 0.0
+    achieved_rps: float = 0.0
+    max_in_flight: int = 0
+    latency: dict = field(default_factory=dict)
+    service_latency: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "offered_rps": round(self.offered_rps, 2),
+            "seed": self.seed,
+            "ok": self.ok,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "degraded": self.degraded,
+            "mismatches": self.mismatches,
+            "served_by": dict(sorted(self.served_by.items())),
+            "wall_s": round(self.wall_s, 6),
+            "achieved_rps": round(self.achieved_rps, 2),
+            "max_in_flight": self.max_in_flight,
+            "latency": self.latency,
+            "service_latency": self.service_latency,
+        }
+
+
+def run_open_loop(
+    host: str,
+    port: int,
+    workload: Workload,
+    *,
+    rps: float,
+    seed: int = 0,
+    max_conns: int = DEFAULT_MAX_CONNS,
+    timeout: float = 120.0,
+) -> OpenLoopReport:
+    """Drive *workload* at a fixed offered rate against a TCP server.
+
+    Arrivals follow :func:`open_loop_schedule` regardless of how fast
+    the server answers; a request whose arrival time has passed is
+    dispatched immediately (it queues for one of ``max_conns`` pooled
+    connections if all are busy, and that wait is part of its CO-free
+    latency).  Differential checking is identical to the closed loop:
+    every ``ok`` answer is compared against the workload's reference
+    expectations.
+    """
+    return asyncio.run(
+        _open_loop_async(
+            host, port, workload,
+            rps=rps, seed=seed, max_conns=max_conns, timeout=timeout,
+        )
+    )
+
+
+async def _open_loop_async(
+    host: str,
+    port: int,
+    workload: Workload,
+    *,
+    rps: float,
+    seed: int,
+    max_conns: int,
+    timeout: float,
+) -> OpenLoopReport:
+    n = len(workload.requests)
+    schedule = open_loop_schedule(n, rps, seed)
+    loop = asyncio.get_event_loop()
+
+    pool: asyncio.Queue = asyncio.Queue()
+    conns = min(max_conns, n)
+    for _ in range(conns):
+        reader, writer = await asyncio.open_connection(host, port)
+        pool.put_nowait((reader, writer))
+
+    results: list[dict | None] = [None] * n
+    latencies = [0.0] * n            # scheduled arrival -> receive
+    service_latencies = [0.0] * n    # actual send -> receive
+    in_flight = 0
+    max_in_flight = 0
+    t0 = loop.time()
+
+    async def fire(i: int, scheduled: float, request: CompileRequest) -> None:
+        nonlocal in_flight, max_in_flight
+        in_flight += 1
+        max_in_flight = max(max_in_flight, in_flight)
+        try:
+            reader, writer = await pool.get()
+            try:
+                send_t = loop.time()
+                writer.write(
+                    (json.dumps(dataclasses.asdict(request)) + "\n").encode()
+                )
+                await writer.drain()
+                raw = await asyncio.wait_for(reader.readline(), timeout=timeout)
+                recv_t = loop.time()
+                if not raw:
+                    raise ConnectionError("server closed the connection")
+            finally:
+                pool.put_nowait((reader, writer))
+            results[i] = json.loads(raw)
+            latencies[i] = recv_t - (t0 + scheduled)
+            service_latencies[i] = recv_t - send_t
+        except (OSError, ValueError, asyncio.TimeoutError) as exc:
+            recv_t = loop.time()
+            results[i] = {
+                "status": "timeout" if isinstance(exc, asyncio.TimeoutError)
+                else "error",
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+            latencies[i] = recv_t - (t0 + scheduled)
+            service_latencies[i] = latencies[i]
+        finally:
+            in_flight -= 1
+
+    tasks = []
+    for i, (scheduled, request) in enumerate(zip(schedule, workload.requests)):
+        delay = (t0 + scheduled) - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(asyncio.ensure_future(fire(i, scheduled, request)))
+    await asyncio.gather(*tasks)
+    wall = loop.time() - t0
+
+    while not pool.empty():
+        _reader, writer = pool.get_nowait()
+        writer.close()
+
+    report = OpenLoopReport(
+        requests=n,
+        offered_rps=rps,
+        seed=seed,
+        wall_s=wall,
+        achieved_rps=n / wall if wall > 0 else 0.0,
+        max_in_flight=max_in_flight,
+        latency=latency_summary(latencies),
+        service_latency=latency_summary(service_latencies),
+    )
+    for data, expected in zip(results, workload.expected):
+        assert data is not None
+        status = data.get("status")
+        if status == "ok":
+            report.ok += 1
+            observable = (
+                data.get("return_value"), tuple(data.get("output") or ()),
+            )
+            if observable != expected:
+                report.mismatches += 1
+        elif status == "timeout":
+            report.timeouts += 1
+        else:
+            report.errors += 1
+        if data.get("degraded"):
+            report.degraded += 1
+        served_by = data.get("served_by")
+        if served_by is not None:
+            report.served_by[served_by] = report.served_by.get(served_by, 0) + 1
+    return report

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
@@ -126,6 +127,24 @@ class ServeResponse:
     def observable(self) -> tuple:
         return (self.return_value, tuple(self.output))
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServeResponse":
+        """Rebuild a response from its wire form (inverse of to_dict);
+        TCP clients use this to look exactly like an in-process service."""
+        return cls(
+            status=data.get("status", "error"),
+            served_by=data.get("served_by"),
+            key=data.get("key"),
+            variant=data.get("variant"),
+            degraded=bool(data.get("degraded", False)),
+            return_value=data.get("return_value"),
+            output=tuple(data.get("output") or ()),
+            dynamic_cost=data.get("dynamic_cost"),
+            steps=data.get("steps"),
+            error=data.get("error"),
+            timings=dict(data.get("timings") or {}),
+        )
+
     def to_dict(self) -> dict:
         return {
             "status": self.status,
@@ -221,12 +240,15 @@ def execute_artifact(
 class _Flight:
     """One in-flight build; waiters block on :attr:`done`."""
 
-    __slots__ = ("done", "artifact", "error")
+    __slots__ = ("done", "artifact", "error", "rehydrated")
 
     def __init__(self) -> None:
         self.done = threading.Event()
         self.artifact: Artifact | None = None
         self.error: BaseException | None = None
+        #: True when the cross-process lock was won *after* another
+        #: worker already published the artifact: no compile ran here.
+        self.rehydrated = False
 
 
 class CompileService:
@@ -241,6 +263,8 @@ class CompileService:
         timeout_s: float = DEFAULT_TIMEOUT_S,
         build: Callable[..., Artifact] | None = None,
         adapt: "AdaptConfig | None" = None,
+        lock_dir: str | None = None,
+        plan_cache: int = 0,
     ) -> None:
         self.store = store or ArtifactStore()
         self.metrics = metrics or ServeMetrics()
@@ -254,6 +278,31 @@ class CompileService:
         )
         self._inflight: dict[str, _Flight] = {}
         self._inflight_lock = threading.Lock()
+        #: Cross-process single-flight (docs/SERVING.md "Cluster"): when
+        #: several worker processes share one disk tier, per-key file
+        #: locks under ``lock_dir`` extend the in-flight table across
+        #: them — the race loser rehydrates from disk instead of
+        #: recompiling.  ``None`` (the default) keeps the classic
+        #: single-process behaviour.
+        self._locks = None
+        if lock_dir is not None:
+            from repro.serve.cluster.locks import KeyLockManager
+
+            self._locks = KeyLockManager(
+                lock_dir,
+                on_break=lambda _path: self.metrics.inc("lock_breaks"),
+            )
+        #: Bounded plan cache: memoises (source, config, engine,
+        #: train_args) -> (prepared function, resolved config, artifact
+        #: key), skipping parse/prepare/key on repeat requests.  Safe
+        #: because the pipeline never mutates its input function
+        #: (repro.pipeline docstring).  0 (the default) disables it so
+        #: the single-process latency pins keep measuring the full
+        #: request path; cluster workers turn it on, where hash routing
+        #: concentrates each program's traffic on its owning worker.
+        self._plan_cache_size = plan_cache
+        self._plans: OrderedDict[tuple, tuple] = OrderedDict()
+        self._plans_lock = threading.Lock()
         #: The online re-optimisation tier (docs/SERVING.md "Adaptation").
         #: ``None`` keeps the classic compile-on-miss behaviour.
         self.adapt = None
@@ -295,20 +344,12 @@ class CompileService:
 
     # ------------------------------------------------------------------
     def _handle(self, request: CompileRequest, t_start: float) -> ServeResponse:
-        config = request.config()  # validates variant/rounds/solver
-        prepared = prepare(parse_function(request.source))
-        # Resolve solver="auto" against the prepared function once: the
-        # key, the build and the artifact's report all see the concrete
-        # solver the classifier picked.
-        config = config.resolved(prepared)
         if self.adapt is not None:
+            config = request.config()  # validates variant/rounds/solver
+            prepared = prepare(parse_function(request.source))
+            config = config.resolved(prepared)
             return self._handle_adaptive(request, prepared, config)
-        key = artifact_key(
-            prepared,
-            config,
-            engine=request.engine,
-            train_args=request.train_args,
-        )
+        prepared, config, key = self._plan(request)
         deadline = t_start + self.timeout_s
 
         artifact, tier = self.store.get(key)
@@ -438,6 +479,56 @@ class CompileService:
         )
 
     # ------------------------------------------------------------------
+    def _plan(self, request: CompileRequest) -> tuple[Function, PipelineConfig, str]:
+        """Parse, prepare and key one request — memoised when the plan
+        cache is on.
+
+        The plan is everything about a request that does not depend on
+        its input vector: the prepared function, the solver-resolved
+        config and the artifact key.  On a warm service those three
+        dominate request latency (parse + SSA construction + normalized
+        printing ≈ 40x the artifact's execute time), so cluster workers
+        cache them per distinct (source, config, engine, train_args).
+        """
+        plan_key = (
+            request.source,
+            request.variant,
+            request.fold_constants,
+            request.cleanup,
+            request.rounds,
+            request.solver,
+            request.engine,
+            request.train_args,
+        )
+        if self._plan_cache_size:
+            with self._plans_lock:
+                plan = self._plans.get(plan_key)
+                if plan is not None:
+                    self._plans.move_to_end(plan_key)
+            if plan is not None:
+                self.metrics.inc("plan_hits")
+                return plan
+        config = request.config()  # validates variant/rounds/solver
+        prepared = prepare(parse_function(request.source))
+        # Resolve solver="auto" against the prepared function once: the
+        # key, the build and the artifact's report all see the concrete
+        # solver the classifier picked.
+        config = config.resolved(prepared)
+        key = artifact_key(
+            prepared,
+            config,
+            engine=request.engine,
+            train_args=request.train_args,
+        )
+        if self._plan_cache_size:
+            with self._plans_lock:
+                self._plans[plan_key] = (prepared, config, key)
+                self._plans.move_to_end(plan_key)
+                while len(self._plans) > self._plan_cache_size:
+                    self._plans.popitem(last=False)
+        return prepared, config, key
+
+    # ------------------------------------------------------------------
     def _build_single_flight(
         self,
         key: str,
@@ -482,7 +573,8 @@ class CompileService:
             # The build keeps running; when it lands it resolves the
             # flight and populates the cache for later requests.
             return None, "compile"
-        return artifact, "compile"
+        # Losing the cross-process race is a disk hit, not a compile.
+        return artifact, "disk" if flight.rehydrated else "compile"
 
     def build_keyed(
         self,
@@ -528,17 +620,30 @@ class CompileService:
     ) -> Artifact:
         """The leader's build (request path: on the executor, so it can
         outlive a timed-out request; adapt path: on the manager's worker).
-        Resolves the flight and fills the cache."""
-        t0 = time.perf_counter()
+        Resolves the flight and fills the cache.
+
+        With a lock directory configured, the build also holds the
+        cross-process file lock for *key*, and re-checks the shared
+        store once the lock is won: losing a cold-key race against
+        another worker means the artifact is already on disk, so this
+        process rehydrates instead of compiling a duplicate.
+        """
         try:
-            self.metrics.inc("compiles")
-            artifact = thunk()
-            if artifact.degraded:
-                self.metrics.inc("compile_failures")
-            self.metrics.observe("compile_s", time.perf_counter() - t0)
-            evicted = self.store.put(key, artifact)
-            if evicted:
-                self.metrics.inc("evictions", len(evicted))
+            if self._locks is None:
+                artifact = self._compile_into_store(key, thunk)
+            else:
+                with self._locks.holding(key):
+                    cached, _tier = self.store.get(key)
+                    if cached is not None:
+                        # The request still counted as a miss (both
+                        # cache tiers were empty at lookup), so in
+                        # cluster mode misses == compiles +
+                        # lock_rehydrates.
+                        self.metrics.inc("lock_rehydrates")
+                        flight.rehydrated = True
+                        artifact = cached
+                    else:
+                        artifact = self._compile_into_store(key, thunk)
             flight.artifact = artifact
             return artifact
         except BaseException as exc:
@@ -548,3 +653,15 @@ class CompileService:
             with self._inflight_lock:
                 self._inflight.pop(key, None)
             flight.done.set()
+
+    def _compile_into_store(self, key: str, thunk: Callable[[], Artifact]) -> Artifact:
+        t0 = time.perf_counter()
+        self.metrics.inc("compiles")
+        artifact = thunk()
+        if artifact.degraded:
+            self.metrics.inc("compile_failures")
+        self.metrics.observe("compile_s", time.perf_counter() - t0)
+        evicted = self.store.put(key, artifact)
+        if evicted:
+            self.metrics.inc("evictions", len(evicted))
+        return artifact

@@ -19,7 +19,8 @@ import pytest
 #: The documented BENCH.json schema (docs/PERF.md).  v2 added the
 #: "iterative" section; v3 added "serving"; v4 added "solver_scaling",
 #: the top-level "solver" knob and the serving solver=auto pin; v5
-#: added the serving "adaptation" block.
+#: added the serving "adaptation" block; v6 added the serving
+#: "cluster" block (sharded multi-process cluster, open-loop).
 BENCH_KEYS = {
     "schema", "quick", "repeat", "solver", "python", "platform",
     "execution", "compile", "iterative", "solver_scaling", "serving",
@@ -29,8 +30,15 @@ SERVING_KEYS = {
     "requests", "unique", "cold_s", "warm_s", "cold_auto_s", "auto_ok",
     "speedup", "min_speedup", "equivalent", "hit_rate",
     "expected_hit_rate", "mismatches", "load_rps", "coalescing",
-    "adaptation", "ok",
+    "adaptation", "cluster", "ok",
 }
+CLUSTER_KEYS = {
+    "workers", "requests", "unique", "single_rps", "offered_rps",
+    "achieved_rps", "rps_ratio", "min_rps_ratio", "p99_s", "p99_max_s",
+    "mean_s", "max_in_flight", "mismatches", "errors", "timeouts",
+    "compiles", "plan_hits", "lock_rehydrates", "race", "ok",
+}
+RACE_KEYS = {"clients", "compiles", "rehydrates", "agreed", "all_ok", "ok"}
 ADAPTATION_KEYS = {
     "warmup", "threshold", "min_samples", "promotions", "drift_events",
     "recompiles", "hot_swaps", "generation", "requests_during_recompile",
@@ -176,6 +184,27 @@ class TestCli:
         assert adaptation["hot_swaps"] >= 1
         assert adaptation["generation"] >= 2
         assert adaptation["blocked_request_max_s"] < serving["cold_s"]
+        # The cluster block (schema v6): four workers behind the
+        # consistent-hash front end must beat 3x the single-process
+        # closed-loop pin under an open-loop schedule, inside the p99
+        # bound, with exactly one compile per unique key cluster-wide
+        # and a cold-key race that compiles exactly once.
+        cluster = serving["cluster"]
+        assert set(cluster) == CLUSTER_KEYS
+        assert cluster["ok"] is True
+        assert cluster["workers"] >= 2
+        assert cluster["rps_ratio"] >= cluster["min_rps_ratio"]
+        assert cluster["p99_s"] <= cluster["p99_max_s"]
+        assert cluster["mismatches"] == 0
+        assert cluster["errors"] == 0
+        assert cluster["timeouts"] == 0
+        assert cluster["compiles"] == cluster["unique"]
+        race = cluster["race"]
+        assert set(race) == RACE_KEYS
+        assert race["ok"] is True
+        assert race["compiles"] == 1
+        assert race["clients"] == cluster["workers"]
+        assert race["rehydrates"] >= 1
 
     def test_maxflow_section(self, bench):
         _, data = bench

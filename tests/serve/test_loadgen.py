@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.serve.loadgen import WorkloadSpec, build_workload, run_load
+from repro.serve.loadgen import (
+    WorkloadSpec,
+    build_workload,
+    latency_summary,
+    open_loop_schedule,
+    run_load,
+)
 from repro.serve.server import CompileService
 
 
@@ -76,3 +82,65 @@ class TestRunLoad:
         data = json.loads(json.dumps(report.to_dict()))
         assert data["requests"] == 4
         assert data["metrics"]["schema"] >= 1
+
+
+class TestLatencyReporting:
+    """Satellite of the cluster PR: the closed-loop report separates
+    per-request latency (send -> recv) from the old busy-time ``rps``
+    (which under-charged queueing when jobs > 1)."""
+
+    def test_report_carries_latency_and_service_rps(self):
+        workload = build_workload(WorkloadSpec(requests=8, unique=2))
+        with CompileService() as service:
+            report, _ = run_load(service, workload, jobs=2)
+        data = report.to_dict()
+        assert set(data["latency"]) == {
+            "p50_s", "p95_s", "p99_s", "mean_s", "max_s"
+        }
+        assert 0 < data["latency"]["p50_s"] <= data["latency"]["max_s"]
+        assert data["latency"]["p50_s"] <= data["latency"]["p99_s"]
+        assert data["service_rps"] > 0
+        assert data["rps"] > 0  # the legacy field survives
+
+    def test_latency_summary_pins(self):
+        summary = latency_summary([0.1, 0.2, 0.3, 0.4])
+        assert summary["p50_s"] == pytest.approx(0.25)
+        assert summary["p95_s"] == pytest.approx(0.385)
+        assert summary["p99_s"] == pytest.approx(0.397)
+        assert summary["mean_s"] == pytest.approx(0.25)
+        assert summary["max_s"] == pytest.approx(0.4)
+
+    def test_latency_summary_of_nothing(self):
+        summary = latency_summary([])
+        assert summary == {
+            "p50_s": 0.0, "p95_s": 0.0, "p99_s": 0.0,
+            "mean_s": 0.0, "max_s": 0.0,
+        }
+
+
+class TestOpenLoopSchedule:
+    def test_deterministic_for_a_seed(self):
+        assert open_loop_schedule(50, 200.0, seed=7) == open_loop_schedule(
+            50, 200.0, seed=7
+        )
+        assert open_loop_schedule(50, 200.0, seed=7) != open_loop_schedule(
+            50, 200.0, seed=8
+        )
+
+    def test_starts_at_zero_and_is_monotonic(self):
+        schedule = open_loop_schedule(100, 500.0, seed=1)
+        assert schedule[0] == 0.0
+        assert schedule == sorted(schedule)
+        assert len(schedule) == 100
+
+    def test_mean_gap_matches_the_offered_rate(self):
+        rps = 400.0
+        schedule = open_loop_schedule(4000, rps, seed=3)
+        mean_gap = schedule[-1] / (len(schedule) - 1)
+        # Poisson arrivals: the sample mean of ~4k exponential gaps sits
+        # within a few percent of 1/rps.
+        assert mean_gap == pytest.approx(1.0 / rps, rel=0.1)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            open_loop_schedule(10, 0.0)

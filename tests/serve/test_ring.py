@@ -1,0 +1,125 @@
+"""Consistent-hash ring: stability under membership change, balance,
+cross-process determinism."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.serve.cluster.ring import DEFAULT_VNODES, HashRing, remap_fraction
+
+KEYS_1K = [f"artifact-key-{i:04d}" for i in range(1000)]
+
+
+class TestStability:
+    """The property the cluster's cache coherence rests on: membership
+    changes move ~1/N of the key space, not all of it."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 8])
+    def test_adding_a_worker_remaps_at_most_1_5_over_n(self, n):
+        nodes = [f"worker-{i}" for i in range(n)]
+        before = HashRing(nodes)
+        after = HashRing(nodes + [f"worker-{n}"])
+        fraction = remap_fraction(before, after, KEYS_1K)
+        # Ideal is 1/(n+1); 1.5/n is the pinned engineering bound.
+        assert fraction <= 1.5 / n
+        assert fraction > 0  # the new node does take ownership of keys
+
+    @pytest.mark.parametrize("n", [3, 4, 8])
+    def test_removing_a_worker_remaps_at_most_1_5_over_n(self, n):
+        nodes = [f"worker-{i}" for i in range(n)]
+        before = HashRing(nodes)
+        after = HashRing(nodes)
+        after.remove("worker-0")
+        fraction = remap_fraction(before, after, KEYS_1K)
+        assert fraction <= 1.5 / n
+
+    def test_only_keys_owned_by_the_removed_node_move(self):
+        ring = HashRing(["a", "b", "c"])
+        owned_by_c = [k for k in KEYS_1K if ring.route(k) == "c"]
+        shrunk = HashRing(["a", "b", "c"])
+        shrunk.remove("c")
+        for key in KEYS_1K:
+            if key in owned_by_c:
+                assert shrunk.route(key) in {"a", "b"}
+            else:
+                # Survivors keep every key they already owned.
+                assert shrunk.route(key) == ring.route(key)
+
+    def test_restart_preserves_ownership(self):
+        """A worker restart keeps its worker_id, so the rebuilt ring is
+        identical and nothing remaps."""
+        before = HashRing(["w0", "w1", "w2"])
+        after = HashRing(["w2", "w0", "w1"])  # construction order differs
+        assert remap_fraction(before, after, KEYS_1K) == 0.0
+
+
+class TestDeterminism:
+    def test_routing_is_deterministic_across_processes(self):
+        """sha256 routing must not depend on PYTHONHASHSEED: a fresh
+        interpreter with a different seed agrees on every owner."""
+        nodes = ["worker-0", "worker-1", "worker-2"]
+        keys = KEYS_1K[:50]
+        script = (
+            "import json, sys\n"
+            "from repro.serve.cluster.ring import HashRing\n"
+            f"ring = HashRing({nodes!r})\n"
+            f"print(json.dumps([ring.route(k) for k in {keys!r}]))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": "src", "PYTHONHASHSEED": "12345"},
+        )
+        local = HashRing(nodes)
+        assert json.loads(out.stdout) == [local.route(k) for k in keys]
+
+
+class TestBalance:
+    def test_every_node_owns_a_meaningful_share(self):
+        ring = HashRing(["w0", "w1", "w2", "w3"])
+        counts = {node: 0 for node in ring.nodes()}
+        for key in KEYS_1K:
+            counts[ring.route(key)] += 1
+        assert sum(counts.values()) == len(KEYS_1K)
+        for node, count in counts.items():
+            # Perfect balance is 250; 64 vnodes keeps every share
+            # within a loose 2x band of it.
+            assert 100 <= count <= 500, (node, counts)
+
+    def test_describe_reports_vnode_distribution(self):
+        ring = HashRing(["a", "b"])
+        info = ring.describe()
+        assert info["nodes"] == ["a", "b"]
+        assert info["vnodes"] == DEFAULT_VNODES
+        assert info["points"] == {"a": DEFAULT_VNODES, "b": DEFAULT_VNODES}
+
+
+class TestErrors:
+    def test_duplicate_add_raises(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ValueError, match="already on the ring"):
+            ring.add("a")
+
+    def test_remove_absent_raises(self):
+        with pytest.raises(KeyError):
+            HashRing(["a"]).remove("b")
+
+    def test_route_on_empty_ring_raises(self):
+        with pytest.raises(LookupError):
+            HashRing().route("k")
+
+    def test_vnodes_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+    def test_membership_protocol(self):
+        ring = HashRing(["a", "b"])
+        assert len(ring) == 2
+        assert "a" in ring and "c" not in ring
+        assert ring.nodes() == frozenset({"a", "b"})
+
+    def test_remap_fraction_of_no_keys_is_none(self):
+        ring = HashRing(["a"])
+        assert remap_fraction(ring, ring, []) is None

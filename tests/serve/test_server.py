@@ -286,3 +286,73 @@ class TestRequestParsing:
     def test_from_dict_requires_source(self):
         with pytest.raises(ValueError, match="missing 'source'"):
             CompileRequest.from_dict({"args": [1]})
+
+
+class TestPlanCache:
+    """The bounded plan cache (cluster workers): memoised
+    parse/prepare/key, off by default, LRU-bounded when on."""
+
+    def test_disabled_by_default(self, diamond_source):
+        with CompileService() as service:
+            request = CompileRequest(
+                source=diamond_source, args=(4, 5, 1), variant="ssapre"
+            )
+            service.handle(request)
+            service.handle(request)
+        assert service.metrics.get("plan_hits") == 0
+        assert len(service._plans) == 0
+
+    def test_repeat_requests_hit_the_plan_cache(self, diamond_source):
+        with CompileService(plan_cache=8) as service:
+            request = CompileRequest(
+                source=diamond_source, args=(4, 5, 1), variant="ssapre"
+            )
+            cold = service.handle(request)
+            warm = service.handle(request)
+            third = service.handle(request)
+        assert cold.status == warm.status == third.status == "ok"
+        assert service.metrics.get("plan_hits") == 2
+        # Memoising the plan must not change a single answer bit.
+        assert cold.key == warm.key == third.key
+        assert cold.observable() == warm.observable() == third.observable()
+        assert cold.dynamic_cost == warm.dynamic_cost
+
+    def test_distinct_configs_get_distinct_plans(self, diamond_source):
+        with CompileService(plan_cache=8) as service:
+            a = service.handle(CompileRequest(
+                source=diamond_source, args=(4, 5, 1), variant="ssapre"
+            ))
+            b = service.handle(CompileRequest(
+                source=diamond_source, args=(4, 5, 1), variant="ssapre",
+                fold_constants=True,
+            ))
+        assert a.status == b.status == "ok"
+        assert a.key != b.key
+        assert service.metrics.get("plan_hits") == 0
+        assert len(service._plans) == 2
+
+    def test_lru_bound_holds(self, diamond_source, loop_source):
+        with CompileService(plan_cache=1) as service:
+            r1 = CompileRequest(
+                source=diamond_source, args=(4, 5, 1), variant="ssapre"
+            )
+            r2 = CompileRequest(
+                source=loop_source, args=(2, 3, 5), variant="ssapre"
+            )
+            for request in (r1, r2, r1, r2):
+                assert service.handle(request).status == "ok"
+            assert len(service._plans) == 1
+        # Alternating two programs through a one-entry cache: every
+        # lookup after the first for each program evicts the other, so
+        # nothing ever hits.
+        assert service.metrics.get("plan_hits") == 0
+
+    def test_plan_hit_serves_from_memory_tier(self, diamond_source):
+        with CompileService(plan_cache=8) as service:
+            request = CompileRequest(
+                source=diamond_source, args=(4, 5, 1), variant="ssapre"
+            )
+            first = service.handle(request)
+            second = service.handle(request)
+        assert first.served_by == "compile"
+        assert second.served_by == "memory"

@@ -156,3 +156,78 @@ class TestArtifactStore:
         fresh = ArtifactStore.with_disk(tmp_path)
         assert fresh.get(key) == (None, None)
         assert fresh.disk_corrupt == 1
+
+
+class TestMultiprocessWrites:
+    """The disk tier under the cluster's write pattern: several worker
+    *processes* storing the same keys concurrently.  Atomic-rename puts
+    mean a reader never sees a torn pickle — no corruption, no
+    quarantine, every read is a complete artifact."""
+
+    WRITER = """
+import sys
+from repro.lang.parser import parse_function
+from repro.pipeline import PipelineConfig, prepare
+from repro.serve.keys import artifact_key
+from repro.serve.server import build_artifact
+from repro.serve.store import DiskStore
+
+root, source, variant, rounds_str = sys.argv[1:5]
+disk = DiskStore(root)
+prepared = prepare(parse_function(source))
+config = PipelineConfig(variant=variant)
+key = artifact_key(prepared, config, engine="compiled")
+artifact = build_artifact(prepared, config, key=key)
+print("ready", flush=True)
+sys.stdin.readline()  # barrier: the parent releases all writers at once
+for _ in range(int(rounds_str)):
+    disk.put(key, artifact)
+print("done", flush=True)
+"""
+
+    def test_concurrent_same_key_writers_never_corrupt(self, tmp_path):
+        import subprocess
+        import sys
+
+        from repro.ir.printer import format_function
+
+        source = format_function(build_diamond())
+        writers = [
+            subprocess.Popen(
+                [
+                    sys.executable, "-c", self.WRITER,
+                    str(tmp_path), source, "ssapre", "25",
+                ],
+                stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True,
+            )
+            for _ in range(4)
+        ]
+        for proc in writers:
+            assert proc.stdout.readline().strip() == "ready"
+        for proc in writers:  # release the barrier
+            proc.stdin.write("go\n")
+            proc.stdin.flush()
+
+        # Read continuously while the writers race each other.
+        disk = DiskStore(tmp_path)
+        keys_seen = set()
+        while any(proc.poll() is None for proc in writers):
+            for key in disk.keys():
+                got = disk.get(key)
+                if got is not None:
+                    keys_seen.add(key)
+        for proc in writers:
+            assert proc.stdout.readline().strip() == "done"
+            assert proc.wait() == 0
+
+        assert disk.corrupt == 0
+        assert len(keys_seen) == 1
+        (key,) = keys_seen
+        final = disk.get(key)
+        assert final is not None and final.key == key
+        # No quarantined files, no leaked temp files.
+        leftovers = [
+            p.name for p in tmp_path.rglob("*")
+            if p.is_file() and not p.name.endswith(DiskStore.SUFFIX)
+        ]
+        assert leftovers == []
