@@ -32,7 +32,8 @@ from dataclasses import dataclass
 
 from repro.ir.cfg import CFG
 from repro.ir.function import BasicBlock, Function
-from repro.ir.instructions import Assign, BinOp, UnaryOp
+from repro.ir.instructions import Assign, Store, is_expr_rhs
+from repro.ir.memory import store_kills_key
 from repro.ir.values import Var
 
 ExprKey = tuple
@@ -42,11 +43,14 @@ def expression_keys(func: Function) -> list[ExprKey]:
     """All lexical expression classes computed anywhere in *func*.
 
     Deterministic order: first appearance in block insertion order.
+    Includes load classes (``("load", ("arr", name), index_key)``); their
+    availability/anticipability is additionally killed by may-aliasing
+    stores, see :func:`compute_local_props`.
     """
     seen: dict[ExprKey, None] = {}
     for block in func:
         for stmt in block.body:
-            if isinstance(stmt, Assign) and isinstance(stmt.rhs, (BinOp, UnaryOp)):
+            if isinstance(stmt, Assign) and is_expr_rhs(stmt.rhs):
                 seen.setdefault(stmt.rhs.class_key(), None)
     return list(seen)
 
@@ -96,6 +100,11 @@ def compute_local_props(
     wanted = set(keys)
     if killed_by_name is None:
         killed_by_name = build_kill_index(keys)
+    # Load classes per array symbol, for store kill scans.
+    load_keys_by_array: dict[str, list[ExprKey]] = {}
+    for key in keys:
+        if key[0] == "load":
+            load_keys_by_array.setdefault(key[1][1], []).append(key)
 
     phi_kill: set[ExprKey] = set()
     for phi in block.phis:
@@ -105,9 +114,18 @@ def compute_local_props(
     antloc: set[ExprKey] = set()
     comp: set[ExprKey] = set()
     for stmt in block.body:
+        if isinstance(stmt, Store):
+            # A store kills every load class it may alias: downstream
+            # loads of that class are no longer redundant with upstream
+            # ones (the cell may have changed).
+            for key in load_keys_by_array.get(stmt.array, ()):
+                if store_kills_key(stmt.array, stmt.index, key):
+                    body_kill.add(key)
+                    comp.discard(key)
+            continue
         if not isinstance(stmt, Assign):
             continue
-        if isinstance(stmt.rhs, (BinOp, UnaryOp)):
+        if is_expr_rhs(stmt.rhs):
             key = stmt.rhs.class_key()
             if key in wanted:
                 if key not in body_kill:

@@ -53,8 +53,8 @@ from repro.ir.function import Function
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.passes.cache import AnalysisCache
-from repro.ir.instructions import Assign, BinOp, UnaryOp
-from repro.ir.ops import is_trapping
+from repro.ir.instructions import Assign, BinOp, Load, Store, UnaryOp, is_expr_rhs
+from repro.ir.memory import key_may_trap, store_kills_key
 from repro.ir.values import Var
 from repro.profiles.profile import ExecutionProfile
 
@@ -105,7 +105,7 @@ def run_mc_pre(
     cache = AnalysisCache.ensure(func, cache)
     result = MCPREResult()
     for key in expression_keys(func):
-        if is_trapping(key[0]):
+        if key_may_trap(key, func.arrays):
             result.skipped_trapping += 1
         _optimize_expression(func, key, profile, result, cache)
         if validate:
@@ -149,8 +149,11 @@ def _optimize_expression(
     # Trapping expressions may not be speculated: insertions are only
     # permitted where the expression is fully anticipated (down-safe), so
     # the min cut degenerates to the optimal *safe* placement, mirroring
-    # MC-SSAPRE's fallback to safe SSAPRE for such classes.
-    trapping = is_trapping(key[0])
+    # MC-SSAPRE's fallback to safe SSAPRE for such classes.  Loads with a
+    # provably in-bounds constant index cannot fault and are speculated
+    # freely — the same refinement MC-SSAPRE applies, keeping the two
+    # optimal algorithms count-identical.
+    trapping = key_may_trap(key, func.arrays)
     ant_in = {b for b in reachable if key in dataflow.ant_postphi[b]}
 
     network = FlowNetwork(SOURCE, SINK)
@@ -282,13 +285,13 @@ def apply_insertions_and_rewrite(
         for stmt in block.body:
             is_occ = (
                 isinstance(stmt, Assign)
-                and isinstance(stmt.rhs, (BinOp, UnaryOp))
+                and is_expr_rhs(stmt.rhs)
                 and stmt.rhs.class_key() == key
             )
             is_insert = (
                 isinstance(stmt, Assign)
                 and stmt.target == temp
-                and isinstance(stmt.rhs, (BinOp, UnaryOp))
+                and is_expr_rhs(stmt.rhs)
                 and stmt.rhs.class_key() == key
             )
             if is_insert:
@@ -308,6 +311,11 @@ def apply_insertions_and_rewrite(
                 new_body.append(stmt)
             if isinstance(stmt, Assign) and _kills(stmt.target, key):
                 available = False
+            elif isinstance(stmt, Store) and store_kills_key(
+                stmt.array, stmt.index, key
+            ):
+                # A may-aliasing store invalidates the saved load value.
+                available = False
         block.body = new_body
     result.insertions += len(insert_edges)
     result.reloads += reloads
@@ -322,7 +330,7 @@ def _find_rhs(func: Function, key: ExprKey):
         for stmt in block.body:
             if (
                 isinstance(stmt, Assign)
-                and isinstance(stmt.rhs, (BinOp, UnaryOp))
+                and is_expr_rhs(stmt.rhs)
                 and stmt.rhs.class_key() == key
             ):
                 return stmt.rhs
@@ -332,6 +340,8 @@ def _find_rhs(func: Function, key: ExprKey):
 def _clone_rhs(rhs):
     if isinstance(rhs, BinOp):
         return BinOp(rhs.op, rhs.left, rhs.right)
+    if isinstance(rhs, Load):
+        return Load(rhs.array, rhs.index)
     return UnaryOp(rhs.op, rhs.operand)
 
 

@@ -67,6 +67,22 @@ intermediates into shared temporaries, which is exactly the second-order
 redundancy the rank-ordered iterative worklist
 (:mod:`repro.core.worklist`) exists to chase.  All three knobs default
 to "off" and consume no randomness when off.
+
+Memory shape
+------------
+
+``arrays``/``mem_prob``/``store_density``/``alias_density``/``hot_loads``
+add array loads and stores over the conservative alias model of
+:mod:`repro.ir.memory`.  Array lengths are powers of two and every index
+is either a constant in ``[0, len)`` or a masked variable
+(``ax = x & (len-1)``), so generated programs never trap at runtime even
+though variable-index load *classes* are lexically may-trapping.  Hot
+load sites recur like hot expressions, creating partially redundant
+loads; stores may-alias a hot site with probability ``alias_density``,
+exercising the store-kill paths of every PRE variant.  Reusing
+``trapping_hot_prob`` makes a hot load use a masked variable index
+(safe-fallback class) instead of a constant one (speculatable class).
+All knobs default to "off" and consume no randomness when off.
 """
 
 from __future__ import annotations
@@ -124,6 +140,23 @@ class ProgramSpec:
     composite_prob: float = 0.0
     fp_flavor: bool = False
     stable_fraction: float = 0.5
+    # -- memory shape (all default-off: no arrays, no extra randomness) --
+    #: Number of declared arrays (0 = scalar-only program).
+    arrays: int = 0
+    #: log2 upper bound on array lengths; lengths are powers of two so a
+    #: masked index (``and x, len-1``) is in-bounds *by construction* —
+    #: generated programs never trap at runtime.
+    array_length_bits: int = 3
+    #: Probability that a computation statement is a memory access.
+    mem_prob: float = 0.0
+    #: Fraction of memory accesses that are stores.
+    store_density: float = 0.25
+    #: Probability that a store targets a hot load's exact location (a
+    #: may-alias kill of that load class) rather than a random cell.
+    alias_density: float = 0.5
+    #: Number of recurring hot (array, index) load sites — the memory
+    #: analogue of ``hot_exprs``, creating partially redundant loads.
+    hot_loads: int = 3
 
     def family_ops(self) -> list[str]:
         return FP_OPS if self.fp_flavor else INT_OPS
@@ -152,6 +185,10 @@ class GeneratedProgram:
     composite_chains: list[list[tuple[str, str | None, str]]] = field(
         default_factory=list
     )
+    #: Recurring (array, index) load sites; index is an ``int`` constant
+    #: (a provably in-bounds, speculatable class) or a ``str`` masked
+    #: index variable (a may-trap class that must take the safe fallback).
+    hot_load_sites: list[tuple[str, object]] = field(default_factory=list)
 
 
 class _Generator:
@@ -166,6 +203,9 @@ class _Generator:
         self.loop_counter = 0
         self.hot: list[tuple[str, str, str]] = []
         self.chains: list[list[tuple[str, str | None, str]]] = []
+        #: ``(name, length, masked_index_var)`` per declared array.
+        self.arrays_info: list[tuple[str, int, str]] = []
+        self.hot_load_sites: list[tuple[str, object]] = []
 
     # ------------------------------------------------------------------
     def generate(self) -> GeneratedProgram:
@@ -227,6 +267,12 @@ class _Generator:
                     chain.append((op, None, self.rng.choice(pool)))
                 self.chains.append(chain)
 
+        # Memory prologue: declare arrays, materialise one masked index
+        # variable per array, and choose the recurring hot load sites.
+        # Guarded so scalar-only specs consume no extra randomness.
+        if spec.arrays > 0:
+            self._setup_memory()
+
         self._region(spec.max_depth)
         if spec.max_depth > 0 and self.loop_counter == 0:
             # Guarantee substance: a program with no loop at all would be
@@ -244,7 +290,38 @@ class _Generator:
             spec=spec,
             hot_expressions=list(self.hot),
             composite_chains=list(self.chains),
+            hot_load_sites=list(self.hot_load_sites),
         )
+
+    # ------------------------------------------------------------------
+    def _setup_memory(self) -> None:
+        spec, rng, b = self.spec, self.rng, self.builder
+        for k in range(spec.arrays):
+            bits = rng.randint(1, max(1, spec.array_length_bits))
+            length = 1 << bits
+            name = f"A{k}"
+            b.array(name, length)
+            # One masked index variable per array: ``and x, len-1`` is
+            # in-bounds by construction, so variable-index accesses are
+            # *lexically* may-trapping but never trap at runtime.
+            idx_var = f"ax{k}"
+            b.assign(idx_var, "and", rng.choice(self.all_vars), length - 1)
+            self.all_vars.append(idx_var)
+            self.stable_vars.append(idx_var)
+            self.arrays_info.append((name, length, idx_var))
+        for _ in range(max(1, spec.hot_loads)):
+            name, length, idx_var = rng.choice(self.arrays_info)
+            if spec.trapping_hot_prob > 0 and (
+                rng.random() < spec.trapping_hot_prob
+            ):
+                # Masked variable index: a may-trap load class, forcing
+                # the optimizers down the safe-speculation fallback.
+                index: object = idx_var
+            else:
+                # Constant in-bounds index: provably non-trapping, so
+                # MC-SSAPRE may speculate it freely.
+                index = rng.randint(0, length - 1)
+            self.hot_load_sites.append((name, index))
 
     # ------------------------------------------------------------------
     def _region(self, depth: int) -> None:
@@ -272,6 +349,13 @@ class _Generator:
             rng.random() < spec.composite_prob
         ):
             self._composite_chain()
+            return
+        # Memory accesses roll only when the knob is on (stream-
+        # preserving for every scalar-only spec).
+        if self.arrays_info and spec.mem_prob > 0 and (
+            rng.random() < spec.mem_prob
+        ):
+            self._memory_statement()
             return
         target = rng.choice(self.mutable_vars)
         if spec.trapping_density is not None:
@@ -315,6 +399,32 @@ class _Generator:
             target = rng.choice(self.mutable_vars)
             b.assign(target, op, x if prev is None else prev, y)
             prev = target
+
+    def _memory_statement(self) -> None:
+        """Emit one load or store; every index is in-bounds by construction.
+
+        Stores may-alias a hot load site with probability
+        ``alias_density`` (killing that load class for PRE) and otherwise
+        hit a random cell of a random array, which still may-alias any
+        variable-index load of the same array under the conservative
+        alias model.
+        """
+        spec, rng, b = self.spec, self.rng, self.builder
+        if rng.random() < spec.store_density:
+            if self.hot_load_sites and rng.random() < spec.alias_density:
+                name, index = rng.choice(self.hot_load_sites)
+            else:
+                name, length, _ = rng.choice(self.arrays_info)
+                index = rng.randint(0, length - 1)
+            b.store(name, index, rng.choice(self.all_vars))
+            return
+        target = rng.choice(self.mutable_vars)
+        if self.hot_load_sites and rng.random() < spec.hot_prob:
+            name, index = rng.choice(self.hot_load_sites)
+        else:
+            name, length, idx_var = rng.choice(self.arrays_info)
+            index = idx_var if rng.random() < 0.3 else rng.randint(0, length - 1)
+        b.load(target, name, index)
 
     def _trapping_statement(self, target: str) -> None:
         rng = self.rng

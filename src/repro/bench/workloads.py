@@ -75,6 +75,15 @@ CFP2006 = (
 #: CINT/CFP suite stats are pinned by tests and mirror the paper.
 COMPOSITE = ("chain-int", "chain-fp", "chain-deep")
 
+#: The memory suite: array loads/stores under the conservative alias
+#: model.  ``mem-stream`` is load-heavy with few aliasing stores (most
+#: hot load classes survive and hoist), ``mem-alias`` is store-heavy
+#: with a high alias density (kills dominate, motion is mostly blocked),
+#: ``mem-hot`` mixes speculatable constant-index hot loads with
+#: may-trap variable-index ones.  Like :data:`COMPOSITE`, deliberately
+#: not part of :data:`ALL_BENCHMARKS`.
+MEMORY = ("mem-stream", "mem-alias", "mem-hot")
+
 ALL_BENCHMARKS = CINT2006 + CFP2006
 
 
@@ -161,6 +170,34 @@ def _composite_spec(name: str, index: int) -> ProgramSpec:
     )
 
 
+def _memory_spec(name: str, index: int) -> ProgramSpec:
+    alias = name == "mem-alias"
+    hot = name == "mem-hot"
+    return ProgramSpec(
+        name=name,
+        seed=4000 + index * 37,
+        params=4,
+        locals_count=10,
+        region_length=6,
+        max_depth=3,
+        branch_weight=0.24,
+        loop_weight=0.30,
+        loop_mask_bits=5,
+        loop_base=6,
+        hot_exprs=4,
+        hot_prob=0.28,
+        trapping_prob=0.02,
+        fp_flavor=False,
+        stable_fraction=0.6,
+        arrays=3 if name == "mem-stream" else 2,
+        mem_prob=0.40,
+        store_density=0.45 if alias else 0.25,
+        alias_density=0.8 if alias else 0.3,
+        hot_loads=5 if hot else 3,
+        trapping_hot_prob=0.3 if hot else 0.0,
+    )
+
+
 def spec_for(name: str, seed_offset: int = 0) -> ProgramSpec:
     """The generator spec of one named benchmark.
 
@@ -175,6 +212,8 @@ def spec_for(name: str, seed_offset: int = 0) -> ProgramSpec:
         spec = _cfp_spec(name, CFP2006.index(name))
     elif name in COMPOSITE:
         spec = _composite_spec(name, COMPOSITE.index(name))
+    elif name in MEMORY:
+        spec = _memory_spec(name, MEMORY.index(name))
     else:
         raise KeyError(f"unknown benchmark {name!r}")
     if seed_offset:
@@ -191,6 +230,8 @@ def load_workload(name: str, seed_offset: int = 0) -> Workload:
         family = "CINT"
     elif name in CFP2006:
         family = "CFP"
+    elif name in MEMORY:
+        family = "MEMORY"
     else:
         family = "COMPOSITE"
     return Workload(

@@ -1,10 +1,12 @@
 """The seeded fuzz loop: generate → compile every variant → run oracles.
 
 One *case* is one generated program (:mod:`repro.bench.generator`) in
-one of three shapes — ``cint`` (branch-heavy, shallow loops, integer
-ops), ``cfp`` (loop-heavy, FP-flavoured, invariant-dense) or
+one of four shapes — ``cint`` (branch-heavy, shallow loops, integer
+ops), ``cfp`` (loop-heavy, FP-flavoured, invariant-dense),
 ``composite`` (nested expression chains with per-site intermediates,
-the second-order-redundancy family the iterative worklist exists for) —
+the second-order-redundancy family the iterative worklist exists for)
+or ``mem`` (array loads/stores with aliasing stores and may-trap load
+classes, the family that exercises store kills and load speculation) —
 with trapping operators enabled, so speculation safety is genuinely at
 stake.  The driver compiles all variants through the single
 :func:`repro.passes.compiler.compile` entry point with verification on,
@@ -49,8 +51,10 @@ from repro.check.oracles import (
 )
 
 #: The program families the harness fuzzes: the paper's two (Tables 1
-#: and 2) plus the composite-chain family for second-order redundancy.
-SHAPES = ("cint", "cfp", "composite")
+#: and 2), the composite-chain family for second-order redundancy, and
+#: the memory family (array loads/stores under the conservative alias
+#: model, with aliasing stores and may-trap load classes).
+SHAPES = ("cint", "cfp", "composite", "mem")
 
 #: Round budget of the always-fuzzed iterative twin variants, and the
 #: names they are recorded under in ``CheckCase.compiled``.  The twins
@@ -152,6 +156,30 @@ def spec_for_shape(shape: str, seed: int) -> ProgramSpec:
             composite_prob=0.35,
             fp_flavor=False,
             stable_fraction=0.6,
+        )
+    if shape == "mem":
+        return ProgramSpec(
+            name=f"mem{seed}",
+            seed=seed,
+            params=3,
+            locals_count=6,
+            region_length=5,
+            max_depth=2,
+            branch_weight=0.30,
+            loop_weight=0.22,
+            loop_mask_bits=4,
+            loop_base=3,
+            hot_exprs=3,
+            hot_prob=0.35,
+            trapping_density=0.04,
+            trapping_hot_prob=0.30,
+            fp_flavor=False,
+            stable_fraction=0.6,
+            arrays=2,
+            mem_prob=0.35,
+            store_density=0.30,
+            alias_density=0.5,
+            hot_loads=3,
         )
     raise ValueError(f"unknown shape {shape!r}; expected one of {SHAPES}")
 

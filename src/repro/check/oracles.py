@@ -42,7 +42,7 @@ from repro.baselines.bruteforce import brute_force_optimum
 from repro.bench.generator import ProgramSpec
 from repro.ir.function import Function
 from repro.ir.instructions import Assign
-from repro.ir.ops import is_trapping
+from repro.ir.memory import key_may_trap
 from repro.profiles.counts import normalize_expr_counts
 from repro.profiles.interp import RunResult, run_function
 from repro.profiles.profile import ExecutionProfile
@@ -230,7 +230,11 @@ def optimality_oracle(
             case.control_runs[0].expr_counts
         )
         hot_first = sorted(
-            (k for k in control_counts if not is_trapping(k[0])),
+            (
+                k
+                for k in control_counts
+                if not key_may_trap(k, case.prepared.arrays)
+            ),
             key=lambda k: -control_counts[k],
         )
         checked = 0
@@ -361,8 +365,15 @@ def lifetime_oracle(case: CheckCase) -> OracleReport:
 def safety_oracle(case: CheckCase) -> OracleReport:
     """No variant evaluates a trapping expression the control never
     evaluates on the same input — the dynamic face of "never speculate
-    a computation that can cause an exception" (paper Section 2)."""
+    a computation that can cause an exception" (paper Section 2).
+
+    Loads count as trapping (out-of-bounds indices genuinely raise), with
+    the same refinement the optimizers use: a constant in-bounds load
+    cannot fault, so speculating it is not a violation.  Everything else
+    flagged trapping in the ops table — and every variable-index load —
+    must never be evaluated where the control would not."""
     report = OracleReport("safety")
+    arrays = case.prepared.arrays
     control_counts = [
         normalize_expr_counts(run.expr_counts) for run in case.control_runs
     ]
@@ -371,7 +382,7 @@ def safety_oracle(case: CheckCase) -> OracleReport:
             if run is None:
                 continue
             counts = normalize_expr_counts(run.expr_counts)
-            trapping_keys = [k for k in counts if is_trapping(k[0])]
+            trapping_keys = [k for k in counts if key_may_trap(k, arrays)]
             report.checks += 1
             for key in trapping_keys:
                 if counts[key] > 0 and control_counts[i].get(key, 0) == 0:

@@ -1,7 +1,7 @@
 """Delta-debugging reduction of a failing IR test case.
 
 Given a source function and a *predicate* ("does the interesting failure
-still reproduce on this candidate?"), the reducer greedily applies five
+still reproduce on this candidate?"), the reducer greedily applies seven
 shrinking strategies until none makes progress:
 
 1. **straighten** — rewrite a conditional branch into an unconditional
@@ -12,9 +12,17 @@ shrinking strategies until none makes progress:
 3. **inline-jump** — absorb a jump-only edge so single-predecessor
    blocks (including return blocks, which drop-block cannot touch)
    disappear into their predecessor;
-4. **drop-instruction** — delete one body statement;
-5. **constify** — replace a variable operand with the constant ``1``,
-   detaching the statement from the dataflow that feeds it.
+4. **drop-store** — delete one ``store`` statement; tried before the
+   generic statement drop because removing a store deletes a whole
+   may-alias kill from every load class at once, which typically
+   collapses the memory side of a failure in a few edits;
+5. **drop-instruction** — delete one body statement;
+6. **constify** — replace a variable operand with the constant ``1``,
+   detaching the statement from the dataflow that feeds it;
+7. **constify-index** — replace a variable ``load``/``store`` index with
+   the constant ``0`` (in bounds for every declared array), which both
+   detaches the index dataflow and turns a may-trap load class into a
+   provably in-bounds, speculatable one.
 
 Every candidate is verified (:func:`repro.ir.verifier.verify_function`)
 before the — much more expensive — predicate runs, and every accepted
@@ -37,7 +45,15 @@ from typing import Callable, Iterator
 
 from repro.ir.cfg import remove_unreachable_blocks
 from repro.ir.function import Function
-from repro.ir.instructions import Assign, BinOp, CondJump, Jump, retarget
+from repro.ir.instructions import (
+    Assign,
+    BinOp,
+    CondJump,
+    Jump,
+    Load,
+    Store,
+    retarget,
+)
 from repro.ir.structural import structural_diff
 from repro.ir.values import Const, Var
 from repro.ir.verifier import VerificationError, verify_function
@@ -77,6 +93,11 @@ def _size(func: Function) -> tuple[int, int, int]:
             if isinstance(stmt, Assign) and isinstance(stmt.rhs, BinOp):
                 var_operands += isinstance(stmt.rhs.left, Var)
                 var_operands += isinstance(stmt.rhs.right, Var)
+            elif isinstance(stmt, Assign) and isinstance(stmt.rhs, Load):
+                var_operands += isinstance(stmt.rhs.index, Var)
+            elif isinstance(stmt, Store):
+                var_operands += isinstance(stmt.index, Var)
+                var_operands += isinstance(stmt.value, Var)
     return (len(func), func.statement_count(), var_operands)
 
 
@@ -136,6 +157,18 @@ def _inline_jump_candidates(func: Function) -> Iterator[tuple[str, Function]]:
         yield f"inline {term.target} into {label}", candidate
 
 
+def _drop_store_candidates(func: Function) -> Iterator[tuple[str, Function]]:
+    """Delete one store — one may-alias kill — per candidate."""
+    for label, block in func.blocks.items():
+        for idx in range(len(block.body) - 1, -1, -1):
+            if not isinstance(block.body[idx], Store):
+                continue
+            candidate = func.clone()
+            removed = candidate.blocks[label].body.pop(idx)
+            candidate.mark_code_mutated()
+            yield f"drop store {label}.body[{idx}] ({removed})", candidate
+
+
 def _drop_stmt_candidates(func: Function) -> Iterator[tuple[str, Function]]:
     for label, block in func.blocks.items():
         for idx in range(len(block.body) - 1, -1, -1):
@@ -160,14 +193,38 @@ def _constify_candidates(func: Function) -> Iterator[tuple[str, Function]]:
                 yield f"constify {label}.body[{idx}].{side}", candidate
 
 
+def _constify_index_candidates(func: Function) -> Iterator[tuple[str, Function]]:
+    """Replace a variable memory index with ``Const(0)`` (always in
+    bounds — declared array lengths are >= 1), detaching the index
+    dataflow and making the access class provably non-trapping."""
+    for label, block in func.blocks.items():
+        for idx, stmt in enumerate(block.body):
+            if isinstance(stmt, Assign) and isinstance(stmt.rhs, Load):
+                if not isinstance(stmt.rhs.index, Var):
+                    continue
+                candidate = func.clone()
+                candidate.blocks[label].body[idx].rhs.index = Const(0)
+                candidate.mark_code_mutated()
+                yield f"constify-index {label}.body[{idx}] (load)", candidate
+            elif isinstance(stmt, Store) and isinstance(stmt.index, Var):
+                candidate = func.clone()
+                candidate.blocks[label].body[idx].index = Const(0)
+                candidate.mark_code_mutated()
+                yield f"constify-index {label}.body[{idx}] (store)", candidate
+
+
 #: Coarse-to-fine order: structural strategies first (they delete whole
 #: regions per accepted edit), then statement- and operand-level polish.
+#: drop-store runs before the generic statement drop: each accepted edit
+#: removes an entire alias kill, which untangles memory failures fast.
 STRATEGIES: tuple[tuple[str, Callable[[Function], Iterator]], ...] = (
     ("straighten", _straighten_candidates),
     ("drop-block", _drop_block_candidates),
     ("inline-jump", _inline_jump_candidates),
+    ("drop-store", _drop_store_candidates),
     ("drop-stmt", _drop_stmt_candidates),
     ("constify", _constify_candidates),
+    ("constify-index", _constify_index_candidates),
 )
 
 

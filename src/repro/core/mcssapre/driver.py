@@ -49,6 +49,7 @@ from repro.core.ssapre.finalize import finalize
 from repro.core.ssapre.frg import ExprClass, build_frgs
 from repro.core.worklist import run_rounds
 from repro.ir.function import Function
+from repro.ir.memory import key_may_trap
 from repro.ir.verifier import has_critical_edges
 from repro.profiles.profile import ExecutionProfile
 from repro.ssa.ssa_verifier import verify_ssa
@@ -166,10 +167,13 @@ def run_mc_ssapre(
             frg = frgs[expr.key]
             if not frg.real_occs:
                 continue
-            if expr.trapping:
+            if key_may_trap(expr.key, fn.arrays):
                 # Unspeculatable: fall back to the safe placement for
                 # this class (SSAPRE steps 3-4, via the shared step
-                # runner), still deleting full redundancies.
+                # runner), still deleting full redundancies.  Loads with
+                # a provably in-bounds constant index cannot fault, so
+                # they skip this branch and are speculated like any
+                # non-trapping expression.
                 if dataflow is None:
                     from repro.analysis.dataflow import solve_pre_dataflow
 

@@ -35,7 +35,7 @@ from dataclasses import dataclass
 
 from repro.core.ssapre.frg import ExprClass, ExprKey
 from repro.ir.function import Function
-from repro.ir.instructions import Assign, BinOp, UnaryOp
+from repro.ir.instructions import Assign, BinOp, UnaryOp, is_expr_rhs
 from repro.ir.ops import is_trapping
 from repro.ir.values import Var
 
@@ -87,7 +87,7 @@ class OccurrenceIndex:
     # ------------------------------------------------------------------
     def add_statement(self, label: str, stmt) -> None:
         """Index *stmt* if it is a candidate occurrence; else ignore it."""
-        if not (isinstance(stmt, Assign) and isinstance(stmt.rhs, (BinOp, UnaryOp))):
+        if not (isinstance(stmt, Assign) and is_expr_rhs(stmt.rhs)):
             return
         key = stmt.rhs.class_key()
         occ = Occurrence(label=label, stmt=stmt, key=key)

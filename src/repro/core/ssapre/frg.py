@@ -35,7 +35,8 @@ from repro.analysis.domfrontier import iterated_dominance_frontier
 from repro.analysis.dominators import DominatorTree
 from repro.ir.cfg import CFG
 from repro.ir.function import Function
-from repro.ir.instructions import Assign, BinOp, UnaryOp
+from repro.ir.instructions import Assign, BinOp, Load, Store, UnaryOp, is_expr_rhs
+from repro.ir.memory import store_kills_key
 from repro.ir.ops import is_trapping
 from repro.ir.values import Const, Operand, Var
 
@@ -45,7 +46,16 @@ ExprKey = tuple
 
 @dataclass(frozen=True, slots=True)
 class ExprClass:
-    """A lexically identified expression (paper footnote 1)."""
+    """A lexically identified expression (paper footnote 1).
+
+    Load classes (``("load", ("arr", A), index_base)``) participate like
+    unary expressions whose single operand is the index: the array symbol
+    is part of the class identity, not an operand, so the FRG machinery
+    (operand stacks, Φ-operand matching) sees only SSA values.  The extra
+    memory dimension — a may-aliasing store changes the loaded value even
+    when the index value is unchanged — is injected during Rename as kill
+    events, see :class:`_Renamer`.
+    """
 
     key: ExprKey
 
@@ -54,12 +64,23 @@ class ExprClass:
         return self.key[0]
 
     @property
+    def is_load(self) -> bool:
+        return self.key[0] == "load"
+
+    @property
+    def array(self) -> str:
+        """Array symbol of a load class (only valid when ``is_load``)."""
+        return self.key[1][1]
+
+    @property
     def arity(self) -> int:
-        return len(self.key) - 1
+        return len(self.operand_bases)
 
     @property
     def operand_bases(self) -> tuple:
         """Per-position operand identity: ('var', name) or ('const', v)."""
+        if self.is_load:
+            return tuple(self.key[2:])
         return tuple(self.key[1:])
 
     @property
@@ -71,13 +92,17 @@ class ExprClass:
         return is_trapping(self.op)
 
     def make_rhs(self, values: tuple[Operand, ...]):
-        """Build a BinOp/UnaryOp computing this class from operand values."""
+        """Build a BinOp/UnaryOp/Load computing this class from values."""
+        if self.is_load:
+            return Load(self.key[1][1], values[0])
         if self.arity == 2:
             return BinOp(self.op, values[0], values[1])
         return UnaryOp(self.op, values[0])
 
     def __str__(self) -> str:
         parts = [p if k == "var" else str(p) for k, p in self.operand_bases]
+        if self.is_load:
+            return f"load({self.array}[{', '.join(parts)}])"
         return f"{self.op}({', '.join(parts)})"
 
 
@@ -229,7 +254,7 @@ def collect_expr_classes(func: Function) -> list[ExprClass]:
     seen: dict[ExprKey, None] = {}
     for block in func:
         for stmt in block.body:
-            if isinstance(stmt, Assign) and isinstance(stmt.rhs, (BinOp, UnaryOp)):
+            if isinstance(stmt, Assign) and is_expr_rhs(stmt.rhs):
                 seen.setdefault(stmt.rhs.class_key(), None)
     return [ExprClass(key) for key in seen]
 
@@ -237,8 +262,8 @@ def collect_expr_classes(func: Function) -> list[ExprClass]:
 @dataclass(slots=True)
 class _StackEntry:
     version: int
-    def_node: DefNode
-    operand_values: tuple[Operand, ...]
+    def_node: DefNode | None  #: None marks a store-kill sentinel
+    operand_values: tuple
     real_seen: RealOcc | None
 
 
@@ -267,9 +292,15 @@ class _Renamer:
         }
         # Classes indexed by operand base name, for kill processing.
         self.classes_by_var: dict[str, list[ExprKey]] = {}
+        # Load classes indexed by array symbol, for store-kill processing.
+        self.loads_by_array: dict[str, list[ExprKey]] = {}
         for key, frg in frgs.items():
             for name in frg.expr.var_names:
                 self.classes_by_var.setdefault(name, []).append(key)
+            if frg.expr.is_load:
+                self.loads_by_array.setdefault(frg.expr.array, []).append(key)
+        #: monotone counter making store-kill sentinel values unique.
+        self._kill_serial = 0
         # Pre-created PhiNodes indexed by block label (sparse: iterating
         # per block must not touch classes with no Φ there).
         self.phi_nodes: dict[tuple[ExprKey, str], PhiNode] = {}
@@ -361,12 +392,14 @@ class _Renamer:
         # 3. Body statements: occurrences, then kills via the target.
         for index, stmt in enumerate(block.body):
             if isinstance(stmt, Assign):
-                if isinstance(stmt.rhs, (BinOp, UnaryOp)):
+                if is_expr_rhs(stmt.rhs):
                     key = stmt.rhs.class_key()
                     if key in self.frgs:
                         self._visit_occurrence(key, label, stmt, index, pushed)
                 self._note_kill(stmt.target.name)
                 self.push_var(stmt.target, pushed)
+            elif isinstance(stmt, Store):
+                self._note_store_kill(stmt, pushed)
 
         # 3b. DownSafety hint: a Φ-defined version live at a program exit
         # without a real use along this walk path is not down-safe.
@@ -396,6 +429,34 @@ class _Renamer:
         for key in self.classes_by_var.get(base_name, ()):
             self._note_unused_top(key)
 
+    def _note_store_kill(self, stmt: Store, pushed: list) -> None:
+        """A may-aliasing store ends the current version of a load class.
+
+        Unlike an operand redefinition — where the next occurrence's
+        *operand values* necessarily differ, so the version-matching test
+        separates versions automatically — a store changes memory while
+        leaving every SSA operand untouched.  Renaming must therefore
+        break the version explicitly: a sentinel stack entry with operand
+        values no real occurrence can match forces the next occurrence
+        (and any Φ operand filled downstream on this walk path) to start
+        a new version / resolve to ⊥.  The DownSafety hint fires first,
+        exactly as for operand kills.
+        """
+        for key in self.loads_by_array.get(stmt.array, ()):
+            if not store_kills_key(stmt.array, stmt.index, key):
+                continue
+            self._note_unused_top(key)
+            self._kill_serial += 1
+            self.expr_stacks[key].append(
+                _StackEntry(
+                    version=-1,
+                    def_node=None,
+                    operand_values=(("__store_kill__", self._kill_serial),),
+                    real_seen=None,
+                )
+            )
+            pushed.append(("expr", key))
+
     def _note_unused_top(self, key: ExprKey) -> None:
         stack = self.expr_stacks[key]
         if stack:
@@ -408,7 +469,7 @@ class _Renamer:
     ) -> None:
         frg = self.frgs[key]
         rhs = stmt.rhs
-        assert isinstance(rhs, (BinOp, UnaryOp))
+        assert is_expr_rhs(rhs)
         occ = RealOcc(
             label=label,
             stmt=stmt,
@@ -503,20 +564,26 @@ def build_frgs(
     reachable = set(domtree.rpo)
     wanted = {expr.key for expr in classes}
 
-    # One pass over the program: occurrence blocks per class and
-    # variable-phi blocks per base name (a version change of an operand
-    # changes the value of h there).
+    # One pass over the program: occurrence blocks per class, variable-phi
+    # blocks per base name (a version change of an operand changes the
+    # value of h there), and store blocks per array symbol (a may-aliasing
+    # store is a *definition of memory* for a load class — merge points
+    # downstream of it need Φs, or a one-sided store would leave a
+    # post-merge load looking fully redundant).
     occ_blocks: dict[ExprKey, set[str]] = {key: set() for key in wanted}
     phi_blocks_by_name: dict[str, set[str]] = {}
+    stores_by_array: dict[str, list[tuple[str, Store]]] = {}
     for label in reachable:
         block = func.blocks[label]
         for phi in block.phis:
             phi_blocks_by_name.setdefault(phi.target.name, set()).add(label)
         for stmt in block.body:
-            if isinstance(stmt, Assign) and isinstance(stmt.rhs, (BinOp, UnaryOp)):
+            if isinstance(stmt, Assign) and is_expr_rhs(stmt.rhs):
                 key = stmt.rhs.class_key()
                 if key in wanted:
                     occ_blocks[key].add(label)
+            elif isinstance(stmt, Store):
+                stores_by_array.setdefault(stmt.array, []).append((label, stmt))
 
     preds_of = {label: cfg.predecessors(label) for label in reachable}
 
@@ -546,7 +613,16 @@ def build_frgs(
         operand_phi_blocks: set[str] = set()
         for name in expr.var_names:
             operand_phi_blocks |= phi_blocks_by_name.get(name, set())
-        seeds = occ_blocks[expr.key] | (operand_phi_blocks & useful)
+        kill_blocks: set[str] = set()
+        if expr.is_load:
+            for label, stmt in stores_by_array.get(expr.array, ()):
+                if store_kills_key(stmt.array, stmt.index, expr.key):
+                    kill_blocks.add(label)
+        seeds = (
+            occ_blocks[expr.key]
+            | (operand_phi_blocks & useful)
+            | (kill_blocks & useful)
+        )
         placed = iterated_dominance_frontier(frontiers, seeds) | operand_phi_blocks
         placed &= reachable
         phi_blocks[expr.key] = {label for label in placed if label in useful}

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.analysis.loops import LoopForest
 from repro.core.ssapre.frg import FRG
+from repro.ir.memory import key_may_trap
 
 
 def apply_loop_speculation(frg: FRG, forest: LoopForest | None = None) -> int:
@@ -26,7 +27,7 @@ def apply_loop_speculation(frg: FRG, forest: LoopForest | None = None) -> int:
     Must run after :func:`~repro.core.ssapre.downsafety.compute_down_safety`
     and before WillBeAvail.
     """
-    if frg.expr.trapping:
+    if key_may_trap(frg.expr.key, frg.func.arrays):
         return 0
     if forest is None:
         forest = LoopForest(frg.cfg, frg.domtree)

@@ -19,9 +19,11 @@ from repro.ir.instructions import (
     BinOp,
     CondJump,
     Jump,
+    Load,
     Output,
     Phi,
     Return,
+    Store,
     UnaryOp,
 )
 from repro.ir.ops import BINARY_OPS, UNARY_OPS
@@ -114,6 +116,26 @@ class FunctionBuilder:
         tvar = as_var(target)
         self.current.body.append(Assign(tvar, as_operand(source)))
         return tvar
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def array(self, name: str, length: int) -> str:
+        """Declare array *name* with *length* elements on the function."""
+        self.func.declare_array(name, length)
+        return name
+
+    def load(self, target: "str | Var", array: str, index) -> Var:
+        """``target = load array, index``."""
+        tvar = as_var(target)
+        self.current.body.append(Assign(tvar, Load(array, as_operand(index))))
+        return tvar
+
+    def store(self, array: str, index, value) -> None:
+        """``store array, index, value``."""
+        self.current.body.append(
+            Store(array, as_operand(index), as_operand(value))
+        )
 
     def output(self, value) -> None:
         self.current.body.append(Output(as_operand(value)))

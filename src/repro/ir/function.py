@@ -16,10 +16,12 @@ from repro.ir.instructions import (
     BinOp,
     CondJump,
     Jump,
+    Load,
     Output,
     Phi,
     Return,
     Statement,
+    Store,
     Terminator,
     UnaryOp,
 )
@@ -69,6 +71,10 @@ class Function:
     def __init__(self, name: str, params: list[Var] | None = None) -> None:
         self.name = name
         self.params: list[Var] = list(params or [])
+        #: Array symbols: name -> length.  A separate, non-SSA namespace;
+        #: contents are initialised deterministically from the name (see
+        #: :func:`repro.ir.memory.initial_array`) and mutated by stores.
+        self.arrays: dict[str, int] = {}
         self.blocks: dict[str, BasicBlock] = {}
         self.entry: str | None = None
         self._label_counter = 0
@@ -102,6 +108,28 @@ class Function:
     def mark_code_mutated(self) -> None:
         """Record a (possible) instruction mutation with the CFG intact."""
         self._code_generation += 1
+
+    # ------------------------------------------------------------------
+    # Array management
+    # ------------------------------------------------------------------
+    def declare_array(self, name: str, length: int) -> None:
+        """Register array *name* with *length* elements.
+
+        Raises on duplicate declarations and non-positive or oversized
+        lengths; array contents at entry are a pure function of the name
+        (see :mod:`repro.ir.memory`).
+        """
+        from repro.ir.memory import MAX_ARRAY_LENGTH
+
+        if name in self.arrays:
+            raise ValueError(f"duplicate array declaration: {name!r}")
+        if length <= 0 or length > MAX_ARRAY_LENGTH:
+            raise ValueError(
+                f"array {name!r} length must be in 1..{MAX_ARRAY_LENGTH}, "
+                f"got {length}"
+            )
+        self.arrays[name] = length
+        self.mark_code_mutated()
 
     # ------------------------------------------------------------------
     # Block management
@@ -195,6 +223,7 @@ class Function:
         can never leak into the original.
         """
         out = Function(name or self.name, params=list(self.params))
+        out.arrays = dict(self.arrays)
         out.entry = self.entry
         out._label_counter = self._label_counter
         out._temp_counter = self._temp_counter
@@ -219,9 +248,13 @@ def _clone_statement(stmt: Statement) -> Statement:
             rhs = BinOp(rhs.op, rhs.left, rhs.right)
         elif isinstance(rhs, UnaryOp):
             rhs = UnaryOp(rhs.op, rhs.operand)
+        elif isinstance(rhs, Load):
+            rhs = Load(rhs.array, rhs.index)
         return Assign(stmt.target, rhs)
     if isinstance(stmt, Output):
         return Output(stmt.value)
+    if isinstance(stmt, Store):
+        return Store(stmt.array, stmt.index, stmt.value)
     raise TypeError(f"cannot clone statement {stmt!r}")
 
 

@@ -3,14 +3,17 @@
 A basic block holds three kinds of entity, in order:
 
 * a (possibly empty) list of :class:`Phi` nodes,
-* a list of body statements (:class:`Assign`, :class:`Output`),
+* a list of body statements (:class:`Assign`, :class:`Output`,
+  :class:`Store`),
 * exactly one terminator (:class:`Jump`, :class:`CondJump`, :class:`Return`).
 
 Right-hand sides of :class:`Assign` are either a bare operand (a copy) or a
-first-order :class:`BinOp` / :class:`UnaryOp` whose operands are variables
-or constants — nested expressions never occur, which is what lets the PRE
-algorithms treat "lexically identified expressions" exactly as the paper
-does.
+first-order :class:`BinOp` / :class:`UnaryOp` / :class:`Load` whose
+operands are variables or constants — nested expressions never occur,
+which is what lets the PRE algorithms treat "lexically identified
+expressions" exactly as the paper does.  Memory lives in named arrays (a
+separate, non-SSA namespace declared on the function); :class:`Load` reads
+and :class:`Store` writes one element.
 
 Statements are ordinary mutable objects: their identity matters (the FRG
 points back at concrete occurrences) and the PRE CodeMotion step rewrites
@@ -72,8 +75,51 @@ class UnaryOp:
         return f"{self.op} {self.operand}"
 
 
+@dataclass(slots=True)
+class Load:
+    """``load array, index`` — read one element of a named array.
+
+    ``array`` is a function-level array symbol (see
+    ``Function.arrays``), *not* an SSA value: arrays live in a separate
+    non-SSA namespace and are mutated in place by :class:`Store`.  A load
+    whose index is out of bounds raises ``InterpreterError`` at run time,
+    which is why ``load`` is registered as a trapping operator — hoisting
+    one speculatively can introduce a fault the original program never
+    executed.
+    """
+
+    array: str
+    index: Operand
+
+    @property
+    def op(self) -> str:
+        return "load"
+
+    @property
+    def operands(self) -> tuple[Operand]:
+        return (self.index,)
+
+    def class_key(self) -> tuple:
+        """Lexical identity: the array symbol plus the index base name."""
+        return ("load", ("arr", self.array), operand_base_key(self.index))
+
+    def __str__(self) -> str:
+        return f"load {self.array}, {self.index}"
+
+
 #: Anything that may appear on the right-hand side of an assignment.
-Rhs = Union[BinOp, UnaryOp, Operand]
+Rhs = Union[BinOp, UnaryOp, Load, Operand]
+
+
+def is_expr_rhs(rhs: Rhs) -> bool:
+    """True for right-hand sides that form a lexical expression class.
+
+    This is the single predicate every layer (occurrence index, FRG
+    construction, bit-vector dataflow, the MC-PRE rewriter) uses to decide
+    whether an assignment's rhs participates in redundancy elimination;
+    copies (bare operands) do not.
+    """
+    return isinstance(rhs, (BinOp, UnaryOp, Load))
 
 
 @dataclass(slots=True)
@@ -88,7 +134,7 @@ class Assign:
         return isinstance(self.rhs, (Var, Const))
 
     def used_operands(self) -> tuple[Operand, ...]:
-        if isinstance(self.rhs, (BinOp, UnaryOp)):
+        if isinstance(self.rhs, (BinOp, UnaryOp, Load)):
             return self.rhs.operands
         return (self.rhs,)
 
@@ -113,8 +159,34 @@ class Output:
         return f"output {self.value}"
 
 
+@dataclass(slots=True)
+class Store:
+    """``store array, index, value`` — write one element of a named array.
+
+    A side-effecting statement (it is not an :class:`Assign` and defines
+    no SSA value).  Stores are memory-dependence barriers: a store to a
+    location that may alias a load's location *kills* that load's
+    redundancy class downstream, which is what keeps PRE of loads sound.
+    An out-of-bounds index raises at run time, mirroring :class:`Load`.
+    """
+
+    array: str
+    index: Operand
+    value: Operand
+
+    @property
+    def op(self) -> str:
+        return "store"
+
+    def used_operands(self) -> tuple[Operand, ...]:
+        return (self.index, self.value)
+
+    def __str__(self) -> str:
+        return f"store {self.array}, {self.index}, {self.value}"
+
+
 #: Body statements (everything between the phis and the terminator).
-Statement = Union[Assign, Output]
+Statement = Union[Assign, Output, Store]
 
 
 @dataclass(slots=True)

@@ -1,0 +1,135 @@
+"""Array memory model: initial contents and the conservative alias lattice.
+
+Arrays are function-level symbols (``Function.arrays`` maps name →
+length) living outside the SSA value namespace.  Their initial contents
+are a *deterministic pure function of (name, length)* — both execution
+engines, the serving layer and every pickled artifact must agree on the
+bytes in memory at entry, so the fill below is a tiny explicit LCG seeded
+from the array name (no ``hash()``, which varies with PYTHONHASHSEED).
+
+The alias model is a three-point lattice, deliberately conservative:
+
+* **no-alias** — distinct array symbols never alias (arrays are disjoint
+  objects), and the same array at two *unequal constant* indices never
+  aliases;
+* **may-alias** — everything else (any symbolic index against anything
+  in the same array, equal constants trivially alias).
+
+"May-alias" is all the redundancy machinery needs: a store to a location
+that may alias a load's location kills the load's availability /
+anticipability downstream.  Refining the lattice (e.g. value-based index
+comparison) only ever *removes* kills, so every layer that consumes
+:func:`may_alias` / :func:`store_kills_key` stays sound under refinement.
+"""
+
+from __future__ import annotations
+
+from repro.ir.values import Const, Operand
+
+#: Upper bound accepted for a declared array length (keeps generated
+#: programs and the serving layer's memory footprint bounded).
+MAX_ARRAY_LENGTH = 1 << 16
+
+
+def initial_array(name: str, length: int) -> list[int]:
+    """The deterministic initial contents of array *name* of *length*.
+
+    Small signed values in [-128, 128] from an LCG seeded by the name's
+    bytes — stable across processes, platforms and hash seeds.
+    """
+    seed = 0
+    for byte in name.encode("utf-8"):
+        seed = (seed * 131 + byte) & 0xFFFFFFFF
+    x = seed | 1
+    values = []
+    for _ in range(length):
+        x = (x * 1103515245 + 12345) & 0x7FFFFFFF
+        values.append(x % 257 - 128)
+    return values
+
+
+def may_alias(
+    array_a: str, index_a: Operand, array_b: str, index_b: Operand
+) -> bool:
+    """Whether two (array, index) locations may refer to the same cell."""
+    if array_a != array_b:
+        return False
+    if (
+        isinstance(index_a, Const)
+        and isinstance(index_b, Const)
+        and index_a.value != index_b.value
+    ):
+        return False
+    return True
+
+
+def store_kills_key(store_array: str, store_index: Operand, key: tuple) -> bool:
+    """Whether a store to ``(store_array, store_index)`` kills *key*.
+
+    *key* is an expression-class key; only load keys
+    ``("load", ("arr", name), index_base_key)`` can be killed by memory
+    writes — scalar expression classes are never affected.  The index in
+    the key is a *base* key (versions stripped), so a symbolic index
+    matches any store index into the same array: base-name equality tells
+    us nothing about runtime values, which is exactly the conservative
+    answer.
+    """
+    if key[0] != "load":
+        return False
+    if key[1][1] != store_array:
+        return False
+    idx_key = key[2]
+    if (
+        isinstance(store_index, Const)
+        and idx_key[0] == "const"
+        and idx_key[1] != store_index.value
+    ):
+        return False
+    return True
+
+
+def is_load_key(key: tuple) -> bool:
+    """True for the expression-class key of a load."""
+    return key[0] == "load"
+
+
+def load_in_bounds(key: tuple, arrays: dict[str, int]) -> bool:
+    """A load class that provably never traps: constant index within the
+    declared bounds of its array.  Symbolic indices may hold any runtime
+    value, so they can never be proven safe here."""
+    if key[0] != "load":
+        return False
+    kind, payload = key[2]
+    if kind != "const":
+        return False
+    length = arrays.get(key[1][1])
+    return (
+        length is not None
+        and isinstance(payload, int)
+        and not isinstance(payload, bool)
+        and 0 <= payload < length
+    )
+
+
+def key_may_trap(key: tuple, arrays: dict[str, int]) -> bool:
+    """May evaluating this expression class raise at runtime?
+
+    This is the predicate speculation decisions are made over (paper
+    Section 2 excludes exception-throwing computations from speculation).
+    Ops flagged trapping in the ops table generally may trap — with one
+    refinement: a ``load`` whose index is a constant inside the declared
+    array bounds *provably cannot* fault, so hoisting it past a branch
+    cannot introduce an exception the original program lacked.  That
+    refinement is what lets MC-SSAPRE speculate loop-invariant loads
+    under the profile while variable-index loads keep the safe fallback.
+    The MC-SSAPRE driver, the MC-PRE baseline and the speculation-safety
+    oracle all share this predicate, so "what the optimizers may
+    speculate" and "what the checker flags" never drift apart.
+    """
+    from repro.ir.ops import is_trapping
+
+    if not is_trapping(key[0]):
+        return False
+    if key[0] == "load":
+        return not load_in_bounds(key, arrays)
+    return True

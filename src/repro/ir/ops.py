@@ -102,9 +102,35 @@ UNARY_OPS: Mapping[str, OpInfo] = {
 }
 
 
+def _no_direct_eval(*_args: int) -> int:  # pragma: no cover - never called
+    raise RuntimeError("memory operators are evaluated against the array "
+                       "environment, not through OpInfo.func")
+
+
+#: Memory operators.  They are not ordinary expression operators — a load
+#: names an array symbol plus an index operand, a store additionally takes
+#: a value — but they share the OpInfo cost/trapping vocabulary so the
+#: interpreter, the cost model and the speculation-safety machinery treat
+#: them uniformly.  ``load`` is *genuinely* trapping: an out-of-bounds
+#: index raises at run time (unlike div/mod, whose semantics are total),
+#: so speculating a load can introduce a fault that the original program
+#: never had.  ``store`` is never a speculation candidate (it is not an
+#: expression), but it carries a cost.
+MEMORY_OPS: Mapping[str, OpInfo] = {
+    op.name: op
+    for op in (
+        OpInfo("load", 1, _no_direct_eval, cost=8, trapping=True),
+        OpInfo("store", 2, _no_direct_eval, cost=8),
+    )
+}
+
+LOAD_COST = MEMORY_OPS["load"].cost
+STORE_COST = MEMORY_OPS["store"].cost
+
+
 def op_info(name: str) -> OpInfo:
-    """Look up an operator by mnemonic, searching both arity tables."""
-    info = BINARY_OPS.get(name) or UNARY_OPS.get(name)
+    """Look up an operator by mnemonic, searching all operator tables."""
+    info = BINARY_OPS.get(name) or UNARY_OPS.get(name) or MEMORY_OPS.get(name)
     if info is None:
         raise KeyError(f"unknown operator: {name!r}")
     return info

@@ -31,7 +31,7 @@ the same bytes (pinned by ``tests/ir/test_printer_normalize.py``).
 from __future__ import annotations
 
 from repro.ir.function import BasicBlock, Function
-from repro.ir.instructions import Assign, BinOp, UnaryOp
+from repro.ir.instructions import Assign, BinOp, Load, Store, UnaryOp
 from repro.ir.values import Operand, Var
 
 
@@ -59,7 +59,15 @@ def format_function(func: Function, *, normalize: bool = False) -> str:
     if normalize:
         func = normalize_versions(func)
     params = ", ".join(str(p) for p in func.params)
-    lines = [f"func {func.name}({params}) {{"]
+    header = f"func {func.name}({params})"
+    if func.arrays:
+        # Sorted by name so the printed form is canonical regardless of
+        # declaration order — the serve cache keys hash these bytes.
+        rendered = ", ".join(
+            f"{name}: {length}" for name, length in sorted(func.arrays.items())
+        )
+        header += f" arrays({rendered})"
+    lines = [header + " {"]
     for block in _printed_blocks(func):
         lines.append(format_block(block))
     lines.append("}")
@@ -139,8 +147,13 @@ def normalize_versions(func: Function) -> Function:
                     rhs.right = subst(rhs.right)
                 elif isinstance(rhs, UnaryOp):
                     rhs.operand = subst(rhs.operand)
+                elif isinstance(rhs, Load):
+                    rhs.index = subst(rhs.index)
                 else:
                     stmt.rhs = subst(rhs)
+            elif isinstance(stmt, Store):
+                stmt.index = subst(stmt.index)
+                stmt.value = subst(stmt.value)
             else:  # Output
                 stmt.value = subst(stmt.value)
         term = block.terminator

@@ -21,9 +21,11 @@ from repro.ir.instructions import (
     BinOp,
     CondJump,
     Jump,
+    Load,
     Output,
     Phi,
     Return,
+    Store,
     UnaryOp,
 )
 
@@ -45,6 +47,9 @@ def _rhs_diff(path: str, a, b) -> list[str]:
             return [f"{path}: {a} != {b}"]
     elif isinstance(a, UnaryOp):
         if (a.op, a.operand) != (b.op, b.operand):
+            return [f"{path}: {a} != {b}"]
+    elif isinstance(a, Load):
+        if (a.array, a.index) != (b.array, b.index):
             return [f"{path}: {a} != {b}"]
     elif a != b:  # bare operand (copy)
         return [f"{path}: {a} != {b}"]
@@ -76,6 +81,11 @@ def _block_diff(label: str, a: BasicBlock, b: BasicBlock) -> list[str]:
                     diffs.extend(_rhs_diff(path, sa.rhs, sb.rhs))
             elif isinstance(sa, Output) and sa.value != sb.value:
                 diffs.append(f"{path}: {sa} != {sb}")
+            elif isinstance(sa, Store) and (
+                (sa.array, sa.index, sa.value)
+                != (sb.array, sb.index, sb.value)
+            ):
+                diffs.append(f"{path}: {sa} != {sb}")
     ta, tb = a.terminator, b.terminator
     if type(ta) is not type(tb):
         diffs.append(
@@ -105,6 +115,8 @@ def structural_diff(a: Function, b: Function) -> list[str]:
         diffs.append(f"name: {a.name!r} != {b.name!r}")
     if a.params != b.params:
         diffs.append(f"params: {a.params} != {b.params}")
+    if a.arrays != b.arrays:
+        diffs.append(f"arrays: {a.arrays} != {b.arrays}")
     if a.entry != b.entry:
         diffs.append(f"entry: {a.entry!r} != {b.entry!r}")
     order_a, order_b = _ordered_labels(a), _ordered_labels(b)

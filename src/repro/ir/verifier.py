@@ -17,7 +17,16 @@ from __future__ import annotations
 
 from repro.ir.cfg import CFG
 from repro.ir.function import Function
-from repro.ir.instructions import Assign, CondJump, Jump, Output, Phi, Return
+from repro.ir.instructions import (
+    Assign,
+    CondJump,
+    Jump,
+    Load,
+    Output,
+    Phi,
+    Return,
+    Store,
+)
 
 
 class VerificationError(Exception):
@@ -39,7 +48,8 @@ def verify_function(func: Function) -> None:
     4. every phi's argument labels are exactly the block's predecessors;
     5. the entry block has no phis (it has no predecessors);
     6. terminators are of a known type and bodies contain only statements;
-    7. no duplicate parameter names.
+    7. no duplicate parameter names;
+    8. every load / store names an array declared in ``func.arrays``.
     """
     if func.entry is None or func.entry not in func.blocks:
         _fail(func, f"missing entry block {func.entry!r}")
@@ -54,8 +64,24 @@ def verify_function(func: Function) -> None:
         if not isinstance(block.terminator, (Jump, CondJump, Return)):
             _fail(func, f"block {label!r} has invalid terminator {block.terminator!r}")
         for stmt in block.body:
-            if not isinstance(stmt, (Assign, Output)):
+            if not isinstance(stmt, (Assign, Output, Store)):
                 _fail(func, f"block {label!r} contains non-statement {stmt!r}")
+            if isinstance(stmt, Store) and stmt.array not in func.arrays:
+                _fail(
+                    func,
+                    f"block {label!r}: store to undeclared array "
+                    f"{stmt.array!r}",
+                )
+            if (
+                isinstance(stmt, Assign)
+                and isinstance(stmt.rhs, Load)
+                and stmt.rhs.array not in func.arrays
+            ):
+                _fail(
+                    func,
+                    f"block {label!r}: load from undeclared array "
+                    f"{stmt.rhs.array!r}",
+                )
         for phi in block.phis:
             if not isinstance(phi, Phi):
                 _fail(func, f"block {label!r} phi list contains {phi!r}")

@@ -3,11 +3,14 @@
 Grammar (keywords are reserved and cannot name variables)::
 
     program  := function+
-    function := "func" NAME "(" [NAME ("," NAME)*] ")" "{" block+ "}"
+    function := "func" NAME "(" [NAME ("," NAME)*] ")" [arrays] "{" block+ "}"
+    arrays   := "arrays" "(" [NAME ":" INT ("," NAME ":" INT)*] ")"
     block    := NAME ":" instr*
     instr    := NAME "=" "phi" "(" [NAME ":" operand ("," ...)*] ")"
               | NAME "=" OP operand ["," operand]
+              | NAME "=" "load" NAME "," operand
               | NAME "=" operand                       # copy
+              | "store" NAME "," operand "," operand
               | "output" operand
               | "jump" NAME
               | "br" operand "," NAME "," NAME
@@ -16,6 +19,11 @@ Grammar (keywords are reserved and cannot name variables)::
 
 The printer (:mod:`repro.ir.printer`) emits exactly this syntax, so the two
 round-trip; tests assert ``parse(print(f)) == print(f)`` structurally.
+
+Every :class:`ParseError` carries the source position (``line``/``column``
+attributes, and a ``line:column:`` message prefix).  Duplicate block
+labels and redefined SSA names are rejected here, at the point of
+definition, rather than surfacing later as confusing verifier failures.
 """
 
 from __future__ import annotations
@@ -26,21 +34,31 @@ from repro.ir.instructions import (
     BinOp,
     CondJump,
     Jump,
+    Load,
     Output,
     Phi,
     Return,
+    Store,
     UnaryOp,
 )
 from repro.ir.ops import BINARY_OPS, UNARY_OPS
 from repro.ir.values import Const, Operand, Var
 from repro.lang.lexer import Token, tokenize
 
-_KEYWORDS = {"func", "phi", "output", "jump", "br", "ret"}
+_KEYWORDS = {"func", "phi", "output", "jump", "br", "ret", "load", "store", "arrays"}
 _TERMINATOR_WORDS = {"jump", "br", "ret"}
 
 
 class ParseError(Exception):
-    """Raised on syntactically invalid input."""
+    """Raised on syntactically invalid input; knows where it happened."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        if line is not None:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+        self.line = line
+        self.column = column
 
 
 class _Parser:
@@ -57,10 +75,14 @@ class _Parser:
         self.pos += 1
         return token
 
+    def error(self, message: str, token: Token | None = None) -> ParseError:
+        token = token or self.peek()
+        return ParseError(message, token.line, token.column)
+
     def expect(self, kind: str) -> Token:
         token = self.peek()
         if token.kind != kind:
-            raise ParseError(f"expected {kind!r}, found {token}")
+            raise self.error(f"expected {kind!r}, found {token}")
         return self.advance()
 
     def at_name(self, text: str | None = None) -> bool:
@@ -79,7 +101,7 @@ class _Parser:
     def parse_function(self) -> Function:
         keyword = self.expect("NAME")
         if keyword.text != "func":
-            raise ParseError(f"expected 'func', found {keyword}")
+            raise self.error(f"expected 'func', found {keyword}", keyword)
         name = self.expect("NAME").text
         self.expect("(")
         params: list[Var] = []
@@ -90,30 +112,60 @@ class _Parser:
             if self.peek().kind == ",":
                 self.advance()
         self.expect(")")
-        self.expect("{")
         func = Function(name, params)
+        #: versioned SSA names already defined (params count as defs)
+        self._defined = {p for p in params if p.version is not None}
+        if self.at_name("arrays"):
+            self.advance()
+            self.expect("(")
+            while self.peek().kind != ")":
+                arr_token = self.peek()
+                arr = self.parse_array_name()
+                self.expect(":")
+                length_token = self.expect("INT")
+                try:
+                    func.declare_array(arr, int(length_token.text))
+                except ValueError as exc:
+                    raise self.error(str(exc), arr_token) from None
+                if self.peek().kind == ",":
+                    self.advance()
+            self.expect(")")
+        self.expect("{")
         while self.peek().kind != "}":
             self.parse_block(func)
         self.expect("}")
         return func
 
     def parse_block(self, func: Function) -> None:
-        label = self.expect("NAME").text
+        label_token = self.expect("NAME")
+        label = label_token.text
         self.expect(":")
+        if label in func.blocks:
+            raise self.error(f"duplicate block label {label!r}", label_token)
         block = func.add_block(label)
         while True:
             token = self.peek()
             if token.kind != "NAME":
-                raise ParseError(
-                    f"block {label!r} has no terminator before {token}"
+                raise self.error(
+                    f"block {label!r} has no terminator before {token}", token
                 )
             if token.text not in _TERMINATOR_WORDS and self._name_is_block_label():
-                raise ParseError(
-                    f"block {label!r} has no terminator before label {token.text!r}"
+                raise self.error(
+                    f"block {label!r} has no terminator before label "
+                    f"{token.text!r}",
+                    token,
                 )
             if token.text == "output":
                 self.advance()
                 block.body.append(Output(self.parse_operand()))
+            elif token.text == "store":
+                self.advance()
+                array = self.parse_array_name()
+                self.expect(",")
+                index = self.parse_operand()
+                self.expect(",")
+                value = self.parse_operand()
+                block.body.append(Store(array, index, value))
             elif token.text == "jump":
                 self.advance()
                 block.terminator = Jump(self.expect("NAME").text)
@@ -149,8 +201,20 @@ class _Parser:
             and self.tokens[self.pos + 1].kind == ":"
         )
 
+    def _define(self, target: Var, token: Token) -> None:
+        """Record an SSA definition, rejecting redefinitions early."""
+        if target.version is None:
+            return
+        if target in self._defined:
+            raise self.error(
+                f"SSA name {target} defined more than once", token
+            )
+        self._defined.add(target)
+
     def parse_assignment(self, block) -> None:
+        target_token = self.peek()
         target = self.parse_var()
+        self._define(target, target_token)
         self.expect("=")
         token = self.peek()
         if token.kind == "NAME" and token.text == "phi":
@@ -165,6 +229,13 @@ class _Parser:
                     self.advance()
             self.expect(")")
             block.phis.append(Phi(target, args))
+            return
+        if token.kind == "NAME" and token.text == "load":
+            self.advance()
+            array = self.parse_array_name()
+            self.expect(",")
+            index = self.parse_operand()
+            block.body.append(Assign(target, Load(array, index)))
             return
         if token.kind == "NAME" and token.text in BINARY_OPS:
             op = self.advance().text
@@ -187,17 +258,29 @@ class _Parser:
             return Const(int(token.text))
         if token.kind == "NAME":
             return self.parse_var()
-        raise ParseError(f"expected operand, found {token}")
+        raise self.error(f"expected operand, found {token}", token)
 
     def parse_var(self) -> Var:
         token = self.expect("NAME")
         if token.text in _KEYWORDS or token.text in BINARY_OPS or token.text in UNARY_OPS:
-            raise ParseError(f"reserved word used as variable: {token}")
+            raise self.error(f"reserved word used as variable: {token}", token)
         name = token.text
         if "." in name:
             base, _, version = name.rpartition(".")
             return Var(base, int(version))
         return Var(name)
+
+    def parse_array_name(self) -> str:
+        token = self.expect("NAME")
+        if token.text in _KEYWORDS or token.text in BINARY_OPS or token.text in UNARY_OPS:
+            raise self.error(
+                f"reserved word used as array name: {token}", token
+            )
+        if "." in token.text:
+            raise self.error(
+                f"array names carry no SSA version: {token}", token
+            )
+        return token.text
 
 
 def parse_function(source: str) -> Function:

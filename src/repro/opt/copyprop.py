@@ -15,7 +15,15 @@ into direct uses of ``t``, after which DCE removes the stranded copies.
 from __future__ import annotations
 
 from repro.ir.function import Function
-from repro.ir.instructions import Assign, BinOp, CondJump, Return, UnaryOp
+from repro.ir.instructions import (
+    Assign,
+    BinOp,
+    CondJump,
+    Load,
+    Return,
+    Store,
+    UnaryOp,
+)
 from repro.ir.values import Const, Operand, Var
 from repro.ssa.ssa_verifier import is_ssa
 
@@ -90,8 +98,13 @@ def propagate_copies(func: Function, fold_phis: bool = True) -> int:
                     rhs.right = rewrite(rhs.right)
                 elif isinstance(rhs, UnaryOp):
                     rhs.operand = rewrite(rhs.operand)
+                elif isinstance(rhs, Load):
+                    rhs.index = rewrite(rhs.index)
                 else:
                     stmt.rhs = rewrite(rhs)
+            elif isinstance(stmt, Store):
+                stmt.index = rewrite(stmt.index)
+                stmt.value = rewrite(stmt.value)
             else:  # Output
                 stmt.value = rewrite(stmt.value)
         term = block.terminator

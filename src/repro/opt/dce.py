@@ -5,9 +5,13 @@ A definition is *live* iff its value can reach an observable effect: an
 effects happen).  Everything else — assignments and phis whose targets are
 never transitively used by an effect — is deleted.
 
-All IR operators are effect-free by construction (division by zero is
-defined), so removing a dead computation can never change observable
-behaviour; the property tests check exactly that.
+Scalar IR operators are effect-free by construction (division by zero is
+defined), so removing a dead scalar computation can never change
+observable behaviour; the property tests check exactly that.  Memory
+operations are different: a :class:`Store` is a side effect (roots the
+liveness closure), and a :class:`Load` can trap on an out-of-bounds
+index, so dead loads are conservatively kept — deleting one could erase
+a fault the original program exhibits.
 """
 
 from __future__ import annotations
@@ -15,7 +19,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.ir.function import Function
-from repro.ir.instructions import Assign, CondJump, Output, Return
+from repro.ir.instructions import Assign, CondJump, Load, Output, Return, Store
 from repro.ir.values import Var
 from repro.ssa.ssa_verifier import is_ssa
 
@@ -55,6 +59,17 @@ def eliminate_dead_code(func: Function) -> int:
         for stmt in block.body:
             if isinstance(stmt, Output) and isinstance(stmt.value, Var):
                 mark(stmt.value)
+            elif isinstance(stmt, Store):
+                # Stores are observable side effects; their operands are
+                # roots.
+                for operand in stmt.used_operands():
+                    if isinstance(operand, Var):
+                        mark(operand)
+            elif isinstance(stmt, Assign) and isinstance(stmt.rhs, Load):
+                # Loads may trap (OOB index); the statement is kept, so
+                # its index operand must stay defined.
+                if isinstance(stmt.rhs.index, Var):
+                    mark(stmt.rhs.index)
         term = block.terminator
         if isinstance(term, CondJump) and isinstance(term.cond, Var):
             mark(term.cond)
@@ -77,7 +92,11 @@ def eliminate_dead_code(func: Function) -> int:
         block.phis = kept_phis
         kept_body = []
         for stmt in block.body:
-            if isinstance(stmt, Assign) and stmt.target not in live:
+            if (
+                isinstance(stmt, Assign)
+                and stmt.target not in live
+                and not isinstance(stmt.rhs, Load)
+            ):
                 removed += 1
             else:
                 kept_body.append(stmt)

@@ -28,7 +28,7 @@ from repro.ir.function import Function
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.passes.cache import AnalysisCache
-from repro.ir.instructions import Assign, BinOp, UnaryOp
+from repro.ir.instructions import Assign, BinOp, Load, UnaryOp
 from repro.ir.ops import BINARY_OPS
 from repro.ir.values import Const, Operand, Var
 from repro.ssa.ssa_verifier import is_ssa
@@ -119,6 +119,13 @@ def global_value_numbering(
             rhs = stmt.rhs
             if isinstance(rhs, (Var, Const)):
                 value_of[stmt.target] = number_of(rhs)
+                continue
+            if isinstance(rhs, Load):
+                # Memory reads are never value-numbered here: a dominating
+                # load is only reusable when no may-aliasing store
+                # intervenes, which a scoped hash table cannot see.  PRE
+                # (with its store kill sets) owns load redundancy.
+                number_of(stmt.target)
                 continue
             key = expression_key(rhs)
             assert key is not None

@@ -35,8 +35,10 @@ from repro.ir.instructions import (
     BinOp,
     CondJump,
     Jump,
+    Load,
     Phi,
     Return,
+    Store,
     UnaryOp,
 )
 from repro.ir.values import Const, Operand, Var
@@ -140,6 +142,10 @@ def sparse_conditional_constant_propagation(
                 lower(stmt.target, _BOTTOM)
             elif operand != _TOP:
                 lower(stmt.target, op_tables.UNARY_OPS[rhs.op].func(operand))
+        elif isinstance(rhs, Load):
+            # Memory contents are not tracked by the lattice (stores may
+            # rewrite any may-aliasing cell): loads are runtime inputs.
+            lower(stmt.target, _BOTTOM)
         else:
             lower(stmt.target, lattice_of(rhs))
 
@@ -228,8 +234,13 @@ def sparse_conditional_constant_propagation(
                     rhs.right = rewrite(rhs.right)
                 elif isinstance(rhs, UnaryOp):
                     rhs.operand = rewrite(rhs.operand)
+                elif isinstance(rhs, Load):
+                    rhs.index = rewrite(rhs.index)
                 else:
                     stmt.rhs = rewrite(rhs)
+            elif isinstance(stmt, Store):
+                stmt.index = rewrite(stmt.index)
+                stmt.value = rewrite(stmt.value)
             else:
                 stmt.value = rewrite(stmt.value)
         term = block.terminator

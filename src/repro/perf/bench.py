@@ -14,7 +14,13 @@ import platform
 import time
 from dataclasses import dataclass
 
-from repro.bench.workloads import CFP2006, CINT2006, COMPOSITE, load_workload
+from repro.bench.workloads import (
+    CFP2006,
+    CINT2006,
+    COMPOSITE,
+    MEMORY,
+    load_workload,
+)
 from repro.core.solvers.base import SpeculationSolver
 from repro.core.solvers.lospre import LospreSolver
 from repro.core.solvers.mincut import MinCutSolver
@@ -50,8 +56,13 @@ from repro.profiles.interp import RunResult, run_function
 #: 3x the single-process pin at 4 workers, a p99 latency bound, zero
 #: mismatches, and a cross-process cold-key race compiling exactly
 #: once (metrics schema 3), plus the closed-loop report's
-#: latency/service_rps fields.
-BENCH_SCHEMA_VERSION = 6
+#: latency/service_rps fields.  v7 added the "memory" section: the
+#: MEMORY workload suite (array loads/stores under the alias model)
+#: gated on interpreter-vs-compiled bit-parity and a compiled-engine
+#: speedup floor, plus the pinned speculative-load-hoist case — a
+#: strict dynamic-cost win for MC-SSAPRE over safe PRE on a
+#: loop-invariant in-bounds load, and zero motion on its aliased twin.
+BENCH_SCHEMA_VERSION = 7
 
 #: Step budget for the measured runs (matches the pipeline default).
 MAX_STEPS = 5_000_000
@@ -203,6 +214,175 @@ def bench_compile(
             }
             for name, stage in sorted(per_stage.items())
         },
+    }
+
+
+# ----------------------------------------------------------------------
+# Memory: array workloads under the alias model + the pinned hoist case.
+# ----------------------------------------------------------------------
+
+MEMORY_WORKLOADS = MEMORY
+QUICK_MEMORY_WORKLOADS = MEMORY[:1]
+
+#: Compiled-engine speedup floor over the reference interpreter on the
+#: memory suite (total interpreter seconds / total compiled seconds).
+#: The compiled back end runs memory programs an order of magnitude
+#: faster; 2x leaves ample headroom for a noisy shared CI machine.
+MEMORY_MIN_SPEEDUP = 2.0
+
+#: The pinned speculative-load-hoist case.  The load's index is a
+#: constant in bounds for ``A`` (length 8), so the class is provably
+#: non-trapping and MC-SSAPRE may speculate it; it sits under a branch
+#: inside the loop, so it is *partially* redundant and safe PRE — for
+#: which the head Φ is not down-safe (the skip and exit paths never
+#: evaluate it) — must leave all dynamic loads in place.  Trained on
+#: ``flag=1`` (the hot arm every iteration), MC-SSAPRE hoists the load
+#: to the entry and wins strictly.
+_HOIST_SOURCE = """
+func memgold(n, flag) arrays(A: 8) {
+entry:
+  i = 0
+  s = 0
+  jump head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  br flag, hot, skip
+hot:
+  t = load A, 5
+  s = add s, t
+  jump latch
+skip:
+  s = add s, 1
+  jump latch
+latch:
+  i = add i, 1
+  jump head
+exit:
+  ret s
+}
+"""
+
+#: The aliased twin: an every-iteration ``store A, i, s`` in the latch
+#: may-aliases ``load A, 5`` (variable vs constant index, same array),
+#: killing the class on the loop's back edge — no variant may move the
+#: load, so all load counts and dynamic costs must equal the control's.
+_BLOCKED_SOURCE = _HOIST_SOURCE.replace(
+    "i = add i, 1", "store A, i, s\n  i = add i, 1"
+)
+
+#: ``(n, flag)`` argument vectors: index 0 trains the profile (hot arm
+#: every iteration); the others exercise the cold arm and a shorter trip
+#: count, so speculation is checked on inputs it was *not* tuned for.
+_HOIST_INPUTS = ([8, 1], [8, 0], [5, 1])
+
+
+def _dynamic_loads(result: RunResult) -> int:
+    return sum(v for k, v in result.expr_counts.items() if k[0] == "load")
+
+
+def bench_memory(names: tuple[str, ...], repeat: int) -> dict:
+    """The memory suite: parity + throughput rows, then the pinned pair.
+
+    Every generated memory workload runs on both engines and must agree
+    bit-for-bit (``runresult_mismatches``); total speedup is gated by
+    :data:`MEMORY_MIN_SPEEDUP`.  The hand-written hoist/blocked pair pins
+    the speculative-load-motion semantics: a strict dynamic-cost win over
+    safe PRE on the hoistable program, zero motion on the aliased twin,
+    identical observables everywhere.
+    """
+    from repro.lang.parser import parse_function
+
+    rows = []
+    total_ref = total_compiled = 0.0
+    equivalent = True
+    for name in names:
+        workload = load_workload(name)
+        prepared = prepare(workload.program.func)
+        args = workload.ref_args
+        _lower_s, program = _best_of(
+            repeat, lambda: compile_function(prepared)
+        )
+        ref_s, ref_result = _best_of(
+            repeat, lambda: run_function(prepared, args, max_steps=MAX_STEPS)
+        )
+        compiled_s, compiled_result = _best_of(
+            repeat, lambda: program.run(args, max_steps=MAX_STEPS)
+        )
+        mismatches = runresult_mismatches(ref_result, compiled_result)
+        equivalent = equivalent and not mismatches
+        total_ref += ref_s
+        total_compiled += compiled_s
+        rows.append({
+            "name": name,
+            "steps": ref_result.steps,
+            "dynamic_cost": ref_result.dynamic_cost,
+            "loads": _dynamic_loads(ref_result),
+            "reference_s": round(ref_s, 6),
+            "compiled_s": round(compiled_s, 6),
+            "speedup": round(ref_s / compiled_s, 2) if compiled_s else 0.0,
+            "mismatches": mismatches,
+        })
+    speedup = total_ref / total_compiled if total_compiled else 0.0
+
+    pinned = {}
+    pinned_ok = True
+    for label, source in (
+        ("hoist", _HOIST_SOURCE), ("blocked", _BLOCKED_SOURCE)
+    ):
+        prepared = prepare(parse_function(source))
+        train_args = list(_HOIST_INPUTS[0])
+        profile = run_function(prepared, train_args).profile
+        safe = compile_func(prepared, "ssapre", profile)
+        mc = compile_func(prepared, "mc-ssapre", profile)
+        control = run_function(prepared, train_args)
+        safe_run = run_function(safe.func, train_args)
+        mc_run = run_function(mc.func, train_args)
+        observables_match = all(
+            run_function(prepared, list(a)).observable()
+            == run_function(safe.func, list(a)).observable()
+            == run_function(mc.func, list(a)).observable()
+            for a in _HOIST_INPUTS
+        )
+        if label == "hoist":
+            # Safe PRE must be unable to touch the branch-guarded load;
+            # MC-SSAPRE must speculate it down to one evaluation.
+            gate = (
+                mc_run.dynamic_cost < safe_run.dynamic_cost
+                and _dynamic_loads(mc_run) < _dynamic_loads(safe_run)
+                and _dynamic_loads(safe_run) == _dynamic_loads(control)
+            )
+        else:
+            # The aliasing store blocks every variant completely.
+            gate = (
+                mc_run.dynamic_cost == control.dynamic_cost
+                and safe_run.dynamic_cost == control.dynamic_cost
+                and _dynamic_loads(mc_run) == _dynamic_loads(control)
+            )
+        pinned_ok = pinned_ok and gate and observables_match
+        pinned[label] = {
+            "control_cost": control.dynamic_cost,
+            "safe_cost": safe_run.dynamic_cost,
+            "mc_cost": mc_run.dynamic_cost,
+            "control_loads": _dynamic_loads(control),
+            "safe_loads": _dynamic_loads(safe_run),
+            "mc_loads": _dynamic_loads(mc_run),
+            "observables_match": observables_match,
+            "ok": bool(gate and observables_match),
+        }
+
+    return {
+        "workloads": rows,
+        "total_reference_s": round(total_ref, 6),
+        "total_compiled_s": round(total_compiled, 6),
+        "speedup": round(speedup, 2),
+        "min_speedup": MEMORY_MIN_SPEEDUP,
+        "equivalent": equivalent,
+        "speculation": pinned,
+        "ok": bool(
+            equivalent and speedup >= MEMORY_MIN_SPEEDUP and pinned_ok
+        ),
     }
 
 
@@ -1034,9 +1214,12 @@ def run_perf(
         QUICK_SOLVER_SCALING_SIZES if quick else SOLVER_SCALING_SIZES
     )
 
+    memory_names = QUICK_MEMORY_WORKLOADS if quick else MEMORY_WORKLOADS
+
     t0 = time.perf_counter()
     execution = bench_execution(names, repeat)
     compile_report = bench_compile(names, repeat, solver=solver)
+    memory = bench_memory(memory_names, repeat)
     iterative = bench_iterative(iter_names, repeat)
     solver_scaling = bench_solver_scaling(scaling_sizes, repeat)
     serving = bench_serving(repeat, requests=36 if quick else 96)
@@ -1058,12 +1241,14 @@ def run_perf(
         "platform": platform.platform(),
         "execution": execution,
         "compile": compile_report,
+        "memory": memory,
         "iterative": iterative,
         "solver_scaling": solver_scaling,
         "serving": serving,
         "maxflow": maxflow,
         "ok": (
             execution["equivalent"]
+            and memory["ok"]
             and iterative["ok"]
             and solver_scaling["ok"]
             and serving["ok"]

@@ -72,6 +72,19 @@ def main(argv: list[str] | None = None) -> int:
               f"equivalent={execution['equivalent']})")
         print(f"compile:   {payload['compile']['total_s']}s over "
               f"{payload['compile']['functions']} function(s)")
+        memory = payload["memory"]
+        spec_hoist = memory["speculation"]["hoist"]
+        spec_blocked = memory["speculation"]["blocked"]
+        print(f"memory:    {memory['speedup']}x compiled over reference "
+              f"(gate {memory['min_speedup']}x, "
+              f"equivalent={memory['equivalent']})")
+        print(f"memory:    hoist cost {spec_hoist['safe_cost']} -> "
+              f"{spec_hoist['mc_cost']} "
+              f"(loads {spec_hoist['safe_loads']} -> "
+              f"{spec_hoist['mc_loads']}, ok={spec_hoist['ok']}), "
+              f"blocked loads {spec_blocked['mc_loads']}"
+              f"/{spec_blocked['control_loads']} "
+              f"(ok={spec_blocked['ok']})")
         iterative = payload["iterative"]
         for row in iterative["workloads"]:
             print(f"iterative: {row['name']:<10} "

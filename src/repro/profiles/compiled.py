@@ -50,10 +50,13 @@ from repro.ir.instructions import (
     BinOp,
     CondJump,
     Jump,
+    Load,
     Output,
     Return,
+    Store,
     UnaryOp,
 )
+from repro.ir.memory import initial_array
 from repro.ir.values import Const, Operand, Var
 from repro.profiles.interp import InterpreterError, RunResult
 from repro.profiles.profile import ExecutionProfile
@@ -115,6 +118,11 @@ class CompiledProgram:
     #: Register file template: ``_UNDEF`` everywhere except slot 0 (the
     #: return-value slot, preset to ``None`` for void returns).
     template: list = field(default_factory=list, repr=False)
+    #: Declared arrays as ``(name, length, slot)``: each run materialises
+    #: the deterministic initial contents into its register slot, so runs
+    #: never share (and never re-observe) mutated memory.  Plain data —
+    #: pickles with the artifact.
+    array_slots: list = field(default_factory=list, repr=False)
     #: Generated Python source, kept for debugging, tests — and pickling:
     #: together with :attr:`op_keys` and :attr:`messages` it is enough to
     #: regenerate :attr:`block_funcs`, so programs are pickle-stable
@@ -169,6 +177,8 @@ class CompiledProgram:
         for slots, value in zip(self.param_slots, args):
             for slot in slots:
                 regs[slot] = value
+        for array_name, length, slot in self.array_slots:
+            regs[slot] = initial_array(array_name, length)
 
         out: list[int] = []
         edge_counts = [0] * len(self.edge_dst)
@@ -272,6 +282,14 @@ class _Codegen:
         self.op_funcs: list = []
         self.op_index: dict[str, int] = {}  # "b:add" / "u:neg" -> table idx
         self.messages: list[str] = []
+        # Arrays live in dedicated register slots (a Python list each,
+        # materialised per run); declared eagerly so every declared array
+        # is initialised even when no instruction references it, matching
+        # the reference interpreter.
+        self.array_slot: dict[str, int] = {}
+        for array_name in func.arrays:
+            self.array_slot[array_name] = self.next_slot
+            self.next_slot += 1
 
     # -- tables --------------------------------------------------------
     def slot(self, var: Var) -> int:
@@ -404,6 +422,49 @@ class _Codegen:
             lines.append(f"{indent}r[{self.slot(phi.target)}] = {temp}")
             defined.add(self.slot(phi.target))
 
+    def _memory_cell(
+        self,
+        kind: str,
+        array: str,
+        index: Operand,
+        defined: set[int],
+        lines: list[str],
+        indent: str,
+        gensym: list[int],
+    ) -> str:
+        """The Python lvalue/rvalue ``r[arr][idx]`` for a memory access.
+
+        Emits the bounds guard matching the reference interpreter
+        byte-for-byte (the ``%s`` template formats the runtime index; the
+        array name and length are baked in at compile time).  A constant
+        index already inside the declared bounds is proven safe here, so
+        it indexes directly with no guard — the compiled twin of the
+        ``load_in_bounds`` refinement the optimizers use.
+        """
+        aslot = self.array_slot[array]
+        length = self.func.arrays[array]
+        if (
+            isinstance(index, Const)
+            and isinstance(index.value, int)
+            and not isinstance(index.value, bool)
+            and 0 <= index.value < length
+        ):
+            return f"r[{aslot}][{index.value!r}]"
+        expr = self._read(index, defined, lines, indent, gensym)
+        gensym[0] += 1
+        temp = f"_i{gensym[0]}"
+        msg = self.message(
+            f"{self.func.name}: {kind} index %s out of bounds "
+            f"for array {array!r} of length {length}"
+        )
+        lines.append(f"{indent}{temp} = {expr}")
+        lines.append(
+            f"{indent}if not (isinstance({temp}, int) "
+            f"and 0 <= {temp} < {length}):"
+        )
+        lines.append(f"{indent}    raise _IE(_MSGS[{msg}] % ({temp},))")
+        return f"r[{aslot}][{temp}]"
+
     # -- main ----------------------------------------------------------
     def compile(self) -> CompiledProgram:
         func = self.func
@@ -469,6 +530,16 @@ class _Codegen:
                         )
                         cost += info.cost
                         sites.append(rhs.class_key())
+                    elif isinstance(rhs, Load):
+                        cell = self._memory_cell(
+                            "load", rhs.array, rhs.index,
+                            defined, body, indent, gensym,
+                        )
+                        body.append(
+                            f"{indent}r[{self.slot(stmt.target)}] = {cell}"
+                        )
+                        cost += op_tables.LOAD_COST
+                        sites.append(rhs.class_key())
                     else:
                         expr = self._read(rhs, defined, body, indent, gensym)
                         body.append(
@@ -476,6 +547,16 @@ class _Codegen:
                         )
                         cost += op_tables.COPY_COST
                     defined.add(self.slot(stmt.target))
+                elif isinstance(stmt, Store):
+                    # Mirrors the interpreter's evaluation order exactly:
+                    # index read, bounds check, then the value read.
+                    cell = self._memory_cell(
+                        "store", stmt.array, stmt.index,
+                        defined, body, indent, gensym,
+                    )
+                    value = self._read(stmt.value, defined, body, indent, gensym)
+                    body.append(f"{indent}{cell} = {value}")
+                    cost += op_tables.STORE_COST
                 else:  # Output
                     expr = self._read(stmt.value, defined, body, indent, gensym)
                     body.append(f"{indent}out.append({expr})")
@@ -550,6 +631,10 @@ class _Codegen:
             cost_per_block=cost_per_block,
             expr_sites=expr_sites,
             template=template,
+            array_slots=[
+                (array_name, length, self.array_slot[array_name])
+                for array_name, length in func.arrays.items()
+            ],
             source=source,
             op_keys=op_keys,
             messages=self.messages,

@@ -28,9 +28,12 @@ from repro.ir.instructions import (
     BinOp,
     CondJump,
     Jump,
+    Load,
     Return,
+    Store,
     UnaryOp,
 )
+from repro.ir.memory import initial_array
 from repro.ir.values import Const, Operand, Var
 from repro.profiles.profile import ExecutionProfile
 
@@ -76,6 +79,13 @@ def run_function(
         env[param] = value
         # Non-SSA functions reference parameters by base name.
         env[param.base] = value
+
+    # Array memory: deterministic initial contents per array symbol,
+    # mutated in place by stores.  Arrays are not SSA values.
+    memory: dict[str, list[int]] = {
+        name: initial_array(name, length)
+        for name, length in func.arrays.items()
+    }
 
     profile = ExecutionProfile()
     output: list[int] = []
@@ -133,9 +143,32 @@ def run_function(
                     env[stmt.target] = info.func(read(rhs.operand))
                     cost += info.cost
                     expr_counts[rhs.class_key()] += 1
+                elif isinstance(rhs, Load):
+                    cells = memory[rhs.array]
+                    index = read(rhs.index)
+                    # Non-integer indices (an fdiv result) trap exactly
+                    # like out-of-range ones — same check as compiled.
+                    if not (isinstance(index, int) and 0 <= index < len(cells)):
+                        raise InterpreterError(
+                            f"{func.name}: load index {index} out of bounds "
+                            f"for array {rhs.array!r} of length {len(cells)}"
+                        )
+                    env[stmt.target] = cells[index]
+                    cost += op_tables.LOAD_COST
+                    expr_counts[rhs.class_key()] += 1
                 else:
                     env[stmt.target] = read(rhs)
                     cost += op_tables.COPY_COST
+            elif isinstance(stmt, Store):
+                cells = memory[stmt.array]
+                index = read(stmt.index)
+                if not (isinstance(index, int) and 0 <= index < len(cells)):
+                    raise InterpreterError(
+                        f"{func.name}: store index {index} out of bounds "
+                        f"for array {stmt.array!r} of length {len(cells)}"
+                    )
+                cells[index] = read(stmt.value)
+                cost += op_tables.STORE_COST
             else:  # Output
                 output.append(read(stmt.value))
                 cost += op_tables.OUTPUT_COST

@@ -41,7 +41,12 @@ from repro.profiles.profile import ExecutionProfile
 #: instead of being served under a stale interpretation.
 #: 2: PipelineConfig.canonical() is now derived from the dataclass fields
 #:    (full field names, solver knob included).
-KEY_SCHEMA = 2
+#: 3: the function fingerprint gains an ``arrays:`` section (name/length
+#:    of every declared array).  Array lengths decide which load classes
+#:    are provably in-bounds — i.e. how aggressively the compile may
+#:    speculate — so two sources differing only in a declared length must
+#:    never share an artifact.
+KEY_SCHEMA = 3
 
 __all__ = [
     "KEY_SCHEMA",
@@ -74,13 +79,19 @@ def function_fingerprint(func: Function) -> str:
     """
     normalized = normalize_versions(func)
     text = format_function(normalized)
-    # Drop the header line (it carries the function name); parameters are
-    # re-rendered separately — from the *normalized* function, so their
-    # SSA versions cannot leak construction order into the key — and
-    # arity plus parameter naming still count.
+    # Drop the header line (it carries the function name); parameters and
+    # the array environment are re-rendered separately — from the
+    # *normalized* function, so their SSA versions cannot leak
+    # construction order into the key — and arity, parameter naming and
+    # every declared array's length still count.  Array lengths gate the
+    # in-bounds speculation refinement, so they are key material even
+    # when the bodies coincide.
     body = text.split("\n", 1)[1] if "\n" in text else text
     params = ",".join(str(p) for p in normalized.params)
-    return _digest((f"params:{params}", body))
+    arrays = ",".join(
+        f"{name}:{length}" for name, length in sorted(normalized.arrays.items())
+    )
+    return _digest((f"params:{params}", f"arrays:{arrays}", body))
 
 
 def profile_fingerprint(profile: ExecutionProfile) -> str:

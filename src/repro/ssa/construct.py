@@ -18,7 +18,7 @@ from repro.analysis import (
 )
 from repro.analysis.domfrontier import iterated_dominance_frontier
 from repro.ir.function import Function
-from repro.ir.instructions import Assign, BinOp, Phi, UnaryOp
+from repro.ir.instructions import Assign, BinOp, Load, Phi, Store, UnaryOp
 from repro.ir.values import Const, Operand, Var
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -112,10 +112,16 @@ def construct_ssa(func: Function, cache: "AnalysisCache | None" = None) -> None:
                     stmt.rhs.right = rewrite(stmt.rhs.right)
                 elif isinstance(stmt.rhs, UnaryOp):
                     stmt.rhs.operand = rewrite(stmt.rhs.operand)
+                elif isinstance(stmt.rhs, Load):
+                    # Arrays are not SSA values; only the index is renamed.
+                    stmt.rhs.index = rewrite(stmt.rhs.index)
                 elif isinstance(stmt.rhs, (Var, Const)):
                     stmt.rhs = rewrite(stmt.rhs)
                 stmt.target = stmt.target.with_version(new_version(stmt.target.name))
                 pushed.append(stmt.target.name)
+            elif isinstance(stmt, Store):
+                stmt.index = rewrite(stmt.index)
+                stmt.value = rewrite(stmt.value)
             else:  # Output
                 stmt.value = rewrite(stmt.value)
         term = block.terminator

@@ -16,7 +16,7 @@ from typing import TYPE_CHECKING
 
 from repro.analysis import cfg_of
 from repro.ir.function import Function
-from repro.ir.instructions import Assign, BinOp, UnaryOp
+from repro.ir.instructions import Assign, BinOp, Load, Store, UnaryOp
 from repro.ir.values import Operand, Var
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -115,8 +115,13 @@ def destruct_ssa(func: Function, cache: "AnalysisCache | None" = None) -> None:
                     stmt.rhs.right = _lower_operand(stmt.rhs.right)
                 elif isinstance(stmt.rhs, UnaryOp):
                     stmt.rhs.operand = _lower_operand(stmt.rhs.operand)
+                elif isinstance(stmt.rhs, Load):
+                    stmt.rhs.index = _lower_operand(stmt.rhs.index)
                 else:
                     stmt.rhs = _lower_operand(stmt.rhs)
+            elif isinstance(stmt, Store):
+                stmt.index = _lower_operand(stmt.index)
+                stmt.value = _lower_operand(stmt.value)
             else:  # Output
                 stmt.value = _lower_operand(stmt.value)
         term = block.terminator

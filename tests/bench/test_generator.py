@@ -191,6 +191,96 @@ class TestCompositeKnobs:
         assert run.steps > 0
 
 
+class TestMemoryKnobs:
+    def _mem_spec(self, seed, **overrides):
+        knobs = dict(
+            name="m", seed=seed, max_depth=2, region_length=6,
+            arrays=2, mem_prob=0.5, store_density=0.4, hot_loads=3,
+        )
+        knobs.update(overrides)
+        return ProgramSpec(**knobs)
+
+    def test_knobs_off_consume_no_randomness(self):
+        """arrays=0 must reproduce the historical stream regardless of the
+        other memory knobs' values."""
+        base = generate_program(ProgramSpec(name="m", seed=9)).func
+        off = generate_program(
+            ProgramSpec(
+                name="m", seed=9, arrays=0, mem_prob=0.9,
+                store_density=0.9, alias_density=0.9, hot_loads=7,
+            )
+        ).func
+        on = generate_program(self._mem_spec(9)).func
+        assert str(base) == str(off)
+        assert str(base) != str(on)
+
+    def test_memory_programs_contain_loads_and_stores(self):
+        from repro.ir.instructions import Assign, Load, Store
+
+        loads = stores = 0
+        for seed in range(10):
+            func = generate_program(self._mem_spec(seed)).func
+            assert func.arrays  # arrays declared on the function
+            for block in func:
+                for stmt in block.body:
+                    if isinstance(stmt, Assign) and isinstance(stmt.rhs, Load):
+                        loads += 1
+                    elif isinstance(stmt, Store):
+                        stores += 1
+        assert loads > 10 and stores > 3
+
+    def test_hot_load_sites_recorded_and_shared(self):
+        """Hot load sites are the redundancy seeds: the same (array,
+        index) pair must be loaded from more than one program point."""
+        from repro.ir.instructions import Assign, Load
+
+        for seed in range(6):
+            prog = generate_program(self._mem_spec(seed, mem_prob=0.7))
+            assert prog.hot_load_sites
+            sites = [
+                (stmt.rhs.array, stmt.rhs.index)
+                for block in prog.func for stmt in block.body
+                if isinstance(stmt, Assign) and isinstance(stmt.rhs, Load)
+            ]
+            if any(sites.count(s) > 1 for s in set(sites)):
+                return
+        raise AssertionError("no repeated load site in six seeds")
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_memory_programs_verify_terminate_and_never_trap(self, seed):
+        """Indices are constants in bounds or masked to a power-of-two
+        length, so generated memory programs run trap-free by
+        construction on every input."""
+        spec = self._mem_spec(
+            seed, trapping_density=0.05, trapping_hot_prob=0.3,
+            alias_density=0.7,
+        )
+        prog = generate_program(spec)
+        verify_function(prog.func)
+        for argseed in (1, 2):
+            run = run_function(
+                prog.func, random_args(spec, argseed), max_steps=3_000_000
+            )
+            assert run.steps > 0
+
+    def test_trapping_hot_prob_yields_lexically_may_trapping_loads(self):
+        """With trapping_hot_prob on, hot load sites use the masked
+        index variable — lexically may-trapping classes that exercise
+        the safe-fallback path even though they never fault at runtime."""
+        prog = generate_program(self._mem_spec(5, trapping_hot_prob=1.0))
+        assert prog.hot_load_sites
+        # A site index is an int constant (speculatable) or the masked
+        # index variable's name (may-trap); here all must be the latter.
+        assert all(
+            isinstance(index, str) for _, index in prog.hot_load_sites
+        )
+        off = generate_program(self._mem_spec(5, trapping_hot_prob=0.0))
+        assert all(
+            isinstance(index, int) for _, index in off.hot_load_sites
+        )
+
+
 class TestProfiles:
     def test_different_inputs_different_profiles(self):
         # Probe a few seeds: at least one pair of inputs must steer the

@@ -53,8 +53,8 @@ class TestJsonSummary:
         assert isinstance(data["wall_time_s"], float)
         assert data["wall_time_s"] > 0
         assert data["seeds"] == 2
-        assert data["cases"] == 6  # 2 seeds x 3 shapes
-        assert data["shapes"] == ["cint", "cfp", "composite"]
+        assert data["cases"] == 8  # 2 seeds x 4 shapes
+        assert data["shapes"] == ["cint", "cfp", "composite", "mem"]
         assert data["oracles"] == [
             "equiv", "optimal", "lifetime", "safety", "cache",
         ]

@@ -143,6 +143,62 @@ class TestReducerProperties:
 
     def test_strategy_order_is_coarse_to_fine(self):
         assert [name for name, _ in STRATEGIES] == [
-            "straighten", "drop-block", "inline-jump", "drop-stmt",
-            "constify",
+            "straighten", "drop-block", "inline-jump", "drop-store",
+            "drop-stmt", "constify", "constify-index",
         ]
+
+
+class TestMemoryStrategies:
+    """drop-store and constify-index: the two memory-aware passes."""
+
+    def _build(self):
+        b = FunctionBuilder("m", params=["a", "i"])
+        b.array("A", 8)
+        b.array("B", 4)
+        b.block("entry")
+        b.assign("m", "and", "i", 7)
+        b.store("A", "m", "a")
+        b.store("B", 0, "a")
+        b.load("x", "A", "m")
+        b.assign("y", "add", "x", "a")
+        b.ret("y")
+        return b.build()
+
+    def test_stores_dropped_when_irrelevant(self):
+        # The predicate only needs the load: both stores must go.
+        from repro.ir.instructions import Store
+
+        def has_load(f):
+            return "load A" in str(f)
+
+        reduction = reduce_function(self._build(), has_load)
+        assert "load A" in reduction.ir_text
+        stores = [
+            s for block in reduction.func for s in block.body
+            if isinstance(s, Store)
+        ]
+        assert stores == []
+
+    def test_variable_index_constified(self):
+        # Predicate keeps the load but not its masked index: the
+        # constify-index pass must rewrite `load A, m` to `load A, 0`.
+        def has_load(f):
+            return "load A" in str(f)
+
+        reduction = reduce_function(self._build(), has_load)
+        assert "load A, 0" in reduction.ir_text
+
+    def test_store_kept_when_failure_needs_it(self):
+        from repro.ir.instructions import Store
+
+        def has_store(f):
+            return any(
+                isinstance(s, Store) and s.array == "A"
+                for block in f for s in block.body
+            )
+
+        reduction = reduce_function(self._build(), has_store)
+        assert any(
+            isinstance(s, Store) and s.array == "A"
+            for block in reduction.func for s in block.body
+        )

@@ -1,0 +1,176 @@
+"""Golden memory-PRE behavior: speculative load hoisting under aliasing.
+
+The pinned program pair from the perf suite, checked as a tier-1
+property: a branch-guarded, provably-in-bounds load is *partially*
+redundant — safe PRE must leave it alone (the head Φ is not down-safe),
+MC-SSAPRE must speculate it out of the loop for a strict dynamic-cost
+win on the train input — while a may-aliasing store on the back edge
+freezes every variant.  The alias lattice's no-alias verdicts (other
+array, unequal constant index) must *not* block the motion, and a
+lexically may-trapping variable-index load must never be speculated.
+"""
+
+import pytest
+
+from repro.lang.parser import parse_function
+from repro.passes.compiler import compile as compile_func
+from repro.pipeline import prepare
+from repro.profiles.interp import run_function
+
+
+HOIST = """
+func memgold(n, flag) arrays(A: 8, B: 8) {
+entry:
+  i = 0
+  s = 0
+  jump head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  br flag, hot, skip
+hot:
+  t = load A, 5
+  s = add s, t
+  jump latch
+skip:
+  s = add s, 1
+  jump latch
+latch:
+  i = add i, 1
+  jump head
+exit:
+  ret s
+}
+"""
+
+#: (n, flag) vectors; index 0 trains the profile (hot arm throughout).
+INPUTS = ([8, 1], [8, 0], [5, 1], [0, 1])
+
+
+def _variant(latch_extra="", load="t = load A, 5"):
+    source = HOIST.replace("t = load A, 5", load)
+    if latch_extra:
+        source = source.replace(
+            "i = add i, 1", f"{latch_extra}\n  i = add i, 1"
+        )
+    return prepare(parse_function(source))
+
+
+def _loads(result):
+    return sum(
+        count for key, count in result.expr_counts.items()
+        if key[0] == "load"
+    )
+
+
+def _compile_pair(prepared):
+    train = list(INPUTS[0])
+    profile = run_function(prepared, train).profile
+    safe = compile_func(prepared, "ssapre", profile, validate=True)
+    mc = compile_func(prepared, "mc-ssapre", profile, validate=True)
+    control = run_function(prepared, train)
+    return control, run_function(safe.func, train), run_function(mc.func, train), safe, mc
+
+
+def _assert_observable_equivalence(prepared, *compiled):
+    for args in INPUTS:
+        want = run_function(prepared, list(args)).observable()
+        for out in compiled:
+            assert run_function(out.func, list(args)).observable() == want
+
+
+class TestSpeculativeHoist:
+    def test_mc_wins_strictly_where_safe_pre_is_blocked(self):
+        prepared = _variant()
+        control, safe_run, mc_run, safe, mc = _compile_pair(prepared)
+        # Safe PRE cannot touch the branch-guarded load...
+        assert _loads(safe_run) == _loads(control) == 8
+        assert safe_run.dynamic_cost == control.dynamic_cost
+        # ...MC-SSAPRE speculates it down to a single evaluation.
+        assert _loads(mc_run) == 1
+        assert mc_run.dynamic_cost < safe_run.dynamic_cost
+        _assert_observable_equivalence(prepared, safe, mc)
+
+    def test_may_alias_store_on_back_edge_blocks_all_motion(self):
+        prepared = _variant(latch_extra="store A, i, s")
+        control, safe_run, mc_run, safe, mc = _compile_pair(prepared)
+        assert _loads(mc_run) == _loads(safe_run) == _loads(control) == 8
+        assert mc_run.dynamic_cost == control.dynamic_cost
+        assert safe_run.dynamic_cost == control.dynamic_cost
+        _assert_observable_equivalence(prepared, safe, mc)
+
+    def test_store_to_other_array_does_not_block(self):
+        # B never aliases A: the hoist must survive the store.
+        prepared = _variant(latch_extra="store B, i, s")
+        control, _safe_run, mc_run, safe, mc = _compile_pair(prepared)
+        assert _loads(control) == 8
+        assert _loads(mc_run) == 1
+        _assert_observable_equivalence(prepared, safe, mc)
+
+    def test_store_to_unequal_constant_index_does_not_block(self):
+        # A[3] never aliases A[5].
+        prepared = _variant(latch_extra="store A, 3, s")
+        control, _safe_run, mc_run, safe, mc = _compile_pair(prepared)
+        assert _loads(control) == 8
+        assert _loads(mc_run) == 1
+        _assert_observable_equivalence(prepared, safe, mc)
+
+    def test_store_to_same_constant_index_blocks(self):
+        prepared = _variant(latch_extra="store A, 5, s")
+        control, _safe_run, mc_run, safe, mc = _compile_pair(prepared)
+        assert _loads(mc_run) == _loads(control) == 8
+        _assert_observable_equivalence(prepared, safe, mc)
+
+    def test_variable_index_load_is_never_speculated(self):
+        # `load A, m` with m = n & 7 is in bounds at runtime but
+        # *lexically* may-trapping, so speculation must refuse it even
+        # though the profile says the hot arm always runs.
+        prepared = _variant(load="m = and n, 7\n  t = load A, m")
+        control, safe_run, mc_run, safe, mc = _compile_pair(prepared)
+        assert _loads(mc_run) == _loads(safe_run) == _loads(control) == 8
+        _assert_observable_equivalence(prepared, safe, mc)
+
+
+class TestFullRedundancyStillSafe:
+    def test_straightline_repeated_load_is_plain_pre(self):
+        # Two identical loads with no intervening may-alias store: even
+        # *safe* PRE removes the second — no speculation involved.
+        source = """
+func twice(n) arrays(A: 8) {
+entry:
+  a = load A, 2
+  store A, 7, n
+  b = load A, 2
+  s = add a, b
+  ret s
+}
+"""
+        prepared = prepare(parse_function(source))
+        profile = run_function(prepared, [1]).profile
+        safe = compile_func(prepared, "ssapre", profile, validate=True)
+        run = run_function(safe.func, [1])
+        assert _loads(run) == 1
+        assert run.observable() == run_function(prepared, [1]).observable()
+
+    def test_intervening_alias_store_keeps_both_loads(self):
+        source = """
+func twice(n) arrays(A: 8) {
+entry:
+  m = and n, 7
+  a = load A, 2
+  store A, m, n
+  b = load A, 2
+  s = add a, b
+  ret s
+}
+"""
+        prepared = prepare(parse_function(source))
+        profile = run_function(prepared, [1]).profile
+        for variant in ("ssapre", "mc-ssapre"):
+            out = compile_func(prepared, variant, profile, validate=True)
+            run = run_function(out.func, [1])
+            assert _loads(run) == 2
+            assert run.observable() == (
+                run_function(prepared, [1]).observable()
+            )

@@ -1,0 +1,121 @@
+"""The array memory model: initial contents and the alias lattice."""
+
+import pytest
+
+from repro.ir.memory import (
+    MAX_ARRAY_LENGTH,
+    initial_array,
+    is_load_key,
+    key_may_trap,
+    load_in_bounds,
+    may_alias,
+    store_kills_key,
+)
+from repro.ir.values import Const, Var
+
+
+LOAD_CONST = ("load", ("arr", "A"), ("const", 5))
+LOAD_VAR = ("load", ("arr", "A"), ("var", "i"))
+SCALAR = ("add", ("var", "x"), ("const", 1))
+
+
+class TestInitialArray:
+    def test_deterministic_pure_function_of_name_and_length(self):
+        assert initial_array("A", 8) == initial_array("A", 8)
+
+    def test_prefix_stable_under_length(self):
+        # The fill is a stream seeded by the name alone, so a longer
+        # array extends (not reshuffles) the shorter one's contents.
+        assert initial_array("A", 16)[:8] == initial_array("A", 8)
+
+    def test_name_seeds_the_contents(self):
+        assert initial_array("A", 8) != initial_array("B", 8)
+
+    def test_values_small_and_signed(self):
+        values = initial_array("xyz", 64)
+        assert len(values) == 64
+        assert all(-128 <= v <= 128 for v in values)
+        assert any(v < 0 for v in values) and any(v > 0 for v in values)
+
+
+class TestMayAlias:
+    def test_distinct_arrays_never_alias(self):
+        assert not may_alias("A", Var("i"), "B", Var("i"))
+        assert not may_alias("A", Const(3), "B", Const(3))
+
+    def test_unequal_constants_never_alias(self):
+        assert not may_alias("A", Const(3), "A", Const(4))
+
+    def test_equal_constants_alias(self):
+        assert may_alias("A", Const(3), "A", Const(3))
+
+    def test_symbolic_index_may_alias_anything_in_same_array(self):
+        assert may_alias("A", Var("i"), "A", Const(3))
+        assert may_alias("A", Const(3), "A", Var("i"))
+        assert may_alias("A", Var("i"), "A", Var("j"))
+
+
+class TestStoreKillsKey:
+    def test_scalar_classes_never_killed(self):
+        assert not store_kills_key("A", Var("i"), SCALAR)
+
+    def test_other_array_never_kills(self):
+        assert not store_kills_key("B", Var("i"), LOAD_CONST)
+
+    def test_unequal_constant_indices_do_not_kill(self):
+        assert not store_kills_key("A", Const(3), LOAD_CONST)
+
+    def test_equal_constant_index_kills(self):
+        assert store_kills_key("A", Const(5), LOAD_CONST)
+
+    def test_symbolic_store_index_kills_everything_in_array(self):
+        assert store_kills_key("A", Var("i"), LOAD_CONST)
+        assert store_kills_key("A", Var("i"), LOAD_VAR)
+
+    def test_symbolic_load_index_killed_by_constant_store(self):
+        # Base-name equality says nothing about runtime values.
+        assert store_kills_key("A", Const(3), LOAD_VAR)
+
+    def test_is_load_key(self):
+        assert is_load_key(LOAD_CONST) and is_load_key(LOAD_VAR)
+        assert not is_load_key(SCALAR)
+
+
+class TestSpeculationPredicate:
+    ARRAYS = {"A": 8}
+
+    def test_const_in_bounds_load_is_provably_safe(self):
+        assert load_in_bounds(LOAD_CONST, self.ARRAYS)
+        assert not key_may_trap(LOAD_CONST, self.ARRAYS)
+
+    def test_const_out_of_bounds_may_trap(self):
+        oob = ("load", ("arr", "A"), ("const", 8))
+        negative = ("load", ("arr", "A"), ("const", -1))
+        assert not load_in_bounds(oob, self.ARRAYS)
+        assert key_may_trap(oob, self.ARRAYS)
+        assert key_may_trap(negative, self.ARRAYS)
+
+    def test_symbolic_index_may_trap(self):
+        assert not load_in_bounds(LOAD_VAR, self.ARRAYS)
+        assert key_may_trap(LOAD_VAR, self.ARRAYS)
+
+    def test_undeclared_array_may_trap(self):
+        assert key_may_trap(LOAD_CONST, {})
+
+    def test_bool_payload_is_not_an_index(self):
+        # json round-trips can surface bools where ints are expected;
+        # True < 8 holds numerically but is not a provably-safe index.
+        sneaky = ("load", ("arr", "A"), ("const", True))
+        assert not load_in_bounds(sneaky, self.ARRAYS)
+
+    def test_scalar_trapping_table_unchanged(self):
+        assert key_may_trap(("div", ("var", "a"), ("var", "b")), self.ARRAYS)
+        assert not key_may_trap(SCALAR, self.ARRAYS)
+
+    def test_max_length_bounds_declarations(self):
+        from repro.ir.function import Function
+
+        func = Function("f", [])
+        with pytest.raises(ValueError):
+            func.declare_array("A", MAX_ARRAY_LENGTH + 1)
+        func.declare_array("A", MAX_ARRAY_LENGTH)

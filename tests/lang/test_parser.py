@@ -120,6 +120,105 @@ class TestParser:
             )
 
 
+MEM_SAMPLE = """
+func mem(n) arrays(A: 8, B: 4) {
+entry:
+  m = and n, 7
+  t = load A, m
+  store B, 0, t
+  u = load B, 0
+  ret u
+}
+"""
+
+
+class TestMemorySyntax:
+    def test_arrays_clause_and_instructions(self):
+        from repro.ir.instructions import Assign, Load, Store
+
+        func = parse_function(MEM_SAMPLE)
+        verify_function(func)
+        assert func.arrays == {"A": 8, "B": 4}
+        body = func.blocks["entry"].body
+        assert isinstance(body[1], Assign) and isinstance(body[1].rhs, Load)
+        assert body[1].rhs.array == "A"
+        assert isinstance(body[2], Store)
+        assert body[2].array == "B" and body[2].index.value == 0
+
+    def test_arrays_clause_prints_sorted(self):
+        func = parse_function(
+            "func f() arrays(Z: 2, A: 4) {\nentry:\n  ret\n}"
+        )
+        assert "arrays(A: 4, Z: 2)" in format_function(func)
+
+    def test_duplicate_array_rejected_with_position(self):
+        with pytest.raises(ParseError, match="duplicate array"):
+            parse_function(
+                "func f() arrays(A: 2, A: 4) {\nentry:\n  ret\n}"
+            )
+
+    def test_bad_array_length_rejected(self):
+        with pytest.raises(ParseError, match="length"):
+            parse_function("func f() arrays(A: 0) {\nentry:\n  ret\n}")
+
+    def test_memory_sample_round_trips(self):
+        from repro.ir.structural import structural_diff
+
+        func = parse_function(MEM_SAMPLE)
+        reparsed = parse_function(format_function(func))
+        assert structural_diff(func, reparsed) == []
+        assert reparsed.arrays == func.arrays
+
+
+class TestRobustness:
+    """Satellite: parse errors carry line:column; duplicate labels and
+    SSA redefinitions are rejected at parse time."""
+
+    def test_parse_error_carries_position(self):
+        # Line 3 (1-based), the `=` at column 7 arrives where an operand
+        # of `add` is expected.
+        with pytest.raises(ParseError) as excinfo:
+            parse_function("func f() {\nentry:\n  x = add = 1\n  ret\n}")
+        err = excinfo.value
+        assert err.line == 3
+        assert err.column is not None and err.column > 1
+        assert str(err).startswith(f"{err.line}:{err.column}:")
+
+    def test_lex_error_carries_position(self):
+        with pytest.raises(LexError) as excinfo:
+            list(tokenize("ok\n  x @ y"))
+        assert "2:" in str(excinfo.value)
+
+    def test_duplicate_block_label_rejected(self):
+        source = (
+            "func f() {\nentry:\n  jump entry\nentry:\n  ret\n}"
+        )
+        with pytest.raises(ParseError, match="duplicate block label") as excinfo:
+            parse_function(source)
+        assert excinfo.value.line == 4
+
+    def test_redefined_ssa_name_rejected(self):
+        source = (
+            "func f(a) {\nentry:\n  x.1 = add a, 1\n  x.1 = add a, 2\n"
+            "  ret x.1\n}"
+        )
+        with pytest.raises(ParseError, match="defined more than once") as excinfo:
+            parse_function(source)
+        assert excinfo.value.line == 4
+
+    def test_versioned_param_cannot_be_redefined(self):
+        with pytest.raises(ParseError, match="defined more than once"):
+            parse_function(
+                "func f(a.1) {\nentry:\n  a.1 = add a.1, 1\n  ret a.1\n}"
+            )
+
+    def test_distinct_versions_of_same_name_are_fine(self):
+        func = parse_function(
+            "func f(a.1) {\nentry:\n  a.2 = add a.1, 1\n  ret a.2\n}"
+        )
+        verify_function(func)
+
+
 class TestRoundTrip:
     def test_sample_round_trips(self):
         func = parse_function(SAMPLE)
@@ -142,6 +241,49 @@ class TestRoundTrip:
         ssa = as_ssa(diamond)
         text = format_function(ssa)
         assert format_function(parse_function(text)) == text
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_memory_programs_round_trip(self, seed):
+        """Satellite: printer↔parser round-trip over load/store/arrays."""
+        from repro.ir.structural import structural_diff
+
+        prog = generate_program(
+            ProgramSpec(
+                name="mrt", seed=seed, max_depth=2, arrays=2,
+                mem_prob=0.5, store_density=0.4, trapping_hot_prob=0.3,
+            )
+        )
+        text = format_function(prog.func)
+        reparsed = parse_function(text)
+        verify_function(reparsed)
+        assert format_function(reparsed) == text
+        assert structural_diff(prog.func, reparsed) == []
+        assert reparsed.arrays == prog.func.arrays
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=5_000))
+    def test_memory_ssa_normalized_round_trip(self, seed):
+        """normalize=True renumbers SSA versions; the printed form must
+        still reparse to the same structure — arrays included."""
+        from repro.ir.structural import structural_diff
+        from repro.ssa.construct import construct_ssa
+        from repro.pipeline import prepare
+
+        prog = generate_program(
+            ProgramSpec(
+                name="mnrt", seed=seed, max_depth=2, arrays=2,
+                mem_prob=0.5, store_density=0.4,
+            )
+        )
+        ssa = prepare(prog.func)
+        construct_ssa(ssa)
+        text = format_function(ssa, normalize=True)
+        reparsed = parse_function(text)
+        assert format_function(reparsed) == text
+        normalized = parse_function(format_function(ssa, normalize=True))
+        assert structural_diff(normalized, reparsed) == []
+        assert reparsed.arrays == ssa.arrays
 
 
 class TestStructuralRoundTrip:

@@ -20,11 +20,25 @@ import pytest
 #: "iterative" section; v3 added "serving"; v4 added "solver_scaling",
 #: the top-level "solver" knob and the serving solver=auto pin; v5
 #: added the serving "adaptation" block; v6 added the serving
-#: "cluster" block (sharded multi-process cluster, open-loop).
+#: "cluster" block (sharded multi-process cluster, open-loop); v7
+#: added the "memory" section (array-workload suite + the pinned
+#: speculative-hoist/aliased-blocked pair).
 BENCH_KEYS = {
     "schema", "quick", "repeat", "solver", "python", "platform",
-    "execution", "compile", "iterative", "solver_scaling", "serving",
-    "maxflow", "ok", "wall_time_s",
+    "execution", "compile", "memory", "iterative", "solver_scaling",
+    "serving", "maxflow", "ok", "wall_time_s",
+}
+MEMORY_KEYS = {
+    "workloads", "total_reference_s", "total_compiled_s", "speedup",
+    "min_speedup", "equivalent", "speculation", "ok",
+}
+MEMORY_WORKLOAD_KEYS = {
+    "name", "steps", "dynamic_cost", "loads", "reference_s",
+    "compiled_s", "speedup", "mismatches",
+}
+SPECULATION_PIN_KEYS = {
+    "control_cost", "safe_cost", "mc_cost", "control_loads",
+    "safe_loads", "mc_loads", "observables_match", "ok",
 }
 SERVING_KEYS = {
     "requests", "unique", "cold_s", "warm_s", "cold_auto_s", "auto_ok",
@@ -129,6 +143,36 @@ class TestCli:
             assert row["lospre_dynamic_cost"] == row["mincut_dynamic_cost"]
             assert row["blocks"] > row["kills"]
             assert row["max_width"] >= 1
+
+    def test_memory_section(self, bench):
+        # Schema v7: array workloads under the alias model, plus the
+        # pinned speculative-hoist / aliased-blocked pair.
+        _, data = bench
+        memory = data["memory"]
+        assert set(memory) == MEMORY_KEYS
+        assert memory["ok"] is True
+        assert memory["equivalent"] is True
+        assert memory["speedup"] >= memory["min_speedup"]
+        assert len(memory["workloads"]) >= 1
+        for row in memory["workloads"]:
+            assert set(row) == MEMORY_WORKLOAD_KEYS
+            assert row["mismatches"] == []
+            assert row["loads"] > 0
+        speculation = memory["speculation"]
+        assert set(speculation) == {"hoist", "blocked"}
+        hoist = speculation["hoist"]
+        blocked = speculation["blocked"]
+        assert set(hoist) == set(blocked) == SPECULATION_PIN_KEYS
+        assert hoist["ok"] is True and blocked["ok"] is True
+        # Strict win on the hoistable program: safe PRE is pinned to the
+        # control, MC-SSAPRE speculates the load down to one evaluation.
+        assert hoist["mc_cost"] < hoist["safe_cost"]
+        assert hoist["mc_loads"] < hoist["safe_loads"]
+        assert hoist["safe_loads"] == hoist["control_loads"]
+        # The every-iteration aliasing store freezes everything.
+        assert blocked["mc_cost"] == blocked["control_cost"]
+        assert blocked["safe_cost"] == blocked["control_cost"]
+        assert blocked["mc_loads"] == blocked["control_loads"]
 
     def test_iterative_section(self, bench):
         _, data = bench

@@ -25,7 +25,7 @@ from repro.profiles.interp import InterpreterError, run_function
 
 MAX_STEPS = 250_000
 SEEDS = range(12)
-SHAPES = ("cint", "cfp")
+SHAPES = ("cint", "cfp", "mem")
 
 
 def assert_bit_identical(ref, got):
@@ -130,6 +130,82 @@ class TestErrorParity:
             assert f"exceeded {budget} interpreted steps" in ref_outcome[1]
         else:
             assert_bit_identical(ref_outcome[1], got_outcome[1])
+
+
+class TestMemoryParity:
+    """Array semantics must agree bit-for-bit: initial contents, in-place
+    stores, and the out-of-bounds trap — message included."""
+
+    def _indexed(self):
+        # `load A, i` / `store A, i, v` with the index coming straight
+        # from a parameter: any OOB input traps at runtime.
+        b = FunctionBuilder("idx", params=["i"])
+        b.array("A", 8)
+        b.block("entry")
+        b.load("x", "A", "i")
+        b.assign("y", "add", "x", 1)
+        b.store("A", "i", "y")
+        b.load("z", "A", "i")
+        b.ret("z")
+        return prepare(b.build())
+
+    def test_in_bounds_parity_and_store_visibility(self):
+        from repro.ir.memory import initial_array
+
+        func = self._indexed()
+        for i in range(8):
+            ref = run_function(func, [i])
+            got = run_compiled(func, [i])
+            assert_bit_identical(ref, got)
+            assert ref.return_value == initial_array("A", 8)[i] + 1
+
+    def test_runs_do_not_leak_array_state(self):
+        # Stores mutate in place *within* a run; every run starts from
+        # the deterministic initial contents, on both engines.
+        func = self._indexed()
+        first = run_function(func, [3])
+        assert_bit_identical(first, run_function(func, [3]))
+        assert_bit_identical(first, run_compiled(func, [3]))
+        assert_bit_identical(first, run_compiled(func, [3]))
+
+    @pytest.mark.parametrize("index", [-1, 8, 1 << 40])
+    def test_out_of_bounds_trap_parity(self, index):
+        func = self._indexed()
+        with pytest.raises(InterpreterError) as ref_exc:
+            run_function(func, [index])
+        with pytest.raises(InterpreterError) as got_exc:
+            run_compiled(func, [index])
+        assert str(got_exc.value) == str(ref_exc.value)
+        assert "A" in str(ref_exc.value)
+
+    def test_store_trap_parity(self):
+        b = FunctionBuilder("st", params=["i"])
+        b.array("A", 4)
+        b.block("entry")
+        b.store("A", "i", 7)
+        b.ret(0)
+        func = prepare(b.build())
+        with pytest.raises(InterpreterError) as ref_exc:
+            run_function(func, [9])
+        with pytest.raises(InterpreterError) as got_exc:
+            run_compiled(func, [9])
+        assert str(got_exc.value) == str(ref_exc.value)
+
+    def test_optimized_memory_variant_parity(self):
+        spec = spec_for_shape("mem", 5)
+        prepared = prepare(generate_program(spec).func)
+        inputs = case_inputs(spec)
+        profile = run_function(
+            prepared, inputs[0], max_steps=MAX_STEPS
+        ).profile
+        for variant in ("mc-ssapre", "ssapre", "lcm"):
+            out = compile_func(prepared, variant, profile, validate=True)
+            for args in inputs:
+                ref = run_function(out.func, args, max_steps=MAX_STEPS)
+                got = run_compiled(
+                    out.func, args, max_steps=MAX_STEPS, cache=out.cache
+                )
+                assert_bit_identical(ref, got)
 
 
 class TestCaching:

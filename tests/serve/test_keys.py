@@ -37,6 +37,28 @@ class TestFunctionFingerprint:
             build_diamond()
         )
 
+    def test_array_declarations_are_key_material(self):
+        # Array length decides what the optimiser may speculate (a
+        # constant index is provably safe iff it is inside the declared
+        # bounds) *and* the initial memory contents — two functions
+        # differing only there must never share an artifact.
+        a = build_diamond()
+        b = build_diamond()
+        c = build_diamond()
+        b.declare_array("A", 8)
+        c.declare_array("A", 4)
+        assert function_fingerprint(a) != function_fingerprint(b)
+        assert function_fingerprint(b) != function_fingerprint(c)
+
+    def test_array_declaration_order_does_not_count(self):
+        a = build_diamond()
+        a.declare_array("A", 8)
+        a.declare_array("B", 4)
+        b = build_diamond()
+        b.declare_array("B", 4)
+        b.declare_array("A", 8)
+        assert function_fingerprint(a) == function_fingerprint(b)
+
 
 class TestProfileFingerprint:
     def _profile(self, args):
@@ -124,7 +146,9 @@ class TestSolverKeying:
         assert self._key("auto") == self._key("lospre")
         assert self._key("auto") != self._key("mincut")
 
-    def test_key_schema_pins_the_solver_aware_layout(self):
+    def test_key_schema_pins_the_layout(self):
+        # v2 made keys solver-aware; v3 folded array declarations into
+        # the function fingerprint.
         from repro.serve.keys import KEY_SCHEMA
 
-        assert KEY_SCHEMA == 2
+        assert KEY_SCHEMA == 3
