@@ -37,8 +37,11 @@ from repro.ir.printer import format_function
 #: ``interrupted`` (partial statistics after Ctrl-C / worker death) and
 #: the ``cache`` consistency oracle to the default oracle set; v4 added
 #: the ``solver`` field and the always-on ``mc-ssapre-lospre``
-#: differential twin (exact-compared by the optimality oracle).
-SCHEMA_VERSION = 4
+#: differential twin (exact-compared by the optimality oracle).  v5
+#: added the ``probes`` differential oracle (minimum-coverage profiling
+#: reconstruction vs full counting) and the automatic flow-conservation
+#: validation of every fuzzed profile ("profile" failure bucket).
+SCHEMA_VERSION = 5
 
 #: Default artifact directory, relative to the repository root.
 DEFAULT_OUT_DIR = Path("results") / "check"

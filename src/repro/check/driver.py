@@ -276,6 +276,24 @@ def build_case(
         return result
 
     profile = control_runs[0].profile
+    # Every fuzzed profile is flow-conservation checked automatically
+    # (ISSUE satellite of docs/PROFILING.md): the interpreter's counting
+    # must satisfy Kirchhoff's law at every non-entry block.  Profiles
+    # without edge data (reconstructed ones that left edges
+    # under-determined) have nothing to cross-check.
+    assert prepared.entry is not None
+    for i, run in enumerate(control_runs):
+        if not run.profile.edge_freq:
+            continue
+        violations = run.profile.check_flow_conservation(prepared.entry)
+        if violations:
+            result.compile_failures.append(
+                OracleFailure(
+                    "profile", "control", "flow-violation",
+                    f"control run on input #{i} {inputs[i]} breaks flow "
+                    f"conservation at {violations!r}",
+                )
+            )
     if solver not in SOLVER_CHOICES:
         raise ValueError(
             f"unknown solver {solver!r}; expected one of {SOLVER_CHOICES}"
@@ -347,6 +365,19 @@ def build_case(
                     )
                 )
         variant_runs[name] = runs
+        assert func.entry is not None
+        for i, run in enumerate(runs):
+            if run is None or not run.profile.edge_freq:
+                continue
+            violations = run.profile.check_flow_conservation(func.entry)
+            if violations:
+                result.compile_failures.append(
+                    OracleFailure(
+                        "profile", name, "flow-violation",
+                        f"run on input #{i} {inputs[i]} breaks flow "
+                        f"conservation at {violations!r}",
+                    )
+                )
 
     result.case = CheckCase(
         seed=seed,
@@ -412,7 +443,11 @@ def failure_predicate(
     shape and therefore argument vectors, so a reduced artifact replays
     through the very pipeline that caught the original.
     """
-    oracles = (failure.oracle,) if failure.oracle != "compile" else ()
+    # "compile" and "profile" findings are recorded by build_case itself,
+    # not by a named oracle, so replay runs with no oracle list.
+    oracles = (
+        () if failure.oracle in ("compile", "profile") else (failure.oracle,)
+    )
 
     def predicate(func: Function) -> bool:
         result = run_case(
@@ -459,7 +494,12 @@ class DriverStats:
             return
         compile_stats = self.per_oracle.setdefault("compile", [0, 0])
         compile_stats[0] += len(result.case.compiled) if result.case else 0
-        compile_stats[1] += len(result.compile_failures)
+        # Pre-oracle findings classify under their own bucket: "compile"
+        # (a variant failed to build or run) or "profile" (a fuzzed
+        # profile broke flow conservation).
+        for failure in result.compile_failures:
+            bucket = self.per_oracle.setdefault(failure.oracle, [0, 0])
+            bucket[1] += 1
         for report in result.reports:
             stats = self.per_oracle.setdefault(report.name, [0, 0])
             stats[0] += report.checks

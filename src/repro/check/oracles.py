@@ -26,6 +26,13 @@ profile, and every compiled variant):
   bit-identically to the cold compile — same observables, dynamic cost,
   step count and per-expression counts on every input.  The claim that
   makes content-addressed serving sound.
+* **probes** — *reconstruction exactness*: running under minimum
+  coverage instrumentation (:mod:`repro.profiles.probes` — count only
+  the probe set, solve flow conservation for the rest) must reproduce
+  the full-counting node frequencies bit-for-bit on every input, in
+  both the reference interpreter and the compiled back end, with the
+  probe count inside the spanning-tree bound ``|E| − |V| + 1``.  The
+  claim that makes sparse profiling a safe default.
 
 Oracles only *observe*; the fuzz driver (:mod:`repro.check.driver`) builds
 the case, and the reducer (:mod:`repro.check.reducer`) shrinks whatever
@@ -48,7 +55,7 @@ from repro.profiles.interp import RunResult, run_function
 from repro.profiles.profile import ExecutionProfile
 
 #: Canonical oracle names, in the order the driver runs them.
-ORACLE_NAMES = ("equiv", "optimal", "lifetime", "safety", "cache")
+ORACLE_NAMES = ("equiv", "optimal", "lifetime", "safety", "cache", "probes")
 
 #: Variable-name prefixes of PRE-introduced temporaries.
 TEMP_PREFIXES = ("%pre", "%mcpre", "%t")
@@ -502,6 +509,105 @@ def cache_consistency_oracle(case: CheckCase) -> OracleReport:
     return report
 
 
+def probes_oracle(case: CheckCase) -> OracleReport:
+    """Sparse profiling reconstructs full counting bit-for-bit.
+
+    Places the minimum coverage probe set on the prepared function
+    (weighted by the training profile, as the serving path does), then
+    runs every case input through both execution engines in sparse mode
+    and requires: node frequencies identical to the full-counting
+    control runs as plain dicts; dynamic cost, expression counts, step
+    counts and observables identical; edge frequencies identical
+    whenever reconstruction determines them; and the probe count inside
+    the spanning-tree bound.  A CFG the placement refuses (multi-exit
+    etc.) passes vacuously — the fallback *is* full counting — but a
+    refusal of a single-exit CFG is a failure: the certified envelope
+    must not silently shrink.
+    """
+    # Local import like the cache oracle: the probes subsystem layers on
+    # top of the profiles core the oracles already use.
+    from repro.profiles.compiled import compile_function
+    from repro.profiles.probes import try_place_probes
+
+    report = OracleReport("probes")
+    placement, reason = try_place_probes(case.prepared, profile=case.profile)
+    report.checks += 1
+    if placement is None:
+        from repro.ir.cfg import CFG
+
+        if reason == "multi-exit" and len(CFG(case.prepared).exit_labels()) > 1:
+            return report  # certified fallback; nothing to compare
+        report.fail(
+            "control", "probe-refusal",
+            f"placement refused a coverable CFG: {reason}",
+        )
+        return report
+    if len(placement.probes) > placement.bound:
+        report.fail(
+            "control", "probe-bound",
+            f"{len(placement.probes)} probes exceed spanning-tree bound "
+            f"{placement.bound} (|E|={placement.n_edges}, "
+            f"|V|={len(placement.blocks)})",
+        )
+        return report
+
+    program = compile_function(case.prepared, probes=placement)
+    for i, args in enumerate(case.inputs):
+        control = case.control_runs[i]
+        for engine, run_sparse in (
+            (
+                "reference",
+                lambda a: run_function(
+                    case.prepared, list(a), case.max_steps, probes=placement
+                ),
+            ),
+            ("compiled", lambda a: program.run(list(a), case.max_steps)),
+        ):
+            report.checks += 1
+            try:
+                sparse = run_sparse(args)
+            except Exception as exc:  # noqa: BLE001 - classified below
+                report.fail(
+                    engine, "crash",
+                    f"input #{i} {args}: sparse run raised "
+                    f"{type(exc).__name__}: {exc}",
+                )
+                continue
+            if dict(sparse.profile.node_freq) != dict(control.profile.node_freq):
+                report.fail(
+                    engine, "reconstruction-divergence",
+                    f"input #{i} {args}: reconstructed node_freq "
+                    f"{dict(sparse.profile.node_freq)!r} != full counting "
+                    f"{dict(control.profile.node_freq)!r}",
+                )
+                continue
+            if sparse.profile.edge_freq and (
+                dict(sparse.profile.edge_freq)
+                != dict(control.profile.edge_freq)
+            ):
+                report.fail(
+                    engine, "reconstruction-divergence",
+                    f"input #{i} {args}: reconstructed edge_freq "
+                    f"{dict(sparse.profile.edge_freq)!r} != full counting "
+                    f"{dict(control.profile.edge_freq)!r}",
+                )
+                continue
+            if (
+                sparse.observable() != control.observable()
+                or sparse.dynamic_cost != control.dynamic_cost
+                or sparse.steps != control.steps
+                or dict(sparse.expr_counts) != dict(control.expr_counts)
+            ):
+                report.fail(
+                    engine, "divergence",
+                    f"input #{i} {args}: sparse mode changed measured "
+                    f"behaviour (cost {sparse.dynamic_cost} vs "
+                    f"{control.dynamic_cost}, steps {sparse.steps} vs "
+                    f"{control.steps})",
+                )
+    return report
+
+
 #: Oracle registry, in driver execution order.
 ORACLES: Mapping[str, Callable[[CheckCase], OracleReport]] = {
     "equiv": equivalence_oracle,
@@ -509,4 +615,5 @@ ORACLES: Mapping[str, Callable[[CheckCase], OracleReport]] = {
     "lifetime": lifetime_oracle,
     "safety": safety_oracle,
     "cache": cache_consistency_oracle,
+    "probes": probes_oracle,
 }

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import platform
 import time
+from collections import Counter
 from dataclasses import dataclass
 
 from repro.bench.workloads import (
@@ -36,6 +37,8 @@ from repro.passes.stages import (
 from repro.pipeline import prepare
 from repro.profiles.compiled import compile_function
 from repro.profiles.interp import RunResult, run_function
+from repro.profiles.probes import run_probed, try_place_probes
+from repro.profiles.profile import ExecutionProfile
 
 #: Version of the BENCH.json layout (documented in docs/PERF.md).
 #: v2 added the "iterative" table (one-shot vs rank-ordered iterative
@@ -62,7 +65,14 @@ from repro.profiles.interp import RunResult, run_function
 #: speedup floor, plus the pinned speculative-load-hoist case — a
 #: strict dynamic-cost win for MC-SSAPRE over safe PRE on a
 #: loop-invariant in-bounds load, and zero motion on its aliased twin.
-BENCH_SCHEMA_VERSION = 7
+#: v8 added the "profiling" section: minimum-coverage probe placement
+#: over the CINT/CFP/MEMORY suites, gated on the spanning-tree probe
+#: bound (probes <= |E|-|V|+1), bit-identical reconstructed profiles on
+#: both engines, a >=2x counting-event reduction over full counting,
+#: and the profile-quality study (exact vs reconstructed vs sampled vs
+#: stale training profiles -> MC-SSAPRE dynamic-cost optimality delta,
+#: with the reconstructed delta pinned to zero).
+BENCH_SCHEMA_VERSION = 8
 
 #: Step budget for the measured runs (matches the pipeline default).
 MAX_STEPS = 5_000_000
@@ -382,6 +392,222 @@ def bench_memory(names: tuple[str, ...], repeat: int) -> dict:
         "speculation": pinned,
         "ok": bool(
             equivalent and speedup >= MEMORY_MIN_SPEEDUP and pinned_ok
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Profiling: minimum-coverage probe placement vs full counting.
+# ----------------------------------------------------------------------
+
+#: Workloads for the profiling section: the head of each generated
+#: suite, so the probe bound and reconstruction parity are checked on
+#: integer, floating-point and memory-shaped CFGs alike.
+PROFILING_WORKLOADS = CINT2006[:3] + CFP2006[:3] + MEMORY
+QUICK_PROFILING_WORKLOADS = (CINT2006[0], CFP2006[0], MEMORY[0])
+
+#: Counting-event floor: full counting must perform at least this many
+#: times more counter increments than the probe set across the whole
+#: suite.  Events, not wall time — the event ratio is deterministic
+#: (full counting bumps one node and one edge counter per block entry;
+#: a probed run bumps one counter per *probed* block entry) so the gate
+#: cannot flake on a loaded CI machine.  Wall times are recorded per
+#: row but never gated.
+PROFILING_MIN_EVENT_RATIO = 2.0
+
+#: Sampling period for the profile-quality study: the "sampled" profile
+#: keeps ``count // period`` for every node and edge, modelling a
+#: timer-based profiler that sees one event in ``period`` — small
+#: counts quantise to zero and cold-path structure is lost.
+PROFILING_SAMPLE_PERIOD = 64
+
+
+def _sparse_mismatches(full: RunResult, sparse: RunResult) -> list[str]:
+    """``runresult_mismatches`` with the reconstruction contract applied.
+
+    A reconstructed profile reports ``edge_freq`` all-or-nothing: when
+    some real edge is not determined by the probe measurements the whole
+    table is empty rather than partial.  Everything else — observables,
+    node frequencies, dynamic cost, expression counts, steps — must be
+    bit-identical to full counting.
+    """
+    out = []
+    if full.return_value != sparse.return_value:
+        out.append("return_value")
+    if full.output != sparse.output:
+        out.append("output")
+    if dict(full.profile.node_freq) != dict(sparse.profile.node_freq):
+        out.append("profile.node_freq")
+    if sparse.profile.edge_freq and (
+        dict(full.profile.edge_freq) != dict(sparse.profile.edge_freq)
+    ):
+        out.append("profile.edge_freq")
+    if full.dynamic_cost != sparse.dynamic_cost:
+        out.append("dynamic_cost")
+    if dict(full.expr_counts) != dict(sparse.expr_counts):
+        out.append("expr_counts")
+    if full.steps != sparse.steps:
+        out.append("steps")
+    return out
+
+
+def _sampled_profile(
+    profile: ExecutionProfile, period: int
+) -> ExecutionProfile:
+    return ExecutionProfile(
+        node_freq=Counter({
+            label: count // period
+            for label, count in profile.node_freq.items()
+            if count // period
+        }),
+        edge_freq=Counter({
+            edge: count // period
+            for edge, count in profile.edge_freq.items()
+            if count // period
+        }),
+    )
+
+
+def bench_profiling(names: tuple[str, ...], repeat: int) -> dict:
+    """Minimum-coverage probe placement: coverage, parity, quality.
+
+    Per workload: place probes weighted by the training profile, run the
+    ref input under full counting and under probes on *both* engines,
+    and gate (a) the spanning-tree bound ``probes <= |E| - |V| + 1``,
+    (b) bit-identical reconstructed results (:func:`_sparse_mismatches`),
+    (c) the suite-aggregate counting-event ratio.  The quality study
+    then compiles MC-SSAPRE under exact / reconstructed / sampled /
+    stale training profiles and measures the dynamic-cost delta on the
+    training input; exact reconstruction must cost nothing (delta 0),
+    while the sampled and stale columns quantify what cheaper profiling
+    strategies give up.
+    """
+    rows = []
+    fallbacks = []
+    quality = []
+    total_full_events = total_probe_events = 0
+    bounds_ok = True
+    equivalent = True
+    quality_ok = True
+    for name in names:
+        workload = load_workload(name)
+        prepared = prepare(workload.program.func)
+        args = workload.ref_args
+        train_args = workload.train_args
+        exact = run_function(
+            prepared, train_args, max_steps=MAX_STEPS
+        ).profile
+        placement, reason = try_place_probes(prepared, profile=exact)
+        if placement is not None:
+            full_ref_s, full_ref = _best_of(
+                repeat,
+                lambda: run_function(prepared, args, max_steps=MAX_STEPS),
+            )
+            probed_ref_s, probed_ref = _best_of(
+                repeat,
+                lambda: run_function(
+                    prepared, args, max_steps=MAX_STEPS, probes=placement
+                ),
+            )
+            program_full = compile_function(prepared)
+            program_sparse = compile_function(prepared, probes=placement)
+            full_compiled_s, _full_compiled = _best_of(
+                repeat, lambda: program_full.run(args, max_steps=MAX_STEPS)
+            )
+            probed_compiled_s, probed_compiled = _best_of(
+                repeat, lambda: program_sparse.run(args, max_steps=MAX_STEPS)
+            )
+            mismatches = sorted(set(
+                _sparse_mismatches(full_ref, probed_ref)
+                + _sparse_mismatches(full_ref, probed_compiled)
+            ))
+            equivalent = equivalent and not mismatches
+            bound_ok = len(placement.probes) <= placement.bound
+            bounds_ok = bounds_ok and bound_ok
+            full_events = (
+                sum(full_ref.profile.node_freq.values())
+                + sum(full_ref.profile.edge_freq.values())
+            )
+            probe_events = sum(
+                full_ref.profile.node_freq.get(label, 0)
+                for label in placement.probes
+            )
+            total_full_events += full_events
+            total_probe_events += probe_events
+            rows.append({
+                "name": name,
+                "blocks": len(placement.blocks),
+                "edges": placement.n_edges,
+                "probes": len(placement.probes),
+                "bound": placement.bound,
+                "bound_ok": bound_ok,
+                "full_events": full_events,
+                "probe_events": probe_events,
+                "event_ratio": round(
+                    full_events / max(probe_events, 1), 2
+                ),
+                "reference_full_s": round(full_ref_s, 6),
+                "reference_probed_s": round(probed_ref_s, 6),
+                "compiled_full_s": round(full_compiled_s, 6),
+                "compiled_probed_s": round(probed_compiled_s, 6),
+                "mismatches": mismatches,
+            })
+        else:
+            fallbacks.append({"name": name, "reason": reason})
+
+        probed_train = run_probed(
+            prepared, train_args, MAX_STEPS, profile=exact
+        )
+        reconstructed = probed_train.result.profile
+        sampled = _sampled_profile(exact, PROFILING_SAMPLE_PERIOD)
+        stale = run_function(
+            prepared, workload.ref_args, max_steps=MAX_STEPS
+        ).profile
+        costs = {}
+        for label, prof in (
+            ("exact", exact),
+            ("reconstructed", reconstructed),
+            ("sampled", sampled),
+            ("stale", stale),
+        ):
+            compiled = compile_func(prepared, "mc-ssapre", prof)
+            costs[label] = run_function(
+                compiled.func, train_args, max_steps=MAX_STEPS
+            ).dynamic_cost
+        deltas = {
+            key: costs[key] - costs["exact"]
+            for key in ("reconstructed", "sampled", "stale")
+        }
+        row_ok = deltas["reconstructed"] == 0
+        quality_ok = quality_ok and row_ok
+        quality.append({
+            "name": name,
+            "cost_exact": costs["exact"],
+            "delta_reconstructed": deltas["reconstructed"],
+            "delta_sampled": deltas["sampled"],
+            "delta_stale": deltas["stale"],
+            "fallback": probed_train.fallback_reason,
+            "ok": row_ok,
+        })
+
+    event_ratio = total_full_events / max(total_probe_events, 1)
+    return {
+        "workloads": rows,
+        "fallbacks": fallbacks,
+        "total_full_events": total_full_events,
+        "total_probe_events": total_probe_events,
+        "event_ratio": round(event_ratio, 2),
+        "min_event_ratio": PROFILING_MIN_EVENT_RATIO,
+        "bounds_ok": bounds_ok,
+        "equivalent": equivalent,
+        "sample_period": PROFILING_SAMPLE_PERIOD,
+        "quality": quality,
+        "quality_ok": quality_ok,
+        "ok": bool(
+            bounds_ok
+            and equivalent
+            and event_ratio >= PROFILING_MIN_EVENT_RATIO
+            and quality_ok
         ),
     }
 
@@ -1191,20 +1417,35 @@ def bench_maxflow(sizes: tuple[tuple[int, int], ...], repeat: int) -> dict:
 # The whole suite.
 # ----------------------------------------------------------------------
 
+#: Section names accepted by :func:`run_perf`'s ``sections`` filter (and
+#: the CLI's ``--only``), in run order.
+SECTION_NAMES = (
+    "execution", "compile", "memory", "iterative", "solver_scaling",
+    "serving", "maxflow", "profiling",
+)
+
+
 def run_perf(
     quick: bool = False,
     repeat: int | None = None,
     solver: str = "mincut",
+    sections: tuple[str, ...] | None = None,
 ) -> dict:
-    """Run every benchmark; returns the BENCH.json payload.
+    """Run the benchmark suite; returns the BENCH.json payload.
 
     ``solver`` selects the speculation back end the compile section
     times (the solver-scaling section always measures both).
-    ``payload["ok"]`` is False when any equivalence check failed (the
-    CLI turns that into exit status 1).
+    ``sections`` restricts the run to a subset of :data:`SECTION_NAMES`
+    (None = all); only the sections that ran appear in the payload and
+    feed ``payload["ok"]``.  ``payload["ok"]`` is False when any
+    correctness gate failed (the CLI turns that into exit status 1).
     """
     if repeat is None:
         repeat = 1 if quick else 3
+    chosen = SECTION_NAMES if sections is None else tuple(sections)
+    unknown = sorted(set(chosen) - set(SECTION_NAMES))
+    if unknown:
+        raise ValueError(f"unknown perf section(s): {', '.join(unknown)}")
     names = QUICK_WORKLOADS if quick else STANDARD_WORKLOADS
     sizes = QUICK_NETWORKS if quick else STANDARD_NETWORKS
     iter_names = (
@@ -1213,46 +1454,59 @@ def run_perf(
     scaling_sizes = (
         QUICK_SOLVER_SCALING_SIZES if quick else SOLVER_SCALING_SIZES
     )
-
     memory_names = QUICK_MEMORY_WORKLOADS if quick else MEMORY_WORKLOADS
+    profiling_names = (
+        QUICK_PROFILING_WORKLOADS if quick else PROFILING_WORKLOADS
+    )
 
     t0 = time.perf_counter()
-    execution = bench_execution(names, repeat)
-    compile_report = bench_compile(names, repeat, solver=solver)
-    memory = bench_memory(memory_names, repeat)
-    iterative = bench_iterative(iter_names, repeat)
-    solver_scaling = bench_solver_scaling(scaling_sizes, repeat)
-    serving = bench_serving(repeat, requests=36 if quick else 96)
-    adaptation = bench_adaptation()
-    serving["adaptation"] = adaptation
-    serving["ok"] = bool(serving["ok"] and adaptation["ok"])
-    cluster = bench_cluster(
-        serving["load_rps"], requests=36 if quick else 96
-    )
-    serving["cluster"] = cluster
-    serving["ok"] = bool(serving["ok"] and cluster["ok"])
-    maxflow = bench_maxflow(sizes, repeat)
-    return {
+    payload = {
         "schema": BENCH_SCHEMA_VERSION,
         "quick": quick,
         "repeat": repeat,
         "solver": solver,
         "python": platform.python_version(),
         "platform": platform.platform(),
-        "execution": execution,
-        "compile": compile_report,
-        "memory": memory,
-        "iterative": iterative,
-        "solver_scaling": solver_scaling,
-        "serving": serving,
-        "maxflow": maxflow,
-        "ok": (
-            execution["equivalent"]
-            and memory["ok"]
-            and iterative["ok"]
-            and solver_scaling["ok"]
-            and serving["ok"]
-            and maxflow["agreed"]
-        ),
-        "wall_time_s": round(time.perf_counter() - t0, 3),
     }
+    ok = True
+    if "execution" in chosen:
+        execution = bench_execution(names, repeat)
+        payload["execution"] = execution
+        ok = ok and execution["equivalent"]
+    if "compile" in chosen:
+        payload["compile"] = bench_compile(names, repeat, solver=solver)
+    if "memory" in chosen:
+        memory = bench_memory(memory_names, repeat)
+        payload["memory"] = memory
+        ok = ok and memory["ok"]
+    if "iterative" in chosen:
+        iterative = bench_iterative(iter_names, repeat)
+        payload["iterative"] = iterative
+        ok = ok and iterative["ok"]
+    if "solver_scaling" in chosen:
+        solver_scaling = bench_solver_scaling(scaling_sizes, repeat)
+        payload["solver_scaling"] = solver_scaling
+        ok = ok and solver_scaling["ok"]
+    if "serving" in chosen:
+        serving = bench_serving(repeat, requests=36 if quick else 96)
+        adaptation = bench_adaptation()
+        serving["adaptation"] = adaptation
+        serving["ok"] = bool(serving["ok"] and adaptation["ok"])
+        cluster = bench_cluster(
+            serving["load_rps"], requests=36 if quick else 96
+        )
+        serving["cluster"] = cluster
+        serving["ok"] = bool(serving["ok"] and cluster["ok"])
+        payload["serving"] = serving
+        ok = ok and serving["ok"]
+    if "maxflow" in chosen:
+        maxflow = bench_maxflow(sizes, repeat)
+        payload["maxflow"] = maxflow
+        ok = ok and maxflow["agreed"]
+    if "profiling" in chosen:
+        profiling = bench_profiling(profiling_names, repeat)
+        payload["profiling"] = profiling
+        ok = ok and profiling["ok"]
+    payload["ok"] = bool(ok)
+    payload["wall_time_s"] = round(time.perf_counter() - t0, 3)
+    return payload

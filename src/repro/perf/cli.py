@@ -2,7 +2,8 @@
 
 Runs the pinned benchmark suite and writes ``BENCH.json`` (schema in
 ``docs/PERF.md``).  ``--quick`` trims the workload and network lists for
-CI smoke runs; ``--json`` prints the payload to stdout as well.
+CI smoke runs; ``--only SECTION`` (repeatable) restricts the run to a
+subset of sections; ``--json`` prints the payload to stdout as well.
 
 Exit status: 0 when every correctness gate passed, 1 otherwise — the
 timings themselves never fail the run (they are environment-dependent);
@@ -19,7 +20,7 @@ import sys
 from pathlib import Path
 
 from repro.core.solvers.base import SOLVER_NAMES
-from repro.perf.bench import run_perf
+from repro.perf.bench import SECTION_NAMES, run_perf
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -47,6 +48,12 @@ def main(argv: list[str] | None = None) -> int:
         "always measures both (default mincut)",
     )
     parser.add_argument(
+        "--only", action="append", choices=SECTION_NAMES, default=None,
+        metavar="SECTION",
+        help="run only this section (repeatable); the payload and the "
+        "exit-status gates cover just the sections run",
+    )
+    parser.add_argument(
         "--out", default="BENCH.json", metavar="PATH",
         help="output path (default BENCH.json)",
     )
@@ -57,7 +64,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     payload = run_perf(
-        quick=args.quick, repeat=args.repeat, solver=args.solver
+        quick=args.quick, repeat=args.repeat, solver=args.solver,
+        sections=tuple(args.only) if args.only else None,
     )
     text = json.dumps(payload, indent=2) + "\n"
     Path(args.out).write_text(text)
@@ -65,84 +73,113 @@ def main(argv: list[str] | None = None) -> int:
     if args.json:
         print(text, end="")
     else:
-        execution = payload["execution"]
-        print(f"execution: {execution['speedup']}x compiled over reference "
-              f"({execution['total_reference_s']}s -> "
-              f"{execution['total_compiled_s']}s, "
-              f"equivalent={execution['equivalent']})")
-        print(f"compile:   {payload['compile']['total_s']}s over "
-              f"{payload['compile']['functions']} function(s)")
-        memory = payload["memory"]
-        spec_hoist = memory["speculation"]["hoist"]
-        spec_blocked = memory["speculation"]["blocked"]
-        print(f"memory:    {memory['speedup']}x compiled over reference "
-              f"(gate {memory['min_speedup']}x, "
-              f"equivalent={memory['equivalent']})")
-        print(f"memory:    hoist cost {spec_hoist['safe_cost']} -> "
-              f"{spec_hoist['mc_cost']} "
-              f"(loads {spec_hoist['safe_loads']} -> "
-              f"{spec_hoist['mc_loads']}, ok={spec_hoist['ok']}), "
-              f"blocked loads {spec_blocked['mc_loads']}"
-              f"/{spec_blocked['control_loads']} "
-              f"(ok={spec_blocked['ok']})")
-        iterative = payload["iterative"]
-        for row in iterative["workloads"]:
-            print(f"iterative: {row['name']:<10} "
-                  f"{row['rounds_run']} round(s)  cost "
-                  f"{row['oneshot_dynamic_cost']} -> "
-                  f"{row['iterative_dynamic_cost']}  "
-                  f"(compile x{row['compile_overhead']})")
-        print(f"iterative: never_higher={iterative['never_higher']} "
-              f"strict_win={iterative['strict_win']} "
-              f"equivalent={iterative['equivalent']}")
-        scaling = payload["solver_scaling"]
-        for row in scaling["sizes"]:
-            print(f"solver:    {row['kills']:>4} kills "
-                  f"({row['blocks']} blocks)  "
-                  f"mincut {row['mincut_solve_s']}s  "
-                  f"lospre {row['lospre_solve_s']}s  "
-                  f"({row['solver_speedup']}x, width {row['max_width']})")
-        print(f"solver:    speedup {scaling['speedup_at_largest']}x at "
-              f"largest size (gate {scaling['min_speedup']}x), "
-              f"equivalent={scaling['equivalent']} "
-              f"accepted={scaling['accepted']}")
-        serving = payload["serving"]
-        print(f"serving:   {serving['speedup']}x warm over cold "
-              f"({serving['cold_s']}s -> {serving['warm_s']}s per "
-              f"{serving['unique']} request(s), "
-              f"equivalent={serving['equivalent']})")
-        print(f"serving:   cold solver=auto request {serving['cold_auto_s']}s "
-              f"(ok={serving['auto_ok']})")
-        print(f"serving:   hit rate {serving['hit_rate']} "
-              f"(admits {serving['expected_hit_rate']}), "
-              f"{serving['mismatches']} mismatch(es), "
-              f"coalescing {serving['coalescing']['compiles']} compile(s) "
-              f"for {serving['coalescing']['clients']} client(s)")
-        adaptation = serving["adaptation"]
-        print(f"serving:   adaptation promotions={adaptation['promotions']} "
-              f"drift_events={adaptation['drift_events']} "
-              f"hot_swaps={adaptation['hot_swaps']} "
-              f"non_blocking={adaptation['non_blocking_ok']} "
-              f"swap_identical={adaptation['swap_identical']} "
-              f"(ok={adaptation['ok']})")
-        cluster = serving["cluster"]
-        print(f"serving:   cluster {cluster['achieved_rps']} req/s over "
-              f"{cluster['workers']} worker(s) "
-              f"({cluster['rps_ratio']}x single, gate "
-              f"{cluster['min_rps_ratio']}x), p99 {cluster['p99_s']}s "
-              f"(max {cluster['p99_max_s']}s), "
-              f"race compiles={cluster['race']['compiles']} "
-              f"(ok={cluster['ok']})")
-        for row in payload["maxflow"]["networks"]:
-            print(f"maxflow:   {row['nodes']}n/{row['edges']}e  "
-                  f"dinic {row['dinic_s']}s  "
-                  f"ek {row['edmonds_karp_s']}s  "
-                  f"({row['ek_over_dinic']}x)")
+        if "execution" in payload:
+            execution = payload["execution"]
+            print(f"execution: {execution['speedup']}x compiled over "
+                  f"reference ({execution['total_reference_s']}s -> "
+                  f"{execution['total_compiled_s']}s, "
+                  f"equivalent={execution['equivalent']})")
+        if "compile" in payload:
+            print(f"compile:   {payload['compile']['total_s']}s over "
+                  f"{payload['compile']['functions']} function(s)")
+        if "memory" in payload:
+            memory = payload["memory"]
+            spec_hoist = memory["speculation"]["hoist"]
+            spec_blocked = memory["speculation"]["blocked"]
+            print(f"memory:    {memory['speedup']}x compiled over reference "
+                  f"(gate {memory['min_speedup']}x, "
+                  f"equivalent={memory['equivalent']})")
+            print(f"memory:    hoist cost {spec_hoist['safe_cost']} -> "
+                  f"{spec_hoist['mc_cost']} "
+                  f"(loads {spec_hoist['safe_loads']} -> "
+                  f"{spec_hoist['mc_loads']}, ok={spec_hoist['ok']}), "
+                  f"blocked loads {spec_blocked['mc_loads']}"
+                  f"/{spec_blocked['control_loads']} "
+                  f"(ok={spec_blocked['ok']})")
+        if "iterative" in payload:
+            iterative = payload["iterative"]
+            for row in iterative["workloads"]:
+                print(f"iterative: {row['name']:<10} "
+                      f"{row['rounds_run']} round(s)  cost "
+                      f"{row['oneshot_dynamic_cost']} -> "
+                      f"{row['iterative_dynamic_cost']}  "
+                      f"(compile x{row['compile_overhead']})")
+            print(f"iterative: never_higher={iterative['never_higher']} "
+                  f"strict_win={iterative['strict_win']} "
+                  f"equivalent={iterative['equivalent']}")
+        if "solver_scaling" in payload:
+            scaling = payload["solver_scaling"]
+            for row in scaling["sizes"]:
+                print(f"solver:    {row['kills']:>4} kills "
+                      f"({row['blocks']} blocks)  "
+                      f"mincut {row['mincut_solve_s']}s  "
+                      f"lospre {row['lospre_solve_s']}s  "
+                      f"({row['solver_speedup']}x, width {row['max_width']})")
+            print(f"solver:    speedup {scaling['speedup_at_largest']}x at "
+                  f"largest size (gate {scaling['min_speedup']}x), "
+                  f"equivalent={scaling['equivalent']} "
+                  f"accepted={scaling['accepted']}")
+        if "serving" in payload:
+            serving = payload["serving"]
+            print(f"serving:   {serving['speedup']}x warm over cold "
+                  f"({serving['cold_s']}s -> {serving['warm_s']}s per "
+                  f"{serving['unique']} request(s), "
+                  f"equivalent={serving['equivalent']})")
+            print(f"serving:   cold solver=auto request "
+                  f"{serving['cold_auto_s']}s (ok={serving['auto_ok']})")
+            print(f"serving:   hit rate {serving['hit_rate']} "
+                  f"(admits {serving['expected_hit_rate']}), "
+                  f"{serving['mismatches']} mismatch(es), "
+                  f"coalescing {serving['coalescing']['compiles']} "
+                  f"compile(s) for {serving['coalescing']['clients']} "
+                  f"client(s)")
+            adaptation = serving["adaptation"]
+            print(f"serving:   adaptation "
+                  f"promotions={adaptation['promotions']} "
+                  f"drift_events={adaptation['drift_events']} "
+                  f"hot_swaps={adaptation['hot_swaps']} "
+                  f"non_blocking={adaptation['non_blocking_ok']} "
+                  f"swap_identical={adaptation['swap_identical']} "
+                  f"(ok={adaptation['ok']})")
+            cluster = serving["cluster"]
+            print(f"serving:   cluster {cluster['achieved_rps']} req/s over "
+                  f"{cluster['workers']} worker(s) "
+                  f"({cluster['rps_ratio']}x single, gate "
+                  f"{cluster['min_rps_ratio']}x), p99 {cluster['p99_s']}s "
+                  f"(max {cluster['p99_max_s']}s), "
+                  f"race compiles={cluster['race']['compiles']} "
+                  f"(ok={cluster['ok']})")
+        if "maxflow" in payload:
+            for row in payload["maxflow"]["networks"]:
+                print(f"maxflow:   {row['nodes']}n/{row['edges']}e  "
+                      f"dinic {row['dinic_s']}s  "
+                      f"ek {row['edmonds_karp_s']}s  "
+                      f"({row['ek_over_dinic']}x)")
+        if "profiling" in payload:
+            profiling = payload["profiling"]
+            for row in profiling["workloads"]:
+                print(f"profiling: {row['name']:<10} "
+                      f"{row['probes']}/{row['blocks']} probes "
+                      f"(bound {row['bound']})  events "
+                      f"{row['full_events']} -> {row['probe_events']} "
+                      f"({row['event_ratio']}x)")
+            for row in profiling["quality"]:
+                print(f"profiling: {row['name']:<10} quality delta "
+                      f"recon {row['delta_reconstructed']}  "
+                      f"sampled {row['delta_sampled']}  "
+                      f"stale {row['delta_stale']}")
+            print(f"profiling: event ratio {profiling['event_ratio']}x "
+                  f"(gate {profiling['min_event_ratio']}x), "
+                  f"bounds_ok={profiling['bounds_ok']} "
+                  f"equivalent={profiling['equivalent']} "
+                  f"quality_ok={profiling['quality_ok']} "
+                  f"fallbacks={len(profiling['fallbacks'])} "
+                  f"(ok={profiling['ok']})")
         print(f"wrote {args.out}")
     if not payload["ok"]:
         print(
-            "EQUIVALENCE, ITERATIVE, SOLVER OR SERVING GATE FAILURE "
-            "- see BENCH.json",
+            "EQUIVALENCE, ITERATIVE, SOLVER, SERVING OR PROFILING GATE "
+            "FAILURE - see BENCH.json",
             file=sys.stderr,
         )
         return 1

@@ -132,6 +132,17 @@ class CompiledProgram:
     op_keys: list[str] = field(default_factory=list, repr=False)
     #: Interned error messages referenced by the generated guards.
     messages: list[str] = field(default_factory=list, repr=False)
+    #: Sparse-instrumentation mode: the certified
+    #: :class:`~repro.profiles.probes.placement.ProbePlacement` this
+    #: program was lowered against, or ``None`` for full counting.
+    #: In sparse mode the dispatch loop keeps **no** edge counters at
+    #: all — each probed block's generated code increments one register
+    #: (see :attr:`probe_slots`) and the full node-frequency profile is
+    #: reconstructed by flow conservation after the run.  Plain data,
+    #: pickles with the artifact.
+    probes: object = None
+    #: Per probed block: ``(label, register slot)`` of its counter.
+    probe_slots: list = field(default_factory=list, repr=False)
     #: Optional live-profiling hook: called with the derived node-
     #: frequency :class:`~collections.Counter` after every successful
     #: run.  Costs one ``is not None`` test per run when unset.  The
@@ -181,51 +192,84 @@ class CompiledProgram:
             regs[slot] = initial_array(array_name, length)
 
         out: list[int] = []
-        edge_counts = [0] * len(self.edge_dst)
         blocks = self.block_funcs
         edge_dst = self.edge_dst
         steps_of = self.steps_per_block
         name = self.name
         steps = 0
         b = self.entry_index
-        while True:
-            # The whole block (body + terminator) runs or none of it does,
-            # so one bounds check per block entry is exact (see the same
-            # hoisting in the reference interpreter).
-            steps += steps_of[b]
-            if steps > max_steps:
-                raise InterpreterError(
-                    f"{name}: exceeded {max_steps} interpreted steps"
-                )
-            e = blocks[b](regs, out)
-            if e < 0:
-                break
-            edge_counts[e] += 1
-            b = edge_dst[e]
 
-        # Derive counts: every edge traversal enters its destination once;
-        # the entry block is entered once more at start.
-        node_counts = [0] * len(self.labels)
-        node_counts[self.entry_index] = 1
-        for e, count in enumerate(edge_counts):
-            if count:
-                node_counts[edge_dst[e]] += count
+        if self.probes is None:
+            edge_counts = [0] * len(self.edge_dst)
+            while True:
+                # The whole block (body + terminator) runs or none of it
+                # does, so one bounds check per block entry is exact (see
+                # the same hoisting in the reference interpreter).
+                steps += steps_of[b]
+                if steps > max_steps:
+                    raise InterpreterError(
+                        f"{name}: exceeded {max_steps} interpreted steps"
+                    )
+                e = blocks[b](regs, out)
+                if e < 0:
+                    break
+                edge_counts[e] += 1
+                b = edge_dst[e]
 
-        node_freq: Counter[str] = Counter()
+            # Derive counts: every edge traversal enters its destination
+            # once; the entry block is entered once more at start.
+            node_counts = [0] * len(self.labels)
+            node_counts[self.entry_index] = 1
+            for e, count in enumerate(edge_counts):
+                if count:
+                    node_counts[edge_dst[e]] += count
+
+            node_freq: Counter[str] = Counter()
+            for i, count in enumerate(node_counts):
+                if count:
+                    node_freq[self.labels[i]] = count
+
+            edge_freq: Counter[tuple[str, str]] = Counter()
+            for e, count in enumerate(edge_counts):
+                if count:
+                    edge_freq[self.edge_pairs[e]] += count
+            profile = ExecutionProfile(
+                node_freq=node_freq, edge_freq=edge_freq
+            )
+        else:
+            # Sparse mode: the probed blocks' generated code bumps its
+            # own counter register; the loop itself counts nothing.
+            while True:
+                steps += steps_of[b]
+                if steps > max_steps:
+                    raise InterpreterError(
+                        f"{name}: exceeded {max_steps} interpreted steps"
+                    )
+                e = blocks[b](regs, out)
+                if e < 0:
+                    break
+                b = edge_dst[e]
+
+            # Local import: the probes package depends on this module's
+            # RunResult, so binding at call time avoids a cycle.
+            from repro.profiles.probes.reconstruct import reconstruct_profile
+
+            profile = reconstruct_profile(
+                self.probes,
+                {label: regs[slot] for label, slot in self.probe_slots},
+                runs=1,
+            )
+            node_freq = profile.node_freq
+
         cost = 0
         expr_counts: dict[tuple, int] = {}
-        for i, count in enumerate(node_counts):
+        for i, label in enumerate(self.labels):
+            count = node_freq.get(label, 0)
             if not count:
                 continue
-            node_freq[self.labels[i]] = count
             cost += count * self.cost_per_block[i]
             for key in self.expr_sites[i]:
                 expr_counts[key] = expr_counts.get(key, 0) + count
-
-        edge_freq: Counter[tuple[str, str]] = Counter()
-        for e, count in enumerate(edge_counts):
-            if count:
-                edge_freq[self.edge_pairs[e]] += count
 
         if self.profile_hook is not None:
             self.profile_hook(node_freq)
@@ -233,7 +277,7 @@ class CompiledProgram:
         return RunResult(
             return_value=regs[0],
             output=out,
-            profile=ExecutionProfile(node_freq=node_freq, edge_freq=edge_freq),
+            profile=profile,
             dynamic_cost=cost,
             expr_counts=expr_counts,
             steps=steps,
@@ -275,7 +319,7 @@ def _exec_block_funcs(
 class _Codegen:
     """Lowers one function to Python source + metadata tables."""
 
-    def __init__(self, func: Function) -> None:
+    def __init__(self, func: Function, probes=None) -> None:
         self.func = func
         self.slots: dict[Var, int] = {}
         self.next_slot = 1  # slot 0 is the return-value slot
@@ -290,6 +334,21 @@ class _Codegen:
         for array_name in func.arrays:
             self.array_slot[array_name] = self.next_slot
             self.next_slot += 1
+        # Sparse mode: one counter register per probed block, bumped by
+        # the block's own generated code (zero-initialised per run via
+        # the template, so runs never share counts).
+        self.probes = probes
+        self.probe_slot: dict[str, int] = {}
+        if probes is not None:
+            unknown = [v for v in probes.probes if v not in func.blocks]
+            if unknown:
+                raise ValueError(
+                    f"placement probes {unknown!r} are not blocks of "
+                    f"{func.name!r}"
+                )
+            for label in probes.probes:
+                self.probe_slot[label] = self.next_slot
+                self.next_slot += 1
 
     # -- tables --------------------------------------------------------
     def slot(self, var: Var) -> int:
@@ -499,6 +558,9 @@ class _Codegen:
                 defined.add(self.slot(phi.target))
             body: list[str] = []
             indent = "    "
+            probe = self.probe_slot.get(label)
+            if probe is not None:
+                body.append(f"{indent}r[{probe}] += 1")
 
             for stmt in block.body:
                 if isinstance(stmt, Assign):
@@ -611,6 +673,8 @@ class _Codegen:
 
         template: list = [_UNDEF] * (self.next_slot)
         template[0] = None
+        for slot in self.probe_slot.values():
+            template[slot] = 0
         param_slots = [
             (self.slot(param), self.slot(param.base))
             if param != param.base
@@ -638,12 +702,23 @@ class _Codegen:
             source=source,
             op_keys=op_keys,
             messages=self.messages,
+            probes=self.probes,
+            probe_slots=sorted(self.probe_slot.items(), key=lambda kv: kv[1]),
         )
 
 
-def compile_function(func: Function) -> CompiledProgram:
-    """Lower *func* to a :class:`CompiledProgram` (no caching)."""
-    return _Codegen(func).compile()
+def compile_function(func: Function, probes=None) -> CompiledProgram:
+    """Lower *func* to a :class:`CompiledProgram` (no caching).
+
+    With *probes* (a certified
+    :class:`~repro.profiles.probes.placement.ProbePlacement` for this
+    function) the program is lowered in sparse-instrumentation mode:
+    only the probed blocks carry a counter increment, the dispatch loop
+    drops its per-edge counting entirely, and the profile is
+    reconstructed by flow conservation after each run — node
+    frequencies bit-identical to full counting.
+    """
+    return _Codegen(func, probes).compile()
 
 
 def run_compiled(

@@ -1,0 +1,73 @@
+"""Convenience drivers: run a function under sparse profiling, falling
+back to full counting where placement refuses.
+
+The contract every caller gets:
+
+* the returned :class:`~repro.profiles.interp.RunResult` carries a
+  ``node_freq`` bit-identical to what full counting would have produced
+  (reconstruction is exact, and the fallback *is* full counting);
+* ``placement`` in the result tells which mode actually ran — ``None``
+  means the CFG was refused (multi-exit, no exit, oversized) and the
+  run paid full instrumentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.function import Function
+from repro.profiles.compiled import compile_function
+from repro.profiles.interp import RunResult, run_function
+from repro.profiles.probes.placement import (
+    PlacementError,
+    ProbePlacement,
+    place_probes,
+)
+
+
+@dataclass(frozen=True)
+class ProbedRun:
+    """One execution plus the profiling mode that produced it."""
+
+    result: RunResult
+    #: The placement used, or ``None`` when full counting ran.
+    placement: ProbePlacement | None
+    #: Machine-readable refusal reason when ``placement`` is ``None``.
+    fallback_reason: str | None = None
+
+
+def try_place_probes(
+    func: Function,
+    profile=None,
+) -> tuple[ProbePlacement | None, str | None]:
+    """(placement, None) when *func* is in the certified envelope, else
+    (None, refusal reason)."""
+    try:
+        return place_probes(func, profile=profile), None
+    except PlacementError as exc:
+        return None, exc.reason
+
+
+def run_probed(
+    func: Function,
+    args: list[int] | None = None,
+    max_steps: int = 2_000_000,
+    *,
+    engine: str = "reference",
+    profile=None,
+) -> ProbedRun:
+    """Execute *func* under minimum-coverage profiling (or fall back).
+
+    *profile* weights probe placement (hot blocks are probed last);
+    *engine* is ``"reference"`` or ``"compiled"``, matching the rest of
+    the code base.
+    """
+    if engine not in ("reference", "compiled"):
+        raise ValueError(f"unknown engine {engine!r}")
+    placement, reason = try_place_probes(func, profile=profile)
+    if engine == "compiled":
+        program = compile_function(func, probes=placement)
+        result = program.run(args, max_steps=max_steps)
+    else:
+        result = run_function(func, args, max_steps, probes=placement)
+    return ProbedRun(result=result, placement=placement, fallback_reason=reason)

@@ -41,7 +41,9 @@ from repro.profiles.compiled import CompiledProgram
 #: instead of deserialising into a lie.
 #: 2: ``train_node_freq`` (the node profile the optimiser trained on,
 #:    kept as the drift baseline for the adaptation tier).
-ARTIFACT_SCHEMA = 2
+#: 3: ``profiling`` (the instrumentation mode the served program was
+#:    lowered in: "full" counting or minimum-coverage "probes").
+ARTIFACT_SCHEMA = 3
 
 __all__ = [
     "ARTIFACT_SCHEMA",
@@ -77,6 +79,12 @@ class Artifact:
     #: (``None`` for profile-free variants).  The adaptation tier scores
     #: live traffic against exactly this baseline to detect drift.
     train_node_freq: dict[str, int] | None = None
+    #: Instrumentation mode of the served program: "full" counting, or
+    #: minimum-coverage "probes" (sparse counters + flow-conservation
+    #: reconstruction; see repro.profiles.probes).  Both modes produce
+    #: bit-identical RunResults, so this is provenance, not identity —
+    #: it is deliberately absent from the artifact key.
+    profiling: str = "full"
     schema: int = ARTIFACT_SCHEMA
     #: Pickled size in bytes; computed on first use (see ``nbytes``).
     _nbytes: int | None = field(default=None, repr=False, compare=False)

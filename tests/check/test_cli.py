@@ -11,7 +11,8 @@ import pytest
 #: The documented summary schema (docs/CHECKING.md).  Additions require a
 #: SCHEMA_VERSION bump; removals/renames are breaking.  v2 added
 #: "engine" and "jobs"; v3 added "interrupted" and the "cache" oracle;
-#: v4 added "solver" and the always-on mc-ssapre-lospre twin.
+#: v4 added "solver" and the always-on mc-ssapre-lospre twin; v5 added
+#: the "probes" oracle and flow-conservation profile validation.
 SUMMARY_KEYS = {
     "schema", "seeds", "seed_base", "shapes", "oracles", "engine", "jobs",
     "solver", "passed", "artifacts", "cases", "skipped", "failures",
@@ -42,6 +43,7 @@ class TestJsonSummary:
         _, _, data = summary
         assert set(data["per_oracle"]) == {
             "compile", "equiv", "optimal", "lifetime", "safety", "cache",
+            "probes",
         }
         for counts in data["per_oracle"].values():
             assert set(counts) == {"checks", "failures"}
@@ -56,7 +58,7 @@ class TestJsonSummary:
         assert data["cases"] == 8  # 2 seeds x 4 shapes
         assert data["shapes"] == ["cint", "cfp", "composite", "mem"]
         assert data["oracles"] == [
-            "equiv", "optimal", "lifetime", "safety", "cache",
+            "equiv", "optimal", "lifetime", "safety", "cache", "probes",
         ]
         assert data["artifacts"] == []
         assert data["interrupted"] is False

@@ -3,13 +3,15 @@
 from repro.check.driver import (
     SHAPES,
     SOLVER_TWIN,
+    DriverStats,
     build_case,
     check_case,
+    failure_predicate,
     run_case,
     run_driver,
     spec_for_shape,
 )
-from repro.check.oracles import ORACLE_NAMES
+from repro.check.oracles import ORACLE_NAMES, OracleFailure
 from repro.ir.printer import format_function
 
 from tests.check.conftest import crashing_variant, dangling_jump_variant
@@ -141,3 +143,36 @@ class TestRunDriver:
         assert all(
             set(v) == {"checks", "failures"} for v in d["per_oracle"].values()
         )
+
+
+class TestProfileValidation:
+    """Flow-conservation checking of every fuzzed profile (schema v5)."""
+
+    def test_control_profiles_conserve_flow(self):
+        result = build_case(2, "cfp")
+        assert result.compile_failures == []
+        entry = result.case.prepared.entry
+        for run in result.case.control_runs:
+            assert run.profile.check_flow_conservation(entry) == []
+
+    def test_flow_violation_classifies_under_profile_bucket(self):
+        result = build_case(0, "cint")
+        result.compile_failures.append(OracleFailure(
+            "profile", "control", "flow-violation", "synthetic"
+        ))
+        stats = DriverStats()
+        stats.record(result)
+        assert stats.per_oracle["profile"] == [0, 1]
+        assert stats.by_kind["flow-violation"] == 1
+
+    def test_profile_failures_replay_without_oracles(self):
+        # Like "compile" findings, "profile" findings are recorded by
+        # build_case itself — the reducer predicate must not ask for a
+        # named oracle that does not exist.
+        failure = OracleFailure(
+            "profile", "control", "flow-violation", "synthetic"
+        )
+        predicate = failure_predicate(0, "cint", failure)
+        source = build_case(0, "cint").case.source
+        # A healthy program does not reproduce the synthetic violation.
+        assert predicate(source) is False

@@ -108,3 +108,32 @@ class TestLifetime:
         func = b.build()
         # %pre1 is live into "next"; the ordinary variables are not counted.
         assert temp_live_range_size(func) == 1
+
+
+class TestProbes:
+    def test_real_compiler_reconstruction_matches(self):
+        for seed in range(2):
+            result = check_case(build_case(seed, "mem"), ("probes",))
+            (report,) = result.reports
+            # One placement check plus two engines per input.
+            assert report.checks > 1
+            assert report.passed
+
+    def test_multi_exit_passes_vacuously(self):
+        # Same arity as the seed-0 cint spec, so the control runs work.
+        b = FunctionBuilder("twoexit", params=["p0", "p1", "p2"])
+        b.block("entry")
+        b.assign("c", "lt", "p0", "p1")
+        b.branch("c", "yes", "no")
+        b.block("yes")
+        b.ret(1)
+        b.block("no")
+        b.ret(0)
+        result = check_case(
+            build_case(0, "cint", source=b.build()), ("probes",)
+        )
+        (report,) = result.reports
+        # Placement refuses the two-return CFG; the certified fallback
+        # is full counting, so only the placement attempt is counted.
+        assert report.checks == 1
+        assert report.passed

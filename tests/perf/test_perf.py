@@ -22,11 +22,28 @@ import pytest
 #: added the serving "adaptation" block; v6 added the serving
 #: "cluster" block (sharded multi-process cluster, open-loop); v7
 #: added the "memory" section (array-workload suite + the pinned
-#: speculative-hoist/aliased-blocked pair).
+#: speculative-hoist/aliased-blocked pair); v8 added the "profiling"
+#: section (minimum-coverage probe placement + the profile-quality
+#: study) and the ``--only`` section filter.
 BENCH_KEYS = {
     "schema", "quick", "repeat", "solver", "python", "platform",
     "execution", "compile", "memory", "iterative", "solver_scaling",
-    "serving", "maxflow", "ok", "wall_time_s",
+    "serving", "maxflow", "profiling", "ok", "wall_time_s",
+}
+PROFILING_KEYS = {
+    "workloads", "fallbacks", "total_full_events", "total_probe_events",
+    "event_ratio", "min_event_ratio", "bounds_ok", "equivalent",
+    "sample_period", "quality", "quality_ok", "ok",
+}
+PROFILING_ROW_KEYS = {
+    "name", "blocks", "edges", "probes", "bound", "bound_ok",
+    "full_events", "probe_events", "event_ratio", "reference_full_s",
+    "reference_probed_s", "compiled_full_s", "compiled_probed_s",
+    "mismatches",
+}
+PROFILING_QUALITY_KEYS = {
+    "name", "cost_exact", "delta_reconstructed", "delta_sampled",
+    "delta_stale", "fallback", "ok",
 }
 MEMORY_KEYS = {
     "workloads", "total_reference_s", "total_compiled_s", "speedup",
@@ -256,6 +273,45 @@ class TestCli:
         for row in data["maxflow"]["networks"]:
             assert row["flows_agree"] is True
             assert row["max_flow"] > 0
+
+    def test_profiling_section(self, bench):
+        # Schema v8: minimum-coverage probe placement.  Probe counts
+        # must sit inside the spanning-tree bound, reconstruction must
+        # be bit-identical on both engines, counting events must drop
+        # by the gated factor, and exact reconstruction must cost zero
+        # dynamic-cost optimality.
+        _, data = bench
+        profiling = data["profiling"]
+        assert set(profiling) == PROFILING_KEYS
+        assert profiling["ok"] is True
+        assert profiling["bounds_ok"] is True
+        assert profiling["equivalent"] is True
+        assert profiling["quality_ok"] is True
+        assert profiling["event_ratio"] >= profiling["min_event_ratio"]
+        assert len(profiling["workloads"]) >= 1
+        for row in profiling["workloads"]:
+            assert set(row) == PROFILING_ROW_KEYS
+            assert row["mismatches"] == []
+            assert row["probes"] <= row["bound"]
+            assert row["bound"] == max(0, row["edges"] - row["blocks"] + 1)
+            assert row["probe_events"] < row["full_events"]
+        for row in profiling["quality"]:
+            assert set(row) == PROFILING_QUALITY_KEYS
+            assert row["delta_reconstructed"] == 0
+            assert row["delta_sampled"] >= 0
+            assert row["delta_stale"] >= 0
+
+    def test_only_flag_restricts_sections(self, tmp_path):
+        out = tmp_path / "BENCH.json"
+        rc = main([
+            "--quick", "--repeat", "1", "--only", "profiling",
+            "--out", str(out),
+        ])
+        data = json.loads(out.read_text())
+        assert rc == 0
+        assert "profiling" in data
+        assert "execution" not in data and "serving" not in data
+        assert data["ok"] is True
 
     def test_json_flag_prints_payload(self, tmp_path, capsys):
         out = tmp_path / "BENCH.json"
